@@ -1,0 +1,39 @@
+// Ablation (paper §IV-E design choice): the latent-vector error bound is
+// fixed at 0.1e. This bench sweeps the factor to show the tradeoff the
+// paper resolved: much looser latent bounds poison the AE prediction, much
+// tighter ones waste bits on latents.
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace aesz;
+  bench::banner("Ablation — latent error-bound factor (paper picks 0.1e)",
+                "paper §IV-E: 0.1e keeps prediction accuracy at ~4x latent "
+                "compression");
+
+  bench::SplitDataset ds = bench::ds_cesm_cldhgh();
+
+  // Train once; rebuild codecs with different factors sharing the weights.
+  AESZ::Options opt;
+  opt.ae = bench::ae2d();
+  AESZ base(opt, 73);
+  bench::train_codec(base, bench::ptrs(ds), ds.name.c_str());
+  const std::string model = "/tmp/aesz_abl_latent_model.bin";
+  base.save_model(model);
+
+  std::printf("\n%-10s %12s %12s %12s\n", "factor", "CR(1e-2)", "PSNR",
+              "AE-blocks");
+  for (double factor : {0.02, 0.05, 0.1, 0.3, 1.0, 3.0}) {
+    AESZ::Options o = opt;
+    o.latent_eb_factor = factor;
+    AESZ codec(o, 73);
+    codec.load_model(model);
+    const auto p = bench::evaluate(codec, ds.test, 1e-2);
+    std::printf("%-10.2f %12.2f %12.2f %11.1f%%\n", factor,
+                p.compression_ratio, p.psnr,
+                100.0 * codec.last_stats().ae_fraction());
+    std::fflush(stdout);
+  }
+  std::remove(model.c_str());
+  return 0;
+}

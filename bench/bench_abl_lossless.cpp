@@ -1,0 +1,82 @@
+// Ablation (pipeline design): the "Huffman + Zstd" lossless stage. Compares
+// Huffman-only, LZ-only, and Huffman+LZ on realistic quantization-code
+// streams (harvested from an SZ2.1 pass over each dataset) — showing why
+// the SZ family stacks both.
+
+#include "bench/common.hpp"
+#include "lossless/huffman.hpp"
+#include "lossless/lz.hpp"
+#include "predictors/lorenzo.hpp"
+#include "predictors/quantizer.hpp"
+
+namespace {
+
+using namespace aesz;
+
+/// Quantization codes from a recon-feedback Lorenzo pass (what the entropy
+/// stage actually sees inside the SZ-family codecs).
+std::vector<std::uint16_t> quant_codes(const Field& f, double rel_eb) {
+  const double abs_eb = rel_eb * f.value_range();
+  LinearQuantizer q(abs_eb);
+  const Dims& d = f.dims();
+  std::vector<float> recon(d.total());
+  std::vector<std::uint16_t> codes(d.total());
+  if (d.rank == 2) {
+    for (std::size_t i = 0; i < d[0]; ++i)
+      for (std::size_t j = 0; j < d[1]; ++j) {
+        const std::size_t idx = lin2(d, i, j);
+        float r;
+        codes[idx] = q.quantize(
+            f.at(idx), lorenzo::predict2(recon.data(), d, i, j), r);
+        recon[idx] = r;
+      }
+  } else {
+    for (std::size_t i = 0; i < d[0]; ++i)
+      for (std::size_t j = 0; j < d[1]; ++j)
+        for (std::size_t k = 0; k < d[2]; ++k) {
+          const std::size_t idx = lin3(d, i, j, k);
+          float r;
+          codes[idx] = q.quantize(
+              f.at(idx), lorenzo::predict3(recon.data(), d, i, j, k), r);
+          recon[idx] = r;
+        }
+  }
+  return codes;
+}
+
+void run_field(const char* name, const Field& f) {
+  const auto codes = quant_codes(f, 1e-3);
+  const std::size_t raw = codes.size() * sizeof(std::uint16_t);
+
+  const auto huff = huffman::encode(codes);
+  std::vector<std::uint8_t> raw_bytes(raw);
+  std::memcpy(raw_bytes.data(), codes.data(), raw);
+  const auto lz_only = lz::compress(raw_bytes);
+  const auto both = lz::compress(huff);
+
+  std::printf("%-20s %10zu %10zu %10zu %10zu   %5.2fx vs huffman-only\n",
+              name, raw, huff.size(), lz_only.size(), both.size(),
+              static_cast<double>(huff.size()) /
+                  static_cast<double>(both.size()));
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — lossless stage: Huffman vs LZ vs Huffman+LZ",
+                "SZ-family design: Huffman over quant codes, then byte LZ "
+                "(the paper's 'Huffman + Zstd')");
+  std::printf("\n%-20s %10s %10s %10s %10s\n", "field", "raw(u16)",
+              "huffman", "LZ-only", "huff+LZ");
+  const auto s = bench::scale();
+  run_field("CESM-CLDHGH", synth::cesm_cldhgh(192 * s, 384 * s, 55));
+  run_field("CESM-FREQSH", synth::cesm_freqsh(192 * s, 384 * s, 55));
+  {
+    Field f = synth::nyx_baryon_density(64 * s, 42, 400);
+    f.log_transform();
+    run_field("NYX-bd(log)", f);
+  }
+  run_field("Hurricane-U", synth::hurricane_u(32 * s, 80 * s, 80 * s, 43));
+  run_field("RTM", synth::rtm(64 * s, 64 * s, 64 * s, 1510));
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 10: percentage of blocks predicted by the autoencoder as a
+// function of the error bound, on three fields. Paper: the AE dominates the
+// selection in a band of medium bounds (~5e-3 to 2e-2) and hands over to
+// Lorenzo as the bound tightens (Lorenzo's feedback noise shrinks) and at
+// very loose bounds (harshly compressed latents hurt the AE).
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace aesz;
+
+void run_dataset(bench::SplitDataset ds, const nn::AEConfig& cfg,
+                 std::size_t batch) {
+  AESZ::Options opt;
+  opt.ae = cfg;
+  AESZ codec(opt, 53);
+  bench::train_codec(codec, bench::ptrs(ds), ds.name.c_str(), batch);
+  std::printf("%-12s %14s %10s %10s %10s\n", "log10(eb)", "AE-blocks",
+              "lorenzo", "mean", "CR");
+  for (double lg : {-3.5, -3.0, -2.5, -2.0, -1.5, -1.0}) {
+    const double eb = std::pow(10.0, lg);
+    const auto p = bench::evaluate(codec, ds.test, eb);
+    const auto& st = codec.last_stats();
+    std::printf("%-12.1f %13.1f%% %9.1f%% %9.1f%% %10.1f\n", lg,
+                100.0 * st.ae_fraction(),
+                100.0 * static_cast<double>(st.blocks_lorenzo) /
+                    static_cast<double>(st.blocks_total),
+                100.0 * static_cast<double>(st.blocks_mean) /
+                    static_cast<double>(st.blocks_total),
+                p.compression_ratio);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 10 — fraction of AE-predicted blocks vs error bound",
+      "paper Fig. 10: AE fraction peaks at medium bounds (5e-3..2e-2) and "
+      "falls toward both extremes");
+  run_dataset(bench::ds_cesm_cldhgh(), bench::ae2d(), 32);
+  run_dataset(bench::ds_hurricane_u(), bench::ae3d(), 16);
+  return 0;
+}

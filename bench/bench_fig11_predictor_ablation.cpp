@@ -1,0 +1,57 @@
+// Figure 11: rate distortion of AE-SZ when restricted to AE-only or
+// Lorenzo-only prediction vs the adaptive AE+Lorenzo selector. Paper: the
+// combination wins at every bit rate because it exploits whichever
+// predictor is locally better.
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace aesz;
+
+void run_dataset(bench::SplitDataset ds, const nn::AEConfig& cfg,
+                 std::size_t batch) {
+  std::printf("\n-- %s --\n", ds.name.c_str());
+  AESZ::Options opt;
+  opt.ae = cfg;
+  AESZ adaptive(opt, 59);
+  bench::train_codec(adaptive, bench::ptrs(ds), ds.name.c_str(), batch);
+
+  // Same weights, restricted policies.
+  const std::string model = "/tmp/aesz_fig11_model.bin";
+  adaptive.save_model(model);
+  opt.policy = AESZ::Policy::kAEOnly;
+  AESZ ae_only(opt, 59);
+  ae_only.load_model(model);
+  opt.policy = AESZ::Policy::kLorenzoOnly;
+  AESZ lorenzo_only(opt, 59);
+  lorenzo_only.load_model(model);
+  std::remove(model.c_str());
+
+  std::printf("%-14s %s\n", "policy", metrics::rd_header().c_str());
+  struct Row {
+    const char* label;
+    AESZ* codec;
+  };
+  for (const Row& row : {Row{"AE+Lorenzo", &adaptive}, Row{"AE", &ae_only},
+                         Row{"Lorenzo", &lorenzo_only}}) {
+    for (double eb : {3e-2, 1e-2, 3e-3, 1e-3}) {
+      const auto p = bench::evaluate(*row.codec, ds.test, eb);
+      std::printf("%-14s %s\n", row.label,
+                  metrics::format_rd_row("AE-SZ", p).c_str());
+      std::fflush(stdout);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 11 — adaptive AE+Lorenzo vs AE-only vs Lorenzo-only",
+      "paper Fig. 11: AE+Lorenzo best at all bit rates on CESM-CLDHGH and "
+      "Hurricane-U");
+  run_dataset(bench::ds_cesm_cldhgh(), bench::ae2d(), 32);
+  run_dataset(bench::ds_hurricane_u(), bench::ae3d(), 16);
+  return 0;
+}

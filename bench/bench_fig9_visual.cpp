@@ -1,0 +1,97 @@
+// Figure 9: visual quality of the reconstructed NYX baryon-density field at
+// a matched compression ratio (~180). For each compressor we binary-search
+// the error bound until CR is within 10% of the target, report the PSNR at
+// that CR, and dump a mid-volume slice as PGM for visual inspection
+// (bench_artifacts/fig9_<codec>.pgm).
+//
+// Paper Fig. 9 at CR ~180: AE-SZ 46.8 dB > SZinterp 45.5 > SZ 41.7 >
+// SZauto 40.6 > ZFP 30.2.
+
+#include <filesystem>
+
+#include "bench/common.hpp"
+#include "sz/sz21.hpp"
+#include "sz/szauto.hpp"
+#include "sz/szinterp.hpp"
+#include "zfp/zfp_like.hpp"
+
+namespace {
+
+using namespace aesz;
+
+/// Find the rel_eb whose compression ratio lands near `target_cr`.
+double find_eb_for_cr(Compressor& c, const Field& f, double target_cr) {
+  double lo = 1e-5, hi = 0.5;
+  double best_eb = 1e-2;
+  double best_gap = 1e18;
+  for (int it = 0; it < 14; ++it) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection
+    const auto stream = c.compress(f, mid);
+    const double cr = metrics::compression_ratio(f.size(), stream.size());
+    const double gap = std::abs(std::log(cr / target_cr));
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_eb = mid;
+    }
+    if (std::abs(cr - target_cr) / target_cr < 0.05) return mid;
+    if (cr < target_cr)
+      lo = mid;  // need looser bound
+    else
+      hi = mid;
+  }
+  return best_eb;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 9 — reconstruction quality at matched CR ~180 (NYX density)",
+      "paper Fig. 9: AE-SZ 46.8 dB > SZinterp 45.5 > SZ2.1 41.7 > SZauto "
+      "40.6 > ZFP 30.2 at CR ~180");
+
+  auto ds = bench::ds_nyx_bd();
+  const double target_cr = 180.0;
+
+  AESZ::Options aopt;
+  aopt.ae = bench::ae3d();
+  AESZ aesz_codec(aopt, 47);
+  bench::train_codec(aesz_codec, bench::ptrs(ds), "AE-SZ (SWAE)", 16);
+
+  SZ21 sz21;
+  SZAuto szauto;
+  SZInterp szinterp;
+  // ZFP's fixed-accuracy mode saturates near CR ~27 on this field (per-block
+  // headers + transform noise floor); the paper's CR-180 comparison point is
+  // only reachable in fixed-rate mode, so pin the rate to the target CR.
+  ZFPLike zfp(ZFPLike::Options{.rate_bits_per_value = 32.0 / target_cr});
+
+  std::filesystem::create_directories("bench_artifacts");
+  ds.test.save_pgm("bench_artifacts/fig9_original.pgm",
+                   ds.test.dims()[0] / 2);
+
+  std::printf("\n%-10s %10s %10s %10s %12s\n", "codec", "rel_eb", "CR",
+              "PSNR", "max_err");
+  for (Compressor* c : std::initializer_list<Compressor*>{
+           &aesz_codec, &szinterp, &szauto, &sz21, &zfp}) {
+    // Fixed-rate ZFP hits the target CR by construction; skip the search.
+    const double eb = c->error_bounded()
+                          ? find_eb_for_cr(*c, ds.test, target_cr)
+                          : 0.0;
+    const auto stream = c->compress(ds.test, eb);
+    Field recon = c->decompress(stream);
+    const double cr = metrics::compression_ratio(ds.test.size(), stream.size());
+    std::printf("%-10s %10.2e %10.1f %10.2f %12.3e\n", c->name().c_str(), eb,
+                cr, metrics::psnr(ds.test.values(), recon.values()),
+                metrics::max_abs_err(ds.test.values(), recon.values()));
+    std::fflush(stdout);
+    std::string tag = c->name();
+    for (char& ch : tag)
+      if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+    recon.save_pgm("bench_artifacts/fig9_" + tag + ".pgm",
+                   recon.dims()[0] / 2);
+  }
+  std::printf("\nslices written to bench_artifacts/fig9_*.pgm "
+              "(mid-volume z slice, original included)\n");
+  return 0;
+}

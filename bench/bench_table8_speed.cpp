@@ -1,0 +1,150 @@
+// Table VIII: compression/decompression throughput (MB/s) of every
+// compressor at eb 1e-3 on the five datasets. Paper shape: SZ2.1/ZFP/
+// SZauto/SZinterp run at hundreds of MB/s, AE-SZ at ~10-40% of SZ2.1
+// (NN inference cost), and AE-SZ is 30x-200x faster than AE-A and several
+// times faster than AE-B.
+//
+// Built on google-benchmark; each case runs a fixed small number of
+// iterations (the codecs are deterministic, variance is tiny) and reports
+// real-time MB/s counters.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "ae_baselines/ae_a.hpp"
+#include "ae_baselines/ae_b.hpp"
+#include "bench/common.hpp"
+#include "sz/sz21.hpp"
+#include "sz/szauto.hpp"
+#include "sz/szinterp.hpp"
+#include "zfp/zfp_like.hpp"
+
+namespace {
+
+using namespace aesz;
+
+constexpr double kRelEb = 1e-3;
+
+struct Suite {
+  std::vector<bench::SplitDataset> datasets;
+  // One trained AE-SZ / AE-A / AE-B per dataset (nullptr where unsupported).
+  std::vector<std::unique_ptr<AESZ>> aesz;
+  std::vector<std::unique_ptr<AEA>> aea;
+  std::vector<std::unique_ptr<AEB>> aeb;
+  SZ21 sz21;
+  SZAuto szauto;
+  SZInterp szinterp;
+  ZFPLike zfp;
+};
+
+Suite& suite() {
+  static Suite* s = [] {
+    auto* st = new Suite();
+    // Smaller fields than fig8: throughput is size-independent enough and
+    // this keeps the google-benchmark pass quick.
+    st->datasets.push_back(bench::ds_cesm_cldhgh());
+    {
+      auto rtm = bench::ds_rtm();
+      st->datasets.push_back(std::move(rtm));
+    }
+    st->datasets.push_back(bench::ds_hurricane_u());
+    st->datasets.push_back(bench::ds_nyx_bd());
+    st->datasets.push_back(bench::ds_exafel());
+    std::printf("training learned codecs once per dataset (speed-table "
+                "setup)...\n");
+    for (auto& ds : st->datasets) {
+      AESZ::Options opt;
+      opt.ae = ds.is3d ? bench::ae3d() : bench::ae2d();
+      auto codec = std::make_unique<AESZ>(opt, 61);
+      TrainOptions topt = bench::train_opts(ds.is3d ? 16 : 32);
+      topt.epochs = std::max<std::size_t>(bench::epochs() / 3, 3);
+      codec->train(bench::ptrs(ds), topt);
+      st->aesz.push_back(std::move(codec));
+
+      auto a = std::make_unique<AEA>(AEA::Options{.window = 1024, .latent = 2},
+                                     62);
+      a->train(bench::ptrs(ds), topt);
+      st->aea.push_back(std::move(a));
+
+      if (ds.is3d) {
+        auto b = std::make_unique<AEB>(AEB::Options{}, 63);
+        b->train(bench::ptrs(ds), topt);
+        st->aeb.push_back(std::move(b));
+      } else {
+        st->aeb.push_back(nullptr);
+      }
+    }
+    return st;
+  }();
+  return *s;
+}
+
+void bench_compress(benchmark::State& state, Compressor* c, const Field* f) {
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto stream = c->compress(*f, kRelEb);
+    bytes = stream.size();
+    benchmark::DoNotOptimize(stream);
+  }
+  const double mb = static_cast<double>(f->size() * sizeof(float)) / 1e6;
+  state.counters["MB/s"] =
+      benchmark::Counter(mb, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["CR"] = metrics::compression_ratio(f->size(), bytes);
+}
+
+void bench_decompress(benchmark::State& state, Compressor* c,
+                      const Field* f) {
+  const auto stream = c->compress(*f, kRelEb);
+  for (auto _ : state) {
+    Field g = c->decompress(stream);
+    benchmark::DoNotOptimize(g);
+  }
+  const double mb = static_cast<double>(f->size() * sizeof(float)) / 1e6;
+  state.counters["MB/s"] =
+      benchmark::Counter(mb, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  Suite& s = suite();
+  for (std::size_t di = 0; di < s.datasets.size(); ++di) {
+    auto& ds = s.datasets[di];
+    const Field* f = &ds.test;
+    std::vector<std::pair<std::string, Compressor*>> codecs{
+        {"SZ2.1", &s.sz21},
+        {"ZFP", &s.zfp},
+        {"AE-SZ", s.aesz[di].get()},
+        {"AE-A", s.aea[di].get()},
+    };
+    if (ds.is3d) {
+      codecs.emplace_back("SZauto", &s.szauto);
+      codecs.emplace_back("SZinterp", &s.szinterp);
+      if (s.aeb[di]) codecs.emplace_back("AE-B", s.aeb[di].get());
+    }
+    for (auto& [name, codec] : codecs) {
+      // AE-A's FC inference is ~100x slower than everything else; one
+      // iteration is plenty (it is deterministic).
+      const int iters = name == "AE-A" ? 1 : 2;
+      // Rates against wall time: the OS CPU timer's 5 ms resolution turns
+      // sub-millisecond decompressions into inf otherwise.
+      benchmark::RegisterBenchmark(
+          ("compress/" + ds.name + "/" + name).c_str(), bench_compress,
+          codec, f)
+          ->Iterations(iters)
+          ->UseRealTime()
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          ("decompress/" + ds.name + "/" + name).c_str(), bench_decompress,
+          codec, f)
+          ->Iterations(iters)
+          ->UseRealTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,216 @@
+#pragma once
+
+// Shared plumbing for the paper-reproduction benchmarks. Every bench binary
+// regenerates one table or figure of the paper (see DESIGN.md's
+// per-experiment index) and prints the same rows/series the paper reports.
+//
+// Environment knobs:
+//   AESZ_BENCH_EPOCHS  - training epochs for the learned compressors
+//                        (default 12; raise for higher-fidelity curves)
+//   AESZ_BENCH_SCALE   - integer field-size multiplier (default 1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/aesz.hpp"
+#include "data/synth.hpp"
+#include "metrics/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace aesz::bench {
+
+inline std::size_t env_size_t(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  const long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline std::size_t epochs() { return env_size_t("AESZ_BENCH_EPOCHS", 8); }
+inline std::size_t scale() { return env_size_t("AESZ_BENCH_SCALE", 1); }
+
+inline void banner(const char* what, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("epochs=%zu scale=%zu (env AESZ_BENCH_EPOCHS / AESZ_BENCH_SCALE)\n",
+              epochs(), scale());
+  std::printf("==============================================================\n");
+}
+
+/// Default AE configs at CPU scale (paper Table VI at reduced width).
+inline nn::AEConfig ae2d(std::size_t block = 32, std::size_t latent = 16) {
+  nn::AEConfig cfg;
+  cfg.rank = 2;
+  cfg.block = block;
+  cfg.latent = latent;
+  cfg.channels = {8, 16, 32};
+  return cfg;
+}
+
+inline nn::AEConfig ae3d(std::size_t block = 8, std::size_t latent = 16) {
+  nn::AEConfig cfg;
+  cfg.rank = 3;
+  cfg.block = block;
+  cfg.latent = latent;
+  cfg.channels = {8, 16, 32};
+  return cfg;
+}
+
+inline TrainOptions train_opts(std::size_t batch = 32) {
+  TrainOptions t;
+  t.epochs = epochs();
+  t.batch = batch;
+  t.lr = 2e-3f;
+  // Caps per-model training cost on the 2-core CI budget; raise together
+  // with AESZ_BENCH_EPOCHS for higher-fidelity curves.
+  t.max_blocks = 768;
+  return t;
+}
+
+/// Train any codec exposing train(fields, opts) with progress output.
+template <typename Codec>
+void train_codec(Codec& codec, const std::vector<const Field*>& fields,
+                 const char* tag, std::size_t batch = 32) {
+  Timer t;
+  std::printf("[train] %-28s ...", tag);
+  std::fflush(stdout);
+  const auto rep = codec.train(fields, train_opts(batch));
+  std::printf(" %zu samples, loss %.4f, %.1fs\n", rep.samples,
+              rep.epoch_loss.back(), t.seconds());
+}
+
+/// One rate-distortion evaluation: compress, decompress, verify, report.
+inline metrics::RDPoint evaluate(Compressor& c, const Field& f,
+                                 double rel_eb) {
+  const auto stream = c.compress(f, rel_eb);
+  Field recon = c.decompress(stream);
+  metrics::RDPoint p;
+  p.rel_error_bound = rel_eb;
+  p.bit_rate = metrics::bit_rate(f.size(), stream.size());
+  p.compression_ratio = metrics::compression_ratio(f.size(), stream.size());
+  p.psnr = metrics::psnr(f.values(), recon.values());
+  p.max_err = metrics::max_abs_err(f.values(), recon.values());
+  if (c.error_bounded() &&
+      p.max_err > rel_eb * f.value_range() * (1 + 1e-9)) {
+    std::printf("!! %s violated the bound at eb=%g (max_err %g)\n",
+                c.name().c_str(), rel_eb, p.max_err);
+    std::exit(1);
+  }
+  return p;
+}
+
+/// The paper's train/test split (Table VII) for each synthetic dataset, at
+/// bench scale. Training snapshots come from early timesteps (or another
+/// simulation for NYX), the test snapshot from the held-out range.
+struct SplitDataset {
+  std::string name;
+  std::vector<Field> train;
+  Field test;
+  bool is3d = false;
+  bool log_space = false;
+};
+
+// The 2-D fields yield far fewer 32x32 blocks per snapshot than the 3-D
+// fields yield 8x8x8 blocks, so their training splits span more timesteps
+// (the paper trains on 50 CESM snapshots; see Table VII).
+inline SplitDataset ds_cesm_cldhgh() {
+  const auto s = scale();
+  SplitDataset d;
+  d.name = "CESM-CLDHGH";
+  for (int t : {5, 10, 15, 20, 25, 30, 35, 40, 45, 49})
+    d.train.push_back(synth::cesm_cldhgh(192 * s, 384 * s, t));
+  d.test = synth::cesm_cldhgh(192 * s, 384 * s, 55);
+  return d;
+}
+
+inline SplitDataset ds_cesm_freqsh() {
+  const auto s = scale();
+  SplitDataset d;
+  d.name = "CESM-FREQSH";
+  for (int t : {5, 10, 15, 20, 25, 30, 35, 40, 45, 49})
+    d.train.push_back(synth::cesm_freqsh(192 * s, 384 * s, t));
+  d.test = synth::cesm_freqsh(192 * s, 384 * s, 55);
+  return d;
+}
+
+inline SplitDataset ds_exafel() {
+  const auto s = scale();
+  SplitDataset d;
+  d.name = "EXAFEL";
+  for (int t : {10, 60, 110, 160, 210, 260})
+    d.train.push_back(synth::exafel(296 * s, 388 * s, t));
+  d.test = synth::exafel(296 * s, 388 * s, 310);
+  return d;
+}
+
+inline SplitDataset ds_nyx_bd() {
+  const auto s = scale();
+  SplitDataset d;
+  d.name = "NYX-baryon_density";
+  d.is3d = true;
+  d.log_space = true;
+  for (int t : {54, 48})
+    d.train.push_back(synth::nyx_baryon_density(64 * s, t, /*seed=*/4));
+  d.test = synth::nyx_baryon_density(64 * s, 42, /*seed=*/400);
+  for (auto& f : d.train) f.log_transform();
+  d.test.log_transform();
+  return d;
+}
+
+inline SplitDataset ds_nyx_temp() {
+  const auto s = scale();
+  SplitDataset d;
+  d.name = "NYX-temperature";
+  d.is3d = true;
+  d.log_space = true;
+  for (int t : {54, 48})
+    d.train.push_back(synth::nyx_temperature(64 * s, t, /*seed=*/5));
+  d.test = synth::nyx_temperature(64 * s, 42, /*seed=*/500);
+  for (auto& f : d.train) f.log_transform();
+  d.test.log_transform();
+  return d;
+}
+
+inline SplitDataset ds_hurricane_u() {
+  const auto s = scale();
+  SplitDataset d;
+  d.name = "Hurricane-U";
+  d.is3d = true;
+  for (int t : {10, 30})
+    d.train.push_back(synth::hurricane_u(32 * s, 80 * s, 80 * s, t));
+  d.test = synth::hurricane_u(32 * s, 80 * s, 80 * s, 43);
+  return d;
+}
+
+inline SplitDataset ds_hurricane_qv() {
+  const auto s = scale();
+  SplitDataset d;
+  d.name = "Hurricane-QVAPOR";
+  d.is3d = true;
+  for (int t : {10, 30})
+    d.train.push_back(synth::hurricane_qvapor(32 * s, 80 * s, 80 * s, t));
+  d.test = synth::hurricane_qvapor(32 * s, 80 * s, 80 * s, 43);
+  return d;
+}
+
+inline SplitDataset ds_rtm() {
+  const auto s = scale();
+  SplitDataset d;
+  d.name = "RTM";
+  d.is3d = true;
+  for (int t : {1430, 1470})
+    d.train.push_back(synth::rtm(64 * s, 64 * s, 64 * s, t));
+  d.test = synth::rtm(64 * s, 64 * s, 64 * s, 1510);
+  return d;
+}
+
+inline std::vector<const Field*> ptrs(const SplitDataset& d) {
+  std::vector<const Field*> out;
+  for (const auto& f : d.train) out.push_back(&f);
+  return out;
+}
+
+}  // namespace aesz::bench

@@ -1,0 +1,203 @@
+// aesz_cli — command-line front end for the AE-SZ compressor on raw
+// single-precision files (SDRBench layout). The tool a downstream user
+// would actually script against.
+//
+// Subcommands:
+//   train    --field <table6-name> --dims AxB[xC] --out model.bin  files...
+//   compress --field <name> --model model.bin --dims AxB[xC] --eb 1e-2 \
+//            --out data.aesz  input.f32
+//   decompress --field <name> --model model.bin --out recon.f32  data.aesz
+//   assess   --dims AxB[xC]  original.f32 reconstructed.f32
+//
+// Synthetic smoke run (no files needed):
+//   aesz_cli demo
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/aesz.hpp"
+#include "core/model_zoo.hpp"
+#include "data/synth.hpp"
+#include "metrics/assessment.hpp"
+#include "metrics/metrics.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace aesz;
+
+Dims parse_dims(const std::string& s) {
+  Dims d;
+  std::size_t vals[3] = {0, 0, 0};
+  int n = 0;
+  std::size_t pos = 0;
+  while (pos < s.size() && n < 3) {
+    std::size_t end = s.find('x', pos);
+    if (end == std::string::npos) end = s.size();
+    vals[n++] = static_cast<std::size_t>(
+        std::atol(s.substr(pos, end - pos).c_str()));
+    pos = end + 1;
+  }
+  AESZ_CHECK_MSG(n >= 1 && vals[0] > 0, "bad --dims (use e.g. 1800x3600)");
+  if (n == 1) return Dims(vals[0]);
+  if (n == 2) return Dims(vals[0], vals[1]);
+  return Dims(vals[0], vals[1], vals[2]);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AESZ_CHECK_MSG(in.good(), "cannot open " + path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, std::span<const std::uint8_t> b) {
+  std::ofstream out(path, std::ios::binary);
+  AESZ_CHECK_MSG(out.good(), "cannot open " + path);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+}
+
+int usage() {
+  std::printf(
+      "usage:\n"
+      "  aesz_cli train --field NAME --dims AxB[xC] --out model.bin f...\n"
+      "  aesz_cli compress --field NAME --model m.bin --dims AxB[xC]\n"
+      "           --eb 1e-2 --out out.aesz input.f32\n"
+      "  aesz_cli decompress --field NAME --model m.bin --out recon.f32 in\n"
+      "  aesz_cli assess --dims AxB[xC] original.f32 reconstructed.f32\n"
+      "  aesz_cli demo\n"
+      "fields: ");
+  for (const auto& f : model_zoo::known_fields())
+    std::printf("%s ", f.c_str());
+  std::printf("\n");
+  return 2;
+}
+
+int cmd_train(const CliArgs& args) {
+  const std::string field = args.get("field", "CESM-CLDHGH");
+  const Dims dims = parse_dims(args.get("dims", ""));
+  AESZ codec(model_zoo::options_for(field), 1);
+  std::vector<Field> fields;
+  for (const auto& path : args.positional())
+    fields.push_back(Field::load_raw(path, dims));
+  AESZ_CHECK_MSG(!fields.empty(), "no training files given");
+  std::vector<const Field*> ptrs;
+  for (const auto& f : fields) ptrs.push_back(&f);
+  TrainOptions topt;
+  topt.epochs = static_cast<std::size_t>(args.get_long("epochs", 30));
+  const auto rep = codec.train(ptrs, topt);
+  std::printf("trained on %zu blocks, final loss %.5f, %.1fs\n", rep.samples,
+              rep.epoch_loss.back(), rep.seconds);
+  codec.save_model(args.get("out", "model.bin"));
+  return 0;
+}
+
+int cmd_compress(const CliArgs& args) {
+  const std::string field = args.get("field", "CESM-CLDHGH");
+  const Dims dims = parse_dims(args.get("dims", ""));
+  AESZ codec(model_zoo::options_for(field), 1);
+  codec.load_model(args.get("model", "model.bin"));
+  AESZ_CHECK_MSG(args.positional().size() == 1, "need one input file");
+  Field f = Field::load_raw(args.positional()[0], dims);
+  const double eb = args.get_double("eb", 1e-2);
+  const auto stream = codec.compress(f, eb);
+  write_file(args.get("out", "out.aesz"), stream);
+  std::printf("%zu -> %zu bytes (CR %.2f), %.1f%% AE blocks\n",
+              f.size() * sizeof(float), stream.size(),
+              metrics::compression_ratio(f.size(), stream.size()),
+              100.0 * codec.last_stats().ae_fraction());
+  return 0;
+}
+
+int cmd_decompress(const CliArgs& args) {
+  const std::string field = args.get("field", "CESM-CLDHGH");
+  AESZ codec(model_zoo::options_for(field), 1);
+  codec.load_model(args.get("model", "model.bin"));
+  AESZ_CHECK_MSG(args.positional().size() == 1, "need one input file");
+  const auto stream = read_file(args.positional()[0]);
+  Field f = codec.decompress(stream);
+  f.save_raw(args.get("out", "recon.f32"));
+  std::printf("decompressed %s -> %s\n", f.dims().str().c_str(),
+              args.get("out", "recon.f32").c_str());
+  return 0;
+}
+
+int cmd_assess(const CliArgs& args) {
+  const Dims dims = parse_dims(args.get("dims", ""));
+  AESZ_CHECK_MSG(args.positional().size() == 2,
+                 "need original and reconstructed files");
+  Field a = Field::load_raw(args.positional()[0], dims);
+  Field b = Field::load_raw(args.positional()[1], dims);
+  std::printf("%s", metrics::format(metrics::assess(a, b)).c_str());
+  return 0;
+}
+
+int cmd_demo() {
+  std::printf("demo: synthetic CESM field end to end through the CLI paths\n");
+  const std::string model = "/tmp/aesz_cli_demo_model.bin";
+  Field train = synth::cesm_cldhgh(96, 192, 10);
+  Field test = synth::cesm_cldhgh(96, 192, 55);
+  train.save_raw("/tmp/aesz_cli_train.f32");
+  test.save_raw("/tmp/aesz_cli_test.f32");
+
+  {
+    const char* argv[] = {"aesz_cli", "--field", "CESM-CLDHGH", "--dims",
+                          "96x192",   "--out",   model.c_str(), "--epochs",
+                          "4",        "/tmp/aesz_cli_train.f32"};
+    CliArgs args(static_cast<int>(std::size(argv)),
+                 const_cast<char**>(argv),
+                 {"field", "dims", "out", "epochs"});
+    if (cmd_train(args)) return 1;
+  }
+  {
+    const char* argv[] = {"aesz_cli",   "--field", "CESM-CLDHGH",
+                          "--dims",     "96x192",  "--model",
+                          model.c_str(), "--eb",   "1e-2",
+                          "--out",      "/tmp/aesz_cli_demo.aesz",
+                          "/tmp/aesz_cli_test.f32"};
+    CliArgs args(static_cast<int>(std::size(argv)),
+                 const_cast<char**>(argv),
+                 {"field", "dims", "model", "eb", "out"});
+    if (cmd_compress(args)) return 1;
+  }
+  {
+    const char* argv[] = {"aesz_cli",    "--field", "CESM-CLDHGH",
+                          "--model",     model.c_str(), "--out",
+                          "/tmp/aesz_cli_recon.f32",
+                          "/tmp/aesz_cli_demo.aesz"};
+    CliArgs args(static_cast<int>(std::size(argv)),
+                 const_cast<char**>(argv), {"field", "model", "out"});
+    if (cmd_decompress(args)) return 1;
+  }
+  {
+    const char* argv[] = {"aesz_cli", "--dims", "96x192",
+                          "/tmp/aesz_cli_test.f32",
+                          "/tmp/aesz_cli_recon.f32"};
+    CliArgs args(static_cast<int>(std::size(argv)),
+                 const_cast<char**>(argv), {"dims"});
+    if (cmd_assess(args)) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const std::vector<std::string> keys{"field", "dims",   "out",
+                                        "model", "eb",     "epochs"};
+    CliArgs args(argc - 1, argv + 1, keys);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "compress") return cmd_compress(args);
+    if (cmd == "decompress") return cmd_decompress(args);
+    if (cmd == "assess") return cmd_assess(args);
+    if (cmd == "demo") return cmd_demo();
+    return usage();
+  } catch (const aesz::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

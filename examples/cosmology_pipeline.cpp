@@ -1,0 +1,72 @@
+// Cosmology scenario: NYX-like 3-D baryon density. Reproduces two
+// domain-specific practices from the paper:
+//  - fields are compressed in log10 space ("transformed to their logarithmic
+//    value before compression for better visualization"), and
+//  - training data comes from a *different simulation run* (different seed)
+//    than the test data (paper Table VII: "another simulation at redshift 42").
+//
+// Sweeps the error bound and prints the AE-SZ rate-distortion curve next to
+// the SZ2.1 baseline on the same field.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/aesz.hpp"
+#include "data/synth.hpp"
+#include "metrics/metrics.hpp"
+#include "sz/sz21.hpp"
+
+int main() {
+  using namespace aesz;
+
+  std::printf("=== NYX-like baryon density pipeline (3-D, log space) ===\n");
+  // Training run: seeds the "first simulation"; test run uses another seed.
+  Field train_a = synth::nyx_baryon_density(48, /*timestep=*/54, /*seed=*/4);
+  Field train_b = synth::nyx_baryon_density(48, /*timestep=*/48, /*seed=*/4);
+  Field test = synth::nyx_baryon_density(48, /*timestep=*/42, /*seed=*/400);
+  train_a.log_transform();
+  train_b.log_transform();
+  test.log_transform();
+
+  AESZ::Options opt;
+  opt.ae.rank = 3;
+  opt.ae.block = 8;
+  opt.ae.latent = 16;
+  opt.ae.channels = {8, 16, 32};
+  AESZ codec(opt, 7);
+  TrainOptions topt;
+  topt.epochs = 10;
+  topt.batch = 16;
+  std::printf("training SWAE on the other simulation run...\n");
+  const auto rep = codec.train({&train_a, &train_b}, topt);
+  std::printf("done: %zu samples, %.1fs\n\n", rep.samples, rep.seconds);
+
+  SZ21 sz21;
+  std::printf("%-10s %s\n", "", metrics::rd_header().c_str());
+  for (double eb : {1e-1, 5e-2, 2e-2, 1e-2, 5e-3, 1e-3, 1e-4}) {
+    for (Compressor* c :
+         std::initializer_list<Compressor*>{&codec, &sz21}) {
+      const auto stream = c->compress(test, eb);
+      Field recon = c->decompress(stream);
+      metrics::RDPoint p;
+      p.rel_error_bound = eb;
+      p.bit_rate = metrics::bit_rate(test.size(), stream.size());
+      p.compression_ratio =
+          metrics::compression_ratio(test.size(), stream.size());
+      p.psnr = metrics::psnr(test.values(), recon.values());
+      p.max_err = metrics::max_abs_err(test.values(), recon.values());
+      if (p.max_err > eb * test.value_range() * (1 + 1e-9)) {
+        std::printf("ERROR: %s violated the bound at eb=%g\n",
+                    c->name().c_str(), eb);
+        return 1;
+      }
+      std::printf("%-10s %s\n", "",
+                  metrics::format_rd_row(c->name(), p).c_str());
+    }
+  }
+  std::printf("\nNote: at high compression ratios (low bit rate) AE-SZ's "
+              "curve should sit above SZ2.1's — the paper's headline "
+              "result; at tight bounds the two converge as Lorenzo "
+              "dominates the block selection.\n");
+  return 0;
+}

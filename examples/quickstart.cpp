@@ -1,0 +1,84 @@
+// Quickstart: train AE-SZ on early snapshots of a (synthetic) climate field,
+// then compress an unseen later snapshot under a strict error bound.
+//
+//   ./quickstart [rel_error_bound]   (default 1e-2)
+//
+// This is the paper's protocol in miniature: offline training on earlier
+// timesteps, online compression of new data from the same application.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/aesz.hpp"
+#include "data/synth.hpp"
+#include "metrics/metrics.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aesz;
+  const double rel_eb = argc > 1 ? std::atof(argv[1]) : 1e-2;
+
+  std::printf("== AE-SZ quickstart (rel. error bound %.1e) ==\n\n", rel_eb);
+
+  // 1. Data: CESM-like 2-D cloud-fraction snapshots. Timesteps 0-49 are the
+  //    training split, 55 is the unseen test snapshot (paper Table VII).
+  std::printf("[1/4] generating CESM-CLDHGH-like snapshots...\n");
+  Field train0 = synth::cesm_cldhgh(192, 384, /*timestep=*/10);
+  Field train1 = synth::cesm_cldhgh(192, 384, /*timestep=*/30);
+  Field test = synth::cesm_cldhgh(192, 384, /*timestep=*/55);
+
+  // 2. Configure the blockwise SWAE (paper Table VI: 32x32 blocks,
+  //    latent 16) and train it offline.
+  AESZ::Options opt;
+  opt.ae.rank = 2;
+  opt.ae.block = 32;
+  opt.ae.latent = 16;
+  opt.ae.channels = {8, 16, 32};
+  AESZ codec(opt, /*seed=*/1);
+
+  TrainOptions topt;
+  topt.epochs = 10;
+  topt.batch = 32;
+  std::printf("[2/4] training the SWAE predictor (%zu epochs)...\n",
+              topt.epochs);
+  Timer ttrain;
+  const TrainReport rep = codec.train({&train0, &train1}, topt);
+  std::printf("      %zu block samples, final loss %.5f, %.1fs\n",
+              rep.samples, rep.epoch_loss.back(), ttrain.seconds());
+
+  // 3. Compress the unseen snapshot.
+  std::printf("[3/4] compressing the unseen timestep...\n");
+  Timer tc;
+  const auto stream = codec.compress(test, rel_eb);
+  const double comp_s = tc.seconds();
+
+  // 4. Decompress and verify the bound.
+  std::printf("[4/4] decompressing and verifying...\n\n");
+  Timer td;
+  Field recon = codec.decompress(stream);
+  const double decomp_s = td.seconds();
+
+  const double abs_eb = rel_eb * test.value_range();
+  const double maxerr = metrics::max_abs_err(test.values(), recon.values());
+  const auto& st = codec.last_stats();
+
+  std::printf("  original size      : %zu bytes\n",
+              test.size() * sizeof(float));
+  std::printf("  compressed size    : %zu bytes\n", stream.size());
+  std::printf("  compression ratio  : %.2f\n",
+              metrics::compression_ratio(test.size(), stream.size()));
+  std::printf("  bit rate           : %.3f bits/value\n",
+              metrics::bit_rate(test.size(), stream.size()));
+  std::printf("  PSNR               : %.2f dB\n",
+              metrics::psnr(test.values(), recon.values()));
+  std::printf("  max abs error      : %.3e (bound %.3e)  %s\n", maxerr,
+              abs_eb, maxerr <= abs_eb ? "OK" : "VIOLATED");
+  std::printf("  predictor mix      : %.1f%% AE, %.1f%% Lorenzo, %.1f%% mean\n",
+              100.0 * st.ae_fraction(),
+              100.0 * st.blocks_lorenzo / st.blocks_total,
+              100.0 * st.blocks_mean / st.blocks_total);
+  std::printf("  throughput         : %.1f MB/s compress, %.1f MB/s decompress\n",
+              test.size() * sizeof(float) / comp_s / 1e6,
+              test.size() * sizeof(float) / decomp_s / 1e6);
+  return maxerr <= abs_eb ? 0 : 1;
+}

@@ -1,0 +1,240 @@
+#include "ae_baselines/ae_a.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "lossless/lz.hpp"
+#include "nn/losses.hpp"
+#include "predictors/quantizer.hpp"
+#include "sz/common.hpp"
+#include "util/timer.hpp"
+
+namespace aesz {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41454131;  // "AEA1"
+
+}  // namespace
+
+AEA::AEA(Options opt, std::uint64_t seed) : opt_(std::move(opt)) {
+  AESZ_CHECK_MSG(opt_.window % 64 == 0, "AE-A window must be divisible by 64");
+  Rng rng(seed);
+  const std::size_t w = opt_.window;
+  // Encoder: w -> w/8 -> w/64 -> latent, LeakyReLU between FC layers
+  // (the original uses fully connected layers shrinking 8x each).
+  enc_.push_back(std::make_unique<nn::Linear>(w, w / 8, rng));
+  enc_.push_back(std::make_unique<nn::LeakyReLU>(0.2f));
+  enc_.push_back(std::make_unique<nn::Linear>(w / 8, w / 64, rng));
+  enc_.push_back(std::make_unique<nn::LeakyReLU>(0.2f));
+  enc_.push_back(std::make_unique<nn::Linear>(w / 64, opt_.latent, rng));
+  dec_.push_back(std::make_unique<nn::Linear>(opt_.latent, w / 64, rng));
+  dec_.push_back(std::make_unique<nn::LeakyReLU>(0.2f));
+  dec_.push_back(std::make_unique<nn::Linear>(w / 64, w / 8, rng));
+  dec_.push_back(std::make_unique<nn::LeakyReLU>(0.2f));
+  dec_.push_back(std::make_unique<nn::Linear>(w / 8, w, rng));
+  dec_.push_back(std::make_unique<nn::Tanh>());
+  adam_ = std::make_unique<nn::Adam>(params(), opt_.lr);
+}
+
+std::vector<nn::Param*> AEA::params() {
+  std::vector<nn::Param*> out;
+  for (auto& l : enc_)
+    for (nn::Param* p : l->params()) out.push_back(p);
+  for (auto& l : dec_)
+    for (nn::Param* p : l->params()) out.push_back(p);
+  return out;
+}
+
+void AEA::encode_window(const float* in, float* latent) {
+  nn::Tensor x({1, opt_.window});
+  std::copy(in, in + opt_.window, x.data());
+  for (auto& l : enc_) x = l->forward(x, false);
+  std::copy(x.data(), x.data() + opt_.latent, latent);
+}
+
+void AEA::decode_window(const float* latent, float* out) {
+  nn::Tensor z({1, opt_.latent});
+  std::copy(latent, latent + opt_.latent, z.data());
+  for (auto& l : dec_) z = l->forward(z, false);
+  std::copy(z.data(), z.data() + opt_.window, out);
+}
+
+void AEA::predict_window(const float* in, float* out) {
+  std::vector<float> latent(opt_.latent);
+  encode_window(in, latent.data());
+  decode_window(latent.data(), out);
+}
+
+double AEA::train_step(const std::vector<const float*>& batch) {
+  const std::size_t N = batch.size();
+  nn::Tensor x({N, opt_.window});
+  for (std::size_t i = 0; i < N; ++i)
+    std::copy(batch[i], batch[i] + opt_.window, x.data() + i * opt_.window);
+  adam_->zero_grad();
+  nn::Tensor h = x;
+  for (auto& l : enc_) h = l->forward(h, true);
+  for (auto& l : dec_) h = l->forward(h, true);
+  nn::Tensor g(h.shape());
+  const double loss = nn::losses::mse(h, x, g);
+  for (auto it = dec_.rbegin(); it != dec_.rend(); ++it) g = (*it)->backward(g);
+  for (auto it = enc_.rbegin(); it != enc_.rend(); ++it) g = (*it)->backward(g);
+  adam_->step();
+  return loss;
+}
+
+TrainReport AEA::train(const std::vector<const Field*>& fields,
+                       const TrainOptions& opts) {
+  // Flatten every field into normalized windows (AE-A is dimension-blind).
+  std::vector<std::vector<float>> samples;
+  for (const Field* f : fields) {
+    auto [lo, hi] = f->min_max();
+    const float range = hi - lo;
+    const std::size_t nwin = f->size() / opt_.window;
+    for (std::size_t wdx = 0; wdx < nwin; ++wdx) {
+      samples.emplace_back(opt_.window);
+      for (std::size_t i = 0; i < opt_.window; ++i) {
+        const float v = f->at(wdx * opt_.window + i);
+        samples.back()[i] =
+            range > 0 ? 2.0f * (v - lo) / range - 1.0f : 0.0f;
+      }
+    }
+  }
+  Rng rng(opts.seed);
+  if (samples.size() > opts.max_blocks) {
+    for (std::size_t i = 0; i < opts.max_blocks; ++i)
+      std::swap(samples[i], samples[i + rng.below(samples.size() - i)]);
+    samples.resize(opts.max_blocks);
+  }
+  AESZ_CHECK_MSG(!samples.empty(), "no AE-A training windows");
+
+  TrainReport report;
+  report.samples = samples.size();
+  Timer timer;
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+    double el = 0.0;
+    std::size_t nb = 0;
+    for (std::size_t start = 0; start < order.size(); start += opts.batch) {
+      const std::size_t n = std::min(opts.batch, order.size() - start);
+      std::vector<const float*> batch(n);
+      for (std::size_t i = 0; i < n; ++i)
+        batch[i] = samples[order[start + i]].data();
+      el += train_step(batch);
+      ++nb;
+    }
+    report.epoch_loss.push_back(el / static_cast<double>(nb));
+  }
+  report.seconds = timer.seconds();
+  return report;
+}
+
+std::vector<std::uint8_t> AEA::compress(const Field& f, double rel_eb) {
+  AESZ_CHECK_MSG(rel_eb > 0, "AE-A requires a positive error bound");
+  const Dims& d = f.dims();
+  auto [lo, hi] = f.min_max();
+  const float range = hi - lo;
+  const double abs_eb = range > 0 ? rel_eb * range : rel_eb;
+  const std::size_t W = opt_.window;
+  const std::size_t n = f.size();
+  const std::size_t nwin = (n + W - 1) / W;
+
+  ByteWriter w;
+  sz::write_header(w, kMagic, d, abs_eb);
+  w.put(lo);
+  w.put(hi);
+  w.put_varint(W);
+  w.put_varint(opt_.latent);
+
+  // Latents stored as raw float32 (the original's overhead), prediction
+  // errors quantized like SZ ("the .dvalue files ... compressed by SZ").
+  std::vector<float> latents(nwin * opt_.latent);
+  std::vector<float> window(W), pred(W);
+  std::vector<std::uint16_t> codes(n);
+  std::vector<float> unpred;
+  LinearQuantizer quant(abs_eb);
+
+  for (std::size_t wd = 0; wd < nwin; ++wd) {
+    const std::size_t base = wd * W;
+    const std::size_t len = std::min(W, n - base);
+    for (std::size_t i = 0; i < W; ++i) {
+      const float v = f.at(base + std::min(i, len - 1));
+      window[i] = range > 0 ? 2.0f * (v - lo) / range - 1.0f : 0.0f;
+    }
+    encode_window(window.data(), latents.data() + wd * opt_.latent);
+    decode_window(latents.data() + wd * opt_.latent, pred.data());
+    for (std::size_t i = 0; i < len; ++i) {
+      const float p = lo + (pred[i] + 1.0f) * 0.5f * range;
+      float rec;
+      const std::uint16_t code = quant.quantize(f.at(base + i), p, rec);
+      if (code == LinearQuantizer::kUnpredictable)
+        unpred.push_back(f.at(base + i));
+      codes[base + i] = code;
+    }
+  }
+
+  {
+    ByteWriter lw;
+    lw.put_array<float>(latents);
+    w.put_blob(lz::compress(lw.bytes()));
+  }
+  w.put_blob(qcodec::encode_codes(codes));
+  {
+    ByteWriter uw;
+    uw.put_array<float>(unpred);
+    w.put_blob(lz::compress(uw.bytes()));
+  }
+  return w.take();
+}
+
+Field AEA::decompress(std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  double abs_eb = 0;
+  const Dims d = sz::read_header(r, kMagic, abs_eb);
+  const auto lo = r.get<float>();
+  const auto hi = r.get<float>();
+  const float range = hi - lo;
+  const std::size_t W = r.get_varint();
+  const std::size_t L = r.get_varint();
+  AESZ_CHECK_MSG(W == opt_.window && L == opt_.latent,
+                 "AE-A stream config mismatch");
+
+  const auto latent_bytes = lz::decompress(r.get_blob());
+  ByteReader lr(latent_bytes);
+  const auto latents = lr.get_array<float>();
+  auto codes = qcodec::decode_codes(r.get_blob());
+  AESZ_CHECK_MSG(codes.size() == d.total(), "code count mismatch");
+  const auto unpred_bytes = lz::decompress(r.get_blob());
+  ByteReader ur(unpred_bytes);
+  const auto unpred = ur.get_array<float>();
+
+  const std::size_t n = d.total();
+  const std::size_t nwin = (n + W - 1) / W;
+  AESZ_CHECK_MSG(latents.size() == nwin * L, "latent count mismatch");
+
+  Field out(d);
+  std::vector<float> pred(W);
+  LinearQuantizer quant(abs_eb);
+  std::size_t ui = 0;
+  for (std::size_t wd = 0; wd < nwin; ++wd) {
+    const std::size_t base = wd * W;
+    const std::size_t len = std::min(W, n - base);
+    decode_window(latents.data() + wd * L, pred.data());
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::uint16_t code = codes[base + i];
+      if (code == LinearQuantizer::kUnpredictable) {
+        AESZ_CHECK_MSG(ui < unpred.size(), "unpredictable underflow");
+        out.at(base + i) = unpred[ui++];
+        continue;
+      }
+      const float p = lo + (pred[i] + 1.0f) * 0.5f * range;
+      out.at(base + i) = quant.recover(p, code);
+    }
+  }
+  return out;
+}
+
+}  // namespace aesz

@@ -1,0 +1,226 @@
+#include "ae_baselines/ae_b.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "lossless/lz.hpp"
+#include "nn/losses.hpp"
+#include "sz/common.hpp"
+#include "util/timer.hpp"
+
+namespace aesz {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41454232;  // "AEB2"
+
+}  // namespace
+
+ResBlock3d::ResBlock3d(std::size_t channels, Rng& rng)
+    : conv1_(channels, channels, 3, 1, 1, rng),
+      conv2_(channels, channels, 3, 1, 1, rng), relu_(0.0f) {}
+
+nn::Tensor ResBlock3d::forward(const nn::Tensor& x, bool train) {
+  nn::Tensor h = conv1_.forward(x, train);
+  h = relu_.forward(h, train);
+  h = conv2_.forward(h, train);
+  for (std::size_t i = 0; i < h.numel(); ++i) h[i] += x[i];
+  return h;
+}
+
+nn::Tensor ResBlock3d::backward(const nn::Tensor& gy) {
+  nn::Tensor g = conv2_.backward(gy);
+  g = relu_.backward(g);
+  g = conv1_.backward(g);
+  for (std::size_t i = 0; i < g.numel(); ++i) g[i] += gy[i];
+  return g;
+}
+
+std::vector<nn::Param*> ResBlock3d::params() {
+  std::vector<nn::Param*> out;
+  for (nn::Param* p : conv1_.params()) out.push_back(p);
+  for (nn::Param* p : conv2_.params()) out.push_back(p);
+  return out;
+}
+
+AEB::AEB(Options opt, std::uint64_t seed) : opt_(std::move(opt)) {
+  AESZ_CHECK_MSG(opt_.block % 4 == 0, "AE-B block must be divisible by 4");
+  Rng rng(seed);
+  const std::size_t wdt = opt_.width;
+  // Encoder: lift to `width` channels, then two [res..., stride-2] stages
+  // (4x spatial reduction per axis = 64x in 3-D) ending at 1 channel.
+  enc_.push_back(std::make_unique<nn::Conv3d>(1, wdt, 3, 1, 1, rng));
+  for (std::size_t i = 0; i < opt_.res_blocks; ++i)
+    enc_.push_back(std::make_unique<ResBlock3d>(wdt, rng));
+  enc_.push_back(std::make_unique<nn::Conv3d>(wdt, 2 * wdt, 3, 2, 1, rng));
+  for (std::size_t i = 0; i < opt_.res_blocks; ++i)
+    enc_.push_back(std::make_unique<ResBlock3d>(2 * wdt, rng));
+  enc_.push_back(std::make_unique<nn::Conv3d>(2 * wdt, 2 * wdt, 3, 2, 1, rng));
+  enc_.push_back(std::make_unique<nn::Conv3d>(2 * wdt, 1, 3, 1, 1, rng));
+
+  dec_.push_back(std::make_unique<nn::Conv3d>(1, 2 * wdt, 3, 1, 1, rng));
+  dec_.push_back(
+      std::make_unique<nn::ConvT3d>(2 * wdt, 2 * wdt, 3, 2, 1, 1, rng));
+  for (std::size_t i = 0; i < opt_.res_blocks; ++i)
+    dec_.push_back(std::make_unique<ResBlock3d>(2 * wdt, rng));
+  dec_.push_back(std::make_unique<nn::ConvT3d>(2 * wdt, wdt, 3, 2, 1, 1, rng));
+  for (std::size_t i = 0; i < opt_.res_blocks; ++i)
+    dec_.push_back(std::make_unique<ResBlock3d>(wdt, rng));
+  dec_.push_back(std::make_unique<nn::Conv3d>(wdt, 1, 3, 1, 1, rng));
+  dec_.push_back(std::make_unique<nn::Tanh>());
+
+  const std::size_t lt = opt_.block / 4;
+  latent_per_block_ = lt * lt * lt;  // 1 channel on a (block/4)^3 grid
+  adam_ = std::make_unique<nn::Adam>(params(), opt_.lr);
+}
+
+nn::Tensor AEB::run(std::vector<std::unique_ptr<nn::Layer>>& stack,
+                    nn::Tensor x, bool train) {
+  for (auto& l : stack) x = l->forward(x, train);
+  return x;
+}
+
+std::vector<nn::Param*> AEB::params() {
+  std::vector<nn::Param*> out;
+  for (auto& l : enc_)
+    for (nn::Param* p : l->params()) out.push_back(p);
+  for (auto& l : dec_)
+    for (nn::Param* p : l->params()) out.push_back(p);
+  return out;
+}
+
+double AEB::train_step(const nn::Tensor& batch) {
+  adam_->zero_grad();
+  nn::Tensor z = run(enc_, batch, true);
+  nn::Tensor y = run(dec_, z, true);
+  nn::Tensor g(y.shape());
+  const double loss = nn::losses::mse(y, batch, g);
+  for (auto it = dec_.rbegin(); it != dec_.rend(); ++it) g = (*it)->backward(g);
+  for (auto it = enc_.rbegin(); it != enc_.rend(); ++it) g = (*it)->backward(g);
+  adam_->step();
+  return loss;
+}
+
+TrainReport AEB::train(const std::vector<const Field*>& fields,
+                       const TrainOptions& opts) {
+  nn::AEConfig blockcfg;
+  blockcfg.rank = 3;
+  blockcfg.block = opt_.block;
+  std::vector<std::vector<float>> samples;
+  for (const Field* f : fields) {
+    AESZ_CHECK_MSG(f->dims().rank == 3, "AE-B supports only 3-D data");
+    const BlockSplit s = make_block_split(f->dims(), opt_.block);
+    auto [lo, hi] = f->min_max();
+    const Normalizer nrm{lo, hi};
+    for (std::size_t bid = 0; bid < s.total; ++bid) {
+      samples.emplace_back(s.block_elems());
+      extract_block(*f, s, bid, nrm, samples.back().data());
+    }
+  }
+  Rng rng(opts.seed);
+  if (samples.size() > opts.max_blocks) {
+    for (std::size_t i = 0; i < opts.max_blocks; ++i)
+      std::swap(samples[i], samples[i + rng.below(samples.size() - i)]);
+    samples.resize(opts.max_blocks);
+  }
+  AESZ_CHECK_MSG(!samples.empty(), "no AE-B training blocks");
+
+  TrainReport report;
+  report.samples = samples.size();
+  Timer timer;
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::size_t be = samples[0].size();
+  for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+    double el = 0.0;
+    std::size_t nb = 0;
+    for (std::size_t start = 0; start < order.size(); start += opts.batch) {
+      const std::size_t n = std::min(opts.batch, order.size() - start);
+      nn::Tensor batch({n, 1, opt_.block, opt_.block, opt_.block});
+      for (std::size_t i = 0; i < n; ++i)
+        std::copy(samples[order[start + i]].begin(),
+                  samples[order[start + i]].end(), batch.data() + i * be);
+      el += train_step(batch);
+      ++nb;
+    }
+    report.epoch_loss.push_back(el / static_cast<double>(nb));
+  }
+  report.seconds = timer.seconds();
+  return report;
+}
+
+std::vector<std::uint8_t> AEB::compress(const Field& f, double /*rel_eb*/) {
+  AESZ_CHECK_MSG(f.dims().rank == 3, "AE-B supports only 3-D data");
+  const Dims& d = f.dims();
+  auto [lo, hi] = f.min_max();
+  const Normalizer nrm{lo, hi};
+  const BlockSplit split = make_block_split(d, opt_.block);
+  const std::size_t be = split.block_elems();
+
+  ByteWriter w;
+  sz::write_header(w, kMagic, d, 0.0);
+  w.put(lo);
+  w.put(hi);
+  w.put_varint(opt_.block);
+
+  // Fixed-ratio latents: raw float32, 1/64 of the input volume.
+  std::vector<float> latents(split.total * latent_per_block_);
+  const std::size_t batch = 16;
+  for (std::size_t start = 0; start < split.total; start += batch) {
+    const std::size_t n = std::min(batch, split.total - start);
+    nn::Tensor x({n, 1, opt_.block, opt_.block, opt_.block});
+    for (std::size_t i = 0; i < n; ++i)
+      extract_block(f, split, start + i, nrm, x.data() + i * be);
+    nn::Tensor z = run(enc_, x, false);
+    AESZ_CHECK(z.numel() == n * latent_per_block_);
+    std::copy(z.data(), z.data() + n * latent_per_block_,
+              latents.data() + start * latent_per_block_);
+  }
+  ByteWriter lw;
+  lw.put_array<float>(latents);
+  w.put_blob(lw.bytes());
+  return w.take();
+}
+
+Field AEB::decompress(std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  double ignored = 0;
+  const Dims d = sz::read_header(r, kMagic, ignored);
+  const auto lo = r.get<float>();
+  const auto hi = r.get<float>();
+  const std::size_t block = r.get_varint();
+  AESZ_CHECK_MSG(block == opt_.block, "AE-B stream block mismatch");
+  const auto blob = r.get_blob();
+  ByteReader lr(blob);
+  const auto latents = lr.get_array<float>();
+
+  const Normalizer nrm{lo, hi};
+  const BlockSplit split = make_block_split(d, opt_.block);
+  AESZ_CHECK_MSG(latents.size() == split.total * latent_per_block_,
+                 "latent count mismatch");
+  Field out(d);
+  const std::size_t lt = opt_.block / 4;
+  const std::size_t batch = 16;
+  for (std::size_t start = 0; start < split.total; start += batch) {
+    const std::size_t n = std::min(batch, split.total - start);
+    nn::Tensor z({n, 1, lt, lt, lt});
+    std::copy(latents.data() + start * latent_per_block_,
+              latents.data() + (start + n) * latent_per_block_, z.data());
+    nn::Tensor y = run(dec_, z, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t bid = start + i;
+      std::size_t off[3], ext[3];
+      block_region(split, bid, off, ext);
+      const float* rc = y.data() + i * split.block_elems();
+      for (std::size_t a = 0; a < ext[0]; ++a)
+        for (std::size_t b = 0; b < ext[1]; ++b)
+          for (std::size_t c = 0; c < ext[2]; ++c)
+            out.at3(off[0] + a, off[1] + b, off[2] + c) = nrm.denorm(
+                rc[(a * split.bs + b) * split.bs + c]);
+    }
+  }
+  return out;
+}
+
+}  // namespace aesz

@@ -1,0 +1,394 @@
+#include "core/aesz.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "core/latent_codec.hpp"
+#include "lossless/lz.hpp"
+#include "predictors/lorenzo.hpp"
+#include "predictors/quantizer.hpp"
+#include "sz/common.hpp"
+
+namespace aesz {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4145535A;  // "AESZ"
+
+enum BlockFlag : std::uint8_t { kLorenzo = 0, kMean = 1, kAE = 2 };
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n,
+                    std::uint64_t h = 0xCBF29CE484222325ULL) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+AESZ::AESZ(Options opt, std::uint64_t seed) : opt_(std::move(opt)) {
+  nn::AEConfig cfg = opt_.ae;
+  trainer_ = std::make_unique<nn::VariantTrainer>(
+      cfg, nn::AEVariant::kSWAE, seed, nn::VariantHyper{});
+}
+
+TrainReport AESZ::train(const std::vector<const Field*>& fields,
+                        const TrainOptions& opts) {
+  return train_on_fields(*trainer_, fields, opts);
+}
+
+std::uint64_t AESZ::weight_fingerprint() {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const nn::Param* p : trainer_->model().params()) {
+    h = fnv1a(reinterpret_cast<const std::uint8_t*>(p->value.data()),
+              p->value.numel() * sizeof(float), h);
+  }
+  return h;
+}
+
+void AESZ::save_model(const std::string& path) {
+  ByteWriter w;
+  w.put(std::uint32_t{0x4D4F444C});  // "MODL"
+  trainer_->model().save(w);
+  std::ofstream out(path, std::ios::binary);
+  AESZ_CHECK_MSG(out.good(), "cannot open " + path);
+  out.write(reinterpret_cast<const char*>(w.bytes().data()),
+            static_cast<std::streamsize>(w.size()));
+}
+
+void AESZ::load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AESZ_CHECK_MSG(in.good(), "cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  ByteReader r(bytes);
+  AESZ_CHECK_MSG(r.get<std::uint32_t>() == 0x4D4F444C, "not a model file");
+  trainer_->model().load(r);
+}
+
+std::vector<std::uint8_t> AESZ::compress(const Field& f, double rel_eb) {
+  AESZ_CHECK_MSG(rel_eb > 0, "AE-SZ requires a positive error bound");
+  const nn::AEConfig& cfg = trainer_->model().config();
+  AESZ_CHECK_MSG(f.dims().rank == cfg.rank,
+                 "field rank does not match the trained AE");
+  const Dims& d = f.dims();
+  const double range = f.value_range();
+  const double abs_eb = range > 0 ? rel_eb * range : rel_eb;
+  auto [lo, hi] = f.min_max();
+  const Normalizer nrm{lo, hi};
+  const BlockSplit split = make_block_split(d, cfg.block);
+  const std::size_t be = split.block_elems();
+  const std::size_t ld = cfg.latent;
+
+  stats_ = Stats{};
+  stats_.blocks_total = split.total;
+
+  // ---- Step 1+2a: batched AE encoding of every block.
+  std::vector<float> latents(split.total * ld);
+  std::vector<std::size_t> in_shape{0, 1};
+  for (int i = 0; i < cfg.rank; ++i) in_shape.push_back(cfg.block);
+  for (std::size_t start = 0; start < split.total; start += opt_.batch) {
+    const std::size_t n = std::min(opt_.batch, split.total - start);
+    in_shape[0] = n;
+    nn::Tensor batch(in_shape);
+    for (std::size_t i = 0; i < n; ++i)
+      extract_block(f, split, start + i, nrm, batch.data() + i * be);
+    nn::Tensor z = trainer_->encode_latent(batch);
+    std::copy(z.data(), z.data() + n * ld, latents.data() + start * ld);
+  }
+
+  // Latent error bound: factor * e, value-range based on the latents
+  // themselves (paper §IV-E).
+  float llo = latents.empty() ? 0.0f : latents[0], lhi = llo;
+  for (float v : latents) {
+    llo = std::min(llo, v);
+    lhi = std::max(lhi, v);
+  }
+  const double latent_abs_eb =
+      std::max(opt_.latent_eb_factor * rel_eb *
+                   (static_cast<double>(lhi) - static_cast<double>(llo)),
+               1e-12);
+
+  // ---- Step 2b: decode the *lossily reconstructed* latents to get the AE
+  // prediction for every block (exactly what the decompressor will see).
+  std::vector<float> zd(latents.size());
+  for (std::size_t i = 0; i < latents.size(); ++i)
+    zd[i] = latent_codec::quantize_value(latents[i], latent_abs_eb);
+
+  Field ae_pred(d);
+  for (std::size_t start = 0; start < split.total; start += opt_.batch) {
+    const std::size_t n = std::min(opt_.batch, split.total - start);
+    nn::Tensor zt({n, ld});
+    std::copy(zd.data() + start * ld, zd.data() + (start + n) * ld,
+              zt.data());
+    nn::Tensor rec = trainer_->model().decode(zt, /*train=*/false);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t off[3], ext[3];
+      block_region(split, start + i, off, ext);
+      const float* r = rec.data() + i * be;
+      for (std::size_t a = 0; a < ext[0]; ++a)
+        for (std::size_t b = 0; b < ext[1]; ++b)
+          for (std::size_t c = 0; c < ext[2]; ++c) {
+            const std::size_t fidx =
+                cfg.rank == 2 ? lin2(d, off[0] + a, off[1] + b)
+                              : lin3(d, off[0] + a, off[1] + b, off[2] + c);
+            const std::size_t bidx =
+                cfg.rank == 2 ? a * split.bs + b
+                              : (a * split.bs + b) * split.bs + c;
+            ae_pred.at(fidx) = nrm.denorm(r[bidx]);
+          }
+    }
+  }
+
+  // ---- Step 3: per-block predictor selection (Algorithm 1 lines 3-13).
+  std::vector<std::uint8_t> flags(split.total, kLorenzo);
+  std::vector<float> means;
+  std::vector<float> sel_latents;  // latents of AE-selected blocks only
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(split.total);
+       ++b) {
+    const auto bid = static_cast<std::size_t>(b);
+    std::size_t off[3], ext[3];
+    block_region(split, bid, off, ext);
+    // AE loss against the valid region of the (padded) prediction.
+    double loss_ae = 0.0;
+    for (std::size_t a = 0; a < ext[0]; ++a)
+      for (std::size_t bb = 0; bb < ext[1]; ++bb)
+        for (std::size_t c = 0; c < ext[2]; ++c) {
+          const std::size_t fidx =
+              cfg.rank == 2 ? lin2(d, off[0] + a, off[1] + bb)
+                            : lin3(d, off[0] + a, off[1] + bb, off[2] + c);
+          loss_ae += std::abs(static_cast<double>(f.at(fidx)) -
+                              static_cast<double>(ae_pred.at(fidx)));
+        }
+    // Lorenzo's online prediction reads *reconstructed* neighbors, so its
+    // realized error carries quantization-feedback noise that grows with
+    // the bound (E|e_a + e_b - e_c| ~ eb for the 2-D stencil). The
+    // original-data L1 of Algorithm 1 is corrected by that term; this is
+    // what makes the AE take over at medium bounds and hand back to
+    // Lorenzo at tight bounds (paper Fig. 10 discussion).
+    const std::size_t npts = ext[0] * ext[1] * ext[2];
+    const double loss_lor = block_l1_lorenzo(f, split, bid) +
+                            abs_eb * static_cast<double>(npts);
+    const float mean = block_mean(f, split, bid);
+    const double loss_mean = block_l1_const(f, split, bid, mean);
+
+    std::uint8_t flag;
+    if (opt_.policy == Policy::kAEOnly) {
+      flag = kAE;
+    } else {
+      // "Lorenzo" internally selects classic vs mean (§IV-A).
+      const double loss_lorenzo_best = std::min(loss_lor, loss_mean);
+      const std::uint8_t lor_flag =
+          loss_mean < loss_lor ? kMean : kLorenzo;
+      if (opt_.policy == Policy::kLorenzoOnly || loss_lorenzo_best <= loss_ae)
+        flag = lor_flag;
+      else
+        flag = kAE;
+    }
+    flags[bid] = flag;
+  }
+  for (std::size_t bid = 0; bid < split.total; ++bid) {
+    if (flags[bid] == kAE) {
+      ++stats_.blocks_ae;
+      sel_latents.insert(sel_latents.end(), latents.begin() + bid * ld,
+                         latents.begin() + (bid + 1) * ld);
+    } else if (flags[bid] == kMean) {
+      ++stats_.blocks_mean;
+      means.push_back(block_mean(f, split, bid));
+    } else {
+      ++stats_.blocks_lorenzo;
+    }
+  }
+
+  // ---- Step 4: residual quantization (blockwise raster; Lorenzo reads
+  // reconstructed neighbors, which block-raster order keeps causal).
+  LinearQuantizer quant(abs_eb);
+  std::vector<float> recon(d.total());
+  std::vector<std::uint16_t> codes(d.total());
+  std::vector<float> unpred;
+  std::size_t ci = 0, mi = 0;
+  for (std::size_t bid = 0; bid < split.total; ++bid) {
+    std::size_t off[3], ext[3];
+    block_region(split, bid, off, ext);
+    const std::uint8_t flag = flags[bid];
+    const float mean = flag == kMean ? means[mi++] : 0.0f;
+    for (std::size_t a = 0; a < ext[0]; ++a) {
+      for (std::size_t b = 0; b < ext[1]; ++b) {
+        for (std::size_t c = 0; c < ext[2]; ++c) {
+          const std::size_t i0 = off[0] + a, i1 = off[1] + b, i2 = off[2] + c;
+          const std::size_t fidx =
+              cfg.rank == 2 ? lin2(d, i0, i1) : lin3(d, i0, i1, i2);
+          float pred;
+          switch (flag) {
+            case kAE: pred = ae_pred.at(fidx); break;
+            case kMean: pred = mean; break;
+            default:
+              pred = cfg.rank == 2
+                         ? lorenzo::predict2(recon.data(), d, i0, i1)
+                         : lorenzo::predict3(recon.data(), d, i0, i1, i2);
+          }
+          float r;
+          const std::uint16_t code = quant.quantize(f.at(fidx), pred, r);
+          if (code == LinearQuantizer::kUnpredictable)
+            unpred.push_back(f.at(fidx));
+          recon[fidx] = r;
+          codes[ci++] = code;
+        }
+      }
+    }
+  }
+  stats_.unpredictable = unpred.size();
+
+  // ---- Step 5: stream assembly.
+  ByteWriter w;
+  sz::write_header(w, kMagic, d, abs_eb);
+  w.put(lo);
+  w.put(hi);
+  w.put(weight_fingerprint());
+  w.put_varint(cfg.block);
+  w.put_varint(ld);
+  {
+    // 2-bit flags, packed.
+    std::vector<std::uint8_t> packed((split.total + 3) / 4, 0);
+    for (std::size_t i = 0; i < split.total; ++i)
+      packed[i >> 2] |= static_cast<std::uint8_t>(flags[i] << ((i & 3) * 2));
+    w.put_blob(lz::compress(packed));
+  }
+  {
+    const auto latent_blob = latent_codec::encode(sel_latents, latent_abs_eb);
+    stats_.latent_stream_bytes = latent_blob.size();
+    w.put_blob(latent_blob);
+  }
+  {
+    ByteWriter mw;
+    mw.put_array<float>(means);
+    w.put_blob(lz::compress(mw.bytes()));
+  }
+  {
+    const auto code_blob = qcodec::encode_codes(codes);
+    stats_.code_stream_bytes = code_blob.size();
+    w.put_blob(code_blob);
+  }
+  {
+    ByteWriter uw;
+    uw.put_array<float>(unpred);
+    w.put_blob(lz::compress(uw.bytes()));
+  }
+  return w.take();
+}
+
+Field AESZ::decompress(std::span<const std::uint8_t> stream) {
+  const nn::AEConfig& cfg = trainer_->model().config();
+  ByteReader r(stream);
+  double abs_eb = 0;
+  const Dims d = sz::read_header(r, kMagic, abs_eb);
+  AESZ_CHECK_MSG(d.rank == cfg.rank, "stream rank != model rank");
+  const auto lo = r.get<float>();
+  const auto hi = r.get<float>();
+  const auto fp = r.get<std::uint64_t>();
+  AESZ_CHECK_MSG(fp == weight_fingerprint(),
+                 "stream was compressed with different AE weights");
+  const std::size_t block = r.get_varint();
+  const std::size_t ld = r.get_varint();
+  AESZ_CHECK_MSG(block == cfg.block && ld == cfg.latent,
+                 "stream AE config != model config");
+  const Normalizer nrm{lo, hi};
+  const BlockSplit split = make_block_split(d, block);
+  const std::size_t be = split.block_elems();
+
+  // Flags.
+  const auto packed = lz::decompress(r.get_blob());
+  AESZ_CHECK_MSG(packed.size() >= (split.total + 3) / 4, "bad flag blob");
+  std::vector<std::uint8_t> flags(split.total);
+  for (std::size_t i = 0; i < split.total; ++i)
+    flags[i] = (packed[i >> 2] >> ((i & 3) * 2)) & 3;
+
+  // Latents -> AE predictions for AE-flagged blocks.
+  const auto zd = latent_codec::decode(r.get_blob());
+  std::vector<std::size_t> ae_blocks;
+  for (std::size_t i = 0; i < split.total; ++i)
+    if (flags[i] == kAE) ae_blocks.push_back(i);
+  AESZ_CHECK_MSG(zd.size() == ae_blocks.size() * ld,
+                 "latent count mismatch");
+
+  Field ae_pred(d);
+  for (std::size_t start = 0; start < ae_blocks.size();
+       start += opt_.batch) {
+    const std::size_t n = std::min(opt_.batch, ae_blocks.size() - start);
+    nn::Tensor zt({n, ld});
+    std::copy(zd.data() + start * ld, zd.data() + (start + n) * ld,
+              zt.data());
+    nn::Tensor rec = trainer_->model().decode(zt, /*train=*/false);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t bid = ae_blocks[start + i];
+      std::size_t off[3], ext[3];
+      block_region(split, bid, off, ext);
+      const float* rc = rec.data() + i * be;
+      for (std::size_t a = 0; a < ext[0]; ++a)
+        for (std::size_t b = 0; b < ext[1]; ++b)
+          for (std::size_t c = 0; c < ext[2]; ++c) {
+            const std::size_t fidx =
+                cfg.rank == 2 ? lin2(d, off[0] + a, off[1] + b)
+                              : lin3(d, off[0] + a, off[1] + b, off[2] + c);
+            const std::size_t bidx =
+                cfg.rank == 2 ? a * split.bs + b
+                              : (a * split.bs + b) * split.bs + c;
+            ae_pred.at(fidx) = nrm.denorm(rc[bidx]);
+          }
+    }
+  }
+
+  const auto mean_bytes = lz::decompress(r.get_blob());
+  ByteReader mr(mean_bytes);
+  const auto means = mr.get_array<float>();
+  auto codes = qcodec::decode_codes(r.get_blob());
+  AESZ_CHECK_MSG(codes.size() == d.total(), "code count mismatch");
+  const auto unpred_bytes = lz::decompress(r.get_blob());
+  ByteReader ur(unpred_bytes);
+  const auto unpred = ur.get_array<float>();
+
+  // Residual reconstruction, mirroring the compression traversal.
+  LinearQuantizer quant(abs_eb);
+  Field out(d);
+  float* recon = out.data();
+  std::size_t ci = 0, ui = 0, mi = 0;
+  for (std::size_t bid = 0; bid < split.total; ++bid) {
+    std::size_t off[3], ext[3];
+    block_region(split, bid, off, ext);
+    const std::uint8_t flag = flags[bid];
+    float mean = 0.0f;
+    if (flag == kMean) {
+      AESZ_CHECK_MSG(mi < means.size(), "mean underflow");
+      mean = means[mi++];
+    }
+    for (std::size_t a = 0; a < ext[0]; ++a) {
+      for (std::size_t b = 0; b < ext[1]; ++b) {
+        for (std::size_t c = 0; c < ext[2]; ++c) {
+          const std::size_t i0 = off[0] + a, i1 = off[1] + b, i2 = off[2] + c;
+          const std::size_t fidx =
+              cfg.rank == 2 ? lin2(d, i0, i1) : lin3(d, i0, i1, i2);
+          const std::uint16_t code = codes[ci++];
+          if (code == LinearQuantizer::kUnpredictable) {
+            AESZ_CHECK_MSG(ui < unpred.size(), "unpredictable underflow");
+            recon[fidx] = unpred[ui++];
+            continue;
+          }
+          float pred;
+          switch (flag) {
+            case kAE: pred = ae_pred.at(fidx); break;
+            case kMean: pred = mean; break;
+            default:
+              pred = cfg.rank == 2 ? lorenzo::predict2(recon, d, i0, i1)
+                                   : lorenzo::predict3(recon, d, i0, i1, i2);
+          }
+          recon[fidx] = quant.recover(pred, code);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aesz

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <memory>
+
+#include "core/training.hpp"
+#include "predictors/compressor.hpp"
+
+namespace aesz {
+
+/// AE-SZ — the paper's contribution: an error-bounded lossy compressor that
+/// replaces SZ2.1's linear-regression predictor with a pretrained blockwise
+/// convolutional SWAE (Algorithm 1):
+///
+///   1. split the field into fixed-size blocks,
+///   2. per block, predict with (a) the AE decoder applied to the lossily
+///      compressed latent vector and (b) Lorenzo (classic or block-mean),
+///      keeping whichever has lower L1 loss,
+///   3. linear-scale quantize residuals under the user error bound,
+///   4. Huffman + LZ the quantization codes; latents go through the
+///      customized latent codec (§IV-E) at 0.1e.
+///
+/// The network weights live in the compressor object (the paper stores the
+/// model "separately against the compressed data"); save_model/load_model
+/// support the offline-training / online-compression split. A weight
+/// fingerprint is embedded in each stream and checked on decompression.
+class AESZ final : public Compressor {
+ public:
+  /// Fig. 11 ablation knob: which predictors the selector may use.
+  enum class Policy { kAuto, kAEOnly, kLorenzoOnly };
+
+  struct Options {
+    nn::AEConfig ae{};              // per-dataset (paper Table VI)
+    double latent_eb_factor = 0.1;  // latent bound = factor * e (§IV-E)
+    std::size_t batch = 64;         // AE inference batch size
+    Policy policy = Policy::kAuto;
+  };
+
+  /// Per-compression telemetry for the paper's analysis figures.
+  struct Stats {
+    std::size_t blocks_total = 0;
+    std::size_t blocks_ae = 0;
+    std::size_t blocks_lorenzo = 0;
+    std::size_t blocks_mean = 0;
+    std::size_t latent_stream_bytes = 0;
+    std::size_t code_stream_bytes = 0;
+    std::size_t unpredictable = 0;
+    double ae_fraction() const {
+      return blocks_total
+                 ? static_cast<double>(blocks_ae) /
+                       static_cast<double>(blocks_total)
+                 : 0.0;
+    }
+  };
+
+  AESZ(Options opt, std::uint64_t seed);
+
+  /// Offline training on earlier-timestep snapshots (paper §III-B1).
+  TrainReport train(const std::vector<const Field*>& fields,
+                    const TrainOptions& opts);
+
+  void save_model(const std::string& path);
+  void load_model(const std::string& path);
+
+  std::string name() const override { return "AE-SZ"; }
+  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) override;
+  Field decompress(std::span<const std::uint8_t> stream) override;
+
+  const Stats& last_stats() const { return stats_; }
+  nn::VariantTrainer& trainer() { return *trainer_; }
+  const Options& options() const { return opt_; }
+
+ private:
+  Options opt_;
+  std::unique_ptr<nn::VariantTrainer> trainer_;
+  Stats stats_;
+  std::uint64_t weight_fingerprint();
+};
+
+}  // namespace aesz

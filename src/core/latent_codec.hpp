@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aesz {
+
+/// The paper's customized latent-vector compressor ("custo.", §IV-E):
+///  (1) scalar linear quantization of each latent coefficient under an
+///      absolute error bound (0.1e by default, derived by the caller), and
+///  (2) Huffman + LZ over the quantization codes.
+///
+/// Unlike SZ2.1 it assumes no spatial smoothness across adjacent latent
+/// elements, and each block's latents compress independently — the two
+/// properties Table IV / §IV-E call out.
+namespace latent_codec {
+
+/// Self-describing blob: count, codes (entropy coded), out-of-range values.
+std::vector<std::uint8_t> encode(std::span<const float> latents,
+                                 double abs_eb);
+
+std::vector<float> decode(std::span<const std::uint8_t> blob);
+
+/// The exact decompressed value the decoder will see for one coefficient —
+/// used during compression so the AE decoder runs on identical inputs.
+float quantize_value(float v, double abs_eb);
+
+}  // namespace latent_codec
+}  // namespace aesz

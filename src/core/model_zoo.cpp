@@ -1,0 +1,71 @@
+#include "core/model_zoo.hpp"
+
+#include <algorithm>
+
+namespace aesz::model_zoo {
+namespace {
+
+struct Entry {
+  const char* name;
+  int rank;
+  std::size_t block;
+  std::size_t latent;
+  std::vector<std::size_t> paper_channels;
+  std::vector<std::size_t> cpu_channels;
+};
+
+const std::vector<Entry>& table6() {
+  static const std::vector<Entry> entries = {
+      {"CESM-CLDHGH", 2, 32, 16, {32, 64, 128, 256}, {8, 16, 32}},
+      {"CESM-FREQSH", 2, 32, 32, {32, 64, 128, 256}, {8, 16, 32}},
+      {"EXAFEL", 2, 32, 16, {32, 64, 128, 256}, {8, 16, 32}},
+      {"RTM", 3, 16, 16, {32, 64, 128, 256}, {8, 16, 32}},
+      {"NYX", 3, 8, 16, {32, 64, 128}, {8, 16, 32}},
+      {"Hurricane-U", 3, 8, 8, {32, 64, 128}, {8, 16, 32}},
+      {"Hurricane-QVAPOR", 3, 8, 16, {32, 64, 128}, {8, 16, 32}},
+  };
+  return entries;
+}
+
+const Entry* find(const std::string& field) {
+  for (const Entry& e : table6()) {
+    if (field == e.name) return &e;
+  }
+  // NYX fields share one row ("NYX (all fields)").
+  if (field.rfind("NYX", 0) == 0) return find("NYX");
+  return nullptr;
+}
+
+}  // namespace
+
+nn::AEConfig config_for(const std::string& field, bool paper_scale) {
+  const Entry* e = find(field);
+  AESZ_CHECK_MSG(e != nullptr, "no Table VI entry for field '" + field + "'");
+  nn::AEConfig cfg;
+  cfg.rank = e->rank;
+  cfg.block = e->block;
+  cfg.latent = e->latent;
+  cfg.channels = paper_scale ? e->paper_channels : e->cpu_channels;
+  // The CPU profile keeps the block/latent geometry but must still satisfy
+  // block >= 2^#channel-blocks; paper-scale RTM (block 16, 4 halvings)
+  // works, the CPU profile uses 3.
+  while (cfg.block < (std::size_t{1} << cfg.channels.size()))
+    cfg.channels.pop_back();
+  return cfg;
+}
+
+std::vector<std::string> known_fields() {
+  std::vector<std::string> out;
+  for (const Entry& e : table6()) out.emplace_back(e.name);
+  return out;
+}
+
+AESZ::Options options_for(const std::string& field, bool paper_scale) {
+  AESZ::Options opt;
+  opt.ae = config_for(field, paper_scale);
+  opt.latent_eb_factor = 0.1;
+  opt.policy = AESZ::Policy::kAuto;
+  return opt;
+}
+
+}  // namespace aesz::model_zoo

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "core/aesz.hpp"
+
+namespace aesz {
+
+/// Per-dataset AE-SZ configurations, mirroring the paper's Table VI
+/// ("Autoencoder configurations for each data field"). `paper_scale`
+/// selects the published channel widths; the default is the CPU-scale
+/// profile used by the benches (same architecture, reduced width).
+///
+/// | field            | block    | latent | blocks | channels (paper)    |
+/// |------------------|----------|--------|--------|---------------------|
+/// | CESM-CLDHGH      | 32x32    | 16     | 4      | 32,64,128,256       |
+/// | CESM-FREQSH      | 32x32    | 32     | 4      | 32,64,128,256       |
+/// | EXAFEL           | 32x32    | 16     | 4      | 32,64,128,256       |
+/// | RTM              | 16x16x16 | 16     | 4      | 32,64,128,256       |
+/// | NYX (all fields) | 8x8x8    | 16     | 3      | 32,64,128           |
+/// | Hurricane-U      | 8x8x8    | 8      | 3      | 32,64,128           |
+/// | Hurricane-QVAPOR | 8x8x8    | 16     | 3      | 32,64,128           |
+namespace model_zoo {
+
+/// Table VI lookup by field name ("CESM-CLDHGH", "NYX", "Hurricane-U", ...).
+/// Throws aesz::Error for unknown names; `known_fields()` lists valid keys.
+nn::AEConfig config_for(const std::string& field, bool paper_scale = false);
+
+/// All field names with a Table VI entry.
+std::vector<std::string> known_fields();
+
+/// Ready-to-train AESZ options for a field (config_for + paper defaults:
+/// latent bound 0.1e, auto predictor selection).
+AESZ::Options options_for(const std::string& field, bool paper_scale = false);
+
+}  // namespace model_zoo
+}  // namespace aesz

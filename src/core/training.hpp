@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "core/blocks.hpp"
+#include "nn/variants.hpp"
+
+namespace aesz {
+
+/// Offline-training options for the paper's protocol: the network is trained
+/// on snapshots from earlier timesteps (or a different simulation run) and
+/// then reused to compress unseen snapshots of the same application.
+struct TrainOptions {
+  std::size_t epochs = 30;
+  std::size_t batch = 32;
+  float lr = 1e-3f;
+  std::uint64_t seed = 7;
+  nn::VariantHyper hyper{};
+  bool verbose = false;
+  /// Cap on the number of training blocks (subsamples uniformly when the
+  /// split yields more) — keeps CPU training inside bench budgets.
+  std::size_t max_blocks = 4096;
+};
+
+struct TrainReport {
+  std::vector<double> epoch_loss;
+  double seconds = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Split each training field into normalized blocks (per-field min/max, as
+/// the compressor will do online) and run minibatch training.
+TrainReport train_on_fields(nn::VariantTrainer& trainer,
+                            const std::vector<const Field*>& fields,
+                            const TrainOptions& opts);
+
+/// Assemble normalized blocks of one field as a (N, 1, extent...) tensor
+/// batch list for evaluation harnesses.
+std::vector<nn::Tensor> make_eval_batches(const Field& f,
+                                          const nn::AEConfig& cfg,
+                                          std::size_t batch);
+
+/// Average prediction PSNR of a trained model over a test field — the
+/// Table I / Table II metric (reconstruction only, no quantization).
+double prediction_psnr(nn::VariantTrainer& trainer, const Field& test);
+
+}  // namespace aesz

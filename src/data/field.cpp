@@ -1,0 +1,63 @@
+#include "data/field.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace aesz {
+
+Field Field::load_raw(const std::string& path, Dims dims) {
+  std::ifstream in(path, std::ios::binary);
+  AESZ_CHECK_MSG(in.good(), "cannot open " + path);
+  Field f(dims);
+  in.read(reinterpret_cast<char*>(f.data()),
+          static_cast<std::streamsize>(f.size() * sizeof(float)));
+  AESZ_CHECK_MSG(static_cast<std::size_t>(in.gcount()) ==
+                     f.size() * sizeof(float),
+                 "short read on " + path);
+  return f;
+}
+
+void Field::save_raw(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  AESZ_CHECK_MSG(out.good(), "cannot open " + path);
+  out.write(reinterpret_cast<const char*>(data()),
+            static_cast<std::streamsize>(size() * sizeof(float)));
+}
+
+void Field::save_pgm(const std::string& path, std::size_t slice) const {
+  std::size_t h = 0, w = 0;
+  const float* plane = nullptr;
+  if (dims_.rank == 2) {
+    h = dims_[0];
+    w = dims_[1];
+    plane = data();
+  } else if (dims_.rank == 3) {
+    AESZ_CHECK(slice < dims_[0]);
+    h = dims_[1];
+    w = dims_[2];
+    plane = data() + slice * h * w;
+  } else {
+    throw Error("save_pgm: need a 2-D or 3-D field");
+  }
+  float lo = plane[0], hi = plane[0];
+  for (std::size_t i = 0; i < h * w; ++i) {
+    lo = std::min(lo, plane[i]);
+    hi = std::max(hi, plane[i]);
+  }
+  const float scale = hi > lo ? 255.0f / (hi - lo) : 0.0f;
+  std::ofstream out(path, std::ios::binary);
+  AESZ_CHECK_MSG(out.good(), "cannot open " + path);
+  out << "P5\n" << w << " " << h << "\n255\n";
+  std::vector<unsigned char> row(w);
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      row[j] = static_cast<unsigned char>(
+          std::clamp((plane[i * w + j] - lo) * scale, 0.0f, 255.0f));
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(w));
+  }
+}
+
+}  // namespace aesz

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/dims.hpp"
+#include "util/error.hpp"
+
+namespace aesz {
+
+/// A single-precision scalar field on a regular 1/2/3-D grid, row-major with
+/// the last dimension contiguous — the SDRBench on-disk layout.
+class Field {
+ public:
+  Field() = default;
+  Field(Dims dims, float fill = 0.0f)
+      : dims_(dims), data_(dims.total(), fill) {}
+  Field(Dims dims, std::vector<float> data)
+      : dims_(dims), data_(std::move(data)) {
+    AESZ_CHECK_MSG(data_.size() == dims_.total(), "field size mismatch");
+  }
+
+  const Dims& dims() const { return dims_; }
+  std::size_t size() const { return data_.size(); }
+  std::span<const float> values() const { return data_; }
+  std::span<float> values() { return data_; }
+  const float* data() const { return data_.data(); }
+  float* data() { return data_.data(); }
+
+  float& at(std::size_t i) { return data_[i]; }
+  float at(std::size_t i) const { return data_[i]; }
+  float& at2(std::size_t i, std::size_t j) { return data_[lin2(dims_, i, j)]; }
+  float at2(std::size_t i, std::size_t j) const {
+    return data_[lin2(dims_, i, j)];
+  }
+  float& at3(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[lin3(dims_, i, j, k)];
+  }
+  float at3(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[lin3(dims_, i, j, k)];
+  }
+
+  /// min/max of the field (the basis of value-range-relative error bounds).
+  std::pair<float, float> min_max() const {
+    float lo = data_.empty() ? 0.0f : data_[0];
+    float hi = lo;
+    for (float v : data_) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return {lo, hi};
+  }
+
+  float value_range() const {
+    auto [lo, hi] = min_max();
+    return hi - lo;
+  }
+
+  /// In-place log10(1+x) transform used for NYX density fields ("fields of
+  /// NYX are transformed to their logarithmic value before compression").
+  void log_transform() {
+    for (float& v : data_) v = std::log10(1.0f + std::max(v, 0.0f));
+  }
+
+  /// Raw single-precision binary I/O (SDRBench .dat/.f32 format).
+  static Field load_raw(const std::string& path, Dims dims);
+  void save_raw(const std::string& path) const;
+
+  /// Save a 2-D field (or a 2-D slice of a 3-D field at k-index `slice`) as
+  /// a binary PGM image, linearly mapped to [0,255] — the visual-comparison
+  /// artifact for Fig. 9.
+  void save_pgm(const std::string& path, std::size_t slice = 0) const;
+
+ private:
+  Dims dims_;
+  std::vector<float> data_;
+};
+
+}  // namespace aesz

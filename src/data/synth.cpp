@@ -1,0 +1,366 @@
+#include "data/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace aesz::synth {
+namespace {
+
+/// Stateless lattice hash -> [0,1). Deterministic across platforms; lets the
+/// generators evaluate arbitrary lattice points without storing grids.
+double lattice(std::int64_t ix, std::int64_t iy, std::int64_t iz,
+               std::uint64_t seed) {
+  std::uint64_t h = seed * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::uint64_t>(ix) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 31)) * 0x94D049BB133111EBULL;
+  h ^= static_cast<std::uint64_t>(iy) * 0xC2B2AE3D27D4EB4FULL;
+  h = (h ^ (h >> 29)) * 0x165667B19E3779F9ULL;
+  h ^= static_cast<std::uint64_t>(iz) * 0x27D4EB2F165667C5ULL;
+  h = (h ^ (h >> 32)) * 0x2545F4914F6CDD1DULL;
+  h ^= h >> 28;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double smooth(double t) {  // quintic smoothstep: C2-continuous noise
+  return t * t * t * (t * (t * 6.0 - 15.0) + 10.0);
+}
+
+/// Smoothly interpolated lattice noise at continuous (x, y, z).
+double noise3(double x, double y, double z, std::uint64_t seed) {
+  const auto fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const auto iz = static_cast<std::int64_t>(fz);
+  const double tx = smooth(x - fx), ty = smooth(y - fy), tz = smooth(z - fz);
+  double c[2][2][2];
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 2; ++b)
+      for (int d = 0; d < 2; ++d)
+        c[a][b][d] = lattice(ix + a, iy + b, iz + d, seed);
+  auto lerp = [](double u, double v, double t) { return u + (v - u) * t; };
+  const double x00 = lerp(c[0][0][0], c[1][0][0], tx);
+  const double x10 = lerp(c[0][1][0], c[1][1][0], tx);
+  const double x01 = lerp(c[0][0][1], c[1][0][1], tx);
+  const double x11 = lerp(c[0][1][1], c[1][1][1], tx);
+  const double y0 = lerp(x00, x10, ty);
+  const double y1 = lerp(x01, x11, ty);
+  return lerp(y0, y1, tz);
+}
+
+/// Fractal (octave-summed) noise in [0,1]; `tphase` advects the field so
+/// consecutive timesteps are correlated but distinct snapshots.
+double fbm3(double x, double y, double z, int octaves, double cells0,
+            std::uint64_t seed, double tphase) {
+  double amp = 1.0, freq = cells0, sum = 0.0, norm = 0.0;
+  for (int o = 0; o < octaves; ++o) {
+    // Per-octave drift direction from the hash, scaled by tphase.
+    const double dx = tphase * (0.3 + 0.1 * o);
+    const double dy = tphase * 0.17 * (o % 2 ? 1.0 : -1.0);
+    sum += amp * noise3(x * freq + dx, y * freq + dy, z * freq,
+                        seed + 1315423911ULL * static_cast<unsigned>(o));
+    norm += amp;
+    amp *= 0.5;
+    freq *= 2.0;
+  }
+  return sum / norm;
+}
+
+}  // namespace
+
+Field value_noise_2d(std::size_t h, std::size_t w, int octaves, double cells0,
+                     std::uint64_t seed, double tphase) {
+  Field f(Dims(h, w));
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(h); ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      const double y = static_cast<double>(i) / static_cast<double>(h);
+      const double x = static_cast<double>(j) / static_cast<double>(w);
+      f.at2(static_cast<std::size_t>(i), j) = static_cast<float>(
+          fbm3(x, y, 0.5, octaves, cells0, seed, tphase));
+    }
+  }
+  return f;
+}
+
+Field value_noise_3d(std::size_t n0, std::size_t n1, std::size_t n2,
+                     int octaves, double cells0, std::uint64_t seed,
+                     double tphase) {
+  Field f(Dims(n0, n1, n2));
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n0); ++i) {
+    for (std::size_t j = 0; j < n1; ++j) {
+      for (std::size_t k = 0; k < n2; ++k) {
+        const double z = static_cast<double>(i) / static_cast<double>(n0);
+        const double y = static_cast<double>(j) / static_cast<double>(n1);
+        const double x = static_cast<double>(k) / static_cast<double>(n2);
+        f.at3(static_cast<std::size_t>(i), j, k) = static_cast<float>(
+            fbm3(x, y, z, octaves, cells0, seed, tphase));
+      }
+    }
+  }
+  return f;
+}
+
+Field cesm_cldhgh(std::size_t h, std::size_t w, int timestep,
+                  std::uint64_t seed) {
+  Field f(Dims(h, w));
+  const double t = 0.23 * timestep;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(h); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    const double lat = static_cast<double>(i) / static_cast<double>(h);  // 0..1 pole-to-pole
+    // ITCZ + storm-track banding: clouds concentrate near the equator and
+    // mid-latitudes; subtropical highs are nearly cloud-free.
+    const double band =
+        0.55 * std::exp(-std::pow((lat - 0.5) / 0.08, 2)) +
+        0.45 * std::exp(-std::pow((lat - 0.18) / 0.10, 2)) +
+        0.45 * std::exp(-std::pow((lat - 0.82) / 0.10, 2)) + 0.05;
+    for (std::size_t j = 0; j < w; ++j) {
+      const double x = static_cast<double>(j) / static_cast<double>(w);
+      const double n = fbm3(x, lat, 0.0, 4, 3.0, seed, t);
+      // Soft threshold produces plateaus at exactly 0 and saturated tops —
+      // the constant clear-sky blocks that make mean-Lorenzo worthwhile.
+      double v = (n - (0.62 - 0.35 * band)) / 0.18;
+      v = std::clamp(v, 0.0, 1.0);
+      v = v * v * (3.0 - 2.0 * v);
+      f.at2(i, j) = static_cast<float>(v);
+    }
+  }
+  return f;
+}
+
+Field cesm_freqsh(std::size_t h, std::size_t w, int timestep,
+                  std::uint64_t seed) {
+  Field f(Dims(h, w));
+  const double t = 0.31 * timestep;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(h); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    const double lat = static_cast<double>(i) / static_cast<double>(h);
+    const double band = 0.5 + 0.5 * std::cos((lat - 0.5) * std::numbers::pi);
+    for (std::size_t j = 0; j < w; ++j) {
+      const double x = static_cast<double>(j) / static_cast<double>(w);
+      const double n = fbm3(x, lat, 0.25, 3, 2.5, seed, t);
+      double v = band * (0.25 + 0.75 * n);
+      v = std::clamp(v, 0.0, 1.0);
+      f.at2(i, j) = static_cast<float>(v);
+    }
+  }
+  return f;
+}
+
+Field exafel(std::size_t h, std::size_t w, int timestep, std::uint64_t seed) {
+  Field f(Dims(h, w));
+  const std::size_t panel_h = std::max<std::size_t>(h / 8, 16);
+  Rng noise_rng(seed * 7919 + static_cast<std::uint64_t>(timestep));
+  // Background: per-panel pedestal + smooth gradient + detector noise.
+  for (std::size_t i = 0; i < h; ++i) {
+    const std::size_t panel = i / panel_h;
+    const double pedestal =
+        40.0 + 25.0 * lattice(static_cast<std::int64_t>(panel), timestep, 0,
+                              seed + 11);
+    for (std::size_t j = 0; j < w; ++j) {
+      const double x = static_cast<double>(j) / static_cast<double>(w);
+      const double y = static_cast<double>(i % panel_h) /
+                       static_cast<double>(panel_h);
+      const double grad = 12.0 * fbm3(x, y, 0.1 * panel, 3, 2.0, seed + 13,
+                                      0.2 * timestep);
+      f.at2(i, j) =
+          static_cast<float>(pedestal + grad + 3.0 * noise_rng.gaussian());
+    }
+  }
+  // Bragg peaks: sharp Gaussian spots, positions re-drawn per timestep
+  // (each frame images a different crystal orientation).
+  Rng peak_rng(seed * 104729 + static_cast<std::uint64_t>(timestep) * 31);
+  const std::size_t npeaks = (h * w) / 1800;
+  for (std::size_t p = 0; p < npeaks; ++p) {
+    const double ci = peak_rng.uniform() * static_cast<double>(h);
+    const double cj = peak_rng.uniform() * static_cast<double>(w);
+    const double amp = 200.0 * std::exp(1.5 * peak_rng.gaussian());
+    const double sig = 0.8 + 1.4 * peak_rng.uniform();
+    const int r = static_cast<int>(3.0 * sig) + 1;
+    for (int di = -r; di <= r; ++di) {
+      for (int dj = -r; dj <= r; ++dj) {
+        const auto i = static_cast<std::int64_t>(ci) + di;
+        const auto j = static_cast<std::int64_t>(cj) + dj;
+        if (i < 0 || j < 0 || i >= static_cast<std::int64_t>(h) ||
+            j >= static_cast<std::int64_t>(w))
+          continue;
+        const double d2 = (di * di + dj * dj) / (2.0 * sig * sig);
+        f.at2(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) +=
+            static_cast<float>(amp * std::exp(-d2));
+      }
+    }
+  }
+  return f;
+}
+
+Field nyx_baryon_density(std::size_t n, int timestep, std::uint64_t seed) {
+  Field g = value_noise_3d(n, n, n, 5, 3.0, seed, 0.15 * timestep);
+  // Log-normal density with filamentary contrast: exponentiate a
+  // sharpened Gaussian-like field. Mean ~1 (cosmic mean), spikes to ~1e3.
+  for (float& v : g.values()) {
+    const double z = (v - 0.5) * 2.0;                  // roughly [-1, 1]
+    const double sharp = z + 0.9 * z * std::abs(z);    // boost overdensities
+    v = static_cast<float>(std::exp(2.8 * sharp));
+  }
+  return g;
+}
+
+Field nyx_temperature(std::size_t n, int timestep, std::uint64_t seed) {
+  Field rho = nyx_baryon_density(n, timestep, seed + 40);
+  Field pert = value_noise_3d(n, n, n, 4, 4.0, seed, 0.2 * timestep);
+  Field t(rho.dims());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // T ~ rho^0.6 adiabatic relation with multiplicative perturbation.
+    t.at(i) = static_cast<float>(
+        1.2e4 * std::pow(static_cast<double>(rho.at(i)), 0.6) *
+        std::exp(0.8 * (pert.at(i) - 0.5)));
+  }
+  return t;
+}
+
+Field nyx_dark_matter_density(std::size_t n, int timestep,
+                              std::uint64_t seed) {
+  Field g = value_noise_3d(n, n, n, 6, 3.0, seed, 0.15 * timestep);
+  for (float& v : g.values()) {
+    const double z = (v - 0.5) * 2.0;
+    const double sharp = z + 1.4 * z * std::abs(z);  // spikier halos
+    v = static_cast<float>(std::exp(3.4 * sharp));
+  }
+  return g;
+}
+
+Field hurricane_u(std::size_t nz, std::size_t ny, std::size_t nx,
+                  int timestep, std::uint64_t seed) {
+  Field f(Dims(nz, ny, nx));
+  // Eye moves westward with time; intensity has a slow life cycle.
+  const double cy = 0.5 + 0.08 * std::sin(0.15 * timestep);
+  const double cx = 0.7 - 0.012 * timestep;
+  const double vmax = 55.0 * (0.8 + 0.2 * std::sin(0.1 * timestep + 1.0));
+  const double rm = 0.06;  // radius of maximum wind (domain units)
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t kk = 0; kk < static_cast<std::ptrdiff_t>(nz); ++kk) {
+    const auto k = static_cast<std::size_t>(kk);
+    const double zfrac = static_cast<double>(k) / static_cast<double>(nz);
+    const double shear = 1.0 - 0.55 * zfrac;  // winds weaken aloft
+    for (std::size_t i = 0; i < ny; ++i) {
+      for (std::size_t j = 0; j < nx; ++j) {
+        const double y = static_cast<double>(i) / static_cast<double>(ny);
+        const double x = static_cast<double>(j) / static_cast<double>(nx);
+        const double dy = y - cy, dx = x - cx;
+        const double r = std::sqrt(dx * dx + dy * dy) + 1e-9;
+        // Holland-style tangential wind profile.
+        const double vt = vmax * (r / rm) * std::exp(1.0 - r / rm);
+        const double u_vortex = -vt * dy / r;  // U = tangential x-component
+        const double turb =
+            4.0 * (fbm3(x, y, zfrac, 3, 4.0, seed, 0.2 * timestep) - 0.5);
+        const double u_env = 6.0 * std::cos(2.0 * std::numbers::pi * y);
+        f.at3(k, i, j) =
+            static_cast<float>(shear * (u_vortex + u_env) + turb);
+      }
+    }
+  }
+  return f;
+}
+
+Field hurricane_qvapor(std::size_t nz, std::size_t ny, std::size_t nx,
+                       int timestep, std::uint64_t seed) {
+  Field f(Dims(nz, ny, nx));
+  const double cy = 0.5 + 0.08 * std::sin(0.15 * timestep);
+  const double cx = 0.7 - 0.012 * timestep;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t kk = 0; kk < static_cast<std::ptrdiff_t>(nz); ++kk) {
+    const auto k = static_cast<std::size_t>(kk);
+    const double zfrac = static_cast<double>(k) / static_cast<double>(nz);
+    // Exponential vertical stratification of moisture.
+    const double strat = 0.022 * std::exp(-4.0 * zfrac);
+    for (std::size_t i = 0; i < ny; ++i) {
+      for (std::size_t j = 0; j < nx; ++j) {
+        const double y = static_cast<double>(i) / static_cast<double>(ny);
+        const double x = static_cast<double>(j) / static_cast<double>(nx);
+        const double dy = y - cy, dx = x - cx;
+        const double r = std::sqrt(dx * dx + dy * dy);
+        const double moist_core = 1.0 + 0.9 * std::exp(-r / 0.12);
+        const double n = fbm3(x, y, zfrac, 4, 5.0, seed, 0.25 * timestep);
+        f.at3(k, i, j) = static_cast<float>(
+            std::max(0.0, strat * moist_core * (0.6 + 0.8 * n)));
+      }
+    }
+  }
+  return f;
+}
+
+Field rtm(std::size_t nz, std::size_t ny, std::size_t nx, int timestep,
+          std::uint64_t seed) {
+  Field f(Dims(nz, ny, nx));
+  // Time scaling: the front needs ~sqrt(3)/c ~ 1.7 time units to traverse
+  // the unit domain; mapping 200 paper timesteps (1400..1600) onto that
+  // keeps snapshots mid-flight for both the train and test splits.
+  const double t = 0.0085 * (timestep - 1395);
+  const double freq = 9.0;  // Ricker dominant frequency
+  struct Src {
+    double z, y, x, t0;
+  };
+  Rng rng(seed);
+  Src srcs[3];
+  for (auto& s : srcs) {
+    s = {0.05, rng.uniform(0.3, 0.7), rng.uniform(0.3, 0.7),
+         -0.04 * rng.uniform()};
+  }
+  const double pi2f2 = std::numbers::pi * std::numbers::pi * freq * freq;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t kk = 0; kk < static_cast<std::ptrdiff_t>(nz); ++kk) {
+    const auto k = static_cast<std::size_t>(kk);
+    const double z = static_cast<double>(k) / static_cast<double>(nz);
+    // Layered medium: velocity increases with depth in steps.
+    const double c = 0.9 + 0.25 * std::floor(z * 4.0) / 4.0;
+    for (std::size_t i = 0; i < ny; ++i) {
+      for (std::size_t j = 0; j < nx; ++j) {
+        const double y = static_cast<double>(i) / static_cast<double>(ny);
+        const double x = static_cast<double>(j) / static_cast<double>(nx);
+        double v = 0.0;
+        for (const auto& s : srcs) {
+          const double dz = z - s.z, dy = y - s.y, dx = x - s.x;
+          const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+          const double tau = t + s.t0 - dist / c;
+          const double a = pi2f2 * tau * tau;
+          // Ricker wavelet, geometrically attenuated.
+          v += (1.0 - 2.0 * a) * std::exp(-a) / (1.0 + 8.0 * dist);
+          // Ghost reflection from the free surface (z -> -z image source).
+          const double dist_r =
+              std::sqrt(dx * dx + dy * dy + (z + s.z) * (z + s.z));
+          const double tau_r = t + s.t0 - dist_r / c;
+          const double ar = pi2f2 * tau_r * tau_r;
+          v -= 0.5 * (1.0 - 2.0 * ar) * std::exp(-ar) / (1.0 + 8.0 * dist_r);
+        }
+        f.at3(k, i, j) = static_cast<float>(v);
+      }
+    }
+  }
+  return f;
+}
+
+std::vector<NamedField> figure8_suite(int scale) {
+  const auto s = static_cast<std::size_t>(std::max(1, scale));
+  std::vector<NamedField> out;
+  out.push_back({"CESM-CLDHGH", cesm_cldhgh(256 * s, 512 * s, /*timestep=*/55)});
+  out.push_back({"CESM-FREQSH", cesm_freqsh(256 * s, 512 * s, 55)});
+  out.push_back({"EXAFEL", exafel(370 * s, 388 * s, 310)});
+  Field bd = nyx_baryon_density(64 * s, 42);
+  bd.log_transform();
+  out.push_back({"NYX-baryon_density(log)", std::move(bd)});
+  Field tp = nyx_temperature(64 * s, 42);
+  tp.log_transform();
+  out.push_back({"NYX-temperature(log)", std::move(tp)});
+  out.push_back({"Hurricane-QVAPOR",
+                 hurricane_qvapor(32 * s, 80 * s, 80 * s, 43)});
+  out.push_back({"Hurricane-U", hurricane_u(32 * s, 80 * s, 80 * s, 43)});
+  out.push_back({"RTM", rtm(64 * s, 64 * s, 64 * s, 1510)});
+  return out;
+}
+
+}  // namespace aesz::synth

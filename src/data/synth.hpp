@@ -1,0 +1,84 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/field.hpp"
+
+namespace aesz::synth {
+
+/// Synthetic stand-ins for the five SDRBench application datasets used in
+/// the paper (see DESIGN.md "Substitutions"). Each generator is a
+/// deterministic function of (dims, timestep, seed); the paper's train/test
+/// protocol ("different time steps or the simulation running with different
+/// configuration settings") maps to disjoint timestep ranges and/or
+/// different seeds.
+///
+/// The generators reproduce the statistical features that drive the
+/// compression results:
+///  - CESM CLDHGH/FREQSH: 2-D cloud/frequency fractions in [0,1], smooth
+///    multi-scale structure with zonal banding, sharp frontal edges, and
+///    large exactly-constant (clear-sky) regions.
+///  - EXAFEL: 2-D detector panels — noisy background, Bragg peaks, panel
+///    seams (concatenated 185x388-style tiles).
+///  - NYX: 3-D cosmology — log-normal baryon density with filamentary
+///    contrast, correlated temperature, spikier dark-matter density.
+///  - Hurricane: 3-D vortex wind component U and vertically stratified
+///    moisture QVAPOR.
+///  - RTM: 3-D seismic wavefield — expanding wavefronts (Ricker wavelets)
+///    over a layered medium; timestep controls the front radius.
+
+/// CESM-like high-cloud fraction (values in [0,1], large constant regions).
+Field cesm_cldhgh(std::size_t h, std::size_t w, int timestep,
+                  std::uint64_t seed = 1);
+
+/// CESM-like shallow-convection frequency (smoother, fewer constants).
+Field cesm_freqsh(std::size_t h, std::size_t w, int timestep,
+                  std::uint64_t seed = 2);
+
+/// EXAFEL-like diffraction frame (concatenated panels, Bragg peaks, noise).
+Field exafel(std::size_t h, std::size_t w, int timestep,
+             std::uint64_t seed = 3);
+
+/// NYX-like baryon density (log-normal; call .log_transform() before
+/// compression, as the paper does on NYX fields).
+Field nyx_baryon_density(std::size_t n, int timestep, std::uint64_t seed = 4);
+
+/// NYX-like temperature (correlated with density, power-law tail).
+Field nyx_temperature(std::size_t n, int timestep, std::uint64_t seed = 5);
+
+/// NYX-like dark-matter density (spikier than baryon density).
+Field nyx_dark_matter_density(std::size_t n, int timestep,
+                              std::uint64_t seed = 6);
+
+/// Hurricane-like wind component U on (z, y, x) grid.
+Field hurricane_u(std::size_t nz, std::size_t ny, std::size_t nx,
+                  int timestep, std::uint64_t seed = 7);
+
+/// Hurricane-like water-vapor mixing ratio QVAPOR.
+Field hurricane_qvapor(std::size_t nz, std::size_t ny, std::size_t nx,
+                       int timestep, std::uint64_t seed = 8);
+
+/// RTM-like wavefield snapshot.
+Field rtm(std::size_t nz, std::size_t ny, std::size_t nx, int timestep,
+          std::uint64_t seed = 9);
+
+/// Multi-octave value noise in [0,1]; exposed for tests and for building
+/// custom workloads. `cells0` is the coarsest lattice resolution.
+Field value_noise_2d(std::size_t h, std::size_t w, int octaves,
+                     double cells0, std::uint64_t seed, double tphase = 0.0);
+Field value_noise_3d(std::size_t n0, std::size_t n1, std::size_t n2,
+                     int octaves, double cells0, std::uint64_t seed,
+                     double tphase = 0.0);
+
+/// A named (field, description) bundle used by the rate-distortion benches.
+struct NamedField {
+  std::string name;
+  Field field;
+};
+
+/// The eight evaluation fields of Fig. 8 at CPU-scale dims, generated from
+/// the *test* split (timesteps disjoint from what training helpers use).
+std::vector<NamedField> figure8_suite(int scale = 1);
+
+}  // namespace aesz::synth

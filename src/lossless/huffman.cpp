@@ -1,0 +1,215 @@
+#include "lossless/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/bitstream.hpp"
+#include "util/bytestream.hpp"
+#include "util/error.hpp"
+
+namespace aesz::huffman {
+namespace {
+
+constexpr int kMaxLen = 57;  // BitWriter::put limit; plenty for 64Ki symbols
+
+struct Node {
+  std::uint64_t freq;
+  int left;   // -1 for leaf
+  int right;
+  std::uint16_t sym;
+};
+
+/// Compute Huffman code lengths by the classic two-queue construction.
+/// Returns max depth; lengths[i] == 0 for absent symbols.
+int build_lengths(std::span<const std::uint64_t> freq,
+                  std::vector<std::uint8_t>& lengths) {
+  const std::size_t n = freq.size();
+  lengths.assign(n, 0);
+
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n);
+  using QE = std::pair<std::uint64_t, int>;  // (freq, node index)
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (freq[s] == 0) continue;
+    nodes.push_back({freq[s], -1, -1, static_cast<std::uint16_t>(s)});
+    pq.emplace(freq[s], static_cast<int>(nodes.size()) - 1);
+  }
+  if (nodes.empty()) return 0;
+  if (nodes.size() == 1) {  // single distinct symbol: 1-bit code
+    lengths[nodes[0].sym] = 1;
+    return 1;
+  }
+  while (pq.size() > 1) {
+    auto [fa, a] = pq.top();
+    pq.pop();
+    auto [fb, b] = pq.top();
+    pq.pop();
+    nodes.push_back({fa + fb, a, b, 0});
+    pq.emplace(fa + fb, static_cast<int>(nodes.size()) - 1);
+  }
+  // Depth-assign iteratively (explicit stack: trees can be deep).
+  int max_depth = 0;
+  std::vector<std::pair<int, int>> stack{{pq.top().second, 0}};
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes[static_cast<std::size_t>(idx)];
+    if (nd.left < 0) {
+      lengths[nd.sym] = static_cast<std::uint8_t>(depth);
+      max_depth = std::max(max_depth, depth);
+    } else {
+      stack.emplace_back(nd.left, depth + 1);
+      stack.emplace_back(nd.right, depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+struct Canonical {
+  // Canonical code assignment: symbols sorted by (length, value) get
+  // consecutive codes; decode needs only per-length ranges.
+  std::vector<std::uint8_t> lengths;
+  std::vector<std::uint64_t> codes;          // MSB-first code value per symbol
+  std::vector<std::uint16_t> sorted_syms;    // symbols ordered by (len, sym)
+  std::vector<std::uint64_t> first_code;     // per length
+  std::vector<std::size_t> first_index;      // per length, into sorted_syms
+  std::vector<std::size_t> count;            // per length
+  int max_len = 0;
+};
+
+Canonical canonicalize(std::vector<std::uint8_t> lengths) {
+  Canonical c;
+  c.lengths = std::move(lengths);
+  const std::size_t n = c.lengths.size();
+  c.max_len = 0;
+  for (auto l : c.lengths) c.max_len = std::max<int>(c.max_len, l);
+  c.count.assign(static_cast<std::size_t>(c.max_len) + 1, 0);
+  for (auto l : c.lengths)
+    if (l) ++c.count[l];
+  c.first_code.assign(static_cast<std::size_t>(c.max_len) + 1, 0);
+  c.first_index.assign(static_cast<std::size_t>(c.max_len) + 1, 0);
+  std::uint64_t code = 0;
+  std::size_t index = 0;
+  for (int l = 1; l <= c.max_len; ++l) {
+    code <<= 1;
+    c.first_code[static_cast<std::size_t>(l)] = code;
+    c.first_index[static_cast<std::size_t>(l)] = index;
+    code += c.count[static_cast<std::size_t>(l)];
+    index += c.count[static_cast<std::size_t>(l)];
+  }
+  c.sorted_syms.resize(index);
+  std::vector<std::size_t> next = c.first_index;
+  c.codes.assign(n, 0);
+  std::vector<std::uint64_t> next_code = c.first_code;
+  for (std::size_t s = 0; s < n; ++s) {
+    const int l = c.lengths[s];
+    if (!l) continue;
+    c.sorted_syms[next[static_cast<std::size_t>(l)]++] =
+        static_cast<std::uint16_t>(s);
+    c.codes[s] = next_code[static_cast<std::size_t>(l)]++;
+  }
+  return c;
+}
+
+void write_table(ByteWriter& w, const Canonical& c) {
+  // Sparse (delta symbol, length) pairs.
+  std::uint64_t nz = 0;
+  for (auto l : c.lengths)
+    if (l) ++nz;
+  w.put_varint(c.lengths.size());
+  w.put_varint(nz);
+  std::uint64_t prev = 0;
+  for (std::size_t s = 0; s < c.lengths.size(); ++s) {
+    if (!c.lengths[s]) continue;
+    w.put_varint(s - prev);
+    w.put(static_cast<std::uint8_t>(c.lengths[s]));
+    prev = s;
+  }
+}
+
+Canonical read_table(ByteReader& r) {
+  const std::uint64_t n = r.get_varint();
+  const std::uint64_t nz = r.get_varint();
+  AESZ_CHECK_MSG(n <= (1u << 17) && nz <= n, "bad huffman table");
+  std::vector<std::uint8_t> lengths(n, 0);
+  std::uint64_t sym = 0;
+  for (std::uint64_t i = 0; i < nz; ++i) {
+    sym += r.get_varint();
+    AESZ_CHECK_MSG(sym < n, "huffman symbol out of range");
+    const auto l = r.get<std::uint8_t>();
+    AESZ_CHECK_MSG(l >= 1 && l <= kMaxLen, "bad huffman code length");
+    lengths[sym] = l;
+  }
+  return canonicalize(std::move(lengths));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> code_lengths(std::span<const std::uint64_t> freq) {
+  std::vector<std::uint8_t> lengths;
+  int depth = build_lengths(freq, lengths);
+  // Depth-limit by frequency flattening: rare with 16-bit bins, but a
+  // pathological geometric distribution can exceed the writer's word size.
+  std::vector<std::uint64_t> f(freq.begin(), freq.end());
+  int shift = 1;
+  while (depth > kMaxLen) {
+    for (auto& v : f)
+      if (v) v = 1 + (v >> shift);
+    depth = build_lengths(f, lengths);
+    ++shift;
+  }
+  return lengths;
+}
+
+std::vector<std::uint8_t> encode(std::span<const std::uint16_t> symbols) {
+  std::uint16_t max_sym = 0;
+  for (auto s : symbols) max_sym = std::max(max_sym, s);
+  std::vector<std::uint64_t> freq(static_cast<std::size_t>(max_sym) + 1, 0);
+  for (auto s : symbols) ++freq[s];
+
+  const Canonical c = canonicalize(code_lengths(freq));
+
+  ByteWriter w;
+  w.put_varint(symbols.size());
+  write_table(w, c);
+  BitWriter bits;
+  for (auto s : symbols) {
+    const int l = c.lengths[s];
+    const std::uint64_t code = c.codes[s];
+    // Canonical codes compare MSB-first; emit in that order.
+    for (int b = l - 1; b >= 0; --b) bits.put_bit((code >> b) & 1);
+  }
+  w.put_blob(bits.finish());
+  return w.take();
+}
+
+std::vector<std::uint16_t> decode(std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  const std::uint64_t n = r.get_varint();
+  const Canonical c = read_table(r);
+  const auto payload = r.get_blob();
+  BitReader bits(payload);
+
+  std::vector<std::uint16_t> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t code = 0;
+    int l = 0;
+    while (true) {
+      code = (code << 1) | static_cast<std::uint64_t>(bits.get_bit());
+      ++l;
+      AESZ_CHECK_MSG(l <= c.max_len, "corrupt huffman payload");
+      const auto ul = static_cast<std::size_t>(l);
+      if (c.count[ul] &&
+          code < c.first_code[ul] + c.count[ul] && code >= c.first_code[ul]) {
+        out.push_back(
+            c.sorted_syms[c.first_index[ul] + (code - c.first_code[ul])]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aesz::huffman

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aesz {
+
+/// Canonical Huffman codec over 16-bit symbols (quantization bins).
+///
+/// This is the entropy stage of every SZ-family compressor in this repo,
+/// mirroring the Huffman encoder inside SZ2.1. The code table is rebuilt
+/// per stream from symbol frequencies and serialized compactly (delta-coded
+/// sparse (symbol, length) pairs) ahead of the payload, so streams are
+/// self-describing.
+///
+/// The output is further passed through the LZ byte codec by callers
+/// (Huffman + Zstd in the paper).
+namespace huffman {
+
+/// Encode `symbols` into a self-describing byte stream.
+std::vector<std::uint8_t> encode(std::span<const std::uint16_t> symbols);
+
+/// Decode a stream produced by encode(). Throws aesz::Error on corruption.
+std::vector<std::uint16_t> decode(std::span<const std::uint8_t> stream);
+
+/// Code lengths chosen for the given frequencies (exposed for tests:
+/// Kraft inequality, optimality vs entropy).
+std::vector<std::uint8_t> code_lengths(std::span<const std::uint64_t> freq);
+
+}  // namespace huffman
+}  // namespace aesz

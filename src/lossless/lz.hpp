@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aesz {
+
+/// LZSS-style byte compressor standing in for Zstd as the lossless back end
+/// (see DESIGN.md "Substitutions"). Greedy hash-chain matching over a 64 KiB
+/// window, min match 4, token format:
+///   repeat { varint lit_len; lit_len bytes; varint match_len;
+///            if match_len==0 -> end; varint (dist-1); }
+/// Self-describing; decode throws aesz::Error on corruption.
+namespace lz {
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input);
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream);
+
+}  // namespace lz
+
+/// The paper's lossless pipeline: Huffman over 16-bit quantization codes,
+/// then byte-level LZ over the Huffman stream ("Huffman + Zstd").
+namespace qcodec {
+
+std::vector<std::uint8_t> encode_codes(std::span<const std::uint16_t> codes);
+std::vector<std::uint16_t> decode_codes(std::span<const std::uint8_t> stream);
+
+}  // namespace qcodec
+
+}  // namespace aesz

@@ -1,0 +1,128 @@
+#include "metrics/assessment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "metrics/metrics.hpp"
+#include "util/error.hpp"
+
+namespace aesz::metrics {
+
+double pearson(std::span<const float> a, std::span<const float> b) {
+  AESZ_CHECK(a.size() == b.size() && !a.empty());
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(a.size());
+  mb /= static_cast<double>(a.size());
+  double num = 0, da = 0, db = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double xa = a[i] - ma, xb = b[i] - mb;
+    num += xa * xb;
+    da += xa * xa;
+    db += xb * xb;
+  }
+  const double den = std::sqrt(da * db);
+  return den > 0 ? num / den : 1.0;
+}
+
+double error_lag1_autocorrelation(std::span<const float> a,
+                                  std::span<const float> b) {
+  AESZ_CHECK(a.size() == b.size() && a.size() >= 2);
+  std::vector<double> e(a.size());
+  double mean = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    e[i] = static_cast<double>(b[i]) - a[i];
+    mean += e[i];
+  }
+  mean /= static_cast<double>(e.size());
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    den += (e[i] - mean) * (e[i] - mean);
+    if (i + 1 < e.size()) num += (e[i] - mean) * (e[i + 1] - mean);
+  }
+  return den > 0 ? num / den : 0.0;
+}
+
+double ssim_2d(const Field& a, const Field& b) {
+  AESZ_CHECK_MSG(a.dims().rank == 2 && a.dims() == b.dims(),
+                 "ssim_2d needs matching 2-D fields");
+  const std::size_t H = a.dims()[0], W = a.dims()[1];
+  const double range = std::max<double>(a.value_range(), 1e-12);
+  const double c1 = (0.01 * range) * (0.01 * range);
+  const double c2 = (0.03 * range) * (0.03 * range);
+  constexpr std::size_t win = 8;
+  double total = 0;
+  std::size_t count = 0;
+  for (std::size_t i0 = 0; i0 + win <= H; i0 += win) {
+    for (std::size_t j0 = 0; j0 + win <= W; j0 += win) {
+      double ma = 0, mb = 0;
+      for (std::size_t i = 0; i < win; ++i)
+        for (std::size_t j = 0; j < win; ++j) {
+          ma += a.at2(i0 + i, j0 + j);
+          mb += b.at2(i0 + i, j0 + j);
+        }
+      const double n = win * win;
+      ma /= n;
+      mb /= n;
+      double va = 0, vb = 0, cov = 0;
+      for (std::size_t i = 0; i < win; ++i)
+        for (std::size_t j = 0; j < win; ++j) {
+          const double xa = a.at2(i0 + i, j0 + j) - ma;
+          const double xb = b.at2(i0 + i, j0 + j) - mb;
+          va += xa * xa;
+          vb += xb * xb;
+          cov += xa * xb;
+        }
+      va /= n - 1;
+      vb /= n - 1;
+      cov /= n - 1;
+      total += ((2 * ma * mb + c1) * (2 * cov + c2)) /
+               ((ma * ma + mb * mb + c1) * (va + vb + c2));
+      ++count;
+    }
+  }
+  return count ? total / static_cast<double>(count) : 1.0;
+}
+
+Assessment assess(const Field& original, const Field& reconstructed) {
+  AESZ_CHECK(original.dims() == reconstructed.dims());
+  Assessment out;
+  const auto a = original.values();
+  const auto b = reconstructed.values();
+  out.mse = mse(a, b);
+  out.psnr = psnr(a, b);
+  out.max_abs_err = max_abs_err(a, b);
+  out.value_range = original.value_range();
+  out.max_rel_err =
+      out.value_range > 0 ? out.max_abs_err / out.value_range : 0.0;
+  double mae = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    mae += std::abs(static_cast<double>(b[i]) - a[i]);
+  out.mean_abs_err = mae / static_cast<double>(a.size());
+  out.pearson_correlation = pearson(a, b);
+  out.error_autocorrelation = error_lag1_autocorrelation(a, b);
+  if (original.dims().rank == 2) out.ssim = ssim_2d(original, reconstructed);
+  return out;
+}
+
+std::string format(const Assessment& a) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "PSNR          : %9.3f dB\n"
+                "MSE           : %9.3e\n"
+                "max abs error : %9.3e  (%.4f%% of range)\n"
+                "mean abs error: %9.3e\n"
+                "pearson corr  : %9.6f\n"
+                "err lag-1 AC  : %9.4f\n"
+                "SSIM (2-D)    : %9.4f\n",
+                a.psnr, a.mse, a.max_abs_err, 100.0 * a.max_rel_err,
+                a.mean_abs_err, a.pearson_correlation,
+                a.error_autocorrelation, a.ssim);
+  return buf;
+}
+
+}  // namespace aesz::metrics

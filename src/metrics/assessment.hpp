@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/field.hpp"
+
+namespace aesz::metrics {
+
+/// Z-checker-style compression assessment (Tao et al., IJHPCA'19 — the
+/// framework the paper cites for assessing lossy compressors, ref [32]).
+/// Bundles the distortion statistics domain scientists inspect beyond PSNR.
+struct Assessment {
+  double psnr = 0.0;
+  double mse = 0.0;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;        // max |err| / value_range
+  double mean_abs_err = 0.0;
+  double value_range = 0.0;
+  double pearson_correlation = 0.0;  // original vs reconstructed
+  double error_autocorrelation = 0.0;  // lag-1 autocorr of the error signal
+  double ssim = 0.0;                 // 2-D fields only (0 otherwise)
+};
+
+/// Full assessment of a reconstruction against its original.
+Assessment assess(const Field& original, const Field& reconstructed);
+
+/// Structural similarity (Wang et al. 2004) between two 2-D fields,
+/// 8x8 windows, data-range-scaled stabilizers.
+double ssim_2d(const Field& a, const Field& b);
+
+/// Pearson correlation coefficient between two equal-length signals.
+double pearson(std::span<const float> a, std::span<const float> b);
+
+/// Lag-1 autocorrelation of (b - a): near zero for white compression error
+/// (good), near one for structured artifacts (bad).
+double error_lag1_autocorrelation(std::span<const float> a,
+                                  std::span<const float> b);
+
+/// Human-readable multi-line report.
+std::string format(const Assessment& a);
+
+}  // namespace aesz::metrics

@@ -1,0 +1,88 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace aesz::metrics {
+
+double mse(std::span<const float> a, std::span<const float> b) {
+  AESZ_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum) schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.size()); ++i) {
+    const double d = static_cast<double>(a[static_cast<std::size_t>(i)]) -
+                     static_cast<double>(b[static_cast<std::size_t>(i)]);
+    sum += d * d;
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+double max_abs_err(std::span<const float> a, std::span<const float> b) {
+  AESZ_CHECK(a.size() == b.size());
+  double m = 0.0;
+#pragma omp parallel for reduction(max : m) schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(a.size()); ++i) {
+    m = std::max(m,
+                 std::abs(static_cast<double>(a[static_cast<std::size_t>(i)]) -
+                          static_cast<double>(b[static_cast<std::size_t>(i)])));
+  }
+  return m;
+}
+
+double psnr(std::span<const float> a, std::span<const float> b) {
+  float lo = a.empty() ? 0.0f : a[0], hi = lo;
+  for (float v : a) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double vrange = static_cast<double>(hi) - static_cast<double>(lo);
+  const double m = mse(a, b);
+  if (m == 0.0) return 999.0;  // lossless sentinel
+  return 20.0 * std::log10(vrange) - 10.0 * std::log10(m);
+}
+
+double compression_ratio(std::size_t n_values, std::size_t compressed_bytes) {
+  return static_cast<double>(n_values * sizeof(float)) /
+         static_cast<double>(std::max<std::size_t>(compressed_bytes, 1));
+}
+
+double bit_rate(std::size_t n_values, std::size_t compressed_bytes) {
+  return 8.0 * static_cast<double>(compressed_bytes) /
+         static_cast<double>(std::max<std::size_t>(n_values, 1));
+}
+
+std::vector<double> error_pdf(std::span<const float> a,
+                              std::span<const float> b, double lo, double hi,
+                              std::size_t bins) {
+  AESZ_CHECK(a.size() == b.size());
+  AESZ_CHECK(bins > 0 && hi > lo);
+  std::vector<double> pdf(bins, 0.0);
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double e = static_cast<double>(b[i]) - static_cast<double>(a[i]);
+    auto bin = static_cast<std::ptrdiff_t>((e - lo) * scale);
+    bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    pdf[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  for (double& v : pdf) v /= static_cast<double>(a.size());
+  return pdf;
+}
+
+std::string rd_header() {
+  return "compressor            rel_eb     bitrate      PSNR        CR     max_err";
+}
+
+std::string format_rd_row(const std::string& compressor, const RDPoint& p) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-20s %8.1e %9.4f %9.2f %9.2f %10.3e",
+                compressor.c_str(), p.rel_error_bound, p.bit_rate, p.psnr,
+                p.compression_ratio, p.max_err);
+  return buf;
+}
+
+}  // namespace aesz::metrics

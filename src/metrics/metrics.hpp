@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aesz::metrics {
+
+/// Mean squared error between original and reconstructed data.
+double mse(std::span<const float> a, std::span<const float> b);
+
+/// Maximum pointwise absolute error (the quantity an error bound limits).
+double max_abs_err(std::span<const float> a, std::span<const float> b);
+
+/// Peak signal-to-noise ratio per the paper's Eq. (4):
+///   PSNR = 20 log10 vrange(a) - 10 log10 mse(a, b).
+double psnr(std::span<const float> a, std::span<const float> b);
+
+/// Compression ratio |D| / |D'| for float32 input.
+double compression_ratio(std::size_t n_values, std::size_t compressed_bytes);
+
+/// Bit rate = bits per value = 32 / CR for float32 input.
+double bit_rate(std::size_t n_values, std::size_t compressed_bytes);
+
+/// One point on a rate-distortion curve.
+struct RDPoint {
+  double rel_error_bound;  // value-range-relative eb (0 for non-EB codecs)
+  double bit_rate;
+  double psnr;
+  double compression_ratio;
+  double max_err;  // absolute
+};
+
+/// Normalized histogram (PDF) of (b[i] - a[i]) over [lo, hi] — the Fig. 7
+/// prediction-error distribution. Out-of-range errors are clamped to the
+/// edge bins.
+std::vector<double> error_pdf(std::span<const float> a,
+                              std::span<const float> b, double lo, double hi,
+                              std::size_t bins);
+
+/// Render one RD point as an aligned table row (used by the bench binaries).
+std::string format_rd_row(const std::string& compressor, const RDPoint& p);
+std::string rd_header();
+
+}  // namespace aesz::metrics

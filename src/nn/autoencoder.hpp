@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/gdn.hpp"
+#include "util/bytestream.hpp"
+
+namespace aesz::nn {
+
+/// Activation used inside the (de)convolutional blocks. GDN is the paper's
+/// choice; ReLU/LeakyReLU exist for the activation ablation.
+enum class Activation { kGDN, kReLU, kLeakyReLU };
+
+/// Architecture of the paper's blockwise convolutional autoencoder
+/// (Fig. 3/4 + Table VI):
+///  - encoder: per channel entry c_i a block [Conv3x3(s1) -> Conv3x3(s2) ->
+///    GDN], spatial extent halves per block; then a fully connected resize
+///    to the latent vector.
+///  - decoder: mirror-symmetric with transposed convolutions and iGDN, plus
+///    a final stride-1 convolution + tanh output layer-set.
+struct AEConfig {
+  int rank = 2;                 // 2 or 3 (dimension of conv ops)
+  std::size_t block = 32;       // input block edge (32x32 / 8x8x8 ...)
+  std::size_t latent = 16;      // latent vector length
+  std::vector<std::size_t> channels = {16, 32, 64, 128};  // per conv block
+  Activation act = Activation::kGDN;
+  bool variational = false;     // encoder emits (mu, logvar)
+
+  std::size_t block_elems() const {
+    std::size_t n = 1;
+    for (int i = 0; i < rank; ++i) n *= block;
+    return n;
+  }
+  /// Latent ratio = input elements / latent length (Table II's knob).
+  double latent_ratio() const {
+    return static_cast<double>(block_elems()) /
+           static_cast<double>(latent);
+  }
+};
+
+/// The blockwise convolutional autoencoder. Explicit encode/decode halves so
+/// the compressor can run them separately (encoder at compression, decoder
+/// at decompression), as the paper's design requires.
+class ConvAutoencoder {
+ public:
+  ConvAutoencoder(AEConfig cfg, std::uint64_t seed);
+
+  const AEConfig& config() const { return cfg_; }
+
+  /// Encoder: blocks (N, 1, extent...) -> latents (N, latent) — or
+  /// (N, 2*latent) when variational (mu ++ logvar).
+  Tensor encode(const Tensor& x, bool train);
+
+  /// Decoder: latents (N, latent) -> reconstructed blocks (N, 1, extent...).
+  Tensor decode(const Tensor& z, bool train);
+
+  /// Backward through the decoder; returns dL/dz. Requires a prior
+  /// decode(..., train=true).
+  Tensor backward_decode(const Tensor& gy);
+
+  /// Backward through the encoder given dL/d(encoder output).
+  void backward_encode(const Tensor& gz);
+
+  std::vector<Param*> params();
+  void project();
+  std::size_t param_count();
+
+  /// Weight (de)serialization: fixed parameter order, shape-checked.
+  void save(ByteWriter& w);
+  void load(ByteReader& r);
+
+ private:
+  std::unique_ptr<Layer> make_act(std::size_t channels, bool inverse,
+                                  Rng& rng);
+
+  AEConfig cfg_;
+  std::size_t min_spatial_;  // block / 2^#blocks
+  std::size_t flat_;         // channels.back() * min_spatial^rank
+  std::vector<std::unique_ptr<Layer>> enc_;
+  std::unique_ptr<Linear> enc_fc_;
+  std::unique_ptr<Linear> dec_fc_;
+  std::vector<std::unique_ptr<Layer>> dec_;
+};
+
+}  // namespace aesz::nn

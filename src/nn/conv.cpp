@@ -1,0 +1,672 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+
+namespace aesz::nn {
+namespace {
+
+float he_std(std::size_t fan_in) {
+  return std::sqrt(2.0f / static_cast<float>(fan_in));
+}
+
+using idx = std::ptrdiff_t;
+
+/// Valid output range [lo, hi) for "o*s - p + k in [0, n)". With k <= 2 and
+/// p <= 1 the numerators stay tiny, but the formulas are general.
+inline void out_range(idx o_extent, idx n, idx s, idx p, idx k, idx& lo,
+                      idx& hi) {
+  const idx a = p - k;  // o*s >= a
+  lo = a > 0 ? (a + s - 1) / s : 0;
+  const idx b = n - 1 + p - k;  // o*s <= b
+  hi = b < 0 ? 0 : std::min(o_extent, b / s + 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2d --
+//
+// All four convolution classes use the same loop strategy: the kernel taps
+// (ic, kh, kw) are hoisted outside the spatial loops, so the innermost loop
+// is a contiguous (or stride-s) AXPY over one row — which vectorizes. The
+// correctness of every path is pinned by finite-difference tests.
+
+Conv2d::Conv2d(std::size_t in_c, std::size_t out_c, std::size_t k,
+               std::size_t stride, std::size_t pad, Rng& rng)
+    : in_c_(in_c), out_c_(out_c), k_(k), stride_(stride), pad_(pad),
+      w_(Tensor::randn({out_c, in_c, k, k}, rng, he_std(in_c * k * k))),
+      b_(Tensor::zeros({out_c})) {}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  AESZ_CHECK(x.shape().size() == 4 && x.dim(1) == in_c_);
+  const std::size_t N = x.dim(0), H = x.dim(2), W = x.dim(3);
+  const std::size_t OH = out_size(H), OW = out_size(W);
+  Tensor y({N, out_c_, OH, OW});
+  const float* xp = x.data();
+  const float* wp = w_.value.data();
+  const float* bp = b_.value.data();
+  float* yp = y.data();
+  const idx S = static_cast<idx>(stride_), P = static_cast<idx>(pad_);
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (idx n = 0; n < static_cast<idx>(N); ++n) {
+    for (idx oc = 0; oc < static_cast<idx>(out_c_); ++oc) {
+      float* yplane = yp + (static_cast<std::size_t>(n) * out_c_ +
+                            static_cast<std::size_t>(oc)) *
+                               OH * OW;
+      for (std::size_t i = 0; i < OH * OW; ++i)
+        yplane[i] = bp[static_cast<std::size_t>(oc)];
+      for (std::size_t ic = 0; ic < in_c_; ++ic) {
+        const float* xplane =
+            xp + (static_cast<std::size_t>(n) * in_c_ + ic) * H * W;
+        for (std::size_t kh = 0; kh < k_; ++kh) {
+          idx oh_lo, oh_hi;
+          out_range(static_cast<idx>(OH), static_cast<idx>(H), S, P,
+                    static_cast<idx>(kh), oh_lo, oh_hi);
+          for (std::size_t kw = 0; kw < k_; ++kw) {
+            const float wv =
+                wp[((static_cast<std::size_t>(oc) * in_c_ + ic) * k_ + kh) *
+                       k_ +
+                   kw];
+            idx ow_lo, ow_hi;
+            out_range(static_cast<idx>(OW), static_cast<idx>(W), S, P,
+                      static_cast<idx>(kw), ow_lo, ow_hi);
+            for (idx oh = oh_lo; oh < oh_hi; ++oh) {
+              const idx ih = oh * S - P + static_cast<idx>(kh);
+              float* yrow = yplane + oh * static_cast<idx>(OW);
+              const float* xrow = xplane + ih * static_cast<idx>(W) - P +
+                                  static_cast<idx>(kw);
+              for (idx ow = ow_lo; ow < ow_hi; ++ow)
+                yrow[ow] += wv * xrow[ow * S];
+            }
+          }
+        }
+      }
+    }
+  }
+  if (train) x_cache_ = x;
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& gy) {
+  const Tensor& x = x_cache_;
+  const std::size_t N = x.dim(0), H = x.dim(2), W = x.dim(3);
+  const std::size_t OH = gy.dim(2), OW = gy.dim(3);
+  Tensor gx(x.shape());
+  const float* xp = x.data();
+  const float* wp = w_.value.data();
+  const float* gyp = gy.data();
+  float* gxp = gx.data();
+  float* gwp = w_.grad.data();
+  float* gbp = b_.grad.data();
+  const idx S = static_cast<idx>(stride_), P = static_cast<idx>(pad_);
+
+  // Parameter grads: parallel over oc (disjoint gw/gb rows).
+#pragma omp parallel for schedule(static)
+  for (idx oc = 0; oc < static_cast<idx>(out_c_); ++oc) {
+    const auto uoc = static_cast<std::size_t>(oc);
+    for (std::size_t n = 0; n < N; ++n) {
+      const float* gplane = gyp + (n * out_c_ + uoc) * OH * OW;
+      for (std::size_t i = 0; i < OH * OW; ++i) gbp[uoc] += gplane[i];
+      for (std::size_t ic = 0; ic < in_c_; ++ic) {
+        const float* xplane = xp + (n * in_c_ + ic) * H * W;
+        for (std::size_t kh = 0; kh < k_; ++kh) {
+          idx oh_lo, oh_hi;
+          out_range(static_cast<idx>(OH), static_cast<idx>(H), S, P,
+                    static_cast<idx>(kh), oh_lo, oh_hi);
+          for (std::size_t kw = 0; kw < k_; ++kw) {
+            idx ow_lo, ow_hi;
+            out_range(static_cast<idx>(OW), static_cast<idx>(W), S, P,
+                      static_cast<idx>(kw), ow_lo, ow_hi);
+            float acc = 0.0f;
+            for (idx oh = oh_lo; oh < oh_hi; ++oh) {
+              const idx ih = oh * S - P + static_cast<idx>(kh);
+              const float* grow = gplane + oh * static_cast<idx>(OW);
+              const float* xrow = xplane + ih * static_cast<idx>(W) - P +
+                                  static_cast<idx>(kw);
+              for (idx ow = ow_lo; ow < ow_hi; ++ow)
+                acc += grow[ow] * xrow[ow * S];
+            }
+            gwp[((uoc * in_c_ + ic) * k_ + kh) * k_ + kw] += acc;
+          }
+        }
+      }
+    }
+  }
+
+  // Input grads: parallel over (n, ic); scatter from gy rows.
+#pragma omp parallel for collapse(2) schedule(static)
+  for (idx n = 0; n < static_cast<idx>(N); ++n) {
+    for (idx ic = 0; ic < static_cast<idx>(in_c_); ++ic) {
+      const auto uic = static_cast<std::size_t>(ic);
+      float* gxplane = gxp + (static_cast<std::size_t>(n) * in_c_ + uic) *
+                                 H * W;
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        const float* gplane =
+            gyp + (static_cast<std::size_t>(n) * out_c_ + oc) * OH * OW;
+        for (std::size_t kh = 0; kh < k_; ++kh) {
+          idx oh_lo, oh_hi;
+          out_range(static_cast<idx>(OH), static_cast<idx>(H), S, P,
+                    static_cast<idx>(kh), oh_lo, oh_hi);
+          for (std::size_t kw = 0; kw < k_; ++kw) {
+            const float wv =
+                wp[((oc * in_c_ + uic) * k_ + kh) * k_ + kw];
+            idx ow_lo, ow_hi;
+            out_range(static_cast<idx>(OW), static_cast<idx>(W), S, P,
+                      static_cast<idx>(kw), ow_lo, ow_hi);
+            for (idx oh = oh_lo; oh < oh_hi; ++oh) {
+              const idx ih = oh * S - P + static_cast<idx>(kh);
+              const float* grow = gplane + oh * static_cast<idx>(OW);
+              float* gxrow = gxplane + ih * static_cast<idx>(W) - P +
+                             static_cast<idx>(kw);
+              for (idx ow = ow_lo; ow < ow_hi; ++ow)
+                gxrow[ow * S] += wv * grow[ow];
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+// --------------------------------------------------------------- ConvT2d --
+
+ConvT2d::ConvT2d(std::size_t in_c, std::size_t out_c, std::size_t k,
+                 std::size_t stride, std::size_t pad, std::size_t out_pad,
+                 Rng& rng)
+    : in_c_(in_c), out_c_(out_c), k_(k), stride_(stride), pad_(pad),
+      out_pad_(out_pad),
+      w_(Tensor::randn({in_c, out_c, k, k}, rng, he_std(in_c * k_ * k_))),
+      b_(Tensor::zeros({out_c})) {}
+
+Tensor ConvT2d::forward(const Tensor& x, bool train) {
+  AESZ_CHECK(x.shape().size() == 4 && x.dim(1) == in_c_);
+  const std::size_t N = x.dim(0), H = x.dim(2), W = x.dim(3);
+  const std::size_t OH = out_size(H), OW = out_size(W);
+  Tensor y({N, out_c_, OH, OW});
+  const float* xp = x.data();
+  const float* wp = w_.value.data();
+  const float* bp = b_.value.data();
+  float* yp = y.data();
+  const idx S = static_cast<idx>(stride_), P = static_cast<idx>(pad_);
+
+  // Scatter: y[ih*s+kh-p][iw*s+kw-p] += x[ih][iw] * w[ic][oc][kh][kw].
+#pragma omp parallel for collapse(2) schedule(static)
+  for (idx n = 0; n < static_cast<idx>(N); ++n) {
+    for (idx oc = 0; oc < static_cast<idx>(out_c_); ++oc) {
+      const auto uoc = static_cast<std::size_t>(oc);
+      float* yplane =
+          yp + (static_cast<std::size_t>(n) * out_c_ + uoc) * OH * OW;
+      for (std::size_t i = 0; i < OH * OW; ++i) yplane[i] = bp[uoc];
+      for (std::size_t ic = 0; ic < in_c_; ++ic) {
+        const float* xplane =
+            xp + (static_cast<std::size_t>(n) * in_c_ + ic) * H * W;
+        for (std::size_t kh = 0; kh < k_; ++kh) {
+          idx ih_lo, ih_hi;  // valid i: i*s + kh - p in [0, OH)
+          out_range(static_cast<idx>(H), static_cast<idx>(OH), S, P,
+                    static_cast<idx>(kh), ih_lo, ih_hi);
+          for (std::size_t kw = 0; kw < k_; ++kw) {
+            const float wv =
+                wp[((ic * out_c_ + uoc) * k_ + kh) * k_ + kw];
+            idx iw_lo, iw_hi;
+            out_range(static_cast<idx>(W), static_cast<idx>(OW), S, P,
+                      static_cast<idx>(kw), iw_lo, iw_hi);
+            for (idx ih = ih_lo; ih < ih_hi; ++ih) {
+              const idx oh = ih * S + static_cast<idx>(kh) - P;
+              const float* xrow = xplane + ih * static_cast<idx>(W);
+              float* yrow = yplane + oh * static_cast<idx>(OW) - P +
+                            static_cast<idx>(kw);
+              for (idx iw = iw_lo; iw < iw_hi; ++iw)
+                yrow[iw * S] += wv * xrow[iw];
+            }
+          }
+        }
+      }
+    }
+  }
+  if (train) x_cache_ = x;
+  return y;
+}
+
+Tensor ConvT2d::backward(const Tensor& gy) {
+  const Tensor& x = x_cache_;
+  const std::size_t N = x.dim(0), H = x.dim(2), W = x.dim(3);
+  const std::size_t OH = gy.dim(2), OW = gy.dim(3);
+  Tensor gx(x.shape());
+  const float* xp = x.data();
+  const float* wp = w_.value.data();
+  const float* gyp = gy.data();
+  float* gxp = gx.data();
+  float* gwp = w_.grad.data();
+  float* gbp = b_.grad.data();
+  const idx S = static_cast<idx>(stride_), P = static_cast<idx>(pad_);
+
+  // gx gather + gw accumulation share the same (ic-parallel) traversal.
+#pragma omp parallel for collapse(2) schedule(static)
+  for (idx n = 0; n < static_cast<idx>(N); ++n) {
+    for (idx ic = 0; ic < static_cast<idx>(in_c_); ++ic) {
+      const auto uic = static_cast<std::size_t>(ic);
+      float* gxplane = gxp + (static_cast<std::size_t>(n) * in_c_ + uic) *
+                                 H * W;
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        const float* gplane =
+            gyp + (static_cast<std::size_t>(n) * out_c_ + oc) * OH * OW;
+        for (std::size_t kh = 0; kh < k_; ++kh) {
+          idx ih_lo, ih_hi;
+          out_range(static_cast<idx>(H), static_cast<idx>(OH), S, P,
+                    static_cast<idx>(kh), ih_lo, ih_hi);
+          for (std::size_t kw = 0; kw < k_; ++kw) {
+            const float wv =
+                wp[((uic * out_c_ + oc) * k_ + kh) * k_ + kw];
+            idx iw_lo, iw_hi;
+            out_range(static_cast<idx>(W), static_cast<idx>(OW), S, P,
+                      static_cast<idx>(kw), iw_lo, iw_hi);
+            for (idx ih = ih_lo; ih < ih_hi; ++ih) {
+              const idx oh = ih * S + static_cast<idx>(kh) - P;
+              float* gxrow = gxplane + ih * static_cast<idx>(W);
+              const float* grow = gplane + oh * static_cast<idx>(OW) - P +
+                                  static_cast<idx>(kw);
+              for (idx iw = iw_lo; iw < iw_hi; ++iw)
+                gxrow[iw] += wv * grow[iw * S];
+            }
+          }
+        }
+      }
+    }
+  }
+
+#pragma omp parallel for schedule(static)
+  for (idx ic = 0; ic < static_cast<idx>(in_c_); ++ic) {
+    const auto uic = static_cast<std::size_t>(ic);
+    for (std::size_t n = 0; n < N; ++n) {
+      const float* xplane = xp + (n * in_c_ + uic) * H * W;
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        const float* gplane = gyp + (n * out_c_ + oc) * OH * OW;
+        for (std::size_t kh = 0; kh < k_; ++kh) {
+          idx ih_lo, ih_hi;
+          out_range(static_cast<idx>(H), static_cast<idx>(OH), S, P,
+                    static_cast<idx>(kh), ih_lo, ih_hi);
+          for (std::size_t kw = 0; kw < k_; ++kw) {
+            idx iw_lo, iw_hi;
+            out_range(static_cast<idx>(W), static_cast<idx>(OW), S, P,
+                      static_cast<idx>(kw), iw_lo, iw_hi);
+            float acc = 0.0f;
+            for (idx ih = ih_lo; ih < ih_hi; ++ih) {
+              const idx oh = ih * S + static_cast<idx>(kh) - P;
+              const float* xrow = xplane + ih * static_cast<idx>(W);
+              const float* grow = gplane + oh * static_cast<idx>(OW) - P +
+                                  static_cast<idx>(kw);
+              for (idx iw = iw_lo; iw < iw_hi; ++iw)
+                acc += xrow[iw] * grow[iw * S];
+            }
+            gwp[((uic * out_c_ + oc) * k_ + kh) * k_ + kw] += acc;
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      const float* gplane = gyp + (n * out_c_ + oc) * OH * OW;
+      for (std::size_t i = 0; i < OH * OW; ++i) gbp[oc] += gplane[i];
+    }
+  return gx;
+}
+
+// ---------------------------------------------------------------- Conv3d --
+
+Conv3d::Conv3d(std::size_t in_c, std::size_t out_c, std::size_t k,
+               std::size_t stride, std::size_t pad, Rng& rng)
+    : in_c_(in_c), out_c_(out_c), k_(k), stride_(stride), pad_(pad),
+      w_(Tensor::randn({out_c, in_c, k, k, k}, rng,
+                       he_std(in_c * k * k * k))),
+      b_(Tensor::zeros({out_c})) {}
+
+Tensor Conv3d::forward(const Tensor& x, bool train) {
+  AESZ_CHECK(x.shape().size() == 5 && x.dim(1) == in_c_);
+  const std::size_t N = x.dim(0), D = x.dim(2), H = x.dim(3), W = x.dim(4);
+  const std::size_t OD = out_size(D), OH = out_size(H), OW = out_size(W);
+  Tensor y({N, out_c_, OD, OH, OW});
+  const float* xp = x.data();
+  const float* wp = w_.value.data();
+  const float* bp = b_.value.data();
+  float* yp = y.data();
+  const idx S = static_cast<idx>(stride_), P = static_cast<idx>(pad_);
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (idx n = 0; n < static_cast<idx>(N); ++n) {
+    for (idx oc = 0; oc < static_cast<idx>(out_c_); ++oc) {
+      const auto uoc = static_cast<std::size_t>(oc);
+      float* yvol = yp + (static_cast<std::size_t>(n) * out_c_ + uoc) * OD *
+                             OH * OW;
+      for (std::size_t i = 0; i < OD * OH * OW; ++i) yvol[i] = bp[uoc];
+      for (std::size_t ic = 0; ic < in_c_; ++ic) {
+        const float* xvol =
+            xp + (static_cast<std::size_t>(n) * in_c_ + ic) * D * H * W;
+        for (std::size_t kd = 0; kd < k_; ++kd) {
+          idx od_lo, od_hi;
+          out_range(static_cast<idx>(OD), static_cast<idx>(D), S, P,
+                    static_cast<idx>(kd), od_lo, od_hi);
+          for (std::size_t kh = 0; kh < k_; ++kh) {
+            idx oh_lo, oh_hi;
+            out_range(static_cast<idx>(OH), static_cast<idx>(H), S, P,
+                      static_cast<idx>(kh), oh_lo, oh_hi);
+            for (std::size_t kw = 0; kw < k_; ++kw) {
+              const float wv =
+                  wp[(((uoc * in_c_ + ic) * k_ + kd) * k_ + kh) * k_ + kw];
+              idx ow_lo, ow_hi;
+              out_range(static_cast<idx>(OW), static_cast<idx>(W), S, P,
+                        static_cast<idx>(kw), ow_lo, ow_hi);
+              for (idx od = od_lo; od < od_hi; ++od) {
+                const idx id = od * S - P + static_cast<idx>(kd);
+                for (idx oh = oh_lo; oh < oh_hi; ++oh) {
+                  const idx ih = oh * S - P + static_cast<idx>(kh);
+                  float* yrow =
+                      yvol + (od * static_cast<idx>(OH) + oh) *
+                                 static_cast<idx>(OW);
+                  const float* xrow =
+                      xvol + (id * static_cast<idx>(H) + ih) *
+                                 static_cast<idx>(W) -
+                      P + static_cast<idx>(kw);
+                  for (idx ow = ow_lo; ow < ow_hi; ++ow)
+                    yrow[ow] += wv * xrow[ow * S];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if (train) x_cache_ = x;
+  return y;
+}
+
+Tensor Conv3d::backward(const Tensor& gy) {
+  const Tensor& x = x_cache_;
+  const std::size_t N = x.dim(0), D = x.dim(2), H = x.dim(3), W = x.dim(4);
+  const std::size_t OD = gy.dim(2), OH = gy.dim(3), OW = gy.dim(4);
+  Tensor gx(x.shape());
+  const float* xp = x.data();
+  const float* wp = w_.value.data();
+  const float* gyp = gy.data();
+  float* gxp = gx.data();
+  float* gwp = w_.grad.data();
+  float* gbp = b_.grad.data();
+  const idx S = static_cast<idx>(stride_), P = static_cast<idx>(pad_);
+
+#pragma omp parallel for schedule(static)
+  for (idx oc = 0; oc < static_cast<idx>(out_c_); ++oc) {
+    const auto uoc = static_cast<std::size_t>(oc);
+    for (std::size_t n = 0; n < N; ++n) {
+      const float* gvol = gyp + (n * out_c_ + uoc) * OD * OH * OW;
+      for (std::size_t i = 0; i < OD * OH * OW; ++i) gbp[uoc] += gvol[i];
+      for (std::size_t ic = 0; ic < in_c_; ++ic) {
+        const float* xvol = xp + (n * in_c_ + ic) * D * H * W;
+        for (std::size_t kd = 0; kd < k_; ++kd) {
+          idx od_lo, od_hi;
+          out_range(static_cast<idx>(OD), static_cast<idx>(D), S, P,
+                    static_cast<idx>(kd), od_lo, od_hi);
+          for (std::size_t kh = 0; kh < k_; ++kh) {
+            idx oh_lo, oh_hi;
+            out_range(static_cast<idx>(OH), static_cast<idx>(H), S, P,
+                      static_cast<idx>(kh), oh_lo, oh_hi);
+            for (std::size_t kw = 0; kw < k_; ++kw) {
+              idx ow_lo, ow_hi;
+              out_range(static_cast<idx>(OW), static_cast<idx>(W), S, P,
+                        static_cast<idx>(kw), ow_lo, ow_hi);
+              float acc = 0.0f;
+              for (idx od = od_lo; od < od_hi; ++od) {
+                const idx id = od * S - P + static_cast<idx>(kd);
+                for (idx oh = oh_lo; oh < oh_hi; ++oh) {
+                  const idx ih = oh * S - P + static_cast<idx>(kh);
+                  const float* grow =
+                      gvol + (od * static_cast<idx>(OH) + oh) *
+                                 static_cast<idx>(OW);
+                  const float* xrow =
+                      xvol + (id * static_cast<idx>(H) + ih) *
+                                 static_cast<idx>(W) -
+                      P + static_cast<idx>(kw);
+                  for (idx ow = ow_lo; ow < ow_hi; ++ow)
+                    acc += grow[ow] * xrow[ow * S];
+                }
+              }
+              gwp[(((uoc * in_c_ + ic) * k_ + kd) * k_ + kh) * k_ + kw] +=
+                  acc;
+            }
+          }
+        }
+      }
+    }
+  }
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (idx n = 0; n < static_cast<idx>(N); ++n) {
+    for (idx ic = 0; ic < static_cast<idx>(in_c_); ++ic) {
+      const auto uic = static_cast<std::size_t>(ic);
+      float* gxvol = gxp + (static_cast<std::size_t>(n) * in_c_ + uic) * D *
+                               H * W;
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        const float* gvol =
+            gyp + (static_cast<std::size_t>(n) * out_c_ + oc) * OD * OH * OW;
+        for (std::size_t kd = 0; kd < k_; ++kd) {
+          idx od_lo, od_hi;
+          out_range(static_cast<idx>(OD), static_cast<idx>(D), S, P,
+                    static_cast<idx>(kd), od_lo, od_hi);
+          for (std::size_t kh = 0; kh < k_; ++kh) {
+            idx oh_lo, oh_hi;
+            out_range(static_cast<idx>(OH), static_cast<idx>(H), S, P,
+                      static_cast<idx>(kh), oh_lo, oh_hi);
+            for (std::size_t kw = 0; kw < k_; ++kw) {
+              const float wv =
+                  wp[(((oc * in_c_ + uic) * k_ + kd) * k_ + kh) * k_ + kw];
+              idx ow_lo, ow_hi;
+              out_range(static_cast<idx>(OW), static_cast<idx>(W), S, P,
+                        static_cast<idx>(kw), ow_lo, ow_hi);
+              for (idx od = od_lo; od < od_hi; ++od) {
+                const idx id = od * S - P + static_cast<idx>(kd);
+                for (idx oh = oh_lo; oh < oh_hi; ++oh) {
+                  const idx ih = oh * S - P + static_cast<idx>(kh);
+                  const float* grow =
+                      gvol + (od * static_cast<idx>(OH) + oh) *
+                                 static_cast<idx>(OW);
+                  float* gxrow =
+                      gxvol + (id * static_cast<idx>(H) + ih) *
+                                  static_cast<idx>(W) -
+                      P + static_cast<idx>(kw);
+                  for (idx ow = ow_lo; ow < ow_hi; ++ow)
+                    gxrow[ow * S] += wv * grow[ow];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+// --------------------------------------------------------------- ConvT3d --
+
+ConvT3d::ConvT3d(std::size_t in_c, std::size_t out_c, std::size_t k,
+                 std::size_t stride, std::size_t pad, std::size_t out_pad,
+                 Rng& rng)
+    : in_c_(in_c), out_c_(out_c), k_(k), stride_(stride), pad_(pad),
+      out_pad_(out_pad),
+      w_(Tensor::randn({in_c, out_c, k, k, k}, rng,
+                       he_std(in_c * k * k * k))),
+      b_(Tensor::zeros({out_c})) {}
+
+Tensor ConvT3d::forward(const Tensor& x, bool train) {
+  AESZ_CHECK(x.shape().size() == 5 && x.dim(1) == in_c_);
+  const std::size_t N = x.dim(0), D = x.dim(2), H = x.dim(3), W = x.dim(4);
+  const std::size_t OD = out_size(D), OH = out_size(H), OW = out_size(W);
+  Tensor y({N, out_c_, OD, OH, OW});
+  const float* xp = x.data();
+  const float* wp = w_.value.data();
+  const float* bp = b_.value.data();
+  float* yp = y.data();
+  const idx S = static_cast<idx>(stride_), P = static_cast<idx>(pad_);
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (idx n = 0; n < static_cast<idx>(N); ++n) {
+    for (idx oc = 0; oc < static_cast<idx>(out_c_); ++oc) {
+      const auto uoc = static_cast<std::size_t>(oc);
+      float* yvol = yp + (static_cast<std::size_t>(n) * out_c_ + uoc) * OD *
+                             OH * OW;
+      for (std::size_t i = 0; i < OD * OH * OW; ++i) yvol[i] = bp[uoc];
+      for (std::size_t ic = 0; ic < in_c_; ++ic) {
+        const float* xvol =
+            xp + (static_cast<std::size_t>(n) * in_c_ + ic) * D * H * W;
+        for (std::size_t kd = 0; kd < k_; ++kd) {
+          idx id_lo, id_hi;
+          out_range(static_cast<idx>(D), static_cast<idx>(OD), S, P,
+                    static_cast<idx>(kd), id_lo, id_hi);
+          for (std::size_t kh = 0; kh < k_; ++kh) {
+            idx ih_lo, ih_hi;
+            out_range(static_cast<idx>(H), static_cast<idx>(OH), S, P,
+                      static_cast<idx>(kh), ih_lo, ih_hi);
+            for (std::size_t kw = 0; kw < k_; ++kw) {
+              const float wv =
+                  wp[(((ic * out_c_ + uoc) * k_ + kd) * k_ + kh) * k_ + kw];
+              idx iw_lo, iw_hi;
+              out_range(static_cast<idx>(W), static_cast<idx>(OW), S, P,
+                        static_cast<idx>(kw), iw_lo, iw_hi);
+              for (idx id = id_lo; id < id_hi; ++id) {
+                const idx od = id * S + static_cast<idx>(kd) - P;
+                for (idx ih = ih_lo; ih < ih_hi; ++ih) {
+                  const idx oh = ih * S + static_cast<idx>(kh) - P;
+                  const float* xrow =
+                      xvol + (id * static_cast<idx>(H) + ih) *
+                                 static_cast<idx>(W);
+                  float* yrow =
+                      yvol + (od * static_cast<idx>(OH) + oh) *
+                                 static_cast<idx>(OW) -
+                      P + static_cast<idx>(kw);
+                  for (idx iw = iw_lo; iw < iw_hi; ++iw)
+                    yrow[iw * S] += wv * xrow[iw];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if (train) x_cache_ = x;
+  return y;
+}
+
+Tensor ConvT3d::backward(const Tensor& gy) {
+  const Tensor& x = x_cache_;
+  const std::size_t N = x.dim(0), D = x.dim(2), H = x.dim(3), W = x.dim(4);
+  const std::size_t OD = gy.dim(2), OH = gy.dim(3), OW = gy.dim(4);
+  Tensor gx(x.shape());
+  const float* xp = x.data();
+  const float* wp = w_.value.data();
+  const float* gyp = gy.data();
+  float* gxp = gx.data();
+  float* gwp = w_.grad.data();
+  float* gbp = b_.grad.data();
+  const idx S = static_cast<idx>(stride_), P = static_cast<idx>(pad_);
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (idx n = 0; n < static_cast<idx>(N); ++n) {
+    for (idx ic = 0; ic < static_cast<idx>(in_c_); ++ic) {
+      const auto uic = static_cast<std::size_t>(ic);
+      float* gxvol = gxp + (static_cast<std::size_t>(n) * in_c_ + uic) * D *
+                               H * W;
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        const float* gvol =
+            gyp + (static_cast<std::size_t>(n) * out_c_ + oc) * OD * OH * OW;
+        for (std::size_t kd = 0; kd < k_; ++kd) {
+          idx id_lo, id_hi;
+          out_range(static_cast<idx>(D), static_cast<idx>(OD), S, P,
+                    static_cast<idx>(kd), id_lo, id_hi);
+          for (std::size_t kh = 0; kh < k_; ++kh) {
+            idx ih_lo, ih_hi;
+            out_range(static_cast<idx>(H), static_cast<idx>(OH), S, P,
+                      static_cast<idx>(kh), ih_lo, ih_hi);
+            for (std::size_t kw = 0; kw < k_; ++kw) {
+              const float wv =
+                  wp[(((uic * out_c_ + oc) * k_ + kd) * k_ + kh) * k_ + kw];
+              idx iw_lo, iw_hi;
+              out_range(static_cast<idx>(W), static_cast<idx>(OW), S, P,
+                        static_cast<idx>(kw), iw_lo, iw_hi);
+              for (idx id = id_lo; id < id_hi; ++id) {
+                const idx od = id * S + static_cast<idx>(kd) - P;
+                for (idx ih = ih_lo; ih < ih_hi; ++ih) {
+                  const idx oh = ih * S + static_cast<idx>(kh) - P;
+                  float* gxrow =
+                      gxvol + (id * static_cast<idx>(H) + ih) *
+                                  static_cast<idx>(W);
+                  const float* grow =
+                      gvol + (od * static_cast<idx>(OH) + oh) *
+                                 static_cast<idx>(OW) -
+                      P + static_cast<idx>(kw);
+                  for (idx iw = iw_lo; iw < iw_hi; ++iw)
+                    gxrow[iw] += wv * grow[iw * S];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+#pragma omp parallel for schedule(static)
+  for (idx ic = 0; ic < static_cast<idx>(in_c_); ++ic) {
+    const auto uic = static_cast<std::size_t>(ic);
+    for (std::size_t n = 0; n < N; ++n) {
+      const float* xvol = xp + (n * in_c_ + uic) * D * H * W;
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        const float* gvol = gyp + (n * out_c_ + oc) * OD * OH * OW;
+        for (std::size_t kd = 0; kd < k_; ++kd) {
+          idx id_lo, id_hi;
+          out_range(static_cast<idx>(D), static_cast<idx>(OD), S, P,
+                    static_cast<idx>(kd), id_lo, id_hi);
+          for (std::size_t kh = 0; kh < k_; ++kh) {
+            idx ih_lo, ih_hi;
+            out_range(static_cast<idx>(H), static_cast<idx>(OH), S, P,
+                      static_cast<idx>(kh), ih_lo, ih_hi);
+            for (std::size_t kw = 0; kw < k_; ++kw) {
+              idx iw_lo, iw_hi;
+              out_range(static_cast<idx>(W), static_cast<idx>(OW), S, P,
+                        static_cast<idx>(kw), iw_lo, iw_hi);
+              float acc = 0.0f;
+              for (idx id = id_lo; id < id_hi; ++id) {
+                const idx od = id * S + static_cast<idx>(kd) - P;
+                for (idx ih = ih_lo; ih < ih_hi; ++ih) {
+                  const idx oh = ih * S + static_cast<idx>(kh) - P;
+                  const float* xrow =
+                      xvol + (id * static_cast<idx>(H) + ih) *
+                                 static_cast<idx>(W);
+                  const float* grow =
+                      gvol + (od * static_cast<idx>(OH) + oh) *
+                                 static_cast<idx>(OW) -
+                      P + static_cast<idx>(kw);
+                  for (idx iw = iw_lo; iw < iw_hi; ++iw)
+                    acc += xrow[iw] * grow[iw * S];
+                }
+              }
+              gwp[(((uic * out_c_ + oc) * k_ + kd) * k_ + kh) * k_ + kw] +=
+                  acc;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      const float* gvol = gyp + (n * out_c_ + oc) * OD * OH * OW;
+      for (std::size_t i = 0; i < OD * OH * OW; ++i) gbp[oc] += gvol[i];
+    }
+  return gx;
+}
+
+}  // namespace aesz::nn

@@ -1,0 +1,89 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace aesz::nn {
+
+/// 2-D convolution, NCHW layout, square kernel, zero padding.
+/// Weight [out_c, in_c, k, k]; He initialization.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_c, std::size_t out_c, std::size_t k,
+         std::size_t stride, std::size_t pad, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+
+  std::size_t out_size(std::size_t in) const {
+    return (in + 2 * pad_ - k_) / stride_ + 1;
+  }
+
+ private:
+  std::size_t in_c_, out_c_, k_, stride_, pad_;
+  Param w_, b_;
+  Tensor x_cache_;
+};
+
+/// 2-D transposed convolution (stride-2 upsampling in the decoder).
+/// Weight [in_c, out_c, k, k]; out = (in-1)*stride - 2*pad + k + out_pad.
+class ConvT2d final : public Layer {
+ public:
+  ConvT2d(std::size_t in_c, std::size_t out_c, std::size_t k,
+          std::size_t stride, std::size_t pad, std::size_t out_pad, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+
+  std::size_t out_size(std::size_t in) const {
+    return (in - 1) * stride_ + k_ + out_pad_ - 2 * pad_;
+  }
+
+ private:
+  std::size_t in_c_, out_c_, k_, stride_, pad_, out_pad_;
+  Param w_, b_;
+  Tensor x_cache_;
+};
+
+/// 3-D convolution, NCDHW layout.
+class Conv3d final : public Layer {
+ public:
+  Conv3d(std::size_t in_c, std::size_t out_c, std::size_t k,
+         std::size_t stride, std::size_t pad, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+
+  std::size_t out_size(std::size_t in) const {
+    return (in + 2 * pad_ - k_) / stride_ + 1;
+  }
+
+ private:
+  std::size_t in_c_, out_c_, k_, stride_, pad_;
+  Param w_, b_;
+  Tensor x_cache_;
+};
+
+/// 3-D transposed convolution.
+class ConvT3d final : public Layer {
+ public:
+  ConvT3d(std::size_t in_c, std::size_t out_c, std::size_t k,
+          std::size_t stride, std::size_t pad, std::size_t out_pad, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+
+  std::size_t out_size(std::size_t in) const {
+    return (in - 1) * stride_ + k_ + out_pad_ - 2 * pad_;
+  }
+
+ private:
+  std::size_t in_c_, out_c_, k_, stride_, pad_, out_pad_;
+  Param w_, b_;
+  Tensor x_cache_;
+};
+
+}  // namespace aesz::nn

@@ -1,0 +1,98 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+
+namespace aesz::nn {
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
+    : in_(in), out_(out),
+      w_(Tensor::randn({out, in}, rng,
+                       std::sqrt(2.0f / static_cast<float>(in)))),
+      b_(Tensor::zeros({out})) {}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  AESZ_CHECK(x.shape().size() == 2 && x.dim(1) == in_);
+  const std::size_t N = x.dim(0);
+  Tensor y({N, out_});
+  const float* xp = x.data();
+  const float* wp = w_.value.data();
+  const float* bp = b_.value.data();
+  float* yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(N); ++n) {
+    const auto un = static_cast<std::size_t>(n);
+    for (std::size_t o = 0; o < out_; ++o) {
+      float acc = bp[o];
+      const float* row = wp + o * in_;
+      const float* xin = xp + un * in_;
+      for (std::size_t i = 0; i < in_; ++i) acc += row[i] * xin[i];
+      yp[un * out_ + o] = acc;
+    }
+  }
+  if (train) x_cache_ = x;
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& gy) {
+  const Tensor& x = x_cache_;
+  const std::size_t N = x.dim(0);
+  Tensor gx({N, in_});
+  const float* xp = x.data();
+  const float* wp = w_.value.data();
+  const float* gyp = gy.data();
+  float* gxp = gx.data();
+  float* gwp = w_.grad.data();
+  float* gbp = b_.grad.data();
+
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float g = gyp[n * out_ + o];
+      gbp[o] += g;
+      const float* xin = xp + n * in_;
+      float* grow = gwp + o * in_;
+      for (std::size_t i = 0; i < in_; ++i) grow[i] += g * xin[i];
+    }
+  }
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(N); ++n) {
+    const auto un = static_cast<std::size_t>(n);
+    for (std::size_t i = 0; i < in_; ++i) {
+      float acc = 0.0f;
+      for (std::size_t o = 0; o < out_; ++o)
+        acc += gyp[un * out_ + o] * wp[o * in_ + i];
+      gxp[un * in_ + i] = acc;
+    }
+  }
+  return gx;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool train) {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) y[i] = std::tanh(x[i]);
+  if (train) y_cache_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& gy) {
+  Tensor gx(gy.shape());
+  for (std::size_t i = 0; i < gy.numel(); ++i)
+    gx[i] = gy[i] * (1.0f - y_cache_[i] * y_cache_[i]);
+  return gx;
+}
+
+Tensor LeakyReLU::forward(const Tensor& x, bool train) {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    y[i] = x[i] > 0.0f ? x[i] : slope_ * x[i];
+  if (train) x_cache_ = x;
+  return y;
+}
+
+Tensor LeakyReLU::backward(const Tensor& gy) {
+  Tensor gx(gy.shape());
+  for (std::size_t i = 0; i < gy.numel(); ++i)
+    gx[i] = gy[i] * (x_cache_[i] > 0.0f ? 1.0f : slope_);
+  return gx;
+}
+
+}  // namespace aesz::nn

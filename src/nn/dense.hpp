@@ -1,0 +1,48 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace aesz::nn {
+
+/// Fully connected layer: y = x W^T + b, x of shape (N, in), W (out, in).
+/// Used for the latent resize at the encoder/decoder boundary (paper Fig 3).
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in, std::size_t out, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+
+ private:
+  std::size_t in_, out_;
+  Param w_, b_;
+  Tensor x_cache_;
+};
+
+/// Elementwise tanh — the decoder's final activation (output in [-1, 1],
+/// matching the input normalization).
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+
+ private:
+  Tensor y_cache_;
+};
+
+/// Leaky ReLU (slope 0 = plain ReLU). Present for the activation ablation
+/// the paper cites (GDN beats ReLU/LeakyReLU on reconstruction quality).
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float slope = 0.0f) : slope_(slope) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+
+ private:
+  float slope_;
+  Tensor x_cache_;
+};
+
+}  // namespace aesz::nn

@@ -1,0 +1,119 @@
+#include "nn/gdn.hpp"
+
+#include <cmath>
+
+namespace aesz::nn {
+namespace {
+
+constexpr float kBetaMin = 1e-6f;
+
+/// Spatial extent = product of dims after the channel axis.
+std::size_t spatial_of(const Tensor& x) {
+  std::size_t sp = 1;
+  for (std::size_t i = 2; i < x.shape().size(); ++i) sp *= x.dim(i);
+  return sp;
+}
+
+}  // namespace
+
+GDN::GDN(std::size_t channels, bool inverse)
+    : c_(channels), inverse_(inverse), beta_(Tensor::zeros({channels})),
+      gamma_(Tensor::zeros({channels, channels})) {
+  // Standard initialization: beta = 1, gamma = 0.1 * I (near-identity).
+  for (std::size_t i = 0; i < c_; ++i) {
+    beta_.value[i] = 1.0f;
+    gamma_.value[i * c_ + i] = 0.1f;
+  }
+}
+
+Tensor GDN::forward(const Tensor& x, bool train) {
+  AESZ_CHECK(x.shape().size() >= 2 && x.dim(1) == c_);
+  const std::size_t N = x.dim(0), SP = spatial_of(x);
+  Tensor y(x.shape());
+  Tensor s({N, c_, SP});
+  const float* xp = x.data();
+  const float* bp = beta_.value.data();
+  const float* gp = gamma_.value.data();
+  float* yp = y.data();
+  float* sp_ = s.data();
+
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(N); ++n) {
+    const auto un = static_cast<std::size_t>(n);
+    for (std::size_t p = 0; p < SP; ++p) {
+      // Pool: s_i = beta_i + sum_j gamma_ij x_j^2 at this location.
+      for (std::size_t i = 0; i < c_; ++i) {
+        float acc = bp[i];
+        const float* grow = gp + i * c_;
+        for (std::size_t j = 0; j < c_; ++j) {
+          const float xj = xp[(un * c_ + j) * SP + p];
+          acc += grow[j] * xj * xj;
+        }
+        sp_[(un * c_ + i) * SP + p] = acc;
+        const float xi = xp[(un * c_ + i) * SP + p];
+        const float root = std::sqrt(acc);
+        yp[(un * c_ + i) * SP + p] = inverse_ ? xi * root : xi / root;
+      }
+    }
+  }
+  if (train) {
+    x_cache_ = x;
+    s_cache_ = s;
+  }
+  return y;
+}
+
+Tensor GDN::backward(const Tensor& gy) {
+  const Tensor& x = x_cache_;
+  const std::size_t N = x.dim(0), SP = spatial_of(x);
+  Tensor gx(x.shape());
+  const float* xp = x.data();
+  const float* gp = gamma_.value.data();
+  const float* gyp = gy.data();
+  const float* sp_ = s_cache_.data();
+  float* gxp = gx.data();
+  float* gbp = beta_.grad.data();
+  float* ggp = gamma_.grad.data();
+
+  // Serial over locations for the parameter accumulation; the inner loops
+  // are O(C^2) which dominates, and C is small (<=128).
+  std::vector<float> t(c_);  // t_i = gy_i * x_i * p * s_i^(p-1)
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t p = 0; p < SP; ++p) {
+      for (std::size_t i = 0; i < c_; ++i) {
+        const std::size_t idx = (n * c_ + i) * SP + p;
+        const float s = sp_[idx];
+        const float spow1 = inverse_ ? 0.5f / std::sqrt(s)       // p*s^(p-1)
+                                     : -0.5f / (s * std::sqrt(s));
+        t[i] = gyp[idx] * xp[idx] * spow1;
+        gbp[i] += t[i];
+        // Direct term: gy_i * s_i^p.
+        const float spow = inverse_ ? std::sqrt(s) : 1.0f / std::sqrt(s);
+        gxp[idx] = gyp[idx] * spow;
+      }
+      // Pool terms: dL/dx_k += 2 x_k * sum_i t_i gamma_ik;
+      //             dL/dgamma_ij += t_i * x_j^2.
+      for (std::size_t i = 0; i < c_; ++i) {
+        const float ti = t[i];
+        if (ti == 0.0f) continue;
+        float* ggrow = ggp + i * c_;
+        const float* grow = gp + i * c_;
+        for (std::size_t j = 0; j < c_; ++j) {
+          const float xj = xp[(n * c_ + j) * SP + p];
+          ggrow[j] += ti * xj * xj;
+          gxp[(n * c_ + j) * SP + p] += 2.0f * xj * ti * grow[j];
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+void GDN::project() {
+  for (std::size_t i = 0; i < c_; ++i)
+    beta_.value[i] = std::max(beta_.value[i], kBetaMin);
+  for (std::size_t i = 0; i < c_ * c_; ++i)
+    gamma_.value[i] = std::max(gamma_.value[i], 0.0f);
+}
+
+}  // namespace aesz::nn

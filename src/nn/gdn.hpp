@@ -1,0 +1,36 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace aesz::nn {
+
+/// Generalized Divisive Normalization (Balle et al. 2016) and its inverse —
+/// the paper's activation of choice ("GDN outperforms other tested
+/// activation functions on scientific data lossy compression tasks").
+///
+/// Per spatial location with channel vector x:
+///   s_i = beta_i + sum_j gamma_ij * x_j^2
+///   GDN:  y_i = x_i * s_i^(-1/2)      (encoder blocks)
+///   iGDN: y_i = x_i * s_i^(+1/2)      (decoder blocks)
+///
+/// beta >= beta_min and gamma >= 0 are maintained by projection after each
+/// optimizer step (project()).
+class GDN final : public Layer {
+ public:
+  GDN(std::size_t channels, bool inverse);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::vector<Param*> params() override { return {&beta_, &gamma_}; }
+  void project() override;
+
+ private:
+  std::size_t c_;
+  bool inverse_;
+  Param beta_;   // (C)
+  Param gamma_;  // (C, C)
+  Tensor x_cache_;
+  Tensor s_cache_;  // per-location normalization pools
+};
+
+}  // namespace aesz::nn

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace aesz::nn {
+
+/// A learnable parameter paired with its gradient accumulator.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+  Param() = default;
+};
+
+/// Base class of all layers. The library uses explicit forward/backward
+/// (no tape autograd): each layer caches what its backward needs. This
+/// keeps the hot loops flat and OpenMP-friendly, and every layer's
+/// gradients are validated by finite-difference tests
+/// (tests/nn/gradcheck_test.cpp).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass. `train` enables caching for backward.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Backward pass: given dL/dy, accumulate parameter grads and return
+  /// dL/dx. Must be preceded by forward(x, /*train=*/true).
+  virtual Tensor backward(const Tensor& gy) = 0;
+
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Constraint projection after an optimizer step (GDN clamps beta/gamma).
+  virtual void project() {}
+};
+
+}  // namespace aesz::nn

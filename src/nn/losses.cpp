@@ -1,0 +1,197 @@
+#include "nn/losses.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace aesz::nn::losses {
+
+double mse(const Tensor& pred, const Tensor& target, Tensor& grad) {
+  AESZ_CHECK(pred.numel() == target.numel());
+  const double inv_n = 1.0 / static_cast<double>(pred.numel());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    loss += d * d;
+    grad[i] = static_cast<float>(2.0 * d * inv_n);
+  }
+  return loss * inv_n;
+}
+
+double l1(const Tensor& pred, const Tensor& target, Tensor& grad) {
+  AESZ_CHECK(pred.numel() == target.numel());
+  const double inv_n = 1.0 / static_cast<double>(pred.numel());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    loss += std::abs(d);
+    grad[i] = static_cast<float>((d > 0 ? 1.0 : d < 0 ? -1.0 : 0.0) * inv_n);
+  }
+  return loss * inv_n;
+}
+
+double logcosh(const Tensor& pred, const Tensor& target, Tensor& grad) {
+  AESZ_CHECK(pred.numel() == target.numel());
+  const double inv_n = 1.0 / static_cast<double>(pred.numel());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    // log(cosh(d)) computed stably: |d| + log1p(exp(-2|d|)) - log 2.
+    const double ad = std::abs(d);
+    loss += ad + std::log1p(std::exp(-2.0 * ad)) - std::log(2.0);
+    grad[i] = static_cast<float>(std::tanh(d) * inv_n);
+  }
+  return loss * inv_n;
+}
+
+double kl_divergence(const Tensor& mu, const Tensor& logvar, double weight,
+                     Tensor& gmu, Tensor& glogvar) {
+  AESZ_CHECK(mu.numel() == logvar.numel());
+  const std::size_t N = mu.dim(0);
+  const double inv_n = 1.0 / static_cast<double>(N);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < mu.numel(); ++i) {
+    const double m = mu[i], lv = logvar[i];
+    loss += -0.5 * (1.0 + lv - m * m - std::exp(lv));
+    gmu[i] += static_cast<float>(weight * m * inv_n);
+    glogvar[i] +=
+        static_cast<float>(weight * 0.5 * (std::exp(lv) - 1.0) * inv_n);
+  }
+  return weight * loss * inv_n;
+}
+
+double mmd_rbf(const Tensor& z, const Tensor& prior, double weight,
+               Tensor& gz) {
+  const std::size_t M = z.dim(0), d = z.dim(1);
+  AESZ_CHECK(prior.dim(0) == M && prior.dim(1) == d);
+  const double h2 = static_cast<double>(d);
+  const double inv_m2 = 1.0 / static_cast<double>(M * M);
+
+  auto k = [&](const float* a, const float* b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      const double dd = static_cast<double>(a[i]) - b[i];
+      s += dd * dd;
+    }
+    return std::exp(-s / (2.0 * h2));
+  };
+
+  double kzz = 0.0, kzp = 0.0, kpp = 0.0;
+  for (std::size_t m = 0; m < M; ++m) {
+    const float* zm = z.data() + m * d;
+    for (std::size_t m2 = 0; m2 < M; ++m2) {
+      const float* zm2 = z.data() + m2 * d;
+      const float* pm2 = prior.data() + m2 * d;
+      const double kv_zz = k(zm, zm2);
+      const double kv_zp = k(zm, pm2);
+      kzz += kv_zz;
+      kzp += kv_zp;
+      kpp += k(prior.data() + m * d, pm2);
+      // Grad: z_m appears twice in the zz term (row and column), once in zp.
+      if (m != m2) {
+        const double czz = weight * 2.0 * inv_m2 * kv_zz / h2;
+        for (std::size_t i = 0; i < d; ++i)
+          gz[m * d + i] -= static_cast<float>(czz * (zm[i] - zm2[i]));
+      }
+      const double czp = weight * 2.0 * inv_m2 * kv_zp / h2;
+      for (std::size_t i = 0; i < d; ++i)
+        gz[m * d + i] += static_cast<float>(czp * (zm[i] - pm2[i]));
+    }
+  }
+  return weight * (kzz * inv_m2 - 2.0 * kzp * inv_m2 + kpp * inv_m2);
+}
+
+double sliced_wasserstein(const Tensor& z, const Tensor& prior,
+                          std::size_t nproj, double weight, Rng& rng,
+                          Tensor& gz) {
+  const std::size_t M = z.dim(0), d = z.dim(1);
+  AESZ_CHECK(prior.dim(0) == M && prior.dim(1) == d);
+  std::vector<double> theta(d);
+  std::vector<double> a(M), b(M);
+  std::vector<std::size_t> ia(M), ib(M);
+  const double scale = 1.0 / static_cast<double>(nproj * M);
+  double loss = 0.0;
+
+  for (std::size_t l = 0; l < nproj; ++l) {
+    // Random direction on the unit sphere.
+    double norm = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      theta[i] = rng.gaussian();
+      norm += theta[i] * theta[i];
+    }
+    norm = std::sqrt(std::max(norm, 1e-30));
+    for (auto& t : theta) t /= norm;
+
+    for (std::size_t m = 0; m < M; ++m) {
+      double pa = 0.0, pb = 0.0;
+      for (std::size_t i = 0; i < d; ++i) {
+        pa += theta[i] * z[m * d + i];
+        pb += theta[i] * prior[m * d + i];
+      }
+      a[m] = pa;
+      b[m] = pb;
+    }
+    std::iota(ia.begin(), ia.end(), std::size_t{0});
+    std::iota(ib.begin(), ib.end(), std::size_t{0});
+    std::sort(ia.begin(), ia.end(),
+              [&](std::size_t x, std::size_t y) { return a[x] < a[y]; });
+    std::sort(ib.begin(), ib.end(),
+              [&](std::size_t x, std::size_t y) { return b[x] < b[y]; });
+
+    // Matched by rank: cost sum_r (a_(r) - b_(r))^2.
+    for (std::size_t r = 0; r < M; ++r) {
+      const double diff = a[ia[r]] - b[ib[r]];
+      loss += diff * diff * scale;
+      const double g = weight * 2.0 * diff * scale;
+      for (std::size_t i = 0; i < d; ++i)
+        gz[ia[r] * d + i] += static_cast<float>(g * theta[i]);
+    }
+  }
+  return weight * loss;
+}
+
+double dip_penalty(const Tensor& mu, double lambda_od, double lambda_d,
+                   Tensor& gmu) {
+  const std::size_t N = mu.dim(0), d = mu.dim(1);
+  std::vector<double> mean(d, 0.0);
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t i = 0; i < d; ++i) mean[i] += mu[n * d + i];
+  for (auto& m : mean) m /= static_cast<double>(N);
+
+  // Covariance of mu over the batch.
+  std::vector<double> cov(d * d, 0.0);
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t i = 0; i < d; ++i)
+      for (std::size_t j = 0; j < d; ++j)
+        cov[i * d + j] += (mu[n * d + i] - mean[i]) * (mu[n * d + j] - mean[j]);
+  for (auto& c : cov) c /= static_cast<double>(N);
+
+  double loss = 0.0;
+  std::vector<double> A(d * d);  // dL/dCov
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      if (i == j) {
+        const double dd = cov[i * d + j] - 1.0;
+        loss += lambda_d * dd * dd;
+        A[i * d + j] = 2.0 * lambda_d * dd;
+      } else {
+        loss += lambda_od * cov[i * d + j] * cov[i * d + j];
+        A[i * d + j] = 2.0 * lambda_od * cov[i * d + j];
+      }
+    }
+  }
+  // dL/dmu_n = (2/N) * (mu_n - mean) A  (centering correction vanishes:
+  // the centered rows sum to zero and A is symmetric).
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t j = 0; j < d; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < d; ++i)
+        acc += (mu[n * d + i] - mean[i]) * A[i * d + j];
+      gmu[n * d + j] += static_cast<float>(2.0 * acc / static_cast<double>(N));
+    }
+  }
+  return loss;
+}
+
+}  // namespace aesz::nn::losses

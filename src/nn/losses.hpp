@@ -1,0 +1,46 @@
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace aesz::nn::losses {
+
+/// All losses return the scalar loss and write/accumulate dL/d(input) into
+/// the provided grad tensors. Scaling convention: mean over batch elements
+/// (and data elements for reconstruction losses), so loss magnitudes are
+/// comparable across block sizes.
+
+/// Mean squared error; grad w.r.t. pred (overwrites `grad`).
+double mse(const Tensor& pred, const Tensor& target, Tensor& grad);
+
+/// Mean absolute error; grad w.r.t. pred (overwrites `grad`).
+double l1(const Tensor& pred, const Tensor& target, Tensor& grad);
+
+/// log-cosh reconstruction loss (LogCosh-VAE, Chen et al. 2018).
+double logcosh(const Tensor& pred, const Tensor& target, Tensor& grad);
+
+/// KL( N(mu, diag exp(logvar)) || N(0, I) ), mean per batch element;
+/// grads are *accumulated* into gmu/glogvar.
+double kl_divergence(const Tensor& mu, const Tensor& logvar, double weight,
+                     Tensor& gmu, Tensor& glogvar);
+
+/// Biased RBF-kernel MMD^2 between batch latents `z` (M, d) and prior
+/// samples `prior` (M, d); grad accumulated into gz. Bandwidth^2 = d
+/// (the InfoVAE/WAE-MMD convention).
+double mmd_rbf(const Tensor& z, const Tensor& prior, double weight,
+               Tensor& gz);
+
+/// Sliced-Wasserstein distance (Kolouri et al. 2018, paper Eq. 1): average
+/// over `nproj` random 1-D projections of the squared distance between the
+/// sorted projected latents and sorted projected prior samples. Grad is
+/// accumulated into gz. O(L M log M) — the cost advantage over WAE the
+/// paper cites.
+double sliced_wasserstein(const Tensor& z, const Tensor& prior,
+                          std::size_t nproj, double weight, Rng& rng,
+                          Tensor& gz);
+
+/// DIP-VAE (Kumar et al. 2018) disentanglement penalty on the covariance of
+/// mu: lambda_od * sum off-diag^2 + lambda_d * sum (diag - 1)^2.
+double dip_penalty(const Tensor& mu, double lambda_od, double lambda_d,
+                   Tensor& gmu);
+
+}  // namespace aesz::nn::losses

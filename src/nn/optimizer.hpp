@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace aesz::nn {
+
+/// Adam (Kingma & Ba) with bias correction. Holds first/second moment
+/// buffers per parameter; callers zero gradients between steps.
+class Adam {
+ public:
+  explicit Adam(std::vector<Param*> params, float lr = 1e-3f,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> m_, v_;
+  float lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+};
+
+}  // namespace aesz::nn

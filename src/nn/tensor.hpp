@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace aesz::nn {
+
+/// Dense row-major float tensor. Deliberately minimal: the layers own all
+/// layout knowledge (N,C,H,W / N,C,D,H,W) and do explicit index math, so
+/// the tensor needs only shape bookkeeping and flat storage.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape)
+      : shape_(std::move(shape)),
+        data_(std::accumulate(shape_.begin(), shape_.end(), std::size_t{1},
+                              std::multiplies<>()),
+              0.0f) {}
+
+  static Tensor zeros(std::vector<std::size_t> shape) {
+    return Tensor(std::move(shape));
+  }
+
+  /// Gaussian init scaled by `stddev` (layers pass fan-in based scales).
+  static Tensor randn(std::vector<std::size_t> shape, Rng& rng,
+                      float stddev) {
+    Tensor t(std::move(shape));
+    for (float& v : t.data_) v = stddev * rng.gaussianf();
+    return t;
+  }
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_[i]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0f); }
+
+  /// Reinterpret with a new shape of equal element count.
+  Tensor reshaped(std::vector<std::size_t> shape) const {
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_ = data_;
+    AESZ_CHECK_MSG(
+        std::accumulate(t.shape_.begin(), t.shape_.end(), std::size_t{1},
+                        std::multiplies<>()) == data_.size(),
+        "reshape element-count mismatch");
+    return t;
+  }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace aesz::nn

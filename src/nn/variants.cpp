@@ -1,0 +1,165 @@
+#include "nn/variants.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/losses.hpp"
+
+namespace aesz::nn {
+
+std::string variant_name(AEVariant v) {
+  switch (v) {
+    case AEVariant::kAE: return "AE";
+    case AEVariant::kVAE: return "VAE";
+    case AEVariant::kBetaVAE: return "beta-VAE";
+    case AEVariant::kDIPVAE: return "DIP-VAE";
+    case AEVariant::kInfoVAE: return "Info-VAE";
+    case AEVariant::kLogCoshVAE: return "LogCosh-VAE";
+    case AEVariant::kWAE: return "WAE";
+    case AEVariant::kSWAE: return "SWAE";
+  }
+  return "?";
+}
+
+bool variant_is_variational(AEVariant v) {
+  switch (v) {
+    case AEVariant::kVAE:
+    case AEVariant::kBetaVAE:
+    case AEVariant::kDIPVAE:
+    case AEVariant::kInfoVAE:
+    case AEVariant::kLogCoshVAE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+VariantTrainer::VariantTrainer(AEConfig cfg, AEVariant variant,
+                               std::uint64_t seed, VariantHyper hyper)
+    : variant_(variant), hyper_(hyper),
+      model_((cfg.variational = variant_is_variational(variant), cfg), seed),
+      opt_(model_.params(), hyper.lr), rng_(seed ^ 0xA5A5A5A5ULL) {}
+
+double VariantTrainer::train_step(const Tensor& batch) {
+  const std::size_t N = batch.dim(0);
+  const std::size_t d = model_.config().latent;
+  opt_.zero_grad();
+  double total = 0.0;
+
+  if (!variant_is_variational(variant_)) {
+    // Deterministic path: AE / WAE / SWAE.
+    Tensor z = model_.encode(batch, /*train=*/true);
+    Tensor xhat = model_.decode(z, /*train=*/true);
+    Tensor gxhat(xhat.shape());
+    total += losses::mse(xhat, batch, gxhat);
+    Tensor gz = model_.backward_decode(gxhat);
+
+    if (variant_ == AEVariant::kWAE || variant_ == AEVariant::kSWAE) {
+      // Prior samples z~ ~ N(0, I), one per batch element (paper Eq. 1).
+      Tensor prior({N, d});
+      for (std::size_t i = 0; i < prior.numel(); ++i)
+        prior[i] = rng_.gaussianf();
+      if (variant_ == AEVariant::kWAE) {
+        total += losses::mmd_rbf(z, prior, hyper_.mmd_weight, gz);
+      } else {
+        total += losses::sliced_wasserstein(
+            z, prior, hyper_.swae_projections, hyper_.swae_lambda, rng_, gz);
+      }
+    }
+    model_.backward_encode(gz);
+  } else {
+    // VAE family: encoder emits (mu ++ logvar); reparameterized sample.
+    Tensor enc_out = model_.encode(batch, /*train=*/true);
+    Tensor mu({N, d}), logvar({N, d}), eps({N, d}), z({N, d});
+    for (std::size_t n = 0; n < N; ++n) {
+      for (std::size_t i = 0; i < d; ++i) {
+        mu[n * d + i] = enc_out[n * 2 * d + i];
+        // Clamp logvar for numerical stability early in training.
+        logvar[n * d + i] =
+            std::clamp(enc_out[n * 2 * d + d + i], -10.0f, 10.0f);
+        eps[n * d + i] = rng_.gaussianf();
+        z[n * d + i] = mu[n * d + i] +
+                       std::exp(0.5f * logvar[n * d + i]) * eps[n * d + i];
+      }
+    }
+
+    Tensor xhat = model_.decode(z, /*train=*/true);
+    Tensor gxhat(xhat.shape());
+    total += variant_ == AEVariant::kLogCoshVAE
+                 ? losses::logcosh(xhat, batch, gxhat)
+                 : losses::mse(xhat, batch, gxhat);
+    Tensor gz = model_.backward_decode(gxhat);
+
+    Tensor gmu({N, d}), glogvar({N, d});
+    // Reparameterization chain: dz/dmu = 1, dz/dlogvar = (z - mu)/2.
+    for (std::size_t i = 0; i < gz.numel(); ++i) {
+      gmu[i] += gz[i];
+      glogvar[i] += gz[i] * 0.5f * (z[i] - mu[i]);
+    }
+
+    const double klw = variant_ == AEVariant::kBetaVAE
+                           ? hyper_.kl_weight * hyper_.beta
+                           : hyper_.kl_weight;
+    total += losses::kl_divergence(mu, logvar, klw, gmu, glogvar);
+    if (variant_ == AEVariant::kDIPVAE) {
+      total += losses::dip_penalty(mu, hyper_.dip_lambda_od,
+                                   hyper_.dip_lambda_d, gmu);
+    }
+    if (variant_ == AEVariant::kInfoVAE) {
+      Tensor prior({N, d});
+      for (std::size_t i = 0; i < prior.numel(); ++i)
+        prior[i] = rng_.gaussianf();
+      Tensor gz_mmd({N, d});
+      total += losses::mmd_rbf(z, prior, hyper_.mmd_weight, gz_mmd);
+      for (std::size_t i = 0; i < gz_mmd.numel(); ++i) {
+        gmu[i] += gz_mmd[i];
+        glogvar[i] += gz_mmd[i] * 0.5f * (z[i] - mu[i]);
+      }
+    }
+
+    Tensor genc({N, 2 * d});
+    for (std::size_t n = 0; n < N; ++n) {
+      for (std::size_t i = 0; i < d; ++i) {
+        genc[n * 2 * d + i] = gmu[n * d + i];
+        genc[n * 2 * d + d + i] = glogvar[n * d + i];
+      }
+    }
+    model_.backward_encode(genc);
+  }
+
+  // Global gradient-norm clipping: the GDN pool makes early training
+  // spiky; clipping lets the same learning rate work across all eight
+  // variants without per-variant tuning.
+  double norm2 = 0.0;
+  for (nn::Param* p : model_.params())
+    for (std::size_t i = 0; i < p->grad.numel(); ++i)
+      norm2 += static_cast<double>(p->grad[i]) * p->grad[i];
+  const double norm = std::sqrt(norm2);
+  constexpr double kClip = 5.0;
+  if (norm > kClip) {
+    const float scale = static_cast<float>(kClip / norm);
+    for (nn::Param* p : model_.params())
+      for (std::size_t i = 0; i < p->grad.numel(); ++i) p->grad[i] *= scale;
+  }
+
+  opt_.step();
+  model_.project();
+  return total;
+}
+
+Tensor VariantTrainer::encode_latent(const Tensor& batch) {
+  Tensor enc_out = model_.encode(batch, /*train=*/false);
+  if (!variant_is_variational(variant_)) return enc_out;
+  const std::size_t N = enc_out.dim(0);
+  const std::size_t d = model_.config().latent;
+  Tensor mu({N, d});
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t i = 0; i < d; ++i) mu[n * d + i] = enc_out[n * 2 * d + i];
+  return mu;
+}
+
+Tensor VariantTrainer::reconstruct(const Tensor& batch) {
+  return model_.decode(encode_latent(batch), /*train=*/false);
+}
+
+}  // namespace aesz::nn

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+
+#include "nn/autoencoder.hpp"
+#include "nn/optimizer.hpp"
+
+namespace aesz::nn {
+
+/// The eight autoencoder variants the paper compares in Table I.
+enum class AEVariant {
+  kAE,         // vanilla autoencoder (MSE only)
+  kVAE,        // Kingma & Welling
+  kBetaVAE,    // Higgins et al. (scaled KL)
+  kDIPVAE,     // Kumar et al. (covariance penalty on mu)
+  kInfoVAE,    // Zhao et al. (MMD regularizer)
+  kLogCoshVAE, // Chen et al. (log-cosh reconstruction)
+  kWAE,        // Tolstikhin et al. (MMD on deterministic latents)
+  kSWAE,       // Kolouri et al. — the paper's pick for AE-SZ
+};
+
+std::string variant_name(AEVariant v);
+bool variant_is_variational(AEVariant v);
+
+/// Loss-weight knobs. Defaults tuned for scientific blocks normalized to
+/// [-1, 1]; SWAE's lambda is the paper's regularization coefficient.
+struct VariantHyper {
+  double kl_weight = 1e-3;        // VAE family
+  double beta = 4.0;              // beta-VAE multiplier on kl_weight
+  double dip_lambda_od = 1e-2;    // DIP-VAE off-diagonal
+  double dip_lambda_d = 1e-2;     // DIP-VAE diagonal
+  double mmd_weight = 1e-2;       // InfoVAE / WAE
+  double swae_lambda = 1e-2;      // SWAE sliced-Wasserstein coefficient
+  std::size_t swae_projections = 32;  // L in paper Eq. 1
+  float lr = 1e-3f;
+};
+
+/// Owns a ConvAutoencoder + Adam and implements the per-variant training
+/// objective. One train_step = forward + loss + backward + Adam update on
+/// one minibatch of blocks (N, 1, extent...) already normalized to [-1, 1].
+class VariantTrainer {
+ public:
+  VariantTrainer(AEConfig cfg, AEVariant variant, std::uint64_t seed,
+                 VariantHyper hyper = {});
+
+  /// Returns the total loss of this minibatch (recon + regularizers).
+  double train_step(const Tensor& batch);
+
+  /// Deterministic reconstruction (VAE family uses the mean latent), as the
+  /// paper's compression path does.
+  Tensor reconstruct(const Tensor& batch);
+
+  /// Deterministic latent (mu for the VAE family).
+  Tensor encode_latent(const Tensor& batch);
+
+  ConvAutoencoder& model() { return model_; }
+  AEVariant variant() const { return variant_; }
+  void set_lr(float lr) { opt_.set_lr(lr); }
+
+ private:
+  AEVariant variant_;
+  VariantHyper hyper_;
+  ConvAutoencoder model_;
+  Adam opt_;
+  Rng rng_;
+};
+
+}  // namespace aesz::nn

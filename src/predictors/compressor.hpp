@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/field.hpp"
+
+namespace aesz {
+
+/// Common interface of every compressor in the repo (AE-SZ, SZ2.1-like,
+/// SZauto-like, SZinterp-like, ZFP-like, AE-A, AE-B). Streams are
+/// self-describing: decompress() recovers dims from the header.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Compress `f` under a value-range-relative error bound `rel_eb`
+  /// (absolute bound = rel_eb * value_range, the paper's ϵ). Codecs without
+  /// an error-bounding mechanism (AE-B) ignore `rel_eb` and document so.
+  virtual std::vector<std::uint8_t> compress(const Field& f,
+                                             double rel_eb) = 0;
+
+  virtual Field decompress(std::span<const std::uint8_t> stream) = 0;
+
+  /// Whether compress() guarantees |orig - recon| <= rel_eb * range.
+  virtual bool error_bounded() const { return true; }
+};
+
+}  // namespace aesz

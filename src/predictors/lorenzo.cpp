@@ -1,0 +1,37 @@
+#include "predictors/lorenzo.hpp"
+
+#include <cmath>
+
+namespace aesz::lorenzo {
+
+double block_l1_loss_2d(std::span<const float> block, std::size_t bh,
+                        std::size_t bw) {
+  const Dims d(bh, bw);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < bh; ++i) {
+    for (std::size_t j = 0; j < bw; ++j) {
+      const float pred = predict2(block.data(), d, i, j);
+      loss += std::abs(static_cast<double>(block[i * bw + j]) -
+                       static_cast<double>(pred));
+    }
+  }
+  return loss;
+}
+
+double block_l1_loss_3d(std::span<const float> block, std::size_t b0,
+                        std::size_t b1, std::size_t b2) {
+  const Dims d(b0, b1, b2);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < b0; ++i) {
+    for (std::size_t j = 0; j < b1; ++j) {
+      for (std::size_t k = 0; k < b2; ++k) {
+        const float pred = predict3(block.data(), d, i, j, k);
+        loss += std::abs(static_cast<double>(block[(i * b1 + j) * b2 + k]) -
+                         static_cast<double>(pred));
+      }
+    }
+  }
+  return loss;
+}
+
+}  // namespace aesz::lorenzo

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace aesz {
+
+/// Linear-scale quantizer with strict error-bound semantics, as in SZ
+/// (Tao et al., IPDPS'17). Residual r = orig - pred maps to an integer bin
+/// q = round(r / 2e); reconstruction pred + 2e*q is within e of orig by
+/// construction. Codes are biased by `radius` so they fit u16; code 0 is
+/// reserved for "unpredictable" points whose bin falls outside the 65536-bin
+/// range (or where float rounding would break the bound) — those values are
+/// stored verbatim in a side stream.
+class LinearQuantizer {
+ public:
+  static constexpr std::uint16_t kUnpredictable = 0;
+
+  explicit LinearQuantizer(double abs_eb, int radius = 32768)
+      : eb_(abs_eb), inv_2eb_(abs_eb > 0 ? 0.5 / abs_eb : 0.0),
+        radius_(radius) {}
+
+  double error_bound() const { return eb_; }
+
+  /// Quantize one value. On success returns the code and sets `recon` to the
+  /// bounded reconstruction; on failure returns kUnpredictable, sets recon =
+  /// orig, and the caller must append orig to its unpredictable stream.
+  std::uint16_t quantize(float orig, float pred, float& recon) {
+    const double diff = static_cast<double>(orig) - static_cast<double>(pred);
+    const double qd = std::nearbyint(diff * inv_2eb_);
+    if (std::abs(qd) < radius_) {
+      const auto q = static_cast<long>(qd);
+      const float r = static_cast<float>(
+          static_cast<double>(pred) + 2.0 * eb_ * static_cast<double>(q));
+      // Float-precision guard: the double-precision bin can still round to
+      // a float32 outside the bound when |pred| >> eb.
+      if (std::abs(static_cast<double>(r) - static_cast<double>(orig)) <=
+          eb_) {
+        recon = r;
+        return static_cast<std::uint16_t>(q + radius_);
+      }
+    }
+    recon = orig;
+    return kUnpredictable;
+  }
+
+  /// Inverse map used by decompression (code != kUnpredictable).
+  float recover(float pred, std::uint16_t code) const {
+    const long q = static_cast<long>(code) - radius_;
+    return static_cast<float>(static_cast<double>(pred) +
+                              2.0 * eb_ * static_cast<double>(q));
+  }
+
+ private:
+  double eb_;
+  double inv_2eb_;
+  long radius_;
+};
+
+}  // namespace aesz

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytestream.hpp"
+#include "util/dims.hpp"
+
+namespace aesz::sz {
+
+/// Shared stream-header layout of the SZ-family codecs: magic + rank + dims
+/// + the absolute error bound the stream was encoded with.
+inline void write_header(ByteWriter& w, std::uint32_t magic, const Dims& d,
+                         double abs_eb) {
+  w.put(magic);
+  w.put(static_cast<std::uint8_t>(d.rank));
+  for (int i = 0; i < d.rank; ++i) w.put_varint(d[i]);
+  w.put(abs_eb);
+}
+
+inline Dims read_header(ByteReader& r, std::uint32_t expected_magic,
+                        double& abs_eb) {
+  const auto magic = r.get<std::uint32_t>();
+  AESZ_CHECK_MSG(magic == expected_magic, "stream magic mismatch");
+  const int rank = r.get<std::uint8_t>();
+  AESZ_CHECK_MSG(rank >= 1 && rank <= 3, "bad rank");
+  Dims d;
+  d.rank = rank;
+  for (int i = 0; i < rank; ++i) d.d[static_cast<std::size_t>(i)] = r.get_varint();
+  abs_eb = r.get<double>();
+  return d;
+}
+
+/// Zig-zag signed-to-unsigned mapping for varint coefficient streams.
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace aesz::sz

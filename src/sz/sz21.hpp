@@ -1,0 +1,35 @@
+#pragma once
+
+#include "predictors/compressor.hpp"
+
+namespace aesz {
+
+/// SZ2.1-like error-bounded compressor (Liang et al., IEEE Big Data 2018):
+/// blockwise selection between a first-order Lorenzo predictor and a linear
+/// regression predictor (hyperplane fit per block, coefficients quantized
+/// and stored), followed by linear-scale quantization of residuals and
+/// Huffman + LZ entropy coding.
+///
+/// This is the paper's main classical baseline and also the codec AE-SZ's
+/// Table IV compares the custom latent compressor against.
+class SZ21 final : public Compressor {
+ public:
+  struct Options {
+    std::size_t block_2d = 12;  // SZ2.1 defaults: 12x12 (2-D), 6x6x6 (3-D)
+    std::size_t block_3d = 6;
+    std::size_t block_1d = 128;
+    bool enable_regression = true;  // off => pure Lorenzo (ablation knob)
+  };
+
+  SZ21() = default;
+  explicit SZ21(Options opt) : opt_(opt) {}
+
+  std::string name() const override { return "SZ2.1"; }
+  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) override;
+  Field decompress(std::span<const std::uint8_t> stream) override;
+
+ private:
+  Options opt_;
+};
+
+}  // namespace aesz

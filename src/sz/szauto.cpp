@@ -1,0 +1,153 @@
+#include "sz/szauto.hpp"
+
+#include <cmath>
+
+#include "lossless/lz.hpp"
+#include "predictors/lorenzo.hpp"
+#include "predictors/quantizer.hpp"
+#include "sz/common.hpp"
+
+namespace aesz {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x535A4155;  // "SZAU"
+
+/// Sampled L1 prediction error of the first- vs second-order stencil on the
+/// original data — the "automatic parameter selection" step. Sampling every
+/// `stride`-th point keeps this O(n / stride).
+bool second_order_wins(const Field& f) {
+  const Dims& d = f.dims();
+  const float* v = f.data();
+  double e1 = 0.0, e2 = 0.0;
+  const std::size_t stride = std::max<std::size_t>(d.total() / 65536, 1);
+  if (d.rank == 1) {
+    for (std::size_t i = 2; i < d[0]; i += stride) {
+      e1 += std::abs(v[i] - lorenzo::predict1(v, i));
+      e2 += std::abs(v[i] - lorenzo::predict1_2nd(v, i));
+    }
+  } else if (d.rank == 2) {
+    for (std::size_t t = 0; t < d.total(); t += stride) {
+      const std::size_t i = t / d[1], j = t % d[1];
+      if (i < 2 || j < 2) continue;
+      e1 += std::abs(v[t] - lorenzo::predict2(v, d, i, j));
+      e2 += std::abs(v[t] - lorenzo::predict2_2nd(v, d, i, j));
+    }
+  } else {
+    for (std::size_t t = 0; t < d.total(); t += stride) {
+      const std::size_t i = t / (d[1] * d[2]);
+      const std::size_t j = (t / d[2]) % d[1];
+      const std::size_t k = t % d[2];
+      if (i < 2 || j < 2 || k < 2) continue;
+      e1 += std::abs(v[t] - lorenzo::predict3(v, d, i, j, k));
+      e2 += std::abs(v[t] - lorenzo::predict3_2nd(v, d, i, j, k));
+    }
+  }
+  return e2 < e1;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SZAuto::compress(const Field& f, double rel_eb) {
+  AESZ_CHECK_MSG(rel_eb > 0, "SZauto requires a positive error bound");
+  const Dims& d = f.dims();
+  const double range = f.value_range();
+  const double abs_eb = range > 0 ? rel_eb * range : rel_eb;
+
+  const bool use2nd = second_order_wins(f);
+
+  ByteWriter w;
+  sz::write_header(w, kMagic, d, abs_eb);
+  w.put(static_cast<std::uint8_t>(use2nd ? 2 : 1));
+
+  LinearQuantizer quant(abs_eb);
+  const float* src = f.data();
+  std::vector<float> recon(d.total());
+  std::vector<std::uint16_t> codes(d.total());
+  std::vector<float> unpred;
+
+  auto encode_point = [&](std::size_t idx, float pred) {
+    float r;
+    const std::uint16_t code = quant.quantize(src[idx], pred, r);
+    if (code == LinearQuantizer::kUnpredictable) unpred.push_back(src[idx]);
+    recon[idx] = r;
+    codes[idx] = code;
+  };
+
+  if (d.rank == 1) {
+    for (std::size_t i = 0; i < d[0]; ++i)
+      encode_point(i, use2nd ? lorenzo::predict1_2nd(recon.data(), i)
+                             : lorenzo::predict1(recon.data(), i));
+  } else if (d.rank == 2) {
+    for (std::size_t i = 0; i < d[0]; ++i)
+      for (std::size_t j = 0; j < d[1]; ++j)
+        encode_point(lin2(d, i, j),
+                     use2nd ? lorenzo::predict2_2nd(recon.data(), d, i, j)
+                            : lorenzo::predict2(recon.data(), d, i, j));
+  } else {
+    for (std::size_t i = 0; i < d[0]; ++i)
+      for (std::size_t j = 0; j < d[1]; ++j)
+        for (std::size_t k = 0; k < d[2]; ++k)
+          encode_point(lin3(d, i, j, k),
+                       use2nd
+                           ? lorenzo::predict3_2nd(recon.data(), d, i, j, k)
+                           : lorenzo::predict3(recon.data(), d, i, j, k));
+  }
+
+  w.put_blob(qcodec::encode_codes(codes));
+  ByteWriter uw;
+  uw.put_array<float>(unpred);
+  w.put_blob(lz::compress(uw.bytes()));
+  return w.take();
+}
+
+Field SZAuto::decompress(std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  double abs_eb = 0;
+  const Dims d = sz::read_header(r, kMagic, abs_eb);
+  const int order = r.get<std::uint8_t>();
+  AESZ_CHECK_MSG(order == 1 || order == 2, "bad predictor order");
+  const bool use2nd = order == 2;
+
+  auto codes = qcodec::decode_codes(r.get_blob());
+  AESZ_CHECK_MSG(codes.size() == d.total(), "code count mismatch");
+  const auto unpred_bytes = lz::decompress(r.get_blob());
+  ByteReader ur(unpred_bytes);
+  const auto unpred = ur.get_array<float>();
+
+  LinearQuantizer quant(abs_eb);
+  Field out(d);
+  float* recon = out.data();
+  std::size_t ui = 0;
+
+  auto decode_point = [&](std::size_t idx, float pred) {
+    const std::uint16_t code = codes[idx];
+    if (code == LinearQuantizer::kUnpredictable) {
+      AESZ_CHECK_MSG(ui < unpred.size(), "unpredictable underflow");
+      recon[idx] = unpred[ui++];
+    } else {
+      recon[idx] = quant.recover(pred, code);
+    }
+  };
+
+  if (d.rank == 1) {
+    for (std::size_t i = 0; i < d[0]; ++i)
+      decode_point(i, use2nd ? lorenzo::predict1_2nd(recon, i)
+                             : lorenzo::predict1(recon, i));
+  } else if (d.rank == 2) {
+    for (std::size_t i = 0; i < d[0]; ++i)
+      for (std::size_t j = 0; j < d[1]; ++j)
+        decode_point(lin2(d, i, j),
+                     use2nd ? lorenzo::predict2_2nd(recon, d, i, j)
+                            : lorenzo::predict2(recon, d, i, j));
+  } else {
+    for (std::size_t i = 0; i < d[0]; ++i)
+      for (std::size_t j = 0; j < d[1]; ++j)
+        for (std::size_t k = 0; k < d[2]; ++k)
+          decode_point(lin3(d, i, j, k),
+                       use2nd ? lorenzo::predict3_2nd(recon, d, i, j, k)
+                              : lorenzo::predict3(recon, d, i, j, k));
+  }
+  return out;
+}
+
+}  // namespace aesz

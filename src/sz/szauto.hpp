@@ -1,0 +1,22 @@
+#pragma once
+
+#include "predictors/compressor.hpp"
+
+namespace aesz {
+
+/// SZauto-like compressor (Zhao et al., HPDC 2020): second-order
+/// Lorenzo prediction with sampled automatic selection between first- and
+/// second-order stencils, linear-scale quantization, Huffman + LZ.
+///
+/// The full SZauto also searches block sizes and per-dataset quantization
+/// parameters; this reproduction keeps the published core (second-order
+/// prediction + sampling-driven selection), which is what drives its
+/// rate-distortion placement in the paper's Fig. 8.
+class SZAuto final : public Compressor {
+ public:
+  std::string name() const override { return "SZauto"; }
+  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) override;
+  Field decompress(std::span<const std::uint8_t> stream) override;
+};
+
+}  // namespace aesz

@@ -1,0 +1,181 @@
+#include "sz/szinterp.hpp"
+
+#include <cmath>
+
+#include "lossless/lz.hpp"
+#include "predictors/quantizer.hpp"
+#include "sz/common.hpp"
+
+namespace aesz {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x535A4950;  // "SZIP"
+
+/// Spline prediction of the point at 1-D coordinate `x` (an odd multiple of
+/// `s`) from reconstructed values at spacing `2s` along one axis. `base` is
+/// the linear index of the point, `L` the linear stride of the axis, `n`
+/// the axis extent.
+inline float axis_predict(const float* buf, std::size_t base, std::size_t L,
+                          std::size_t x, std::size_t s, std::size_t n,
+                          bool cubic) {
+  const bool has_hi = x + s < n;
+  if (!has_hi) return buf[base - L * s];  // copy of the last known point
+  const float lo = buf[base - L * s];
+  const float hi = buf[base + L * s];
+  if (cubic && x >= 3 * s && x + 3 * s < n) {
+    const float lo2 = buf[base - L * 3 * s];
+    const float hi2 = buf[base + L * 3 * s];
+    return (-lo2 + 9.0f * lo + 9.0f * hi - hi2) * (1.0f / 16.0f);
+  }
+  return 0.5f * (lo + hi);
+}
+
+/// Shared refinement traversal. Calls anchor(idx) for every coarsest-grid
+/// point, then point(idx, pred) for every refined point, in an order that
+/// is identical for compression and decompression (prediction reads only
+/// already-visited entries of `buf`).
+template <typename AnchorFn, typename PointFn>
+void walk(const Dims& d, std::size_t S, bool cubic, const float* buf,
+          AnchorFn&& anchor, PointFn&& point) {
+  const int rank = d.rank;
+  const std::size_t n0 = d[0];
+  const std::size_t n1 = rank >= 2 ? d[1] : 1;
+  const std::size_t n2 = rank >= 3 ? d[2] : 1;
+  // Linear strides per axis (row-major, last axis contiguous).
+  const std::size_t L0 = rank == 1 ? 1 : (rank == 2 ? n1 : n1 * n2);
+  const std::size_t L1 = rank == 3 ? n2 : 1;
+  const std::size_t L2 = 1;
+
+  for (std::size_t i = 0; i < n0; i += S)
+    for (std::size_t j = 0; j < n1; j += S)
+      for (std::size_t k = 0; k < n2; k += S)
+        anchor(i * L0 + j * L1 + k * L2);
+
+  for (std::size_t s = S; s >= 1; s /= 2) {
+    // Axis 0: coord0 at odd multiples of s; others on the 2s grid.
+    for (std::size_t i = s; i < n0; i += 2 * s) {
+      for (std::size_t j = 0; j < n1; j += 2 * s) {
+        for (std::size_t k = 0; k < n2; k += 2 * s) {
+          const std::size_t idx = i * L0 + j * L1 + k * L2;
+          point(idx, axis_predict(buf, idx, L0, i, s, n0, cubic));
+        }
+      }
+    }
+    if (rank >= 2) {
+      // Axis 1: coord0 already refined to the s grid.
+      for (std::size_t i = 0; i < n0; i += s) {
+        for (std::size_t j = s; j < n1; j += 2 * s) {
+          for (std::size_t k = 0; k < n2; k += 2 * s) {
+            const std::size_t idx = i * L0 + j * L1 + k * L2;
+            point(idx, axis_predict(buf, idx, L1, j, s, n1, cubic));
+          }
+        }
+      }
+    }
+    if (rank >= 3) {
+      for (std::size_t i = 0; i < n0; i += s) {
+        for (std::size_t j = 0; j < n1; j += s) {
+          for (std::size_t k = s; k < n2; k += 2 * s) {
+            const std::size_t idx = i * L0 + j * L1 + k * L2;
+            point(idx, axis_predict(buf, idx, L2, k, s, n2, cubic));
+          }
+        }
+      }
+    }
+    if (s == 1) break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SZInterp::compress(const Field& f, double rel_eb) {
+  AESZ_CHECK_MSG(rel_eb > 0, "SZinterp requires a positive error bound");
+  const Dims& d = f.dims();
+  const double range = f.value_range();
+  const double abs_eb = range > 0 ? rel_eb * range : rel_eb;
+  // Keep the stride a power of two no larger than the largest dimension.
+  std::size_t S = 1;
+  while (S * 2 <= opt_.max_stride && S * 2 < d[0]) S *= 2;
+
+  ByteWriter w;
+  sz::write_header(w, kMagic, d, abs_eb);
+  w.put_varint(S);
+  w.put(static_cast<std::uint8_t>(opt_.cubic ? 1 : 0));
+
+  LinearQuantizer quant(abs_eb);
+  const float* src = f.data();
+  std::vector<float> recon(d.total());
+  std::vector<std::uint16_t> codes;
+  codes.reserve(d.total());
+  std::vector<float> anchors;
+  std::vector<float> unpred;
+
+  walk(
+      d, S, opt_.cubic, recon.data(),
+      [&](std::size_t idx) {
+        anchors.push_back(src[idx]);
+        recon[idx] = src[idx];
+      },
+      [&](std::size_t idx, float pred) {
+        float r;
+        const std::uint16_t code = quant.quantize(src[idx], pred, r);
+        if (code == LinearQuantizer::kUnpredictable)
+          unpred.push_back(src[idx]);
+        recon[idx] = r;
+        codes.push_back(code);
+      });
+
+  {
+    ByteWriter aw;
+    aw.put_array<float>(anchors);
+    w.put_blob(lz::compress(aw.bytes()));
+  }
+  w.put_blob(qcodec::encode_codes(codes));
+  {
+    ByteWriter uw;
+    uw.put_array<float>(unpred);
+    w.put_blob(lz::compress(uw.bytes()));
+  }
+  return w.take();
+}
+
+Field SZInterp::decompress(std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  double abs_eb = 0;
+  const Dims d = sz::read_header(r, kMagic, abs_eb);
+  const std::size_t S = r.get_varint();
+  const bool cubic = r.get<std::uint8_t>() != 0;
+
+  const auto anchor_bytes = lz::decompress(r.get_blob());
+  ByteReader ar(anchor_bytes);
+  const auto anchors = ar.get_array<float>();
+  auto codes = qcodec::decode_codes(r.get_blob());
+  const auto unpred_bytes = lz::decompress(r.get_blob());
+  ByteReader ur(unpred_bytes);
+  const auto unpred = ur.get_array<float>();
+
+  LinearQuantizer quant(abs_eb);
+  Field out(d);
+  float* recon = out.data();
+  std::size_t ai = 0, ci = 0, ui = 0;
+
+  walk(
+      d, S, cubic, recon,
+      [&](std::size_t idx) {
+        AESZ_CHECK_MSG(ai < anchors.size(), "anchor underflow");
+        recon[idx] = anchors[ai++];
+      },
+      [&](std::size_t idx, float pred) {
+        AESZ_CHECK_MSG(ci < codes.size(), "code underflow");
+        const std::uint16_t code = codes[ci++];
+        if (code == LinearQuantizer::kUnpredictable) {
+          AESZ_CHECK_MSG(ui < unpred.size(), "unpredictable underflow");
+          recon[idx] = unpred[ui++];
+        } else {
+          recon[idx] = quant.recover(pred, code);
+        }
+      });
+  return out;
+}
+
+}  // namespace aesz

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "predictors/compressor.hpp"
+
+namespace aesz {
+
+/// SZinterp-like compressor (Zhao et al., ICDE 2021; the SZ3 interpolation
+/// algorithm): level-by-level grid refinement where each new point is
+/// predicted by a cubic spline (falling back to linear/copy at boundaries)
+/// through previously reconstructed points along one axis, then
+/// linear-scale quantized under the error bound. Anchor points on the
+/// coarsest grid are stored verbatim.
+///
+/// In the paper this is the strongest classical baseline at low bit rates;
+/// AE-SZ is "close to SZinterp" there (Fig. 8).
+class SZInterp final : public Compressor {
+ public:
+  struct Options {
+    std::size_t max_stride = 32;  // coarsest refinement stride (anchor grid)
+    bool cubic = true;            // false => linear interpolation (ablation)
+  };
+
+  SZInterp() = default;
+  explicit SZInterp(Options opt) : opt_(opt) {}
+
+  std::string name() const override { return "SZinterp"; }
+  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) override;
+  Field decompress(std::span<const std::uint8_t> stream) override;
+
+ private:
+  Options opt_;
+};
+
+}  // namespace aesz

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace aesz {
+
+/// LSB-first bit sink for Huffman codes and ZFP bit planes.
+/// Bits are packed into a 64-bit accumulator and flushed bytewise; write
+/// order equals read order in BitReader.
+class BitWriter {
+ public:
+  /// Append the low `n` bits of `v` (n in [0, 57]; callers split longer
+  /// words). LSB of `v` is emitted first.
+  void put(std::uint64_t v, int n) {
+    acc_ |= (n >= 64 ? v : (v & ((1ULL << n) - 1))) << fill_;
+    fill_ += n;
+    while (fill_ >= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+
+  void put_bit(bool b) { put(b ? 1 : 0, 1); }
+
+  /// Unary-coded small integer (n zero bits then a one); cheap for the
+  /// geometric distributions in ZFP group tests.
+  void put_unary(unsigned n) {
+    for (unsigned i = 0; i < n; ++i) put_bit(false);
+    put_bit(true);
+  }
+
+  /// Pad to a byte boundary and return the stream.
+  std::vector<std::uint8_t> finish() {
+    if (fill_ > 0) {
+      buf_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ = 0;
+      fill_ = 0;
+    }
+    return std::move(buf_);
+  }
+
+  std::size_t bit_count() const { return buf_.size() * 8 + fill_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t acc_ = 0;
+  int fill_ = 0;
+};
+
+/// LSB-first bit source matching BitWriter. Reading past the end returns
+/// zero bits (needed by truncated fixed-rate ZFP streams) unless strict
+/// mode is requested.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint64_t get(int n) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(get_bit()) << i;
+    }
+    return v;
+  }
+
+  int get_bit() {
+    const std::size_t byte = pos_ >> 3;
+    if (byte >= data_.size()) {
+      ++pos_;
+      return 0;  // zero-fill past end: truncated embedded streams decode low bits as 0
+    }
+    const int bit = (data_[byte] >> (pos_ & 7)) & 1;
+    ++pos_;
+    return bit;
+  }
+
+  unsigned get_unary(unsigned limit) {
+    unsigned n = 0;
+    while (n < limit && !get_bit()) ++n;
+    return n;
+  }
+
+  std::size_t bit_pos() const { return pos_; }
+  bool exhausted() const { return (pos_ >> 3) >= data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace aesz

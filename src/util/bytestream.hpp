@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace aesz {
+
+/// Append-only little-endian byte sink used to assemble compressed streams.
+/// All multi-byte scalars are written via memcpy so the format is
+/// alignment-safe and identical across the x86-64 targets we support.
+class ByteWriter {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// LEB128 unsigned varint: compact lengths/counts in headers.
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Length-prefixed nested blob (varint length + payload).
+  void put_blob(std::span<const std::uint8_t> bytes) {
+    put_varint(bytes.size());
+    put_bytes(bytes);
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_array(std::span<const T> v) {
+    put_varint(v.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a compressed stream; throws aesz::Error on
+/// truncation instead of reading out of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    AESZ_CHECK_MSG(pos_ + sizeof(T) <= data_.size(), "truncated stream");
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      AESZ_CHECK_MSG(pos_ < data_.size(), "truncated varint");
+      const std::uint8_t b = data_[pos_++];
+      AESZ_CHECK_MSG(shift < 64, "varint overflow");
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  std::span<const std::uint8_t> get_bytes(std::size_t n) {
+    AESZ_CHECK_MSG(pos_ + n <= data_.size(), "truncated stream");
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::span<const std::uint8_t> get_blob() {
+    const std::uint64_t n = get_varint();
+    return get_bytes(n);
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_array() {
+    const std::uint64_t n = get_varint();
+    AESZ_CHECK_MSG(pos_ + n * sizeof(T) <= data_.size(), "truncated array");
+    std::vector<T> v(n);
+    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool eof() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace aesz

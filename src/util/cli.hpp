@@ -1,0 +1,69 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace aesz {
+
+/// Minimal --flag/--key value parser for the example tools. Positional
+/// arguments are collected in order; "--key value" and "--key=value" both
+/// work; unknown flags throw so typos fail loudly.
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv, std::vector<std::string> known_keys)
+      : known_(std::move(known_keys)) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      std::string key = arg.substr(2);
+      std::string value;
+      const auto eq = key.find('=');
+      if (eq != std::string::npos) {
+        value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw Error("missing value for --" + key);
+      }
+      AESZ_CHECK_MSG(std::find(known_.begin(), known_.end(), key) !=
+                         known_.end(),
+                     "unknown option --" + key);
+      values_[key] = value;
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  long get_long(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+
+ private:
+  std::vector<std::string> known_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace aesz

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace aesz {
+
+/// Shape of a scalar field: 1, 2, or 3 dimensions, slowest-varying first
+/// (SDRBench convention: a CESM field 1800x3600 is dims {1800, 3600} with
+/// the 3600 axis contiguous in memory).
+struct Dims {
+  int rank = 0;
+  std::array<std::size_t, 3> d{1, 1, 1};
+
+  Dims() = default;
+  explicit Dims(std::size_t n0) : rank(1), d{n0, 1, 1} {}
+  Dims(std::size_t n0, std::size_t n1) : rank(2), d{n0, n1, 1} {}
+  Dims(std::size_t n0, std::size_t n1, std::size_t n2)
+      : rank(3), d{n0, n1, n2} {}
+
+  std::size_t total() const { return d[0] * d[1] * d[2]; }
+  std::size_t operator[](int i) const { return d[static_cast<std::size_t>(i)]; }
+
+  bool operator==(const Dims& o) const { return rank == o.rank && d == o.d; }
+
+  std::string str() const {
+    std::string s = std::to_string(d[0]);
+    for (int i = 1; i < rank; ++i) s += "x" + std::to_string(d[i]);
+    return s;
+  }
+};
+
+/// Row-major linear index helpers.
+inline std::size_t lin2(const Dims& dm, std::size_t i, std::size_t j) {
+  return i * dm.d[1] + j;
+}
+inline std::size_t lin3(const Dims& dm, std::size_t i, std::size_t j,
+                        std::size_t k) {
+  return (i * dm.d[1] + j) * dm.d[2] + k;
+}
+
+/// Number of blocks of size `bs` covering `n` points (last block may be
+/// partial).
+inline std::size_t num_blocks(std::size_t n, std::size_t bs) {
+  return (n + bs - 1) / bs;
+}
+
+}  // namespace aesz

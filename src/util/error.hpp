@@ -1,0 +1,34 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aesz {
+
+/// Thrown on malformed compressed streams, bad configuration, or I/O failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": check `" +
+              expr + "` failed" + (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace aesz
+
+/// Runtime invariant check that survives NDEBUG; use for stream/format
+/// validation where silent corruption is worse than an exception.
+#define AESZ_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) ::aesz::detail::fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define AESZ_CHECK_MSG(expr, msg)                                 \
+  do {                                                            \
+    if (!(expr)) ::aesz::detail::fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

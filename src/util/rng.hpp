@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace aesz {
+
+/// xoshiro256** — fast, high-quality, reproducible PRNG. We avoid
+/// std::mt19937 in hot paths (weight init, synthetic data, SWAE
+/// projections) because its state is large and its distribution wrappers
+/// are implementation-defined; reproducibility across stdlibs matters for
+/// the regression tests.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    for (auto& w : s_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double gaussian() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double a = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(a);
+    have_cached_ = true;
+    return r * std::cos(a);
+  }
+
+  float gaussianf() { return static_cast<float>(gaussian()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace aesz

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <chrono>
+
+namespace aesz {
+
+/// Wall-clock stopwatch for throughput reporting (MB/s tables).
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace aesz

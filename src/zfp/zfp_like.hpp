@@ -1,0 +1,43 @@
+#pragma once
+
+#include "predictors/compressor.hpp"
+
+namespace aesz {
+
+/// ZFP-like transform compressor (Lindstrom, TVCG 2014; the zfp 0.5.x float
+/// codec): the field is partitioned into 4^d blocks; each block is aligned
+/// to a common exponent and converted to 30-bit fixed point, decorrelated by
+/// zfp's non-orthogonal lifted transform along each axis, reordered by total
+/// sequency, mapped to negabinary, and coded bit plane by bit plane with
+/// group testing (verbatim bits for the already-scanned prefix, unary
+/// run-length for the rest).
+///
+/// Two modes:
+///  - fixed accuracy (used for the paper's error-bound interface): bit
+///    planes below the tolerance-derived cutoff are dropped; the absolute
+///    error tolerance is respected.
+///  - fixed rate: each block consumes exactly `rate_bits_per_value * 4^d`
+///    bits (random-access layout), used by the fixed-rate comparisons.
+class ZFPLike final : public Compressor {
+ public:
+  struct Options {
+    /// 0 = fixed-accuracy driven by compress(rel_eb); >0 = fixed rate in
+    /// bits per value (rel_eb then ignored).
+    double rate_bits_per_value = 0.0;
+  };
+
+  ZFPLike() = default;
+  explicit ZFPLike(Options opt) : opt_(opt) {}
+
+  std::string name() const override { return "ZFP"; }
+  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) override;
+  Field decompress(std::span<const std::uint8_t> stream) override;
+  bool error_bounded() const override {
+    return opt_.rate_bits_per_value == 0.0;
+  }
+
+ private:
+  Options opt_;
+};
+
+}  // namespace aesz

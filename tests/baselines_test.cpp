@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "ae_baselines/ae_a.hpp"
+#include "ae_baselines/ae_b.hpp"
+#include "data/synth.hpp"
+#include "metrics/metrics.hpp"
+
+namespace aesz {
+namespace {
+
+TEST(AeA, ErrorBoundHoldsEvenUntrained) {
+  // The residual-correction stream must enforce the bound regardless of
+  // model quality (an untrained AE just predicts poorly).
+  AEA c(AEA::Options{.window = 256, .latent = 4}, 1);
+  Field f = synth::cesm_freqsh(32, 64, 50);
+  for (double eb : {1e-2, 1e-3}) {
+    const auto stream = c.compress(f, eb);
+    Field g = c.decompress(stream);
+    ASSERT_EQ(g.size(), f.size());
+    EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
+              eb * f.value_range() * (1 + 1e-9));
+  }
+}
+
+TEST(AeA, TrainingImprovesRatio) {
+  AEA c(AEA::Options{.window = 256, .latent = 4}, 2);
+  Field train = synth::cesm_freqsh(64, 64, 10);
+  Field test = synth::cesm_freqsh(64, 64, 55);
+  const auto before = c.compress(test, 1e-2);
+  TrainOptions topt;
+  topt.epochs = 20;
+  topt.batch = 16;
+  c.train({&train}, topt);
+  const auto after = c.compress(test, 1e-2);
+  EXPECT_LT(after.size(), before.size() * 1.2);  // no catastrophic regress
+  Field g = c.decompress(after);
+  EXPECT_LE(metrics::max_abs_err(test.values(), g.values()),
+            1e-2 * test.value_range() * (1 + 1e-9));
+}
+
+TEST(AeA, FlattensAnyRank) {
+  AEA c(AEA::Options{.window = 256, .latent = 4}, 3);
+  Field f3 = synth::hurricane_qvapor(4, 16, 16, 43);
+  const auto stream = c.compress(f3, 1e-2);
+  Field g = c.decompress(stream);
+  EXPECT_EQ(g.dims().rank, 3);
+  EXPECT_LE(metrics::max_abs_err(f3.values(), g.values()),
+            1e-2 * f3.value_range() * (1 + 1e-9));
+}
+
+TEST(AeA, RejectsZeroBound) {
+  AEA c(AEA::Options{.window = 256, .latent = 4}, 4);
+  Field f(Dims(std::size_t{512}), 1.0f);
+  EXPECT_THROW((void)c.compress(f, 0.0), Error);
+}
+
+TEST(AeB, FixedRatioIsSixtyFour) {
+  AEB c(AEB::Options{}, 5);
+  Field f = synth::value_noise_3d(32, 32, 32, 3, 2.0, 6);
+  const auto stream = c.compress(f, /*ignored=*/1e-3);
+  const double cr = metrics::compression_ratio(f.size(), stream.size());
+  EXPECT_GT(cr, 55.0);
+  EXPECT_LT(cr, 70.0);  // 64x latents + small header
+}
+
+TEST(AeB, NotErrorBounded) {
+  AEB c(AEB::Options{}, 5);
+  EXPECT_FALSE(c.error_bounded());
+}
+
+TEST(AeB, RoundtripShapeAndRange) {
+  AEB c(AEB::Options{}, 7);
+  Field f = synth::hurricane_u(8, 32, 32, 43);
+  Field g = c.decompress(c.compress(f, 0.0));
+  ASSERT_EQ(g.dims().rank, 3);
+  ASSERT_EQ(g.size(), f.size());
+  // Output is tanh-bounded in normalized space => within the data range.
+  auto [lo, hi] = f.min_max();
+  for (float v : g.values()) {
+    EXPECT_GE(v, lo - 1e-3f);
+    EXPECT_LE(v, hi + 1e-3f);
+  }
+}
+
+TEST(AeB, TrainingReducesReconstructionError) {
+  AEB c(AEB::Options{.block = 8, .width = 4, .res_blocks = 1}, 8);
+  Field train = synth::value_noise_3d(24, 24, 24, 2, 2.0, 9);
+  Field test = synth::value_noise_3d(24, 24, 24, 2, 2.0, 9, /*tphase=*/0.5);
+  Field g0 = c.decompress(c.compress(test, 0.0));
+  const double before = metrics::mse(test.values(), g0.values());
+  TrainOptions topt;
+  topt.epochs = 6;
+  topt.batch = 8;
+  c.train({&train}, topt);
+  Field g1 = c.decompress(c.compress(test, 0.0));
+  EXPECT_LT(metrics::mse(test.values(), g1.values()), before);
+}
+
+TEST(AeB, Rejects2DData) {
+  AEB c(AEB::Options{}, 10);
+  Field f2(Dims(16, 16), 1.0f);
+  EXPECT_THROW((void)c.compress(f2, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace aesz

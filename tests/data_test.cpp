@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/field.hpp"
+#include "data/synth.hpp"
+
+namespace aesz {
+namespace {
+
+TEST(Field, ConstructAndAccess) {
+  Field f(Dims(4, 5), 1.5f);
+  EXPECT_EQ(f.size(), 20u);
+  f.at2(2, 3) = 7.0f;
+  EXPECT_EQ(f.at2(2, 3), 7.0f);
+  EXPECT_EQ(f.at(2 * 5 + 3), 7.0f);
+}
+
+TEST(Field, MinMaxAndRange) {
+  Field f(Dims(10), 0.0f);
+  f.at(3) = -2.0f;
+  f.at(7) = 5.0f;
+  auto [lo, hi] = f.min_max();
+  EXPECT_EQ(lo, -2.0f);
+  EXPECT_EQ(hi, 5.0f);
+  EXPECT_EQ(f.value_range(), 7.0f);
+}
+
+TEST(Field, LogTransform) {
+  Field f(Dims(3), 0.0f);
+  f.at(0) = 0.0f;
+  f.at(1) = 9.0f;
+  f.at(2) = 99.0f;
+  f.log_transform();
+  EXPECT_NEAR(f.at(0), 0.0f, 1e-6);
+  EXPECT_NEAR(f.at(1), 1.0f, 1e-6);
+  EXPECT_NEAR(f.at(2), 2.0f, 1e-6);
+}
+
+TEST(Field, RawIORoundtrip) {
+  const std::string path = "/tmp/aesz_field_test.f32";
+  Field f = synth::value_noise_2d(16, 24, 3, 2.0, 99);
+  f.save_raw(path);
+  Field g = Field::load_raw(path, f.dims());
+  ASSERT_EQ(g.size(), f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) EXPECT_EQ(f.at(i), g.at(i));
+  std::remove(path.c_str());
+}
+
+TEST(Field, LoadMissingThrows) {
+  EXPECT_THROW((void)Field::load_raw("/nonexistent/x.f32", Dims(4)), Error);
+}
+
+TEST(Field, SavePgm2D) {
+  const std::string path = "/tmp/aesz_test.pgm";
+  Field f = synth::value_noise_2d(8, 9, 2, 2.0, 1);
+  f.save_pgm(path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 8u * 9u);
+  std::remove(path.c_str());
+}
+
+TEST(Synth, Deterministic) {
+  Field a = synth::cesm_cldhgh(32, 64, 5, 1);
+  Field b = synth::cesm_cldhgh(32, 64, 5, 1);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(Synth, TimestepsDiffer) {
+  Field a = synth::cesm_cldhgh(32, 64, 5, 1);
+  Field b = synth::cesm_cldhgh(32, 64, 6, 1);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a.at(i) != b.at(i)) ++diff;
+  // Correlated but clearly distinct; the exact-zero clear-sky plateaus are
+  // shared between consecutive steps, so only a minority of points move.
+  EXPECT_GT(diff, a.size() / 20);
+}
+
+TEST(Synth, SeedsDiffer) {
+  Field a = synth::nyx_baryon_density(16, 42, 4);
+  Field b = synth::nyx_baryon_density(16, 42, 5);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a.at(i) != b.at(i)) ++diff;
+  EXPECT_GT(diff, a.size() / 2);
+}
+
+TEST(Synth, CldhghIsFractionWithConstantRegions) {
+  Field f = synth::cesm_cldhgh(128, 256, 10);
+  std::size_t zeros = 0, ones = 0;
+  for (float v : f.values()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+    if (v == 0.0f) ++zeros;
+    if (v == 1.0f) ++ones;
+  }
+  // Clear-sky plateaus: a meaningful share of exact constants.
+  EXPECT_GT(zeros, f.size() / 20);
+}
+
+TEST(Synth, NyxDensityIsLogNormalish) {
+  Field f = synth::nyx_baryon_density(32, 42);
+  double mx = 0;
+  for (float v : f.values()) {
+    EXPECT_GT(v, 0.0f);  // densities positive
+    mx = std::max<double>(mx, v);
+  }
+  EXPECT_GT(mx, 10.0);  // heavy right tail (overdense filaments)
+}
+
+TEST(Synth, HurricaneUHasVortexSignature) {
+  Field f = synth::hurricane_u(8, 64, 64, 20);
+  auto [lo, hi] = f.min_max();
+  // Tangential wind flips sign across the eye.
+  EXPECT_LT(lo, -10.0f);
+  EXPECT_GT(hi, 10.0f);
+}
+
+TEST(Synth, QvaporStratified) {
+  Field f = synth::hurricane_qvapor(16, 32, 32, 20);
+  // Column means should decrease with altitude (k index).
+  double low = 0, high = 0;
+  for (std::size_t i = 0; i < 32; ++i)
+    for (std::size_t j = 0; j < 32; ++j) {
+      low += f.at3(0, i, j);
+      high += f.at3(15, i, j);
+    }
+  EXPECT_GT(low, 2.0 * high);
+  for (float v : f.values()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(Synth, RtmWavefrontMoves) {
+  Field a = synth::rtm(32, 32, 32, 1450);
+  Field b = synth::rtm(32, 32, 32, 1550);
+  // Energy distribution should shift as the front expands.
+  double da = 0, db = 0;
+  for (std::size_t k = 16; k < 32; ++k)
+    for (std::size_t i = 0; i < 32; ++i)
+      for (std::size_t j = 0; j < 32; ++j) {
+        da += std::abs(a.at3(k, i, j));
+        db += std::abs(b.at3(k, i, j));
+      }
+  EXPECT_NE(da, db);
+}
+
+TEST(Synth, ExafelHasPeaksOverBackground) {
+  Field f = synth::exafel(128, 128, 300);
+  auto [lo, hi] = f.min_max();
+  EXPECT_GT(hi - lo, 100.0f);  // Bragg peaks tower over the pedestal
+}
+
+TEST(Synth, Figure8SuiteShape) {
+  const auto suite = synth::figure8_suite(1);
+  ASSERT_EQ(suite.size(), 8u);
+  EXPECT_EQ(suite[0].name, "CESM-CLDHGH");
+  EXPECT_EQ(suite[0].field.dims().rank, 2);
+  EXPECT_EQ(suite[7].name, "RTM");
+  EXPECT_EQ(suite[7].field.dims().rank, 3);
+  for (const auto& nf : suite) EXPECT_GT(nf.field.value_range(), 0.0f);
+}
+
+TEST(Synth, ValueNoiseRange) {
+  Field f = synth::value_noise_3d(16, 16, 16, 4, 3.0, 2);
+  for (float v : f.values()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace aesz

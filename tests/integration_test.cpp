@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ae_baselines/ae_a.hpp"
+#include "core/aesz.hpp"
+#include "data/synth.hpp"
+#include "metrics/metrics.hpp"
+#include "sz/sz21.hpp"
+#include "sz/szauto.hpp"
+#include "sz/szinterp.hpp"
+#include "zfp/zfp_like.hpp"
+
+namespace aesz {
+namespace {
+
+/// End-to-end protocol of the paper: train on early timesteps, compress an
+/// unseen later snapshot, compare the whole compressor zoo under one bound.
+TEST(Integration, FullPipelineOnClimateField) {
+  Field train0 = synth::cesm_cldhgh(64, 96, 10);
+  Field train1 = synth::cesm_cldhgh(64, 96, 20);
+  Field test = synth::cesm_cldhgh(64, 96, 55);
+  const double rel_eb = 1e-2;
+  const double abs_eb = rel_eb * test.value_range();
+
+  AESZ::Options opt;
+  opt.ae.rank = 2;
+  opt.ae.block = 16;
+  opt.ae.latent = 8;
+  opt.ae.channels = {4, 8};
+  AESZ aesz_codec(opt, 3);
+  TrainOptions topt;
+  topt.epochs = 8;
+  topt.batch = 16;
+  aesz_codec.train({&train0, &train1}, topt);
+
+  SZ21 sz21;
+  SZAuto szauto;
+  SZInterp szinterp;
+  ZFPLike zfp;
+  AEA aea(AEA::Options{.window = 256, .latent = 4}, 4);
+
+  for (Compressor* c : std::initializer_list<Compressor*>{
+           &aesz_codec, &sz21, &szauto, &szinterp, &zfp, &aea}) {
+    const auto stream = c->compress(test, rel_eb);
+    Field g = c->decompress(stream);
+    ASSERT_EQ(g.size(), test.size()) << c->name();
+    EXPECT_LE(metrics::max_abs_err(test.values(), g.values()),
+              abs_eb * (1 + 1e-9))
+        << c->name();
+    EXPECT_GT(metrics::compression_ratio(test.size(), stream.size()), 1.5)
+        << c->name();
+    EXPECT_GT(metrics::psnr(test.values(), g.values()), 25.0) << c->name();
+  }
+}
+
+TEST(Integration, AESZBeatsOrMatchesLorenzoOnlyAblation) {
+  // Fig. 11's point: the adaptive AE+Lorenzo selector should not lose to
+  // a Lorenzo-only policy on data the AE learned.
+  Field train0 = synth::cesm_cldhgh(64, 96, 10);
+  Field train1 = synth::cesm_cldhgh(64, 96, 15);
+  Field test = synth::cesm_cldhgh(64, 96, 55);
+
+  AESZ::Options opt;
+  opt.ae.rank = 2;
+  opt.ae.block = 16;
+  opt.ae.latent = 8;
+  opt.ae.channels = {4, 8};
+  AESZ adaptive(opt, 5);
+  TrainOptions topt;
+  topt.epochs = 10;
+  topt.batch = 16;
+  adaptive.train({&train0, &train1}, topt);
+
+  const std::string path = "/tmp/aesz_integration_model.bin";
+  adaptive.save_model(path);
+  opt.policy = AESZ::Policy::kLorenzoOnly;
+  AESZ lorenzo_only(opt, 5);
+  lorenzo_only.load_model(path);
+  std::remove(path.c_str());
+
+  const auto a = adaptive.compress(test, 2e-2);
+  const auto b = lorenzo_only.compress(test, 2e-2);
+  // The selector picks per-block minima, so it can only add the flag+latent
+  // overhead; allow a small slack but catch gross regressions.
+  EXPECT_LT(static_cast<double>(a.size()),
+            static_cast<double>(b.size()) * 1.15);
+}
+
+TEST(Integration, NyxLogTransformPipeline) {
+  // The paper compresses NYX fields in log space.
+  Field train = synth::nyx_baryon_density(24, 40);
+  train.log_transform();
+  Field test = synth::nyx_baryon_density(24, 42, /*seed=*/777);
+  test.log_transform();
+
+  AESZ::Options opt;
+  opt.ae.rank = 3;
+  opt.ae.block = 8;
+  opt.ae.latent = 8;
+  opt.ae.channels = {4, 8};
+  AESZ codec(opt, 6);
+  TrainOptions topt;
+  topt.epochs = 6;
+  topt.batch = 16;
+  codec.train({&train}, topt);
+
+  const auto stream = codec.compress(test, 1e-2);
+  Field g = codec.decompress(stream);
+  EXPECT_LE(metrics::max_abs_err(test.values(), g.values()),
+            1e-2 * test.value_range() * (1 + 1e-9));
+  EXPECT_GT(codec.last_stats().blocks_total, 0u);
+}
+
+TEST(Integration, StreamsAreSelfContainedAcrossFields) {
+  // One codec object, many fields: streams must not leak state.
+  SZInterp c;
+  Field a = synth::cesm_freqsh(40, 56, 50);
+  Field b = synth::hurricane_qvapor(8, 24, 24, 43);
+  const auto sa = c.compress(a, 1e-3);
+  const auto sb = c.compress(b, 1e-3);
+  Field ra = c.decompress(sa);
+  Field rb = c.decompress(sb);
+  EXPECT_EQ(ra.dims().rank, 2);
+  EXPECT_EQ(rb.dims().rank, 3);
+  EXPECT_LE(metrics::max_abs_err(a.values(), ra.values()),
+            1e-3 * a.value_range() * (1 + 1e-9));
+  EXPECT_LE(metrics::max_abs_err(b.values(), rb.values()),
+            1e-3 * b.value_range() * (1 + 1e-9));
+}
+
+TEST(Integration, PsnrOrderingTracksErrorBound) {
+  // Across every error-bounded codec: eb 1e-3 must beat eb 1e-2 in PSNR.
+  Field f = synth::rtm(24, 24, 24, 1510);
+  SZ21 sz21;
+  SZInterp szinterp;
+  ZFPLike zfp;
+  for (Compressor* c : std::initializer_list<Compressor*>{
+           &sz21, &szinterp, &zfp}) {
+    Field loose = c->decompress(c->compress(f, 1e-2));
+    Field tight = c->decompress(c->compress(f, 1e-3));
+    EXPECT_GT(metrics::psnr(f.values(), tight.values()),
+              metrics::psnr(f.values(), loose.values()))
+        << c->name();
+  }
+}
+
+}  // namespace
+}  // namespace aesz

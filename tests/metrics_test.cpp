@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace aesz::metrics {
+namespace {
+
+TEST(Metrics, MseBasics) {
+  std::vector<float> a{0, 1, 2, 3}, b{0, 1, 2, 3};
+  EXPECT_EQ(mse(a, b), 0.0);
+  b[0] = 2.0f;  // diff 2 -> squared 4, mean 1
+  EXPECT_DOUBLE_EQ(mse(a, b), 1.0);
+}
+
+TEST(Metrics, MaxAbsErr) {
+  std::vector<float> a{0, 1, 2}, b{0.5f, 1, -1};
+  EXPECT_DOUBLE_EQ(max_abs_err(a, b), 3.0);
+}
+
+TEST(Metrics, PsnrMatchesClosedForm) {
+  // vrange = 10, uniform error 0.1 -> mse = 0.01
+  std::vector<float> a(1000), b(1000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(i % 11);
+    b[i] = a[i] + 0.1f;
+  }
+  const double expect = 20.0 * std::log10(10.0) - 10.0 * std::log10(0.01);
+  EXPECT_NEAR(psnr(a, b), expect, 0.1);
+}
+
+TEST(Metrics, PsnrLosslessSentinel) {
+  std::vector<float> a{1, 2, 3};
+  EXPECT_EQ(psnr(a, a), 999.0);
+}
+
+TEST(Metrics, PsnrMonotoneInError) {
+  std::vector<float> a(500), b1(500), b2(500);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = std::sin(0.1f * static_cast<float>(i));
+    b1[i] = a[i] + 0.01f;
+    b2[i] = a[i] + 0.1f;
+  }
+  EXPECT_GT(psnr(a, b1), psnr(a, b2));
+}
+
+TEST(Metrics, CompressionRatioAndBitRate) {
+  // 1000 floats = 4000 bytes; 400 compressed bytes -> CR 10, 3.2 bits/val.
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 400), 10.0);
+  EXPECT_DOUBLE_EQ(bit_rate(1000, 400), 3.2);
+}
+
+TEST(Metrics, ErrorPdfNormalized) {
+  std::vector<float> a(1000, 0.0f), b(1000);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = static_cast<float>(i % 3) * 0.01f - 0.01f;
+  const auto pdf = error_pdf(a, b, -0.1, 0.1, 20);
+  EXPECT_EQ(pdf.size(), 20u);
+  EXPECT_NEAR(std::accumulate(pdf.begin(), pdf.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Metrics, ErrorPdfClampsOutliers) {
+  std::vector<float> a{0.0f}, b{100.0f};
+  const auto pdf = error_pdf(a, b, -1.0, 1.0, 4);
+  EXPECT_EQ(pdf.back(), 1.0);  // clamped to edge bin
+}
+
+TEST(Metrics, RdRowFormatting) {
+  RDPoint p{1e-3, 0.5, 62.1, 64.0, 3.1e-3};
+  const auto row = format_rd_row("SZ2.1", p);
+  EXPECT_NE(row.find("SZ2.1"), std::string::npos);
+  EXPECT_NE(row.find("62.1"), std::string::npos);
+  EXPECT_FALSE(rd_header().empty());
+}
+
+}  // namespace
+}  // namespace aesz::metrics

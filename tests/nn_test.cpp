@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/autoencoder.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/variants.hpp"
+#include "util/bytestream.hpp"
+
+namespace aesz::nn {
+namespace {
+
+AEConfig small2d() {
+  AEConfig cfg;
+  cfg.rank = 2;
+  cfg.block = 16;
+  cfg.latent = 8;
+  cfg.channels = {4, 8};
+  return cfg;
+}
+
+AEConfig small3d() {
+  AEConfig cfg;
+  cfg.rank = 3;
+  cfg.block = 8;
+  cfg.latent = 8;
+  cfg.channels = {4, 8};
+  return cfg;
+}
+
+Tensor random_batch(const AEConfig& cfg, std::size_t n, std::uint64_t seed) {
+  std::vector<std::size_t> shape{n, 1};
+  for (int i = 0; i < cfg.rank; ++i) shape.push_back(cfg.block);
+  Tensor t(shape);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = std::tanh(rng.gaussianf());
+  return t;
+}
+
+/// Smooth, learnable batch: each sample is a random low-frequency wave.
+Tensor smooth_batch(const AEConfig& cfg, std::size_t n, std::uint64_t seed) {
+  std::vector<std::size_t> shape{n, 1};
+  for (int i = 0; i < cfg.rank; ++i) shape.push_back(cfg.block);
+  Tensor t(shape);
+  Rng rng(seed);
+  const std::size_t be = cfg.block_elems();
+  for (std::size_t s = 0; s < n; ++s) {
+    const double fx = 1.0 + rng.uniform() * 2.0;
+    const double ph = rng.uniform() * 6.28;
+    for (std::size_t i = 0; i < be; ++i) {
+      const double u = static_cast<double>(i % cfg.block) / cfg.block;
+      const double v = static_cast<double>(i / cfg.block % cfg.block) /
+                       cfg.block;
+      t[s * be + i] =
+          static_cast<float>(0.8 * std::sin(fx * 6.28 * u + ph) *
+                             std::cos(fx * 3.14 * v));
+    }
+  }
+  return t;
+}
+
+TEST(Tensor, ShapeAndReshape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24u);
+  Tensor r = t.reshaped({6, 4});
+  EXPECT_EQ(r.dim(0), 6u);
+  EXPECT_THROW((void)t.reshaped({5, 5}), Error);
+}
+
+TEST(Autoencoder, EncodeDecodeShapes2d) {
+  ConvAutoencoder ae(small2d(), 1);
+  Tensor x = random_batch(small2d(), 3, 2);
+  Tensor z = ae.encode(x, false);
+  EXPECT_EQ(z.dim(0), 3u);
+  EXPECT_EQ(z.dim(1), 8u);
+  Tensor y = ae.decode(z, false);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(Autoencoder, EncodeDecodeShapes3d) {
+  ConvAutoencoder ae(small3d(), 1);
+  Tensor x = random_batch(small3d(), 2, 3);
+  Tensor z = ae.encode(x, false);
+  EXPECT_EQ(z.dim(1), 8u);
+  Tensor y = ae.decode(z, false);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(Autoencoder, OutputBoundedByTanh) {
+  ConvAutoencoder ae(small2d(), 4);
+  Tensor x = random_batch(small2d(), 2, 5);
+  Tensor y = ae.decode(ae.encode(x, false), false);
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GE(y[i], -1.0f);
+    EXPECT_LE(y[i], 1.0f);
+  }
+}
+
+TEST(Autoencoder, DeterministicAcrossBatching) {
+  // Per-sample results must not depend on batch composition — the
+  // compressor/decompressor batch blocks differently.
+  ConvAutoencoder ae(small2d(), 6);
+  Tensor x = random_batch(small2d(), 4, 7);
+  Tensor z_all = ae.encode(x, false);
+  const std::size_t be = small2d().block_elems();
+  for (std::size_t s = 0; s < 4; ++s) {
+    Tensor single({1, 1, 16, 16});
+    std::copy(x.data() + s * be, x.data() + (s + 1) * be, single.data());
+    Tensor z1 = ae.encode(single, false);
+    for (std::size_t i = 0; i < 8; ++i)
+      EXPECT_EQ(z1[i], z_all[s * 8 + i]) << "sample " << s;
+  }
+}
+
+TEST(Autoencoder, VariationalDoublesLatent) {
+  AEConfig cfg = small2d();
+  cfg.variational = true;
+  ConvAutoencoder ae(cfg, 1);
+  Tensor x = random_batch(cfg, 2, 2);
+  Tensor z = ae.encode(x, false);
+  EXPECT_EQ(z.dim(1), 16u);  // mu ++ logvar
+}
+
+TEST(Autoencoder, RejectsBadBlockSize) {
+  AEConfig cfg = small2d();
+  cfg.block = 2;  // cannot halve twice
+  EXPECT_THROW(ConvAutoencoder(cfg, 1), Error);
+}
+
+TEST(Autoencoder, SerializationRoundtrip) {
+  ConvAutoencoder a(small2d(), 11);
+  ByteWriter w;
+  a.save(w);
+  ConvAutoencoder b(small2d(), 99);  // different init
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  b.load(r);
+  Tensor x = random_batch(small2d(), 2, 12);
+  Tensor ya = a.decode(a.encode(x, false), false);
+  Tensor yb = b.decode(b.encode(x, false), false);
+  for (std::size_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(Autoencoder, LoadRejectsWrongArchitecture) {
+  ConvAutoencoder a(small2d(), 1);
+  ByteWriter w;
+  a.save(w);
+  ConvAutoencoder b(small3d(), 1);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(b.load(r), Error);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize ||w - target||^2 directly through the optimizer plumbing.
+  Param w(Tensor::zeros({8}));
+  std::vector<float> target{1, -2, 3, -4, 0.5f, 0, 2, -1};
+  Adam opt({&w}, 0.05f);
+  for (int it = 0; it < 800; ++it) {
+    opt.zero_grad();
+    for (std::size_t i = 0; i < 8; ++i)
+      w.grad[i] = 2.0f * (w.value[i] - target[i]);
+    opt.step();
+  }
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(w.value[i], target[i], 1e-2);
+}
+
+TEST(Variants, NamesAndFamilies) {
+  EXPECT_EQ(variant_name(AEVariant::kSWAE), "SWAE");
+  EXPECT_FALSE(variant_is_variational(AEVariant::kSWAE));
+  EXPECT_FALSE(variant_is_variational(AEVariant::kWAE));
+  EXPECT_TRUE(variant_is_variational(AEVariant::kBetaVAE));
+  EXPECT_TRUE(variant_is_variational(AEVariant::kLogCoshVAE));
+}
+
+class VariantTrains : public ::testing::TestWithParam<AEVariant> {};
+
+TEST_P(VariantTrains, LossDecreases) {
+  AEConfig cfg = small2d();
+  VariantHyper hyper;
+  hyper.lr = 2e-3f;
+  VariantTrainer t(cfg, GetParam(), 42, hyper);
+  Tensor batch = smooth_batch(cfg, 16, 9);
+  double first = 0, last = 0;
+  for (int it = 0; it < 30; ++it) {
+    const double loss = t.train_step(batch);
+    if (it == 0) first = loss;
+    last = loss;
+    ASSERT_TRUE(std::isfinite(loss)) << "iteration " << it;
+  }
+  EXPECT_LT(last, first) << variant_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEight, VariantTrains,
+    ::testing::Values(AEVariant::kAE, AEVariant::kVAE, AEVariant::kBetaVAE,
+                      AEVariant::kDIPVAE, AEVariant::kInfoVAE,
+                      AEVariant::kLogCoshVAE, AEVariant::kWAE,
+                      AEVariant::kSWAE),
+    [](const ::testing::TestParamInfo<AEVariant>& info) {
+      std::string n = variant_name(info.param);
+      for (char& c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+TEST(Variants, ReconstructionImprovesWithTraining) {
+  AEConfig cfg = small2d();
+  VariantTrainer t(cfg, AEVariant::kSWAE, 7);
+  Tensor batch = smooth_batch(cfg, 24, 3);
+  auto recon_err = [&]() {
+    Tensor y = t.reconstruct(batch);
+    double e = 0;
+    for (std::size_t i = 0; i < y.numel(); ++i) {
+      const double d = y[i] - batch[i];
+      e += d * d;
+    }
+    return e / static_cast<double>(y.numel());
+  };
+  const double before = recon_err();
+  for (int it = 0; it < 60; ++it) t.train_step(batch);
+  EXPECT_LT(recon_err(), before);
+}
+
+TEST(Variants, GDNProjectionKeepsConstraints) {
+  GDN g(4, false);
+  // Force a violating step then project.
+  for (Param* p : g.params())
+    for (std::size_t i = 0; i < p->value.numel(); ++i)
+      p->value[i] = -1.0f;
+  g.project();
+  auto ps = g.params();
+  for (std::size_t i = 0; i < ps[0]->value.numel(); ++i)
+    EXPECT_GT(ps[0]->value[i], 0.0f);  // beta >= beta_min
+  for (std::size_t i = 0; i < ps[1]->value.numel(); ++i)
+    EXPECT_GE(ps[1]->value[i], 0.0f);  // gamma >= 0
+}
+
+}  // namespace
+}  // namespace aesz::nn

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/synth.hpp"
+#include "metrics/metrics.hpp"
+#include "sz/sz21.hpp"
+#include "sz/szauto.hpp"
+#include "sz/szinterp.hpp"
+#include "util/rng.hpp"
+#include "zfp/zfp_like.hpp"
+
+namespace aesz {
+namespace {
+
+/// The robustness contract of every codec: a mangled stream must either be
+/// rejected with aesz::Error or decode into *some* field — never crash,
+/// hang, or read out of bounds (the latter two would trip ASan/timeouts).
+void expect_no_crash(Compressor& c, std::vector<std::uint8_t> stream) {
+  try {
+    Field g = c.decompress(stream);
+    (void)g;
+  } catch (const Error&) {
+    // Rejection is the preferred outcome.
+  }
+}
+
+std::vector<Compressor*> codecs() {
+  static SZ21 sz21;
+  static SZAuto szauto;
+  static SZInterp szinterp;
+  static ZFPLike zfp;
+  return {&sz21, &szauto, &szinterp, &zfp};
+}
+
+Field test_field() { return synth::cesm_freqsh(48, 64, 50); }
+
+TEST(Robustness, TruncationAtEveryQuarter) {
+  Field f = test_field();
+  for (Compressor* c : codecs()) {
+    const auto stream = c->compress(f, 1e-3);
+    for (std::size_t frac = 0; frac < 4; ++frac) {
+      auto cut = stream;
+      cut.resize(stream.size() * frac / 4 + 1);
+      expect_no_crash(*c, std::move(cut));
+    }
+  }
+}
+
+TEST(Robustness, SingleByteFlips) {
+  Field f = test_field();
+  Rng rng(13);
+  for (Compressor* c : codecs()) {
+    const auto stream = c->compress(f, 1e-3);
+    for (int trial = 0; trial < 32; ++trial) {
+      auto bad = stream;
+      const std::size_t pos = rng.below(bad.size());
+      bad[pos] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+      expect_no_crash(*c, std::move(bad));
+    }
+  }
+}
+
+TEST(Robustness, EmptyAndGarbageStreams) {
+  Rng rng(17);
+  for (Compressor* c : codecs()) {
+    expect_no_crash(*c, {});
+    std::vector<std::uint8_t> garbage(256);
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.below(256));
+    expect_no_crash(*c, std::move(garbage));
+  }
+}
+
+TEST(Robustness, CrossCodecStreamsRejected) {
+  Field f = test_field();
+  auto cs = codecs();
+  for (Compressor* a : cs) {
+    const auto stream = a->compress(f, 1e-3);
+    for (Compressor* b : cs) {
+      if (a == b) continue;
+      EXPECT_THROW((void)b->decompress(stream), Error)
+          << a->name() << " stream accepted by " << b->name();
+    }
+  }
+}
+
+TEST(Robustness, CompressionIsDeterministic) {
+  // Byte-identical output for identical input — required for reproducible
+  // archives and for the decoder-identity invariant.
+  Field f = test_field();
+  for (Compressor* c : codecs()) {
+    const auto s1 = c->compress(f, 1e-3);
+    const auto s2 = c->compress(f, 1e-3);
+    EXPECT_EQ(s1, s2) << c->name();
+  }
+}
+
+TEST(Robustness, ExtremeValuesRoundtrip) {
+  // Denormals, huge magnitudes, and exact zeros in one field.
+  Field f(Dims(16, 16), 0.0f);
+  f.at(0) = 3.0e37f;
+  f.at(1) = -3.0e37f;
+  f.at(2) = 1.0e-38f;
+  f.at(3) = -1.0e-38f;
+  f.at(255) = 1.0f;
+  for (Compressor* c : codecs()) {
+    const auto stream = c->compress(f, 1e-3);
+    Field g = c->decompress(stream);
+    EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
+              1e-3 * static_cast<double>(f.value_range()) * (1 + 1e-9))
+        << c->name();
+  }
+}
+
+TEST(Robustness, SingleElementField) {
+  Field f(Dims(std::size_t{1}), 42.0f);
+  SZ21 sz;
+  SZInterp si;
+  ZFPLike zf;
+  for (Compressor* c : std::initializer_list<Compressor*>{&sz, &si, &zf}) {
+    Field g = c->decompress(c->compress(f, 1e-3));
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_NEAR(g.at(0), 42.0f, 1e-3 * 42.0f + 1e-3);
+  }
+}
+
+TEST(Robustness, HighlyAnisotropicDims) {
+  // 1xN and Nx1-ish shapes stress the blocking and stencil border logic.
+  for (Dims d : {Dims(2, 300), Dims(300, 2), Dims(2, 3, 200)}) {
+    Field f(d);
+    Rng rng(19);
+    for (float& v : f.values()) v = rng.gaussianf();
+    for (Compressor* c : codecs()) {
+      const auto stream = c->compress(f, 1e-2);
+      Field g = c->decompress(stream);
+      EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
+                1e-2 * f.value_range() * (1 + 1e-9))
+          << c->name() << " on " << d.str();
+    }
+  }
+}
+
+TEST(Robustness, NegativeOnlyAndConstantNegativeFields) {
+  Field f(Dims(20, 20), -5.0f);
+  for (Compressor* c : codecs()) {
+    Field g = c->decompress(c->compress(f, 1e-3));
+    for (float v : g.values()) EXPECT_NEAR(v, -5.0f, 1e-2);
+  }
+  Field h(Dims(20, 20));
+  Rng rng(23);
+  for (float& v : h.values()) v = -10.0f + rng.gaussianf();
+  for (Compressor* c : codecs()) {
+    Field g = c->decompress(c->compress(h, 1e-3));
+    EXPECT_LE(metrics::max_abs_err(h.values(), g.values()),
+              1e-3 * h.value_range() * (1 + 1e-9))
+        << c->name();
+  }
+}
+
+TEST(Robustness, RepeatedCompressorReuse) {
+  // One codec object across many fields and bounds must not leak state.
+  SZInterp c;
+  Rng rng(29);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t h = 8 + rng.below(40);
+    const std::size_t w = 8 + rng.below(40);
+    Field f(Dims(h, w));
+    for (float& v : f.values()) v = rng.gaussianf();
+    const double eb = std::pow(10.0, -1.0 - static_cast<double>(rng.below(4)));
+    Field g = c.decompress(c.compress(f, eb));
+    EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
+              eb * f.value_range() * (1 + 1e-9))
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace aesz

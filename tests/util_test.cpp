@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/bitstream.hpp"
+#include "util/bytestream.hpp"
+#include "util/dims.hpp"
+#include "util/rng.hpp"
+
+namespace aesz {
+namespace {
+
+TEST(ByteStream, PodRoundtrip) {
+  ByteWriter w;
+  w.put<std::uint32_t>(0xDEADBEEF);
+  w.put<float>(3.25f);
+  w.put<double>(-1e300);
+  w.put<std::uint8_t>(7);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get<float>(), 3.25f);
+  EXPECT_EQ(r.get<double>(), -1e300);
+  EXPECT_EQ(r.get<std::uint8_t>(), 7);
+  EXPECT_TRUE(r.eof());
+}
+
+TEST(ByteStream, VarintRoundtripEdgeValues) {
+  const std::vector<std::uint64_t> vals{
+      0, 1, 127, 128, 255, 16383, 16384, 0xFFFFFFFFull,
+      0xFFFFFFFFFFFFFFFFull};
+  ByteWriter w;
+  for (auto v : vals) w.put_varint(v);
+  ByteReader r(w.bytes());
+  for (auto v : vals) EXPECT_EQ(r.get_varint(), v);
+}
+
+TEST(ByteStream, VarintDense) {
+  ByteWriter w;
+  Rng rng(3);
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 2000; ++i) {
+    const int bits = static_cast<int>(rng.below(64));
+    vals.push_back(rng.next_u64() >> bits);
+    w.put_varint(vals.back());
+  }
+  ByteReader r(w.bytes());
+  for (auto v : vals) EXPECT_EQ(r.get_varint(), v);
+}
+
+TEST(ByteStream, BlobRoundtrip) {
+  ByteWriter w;
+  std::vector<std::uint8_t> a{1, 2, 3}, b{};
+  w.put_blob(a);
+  w.put_blob(b);
+  ByteReader r(w.bytes());
+  auto ra = r.get_blob();
+  EXPECT_EQ(std::vector<std::uint8_t>(ra.begin(), ra.end()), a);
+  EXPECT_EQ(r.get_blob().size(), 0u);
+}
+
+TEST(ByteStream, ArrayRoundtrip) {
+  ByteWriter w;
+  std::vector<float> vals{1.5f, -2.0f, 0.0f};
+  w.put_array<float>(vals);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_array<float>(), vals);
+}
+
+TEST(ByteStream, TruncatedThrows) {
+  ByteWriter w;
+  w.put<std::uint32_t>(1);
+  ByteReader r(w.bytes());
+  (void)r.get<std::uint16_t>();
+  EXPECT_THROW((void)r.get<std::uint32_t>(), Error);
+}
+
+TEST(ByteStream, TruncatedVarintThrows) {
+  std::vector<std::uint8_t> bad{0x80, 0x80};  // never terminates
+  ByteReader r(bad);
+  EXPECT_THROW((void)r.get_varint(), Error);
+}
+
+TEST(BitStream, SingleBits) {
+  BitWriter w;
+  const std::vector<bool> bits{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  for (bool b : bits) w.put_bit(b);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (bool b : bits) EXPECT_EQ(r.get_bit(), b ? 1 : 0);
+}
+
+TEST(BitStream, MultiBitRoundtrip) {
+  BitWriter w;
+  Rng rng(11);
+  std::vector<std::pair<std::uint64_t, int>> items;
+  for (int i = 0; i < 500; ++i) {
+    const int n = 1 + static_cast<int>(rng.below(57));
+    const std::uint64_t v = rng.next_u64() & ((n >= 64) ? ~0ull : ((1ull << n) - 1));
+    items.emplace_back(v, n);
+    w.put(v, n);
+  }
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (auto [v, n] : items) EXPECT_EQ(r.get(n), v);
+}
+
+TEST(BitStream, UnaryRoundtrip) {
+  BitWriter w;
+  for (unsigned n : {0u, 1u, 2u, 7u, 31u}) w.put_unary(n);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (unsigned n : {0u, 1u, 2u, 7u, 31u}) EXPECT_EQ(r.get_unary(64), n);
+}
+
+TEST(BitStream, ZeroFillPastEnd) {
+  BitWriter w;
+  w.put_bit(true);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bit(), 1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(r.get_bit(), 0) << "bit " << i;
+}
+
+TEST(BitStream, BitCountTracksWrites) {
+  BitWriter w;
+  w.put(0x3, 2);
+  EXPECT_EQ(w.bit_count(), 2u);
+  w.put(0xFF, 8);
+  EXPECT_EQ(w.bit_count(), 10u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Dims, TotalsAndIndexing) {
+  Dims d1(10);
+  EXPECT_EQ(d1.rank, 1);
+  EXPECT_EQ(d1.total(), 10u);
+  Dims d2(4, 5);
+  EXPECT_EQ(d2.total(), 20u);
+  EXPECT_EQ(lin2(d2, 2, 3), 13u);
+  Dims d3(2, 3, 4);
+  EXPECT_EQ(d3.total(), 24u);
+  EXPECT_EQ(lin3(d3, 1, 2, 3), 23u);
+  EXPECT_EQ(d3.str(), "2x3x4");
+}
+
+TEST(Dims, NumBlocks) {
+  EXPECT_EQ(num_blocks(10, 4), 3u);
+  EXPECT_EQ(num_blocks(8, 4), 2u);
+  EXPECT_EQ(num_blocks(1, 4), 1u);
+}
+
+}  // namespace
+}  // namespace aesz

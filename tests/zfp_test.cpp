@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth.hpp"
+#include "metrics/metrics.hpp"
+#include "util/rng.hpp"
+#include "zfp/zfp_like.hpp"
+
+namespace aesz {
+namespace {
+
+Field make_field(int kind) {
+  switch (kind) {
+    case 0: return synth::cesm_freqsh(48, 64, 50);
+    case 1: return synth::cesm_cldhgh(64, 64, 50);
+    case 2: return synth::hurricane_qvapor(8, 32, 32, 43);
+    case 3: return synth::rtm(20, 20, 20, 1510);
+    case 4: {
+      Field f{Dims(std::size_t{2048})};
+      for (std::size_t i = 0; i < f.size(); ++i)
+        f.at(i) = std::sin(0.01f * static_cast<float>(i));
+      return f;
+    }
+    default: {
+      Field f = synth::nyx_temperature(16, 42);
+      f.log_transform();
+      return f;
+    }
+  }
+}
+
+struct Case {
+  int field_kind;
+  double rel_eb;
+};
+
+class ZfpAccuracy : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ZfpAccuracy, ToleranceRespected) {
+  Field f = make_field(GetParam().field_kind);
+  ZFPLike c;
+  const auto stream = c.compress(f, GetParam().rel_eb);
+  Field g = c.decompress(stream);
+  ASSERT_EQ(g.size(), f.size());
+  const double tol = GetParam().rel_eb * f.value_range();
+  EXPECT_LE(metrics::max_abs_err(f.values(), g.values()), tol * (1 + 1e-9));
+  EXPECT_LT(stream.size(), f.size() * sizeof(float));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZfpAccuracy,
+    ::testing::Values(Case{0, 1e-1}, Case{0, 1e-2}, Case{0, 1e-3},
+                      Case{0, 1e-4}, Case{1, 1e-2}, Case{1, 1e-4},
+                      Case{2, 1e-3}, Case{3, 1e-2}, Case{3, 1e-4},
+                      Case{4, 1e-3}, Case{5, 1e-2}, Case{5, 1e-4}));
+
+TEST(Zfp, AllZeroField) {
+  Field f(Dims(16, 16, 16), 0.0f);
+  ZFPLike c;
+  const auto stream = c.compress(f, 1e-3);
+  Field g = c.decompress(stream);
+  for (float v : g.values()) EXPECT_EQ(v, 0.0f);
+  // One bit per block + header: tiny.
+  EXPECT_LT(stream.size(), 100u);
+}
+
+TEST(Zfp, PartialBlocksPreserved) {
+  // Dims not divisible by 4: padded lanes must not corrupt valid ones.
+  Field f = synth::value_noise_2d(13, 19, 3, 2.0, 4);
+  ZFPLike c;
+  Field g = c.decompress(c.compress(f, 1e-3));
+  EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
+            1e-3 * f.value_range() * (1 + 1e-9));
+}
+
+TEST(Zfp, MonotoneRateDistortion) {
+  Field f = synth::cesm_freqsh(64, 64, 50);
+  ZFPLike c;
+  double prev_psnr = -1e9;
+  std::size_t prev_size = SIZE_MAX;
+  for (double eb : {1e-1, 1e-2, 1e-3, 1e-4}) {
+    const auto stream = c.compress(f, eb);
+    Field g = c.decompress(stream);
+    const double p = metrics::psnr(f.values(), g.values());
+    EXPECT_GT(p, prev_psnr);       // tighter bound -> better quality
+    EXPECT_GE(stream.size(), prev_size == SIZE_MAX ? 0 : prev_size);
+    prev_psnr = p;
+    prev_size = stream.size();
+  }
+}
+
+TEST(Zfp, FixedRateSizeIsExact) {
+  Field f = synth::value_noise_3d(16, 16, 16, 3, 2.0, 5);
+  ZFPLike c(ZFPLike::Options{.rate_bits_per_value = 8.0});
+  const auto stream = c.compress(f, 0.0);
+  Field g = c.decompress(stream);
+  ASSERT_EQ(g.size(), f.size());
+  // 8 bits/value = CR 4: stream must be within a small header of n/4 bytes.
+  EXPECT_NEAR(static_cast<double>(stream.size()),
+              static_cast<double>(f.size()), f.size() * 0.02 + 64.0);
+  // And reasonably accurate on smooth data.
+  EXPECT_GT(metrics::psnr(f.values(), g.values()), 30.0);
+}
+
+TEST(Zfp, FixedRateQualityGrowsWithRate) {
+  Field f = synth::value_noise_3d(16, 16, 16, 3, 2.0, 5);
+  double prev = -1e9;
+  for (double rate : {2.0, 4.0, 8.0, 16.0}) {
+    ZFPLike c(ZFPLike::Options{.rate_bits_per_value = rate});
+    Field g = c.decompress(c.compress(f, 0.0));
+    const double p = metrics::psnr(f.values(), g.values());
+    EXPECT_GT(p, prev) << "rate " << rate;
+    prev = p;
+  }
+}
+
+TEST(Zfp, SmoothDataBeatsNoiseInRatio) {
+  Field smooth = synth::value_noise_2d(64, 64, 2, 2.0, 6);
+  Field noise(Dims(64, 64));
+  Rng rng(7);
+  for (float& v : noise.values()) v = rng.gaussianf();
+  ZFPLike c;
+  const auto ss = c.compress(smooth, 1e-3);
+  const auto ns = c.compress(noise, 1e-3);
+  EXPECT_LT(ss.size(), ns.size());  // transform exploits correlation
+}
+
+TEST(Zfp, OneDimensionalSupport) {
+  Field f = make_field(4);
+  ZFPLike c;
+  Field g = c.decompress(c.compress(f, 1e-3));
+  EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
+            1e-3 * f.value_range() * (1 + 1e-9));
+}
+
+TEST(Zfp, RejectsZeroAccuracyBound) {
+  ZFPLike c;
+  Field f(Dims(8, 8), 1.0f);
+  EXPECT_THROW((void)c.compress(f, 0.0), Error);
+}
+
+TEST(Zfp, RejectsTooLowFixedRate) {
+  ZFPLike c(ZFPLike::Options{.rate_bits_per_value = 0.05});
+  Field f(Dims(8, 8), 1.0f);
+  EXPECT_THROW((void)c.compress(f, 0.0), Error);  // < 11 bits per block
+}
+
+}  // namespace
+}  // namespace aesz
