@@ -4,7 +4,7 @@
 //
 // Subcommands:
 //   train    --field <table6-name> --dims AxB[xC] --out model.bin  files...
-//   compress --field <name> --model model.bin --dims AxB[xC] --eb 1e-2 \
+//   compress --field <name> --model model.bin --dims AxB[xC] --eb 1e-2
 //            --out data.aesz  input.f32
 //   decompress --field <name> --model model.bin --out recon.f32  data.aesz
 //   assess   --dims AxB[xC]  original.f32 reconstructed.f32

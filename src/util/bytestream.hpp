@@ -19,8 +19,9 @@ class ByteWriter {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void put(const T& v) {
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-    buf_.insert(buf_.end(), p, p + sizeof(T));
+    const std::size_t old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &v, sizeof(T));
   }
 
   void put_bytes(std::span<const std::uint8_t> bytes) {
@@ -46,8 +47,10 @@ class ByteWriter {
     requires std::is_trivially_copyable_v<T>
   void put_array(std::span<const T> v) {
     put_varint(v.size());
-    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
-    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+    if (v.empty()) return;  // empty span may have data() == nullptr
+    const std::size_t old = buf_.size();
+    buf_.resize(old + v.size() * sizeof(T));
+    std::memcpy(buf_.data() + old, v.data(), v.size() * sizeof(T));
   }
 
   std::size_t size() const { return buf_.size(); }

@@ -29,7 +29,10 @@ struct Dims {
 
   std::string str() const {
     std::string s = std::to_string(d[0]);
-    for (int i = 1; i < rank; ++i) s += "x" + std::to_string(d[i]);
+    for (int i = 1; i < rank; ++i) {
+      s += 'x';
+      s += std::to_string(d[i]);
+    }
     return s;
   }
 };

@@ -164,7 +164,9 @@ TEST(Quantizer, FloatPrecisionGuard) {
   EXPECT_LE(std::abs(static_cast<double>(recon) -
                      static_cast<double>(orig)),
             1e-3);
-  if (code == LinearQuantizer::kUnpredictable) EXPECT_EQ(recon, orig);
+  if (code == LinearQuantizer::kUnpredictable) {
+    EXPECT_EQ(recon, orig);
+  }
 }
 
 struct QuantCase {

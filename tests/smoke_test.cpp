@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aesz.hpp"
+#include "data/synth.hpp"
+#include "metrics/metrics.hpp"
+
+namespace aesz {
+namespace {
+
+// End-to-end guard for the whole pipeline (split -> predict -> quantize ->
+// encode -> decode): if any stage regresses, the bound or the round-trip
+// breaks here before the slower paper benchmarks notice.
+
+AESZ make_tiny_codec(std::uint64_t seed) {
+  AESZ::Options opt;
+  opt.ae.rank = 2;
+  opt.ae.block = 16;
+  opt.ae.latent = 8;
+  opt.ae.channels = {4, 8};
+  return AESZ(opt, seed);
+}
+
+TEST(Smoke, RoundTripHoldsErrorBoundAcrossBounds) {
+  Field train0 = synth::cesm_cldhgh(48, 64, 10);
+  Field train1 = synth::cesm_cldhgh(48, 64, 20);
+  Field test = synth::cesm_cldhgh(48, 64, 55);
+
+  AESZ codec = make_tiny_codec(11);
+  TrainOptions topt;
+  topt.epochs = 4;
+  topt.batch = 16;
+  codec.train({&train0, &train1}, topt);
+
+  for (const double rel_eb : {1e-1, 1e-2, 1e-3}) {
+    const auto stream = codec.compress(test, rel_eb);
+    const Field recon = codec.decompress(stream);
+    ASSERT_EQ(recon.size(), test.size());
+    ASSERT_EQ(recon.dims(), test.dims());
+    const double abs_eb = rel_eb * test.value_range();
+    EXPECT_LE(metrics::max_abs_err(test.values(), recon.values()),
+              abs_eb * (1 + 1e-9))
+        << "bound violated at rel_eb=" << rel_eb;
+    EXPECT_GT(metrics::compression_ratio(test.size(), stream.size()), 1.0)
+        << "stream expanded at rel_eb=" << rel_eb;
+  }
+}
+
+TEST(Smoke, UntrainedModelStillErrorBounded) {
+  // The selector must never let a useless AE predictor break the guarantee:
+  // quantization enforces the bound regardless of predictor quality.
+  Field test = synth::cesm_cldhgh(48, 64, 55);
+  AESZ codec = make_tiny_codec(12);
+
+  const double rel_eb = 1e-2;
+  const auto stream = codec.compress(test, rel_eb);
+  const Field recon = codec.decompress(stream);
+  ASSERT_EQ(recon.size(), test.size());
+  EXPECT_LE(metrics::max_abs_err(test.values(), recon.values()),
+            rel_eb * test.value_range() * (1 + 1e-9));
+}
+
+TEST(Smoke, RoundTrip3DField) {
+  AESZ::Options opt;
+  opt.ae.rank = 3;
+  opt.ae.block = 8;
+  opt.ae.latent = 8;
+  opt.ae.channels = {4, 8};
+  AESZ codec(opt, 13);
+
+  Field train = synth::hurricane_u(16, 24, 24, 10);
+  Field test = synth::hurricane_u(16, 24, 24, 43);
+  TrainOptions topt;
+  topt.epochs = 4;
+  topt.batch = 16;
+  codec.train({&train}, topt);
+
+  const double rel_eb = 1e-2;
+  const auto stream = codec.compress(test, rel_eb);
+  const Field recon = codec.decompress(stream);
+  ASSERT_EQ(recon.size(), test.size());
+  ASSERT_EQ(recon.dims(), test.dims());
+  EXPECT_LE(metrics::max_abs_err(test.values(), recon.values()),
+            rel_eb * test.value_range() * (1 + 1e-9));
+}
+
+}  // namespace
+}  // namespace aesz
