@@ -7,13 +7,6 @@
 
 #include "bench/common.hpp"
 
-#include "ae_baselines/ae_a.hpp"
-#include "ae_baselines/ae_b.hpp"
-#include "sz/sz21.hpp"
-#include "sz/szauto.hpp"
-#include "sz/szinterp.hpp"
-#include "zfp/zfp_like.hpp"
-
 namespace {
 
 using namespace aesz;
@@ -22,51 +15,47 @@ void run_field(bench::SplitDataset& ds) {
   std::printf("\n================ %s (%s%s) ================\n",
               ds.name.c_str(), ds.test.dims().str().c_str(),
               ds.log_space ? ", log space" : "");
+  const int rank = ds.is3d ? 3 : 2;
 
-  // Learned compressors, trained on this dataset's training split.
-  AESZ::Options aopt;
-  aopt.ae = ds.is3d ? bench::ae3d() : bench::ae2d();
-  AESZ aesz_codec(aopt, 43);
-  bench::train_codec(aesz_codec, bench::ptrs(ds), "AE-SZ (SWAE)",
-                     ds.is3d ? 16 : 32);
-  AEA aea(AEA::Options{.window = 1024, .latent = 2}, 44);
-  bench::train_codec(aea, bench::ptrs(ds), "AE-A (FC, 512x latents)");
-  AEB aeb(AEB::Options{}, 45);
-  if (ds.is3d) bench::train_codec(aeb, bench::ptrs(ds), "AE-B (conv, 64x)", 16);
-
-  SZ21 sz21;
-  SZAuto szauto;
-  SZInterp szinterp;
-  ZFPLike zfp;
-
-  std::vector<Compressor*> codecs{&aesz_codec, &sz21, &zfp, &aea};
-  if (ds.is3d) {
-    codecs.push_back(&szauto);
-    codecs.push_back(&szinterp);
+  // The whole zoo comes from the registry; learned compressors are trained
+  // on this dataset's training split, classical ones need no training.
+  std::vector<std::unique_ptr<Compressor>> codecs;
+  for (const char* name : {"AE-SZ", "SZ2.1", "ZFP", "AE-A", "SZauto",
+                           "SZinterp", "AE-B"}) {
+    auto c = bench::registry_codec(name, rank);
+    if (!c->supports_rank(rank)) continue;  // AE-B is 3-D only
+    if (!ds.is3d && (std::string(name) == "SZauto" ||
+                     std::string(name) == "SZinterp"))
+      continue;  // the paper plots them only on the 3-D fields
+    bench::train_if_trainable(*c, bench::ptrs(ds), ds.is3d ? 16 : 32);
+    codecs.push_back(std::move(c));
   }
 
+  Compressor* aesz_codec = codecs.front().get();
+  Compressor* sz21 = codecs[1].get();
   std::printf("%s\n", metrics::rd_header().c_str());
-  for (Compressor* c : codecs) {
+  for (auto& c : codecs) {
+    if (!c->error_bounded()) {
+      // AE-B is a single fixed-rate point (0.5 bits/value), not a curve.
+      const auto p = bench::evaluate(*c, ds.test, 0.0);
+      std::printf("%s   <- fixed 64x, not error bounded\n",
+                  metrics::format_rd_row(c->name(), p).c_str());
+      continue;
+    }
     for (double eb : {1e-1, 3e-2, 1e-2, 1e-3, 1e-4}) {
       const auto p = bench::evaluate(*c, ds.test, eb);
       std::printf("%s\n", metrics::format_rd_row(c->name(), p).c_str());
       std::fflush(stdout);
     }
   }
-  if (ds.is3d) {
-    // AE-B is a single fixed-rate point (0.5 bits/value), not a curve.
-    const auto p = bench::evaluate(aeb, ds.test, 0.0);
-    std::printf("%s   <- fixed 64x, not error bounded\n",
-                metrics::format_rd_row(aeb.name(), p).c_str());
-  }
 
   // Headline summary: CR improvement over SZ2.1 at matched PSNR in the
   // high-ratio regime (paper: 100%-800%).
-  const auto a = bench::evaluate(aesz_codec, ds.test, 3e-2);
+  const auto a = bench::evaluate(*aesz_codec, ds.test, 3e-2);
   // Find the SZ2.1 bound whose PSNR is closest to AE-SZ's at 3e-2.
   double best_gap = 1e18, sz_cr = 0, sz_psnr = 0;
   for (double eb : {1e-1, 6e-2, 3e-2, 2e-2, 1e-2, 6e-3, 3e-3}) {
-    const auto q = bench::evaluate(sz21, ds.test, eb);
+    const auto q = bench::evaluate(*sz21, ds.test, eb);
     if (std::abs(q.psnr - a.psnr) < best_gap) {
       best_gap = std::abs(q.psnr - a.psnr);
       sz_cr = q.compression_ratio;

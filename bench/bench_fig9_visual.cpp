@@ -79,7 +79,7 @@ int main() {
                           ? find_eb_for_cr(*c, ds.test, target_cr)
                           : 0.0;
     const auto stream = c->compress(ds.test, eb);
-    Field recon = c->decompress(stream);
+    Field recon = c->decompress(stream).value();
     const double cr = metrics::compression_ratio(ds.test.size(), stream.size());
     std::printf("%-10s %10.2e %10.1f %10.2f %12.3e\n", c->name().c_str(), eb,
                 cr, metrics::psnr(ds.test.values(), recon.values()),

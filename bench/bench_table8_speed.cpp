@@ -97,7 +97,7 @@ void bench_decompress(benchmark::State& state, Compressor* c,
                       const Field* f) {
   const auto stream = c->compress(*f, kRelEb);
   for (auto _ : state) {
-    Field g = c->decompress(stream);
+    Field g = c->decompress(stream).value();
     benchmark::DoNotOptimize(g);
   }
   const double mb = static_cast<double>(f->size() * sizeof(float)) / 1e6;

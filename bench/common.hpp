@@ -11,12 +11,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/aesz.hpp"
 #include "data/synth.hpp"
 #include "metrics/metrics.hpp"
+#include "predictors/registry.hpp"
 #include "util/timer.hpp"
 
 namespace aesz::bench {
@@ -70,6 +73,14 @@ inline TrainOptions train_opts(std::size_t batch = 32) {
   return t;
 }
 
+/// Build a codec by registry name (benches abort loudly on a bad name).
+inline std::unique_ptr<Compressor> registry_codec(const std::string& name,
+                                                  int rank) {
+  auto c = CodecRegistry::instance().create(name, rank);
+  AESZ_CHECK_MSG(c.ok(), c.status().str());
+  return std::move(c).value();
+}
+
 /// Train any codec exposing train(fields, opts) with progress output.
 template <typename Codec>
 void train_codec(Codec& codec, const std::vector<const Field*>& fields,
@@ -82,11 +93,19 @@ void train_codec(Codec& codec, const std::vector<const Field*>& fields,
               rep.epoch_loss.back(), t.seconds());
 }
 
+/// Registry flavor: train codecs that implement Trainable, skip the rest.
+inline void train_if_trainable(Compressor& c,
+                               const std::vector<const Field*>& fields,
+                               std::size_t batch = 32) {
+  if (auto* t = dynamic_cast<Trainable*>(&c))
+    train_codec(*t, fields, c.name().c_str(), batch);
+}
+
 /// One rate-distortion evaluation: compress, decompress, verify, report.
 inline metrics::RDPoint evaluate(Compressor& c, const Field& f,
                                  double rel_eb) {
   const auto stream = c.compress(f, rel_eb);
-  Field recon = c.decompress(stream);
+  Field recon = c.decompress(stream).value();
   metrics::RDPoint p;
   p.rel_error_bound = rel_eb;
   p.bit_rate = metrics::bit_rate(f.size(), stream.size());

@@ -1,17 +1,24 @@
-// aesz_cli — command-line front end for the AE-SZ compressor on raw
+// aesz_cli — command-line front end for the compressor zoo on raw
 // single-precision files (SDRBench layout). The tool a downstream user
 // would actually script against.
 //
 // Subcommands:
 //   train    --field <table6-name> --dims AxB[xC] --out model.bin  files...
-//   compress --field <name> --model model.bin --dims AxB[xC] --eb 1e-2
-//            --out data.aesz  input.f32
-//   decompress --field <name> --model model.bin --out recon.f32  data.aesz
+//   compress --codec NAME --eb MODE:VALUE --dims AxB[xC] --out out.bin
+//            [--field <name> --model model.bin]  input.f32
+//   decompress [--codec NAME | auto-detected] --out recon.f32
+//            [--field <name> --model model.bin]  data.aesz
 //   assess   --dims AxB[xC]  original.f32 reconstructed.f32
+//   list-codecs
+//
+// --codec defaults to AE-SZ (which needs --model); every other registered
+// codec works without a model. --eb accepts abs:V, rel:V, psnr:V, or a
+// bare number (value-range-relative, the paper's ε).
 //
 // Synthetic smoke run (no files needed):
 //   aesz_cli demo
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 
@@ -20,6 +27,7 @@
 #include "data/synth.hpp"
 #include "metrics/assessment.hpp"
 #include "metrics/metrics.hpp"
+#include "predictors/registry.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -62,16 +70,40 @@ int usage() {
   std::printf(
       "usage:\n"
       "  aesz_cli train --field NAME --dims AxB[xC] --out model.bin f...\n"
-      "  aesz_cli compress --field NAME --model m.bin --dims AxB[xC]\n"
-      "           --eb 1e-2 --out out.aesz input.f32\n"
-      "  aesz_cli decompress --field NAME --model m.bin --out recon.f32 in\n"
+      "  aesz_cli compress --codec NAME --eb MODE:VALUE --dims AxB[xC]\n"
+      "           [--field NAME --model m.bin] --out out.bin input.f32\n"
+      "  aesz_cli decompress [--codec NAME] [--field NAME --model m.bin]\n"
+      "           --out recon.f32 in\n"
       "  aesz_cli assess --dims AxB[xC] original.f32 reconstructed.f32\n"
+      "  aesz_cli list-codecs\n"
       "  aesz_cli demo\n"
+      "--eb modes: abs:V | rel:V | psnr:V (bare number = rel)\n"
       "fields: ");
   for (const auto& f : model_zoo::known_fields())
     std::printf("%s ", f.c_str());
   std::printf("\n");
   return 2;
+}
+
+int cmd_list_codecs() {
+  auto& reg = CodecRegistry::instance();
+  std::printf("%-10s %-13s %s\n", "codec", "error-bounded", "description");
+  for (const auto& name : reg.names()) {
+    const CodecInfo* info = reg.find(name);
+    std::printf("%-10s %-13s %s\n", name.c_str(),
+                info->error_bounded ? "yes" : "no",
+                info->description.c_str());
+  }
+  return 0;
+}
+
+bool is_aesz(const std::string& codec_name) {
+  // Case-insensitive, like the registry — a mixed-case spelling must not
+  // silently skip the model-loading path.
+  std::string s = codec_name;
+  for (char& c : s)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s == "ae-sz" || s == "aesz";
 }
 
 int cmd_train(const CliArgs& args) {
@@ -94,31 +126,77 @@ int cmd_train(const CliArgs& args) {
 }
 
 int cmd_compress(const CliArgs& args) {
-  const std::string field = args.get("field", "CESM-CLDHGH");
+  const std::string codec_name = args.get("codec", "AE-SZ");
   const Dims dims = parse_dims(args.get("dims", ""));
-  AESZ codec(model_zoo::options_for(field), 1);
-  codec.load_model(args.get("model", "model.bin"));
   AESZ_CHECK_MSG(args.positional().size() == 1, "need one input file");
   Field f = Field::load_raw(args.positional()[0], dims);
-  const double eb = args.get_double("eb", 1e-2);
-  const auto stream = codec.compress(f, eb);
+  const ErrorBound eb = ErrorBound::parse(args.get("eb", "rel:1e-2")).value();
+
+  std::unique_ptr<Compressor> owned;
+  std::unique_ptr<AESZ> aesz_codec;
+  Compressor* codec;
+  if (is_aesz(codec_name)) {
+    // AE-SZ needs its trained model (stored separately from the data).
+    const std::string field = args.get("field", "CESM-CLDHGH");
+    aesz_codec = std::make_unique<AESZ>(model_zoo::options_for(field), 1);
+    aesz_codec->load_model(args.get("model", "model.bin"));
+    codec = aesz_codec.get();
+  } else {
+    owned = CodecRegistry::instance().create(codec_name, dims.rank).value();
+    codec = owned.get();
+  }
+
+  const auto stream = codec->compress(f, eb);
   write_file(args.get("out", "out.aesz"), stream);
-  std::printf("%zu -> %zu bytes (CR %.2f), %.1f%% AE blocks\n",
+  std::printf("%s: %zu -> %zu bytes (CR %.2f, bound %s)", codec->name().c_str(),
               f.size() * sizeof(float), stream.size(),
               metrics::compression_ratio(f.size(), stream.size()),
-              100.0 * codec.last_stats().ae_fraction());
+              eb.str().c_str());
+  if (aesz_codec)
+    std::printf(", %.1f%% AE blocks",
+                100.0 * aesz_codec->last_stats().ae_fraction());
+  std::printf("\n");
   return 0;
 }
 
 int cmd_decompress(const CliArgs& args) {
-  const std::string field = args.get("field", "CESM-CLDHGH");
-  AESZ codec(model_zoo::options_for(field), 1);
-  codec.load_model(args.get("model", "model.bin"));
   AESZ_CHECK_MSG(args.positional().size() == 1, "need one input file");
   const auto stream = read_file(args.positional()[0]);
-  Field f = codec.decompress(stream);
-  f.save_raw(args.get("out", "recon.f32"));
-  std::printf("decompressed %s -> %s\n", f.dims().str().c_str(),
+
+  // Pick the codec: explicit --codec wins, else sniff the stream magic.
+  auto& reg = CodecRegistry::instance();
+  std::string codec_name = args.get("codec", "");
+  if (codec_name.empty()) {
+    auto identified = reg.identify(stream);
+    if (!identified.ok()) {
+      std::fprintf(stderr, "error: %s\n", identified.status().str().c_str());
+      return 1;
+    }
+    codec_name = *identified;
+  }
+
+  std::unique_ptr<Compressor> owned;
+  std::unique_ptr<AESZ> aesz_codec;
+  Compressor* codec;
+  if (is_aesz(codec_name)) {
+    const std::string field = args.get("field", "CESM-CLDHGH");
+    aesz_codec = std::make_unique<AESZ>(model_zoo::options_for(field), 1);
+    aesz_codec->load_model(args.get("model", "model.bin"));
+    codec = aesz_codec.get();
+  } else {
+    owned = reg.create(codec_name).value();
+    codec = owned.get();
+  }
+
+  auto result = codec->decompress(stream);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: cannot decompress with %s: %s\n",
+                 codec_name.c_str(), result.status().str().c_str());
+    return 1;
+  }
+  result->save_raw(args.get("out", "recon.f32"));
+  std::printf("%s: decompressed %s -> %s\n", codec_name.c_str(),
+              result->dims().str().c_str(),
               args.get("out", "recon.f32").c_str());
   return 0;
 }
@@ -178,6 +256,25 @@ int cmd_demo() {
                  const_cast<char**>(argv), {"dims"});
     if (cmd_assess(args)) return 1;
   }
+  {
+    // Registry path: a model-free codec under an absolute bound...
+    const char* argv[] = {"aesz_cli", "--codec",    "SZ2.1",
+                          "--dims",   "96x192",     "--eb",
+                          "abs:0.01", "--out",      "/tmp/aesz_cli_demo.sz21",
+                          "/tmp/aesz_cli_test.f32"};
+    CliArgs args(static_cast<int>(std::size(argv)),
+                 const_cast<char**>(argv), {"codec", "dims", "eb", "out"});
+    if (cmd_compress(args)) return 1;
+  }
+  {
+    // ...decompressed with the codec auto-detected from the stream magic.
+    const char* argv[] = {"aesz_cli", "--out",
+                          "/tmp/aesz_cli_recon_sz21.f32",
+                          "/tmp/aesz_cli_demo.sz21"};
+    CliArgs args(static_cast<int>(std::size(argv)),
+                 const_cast<char**>(argv), {"out"});
+    if (cmd_decompress(args)) return 1;
+  }
   return 0;
 }
 
@@ -187,13 +284,14 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    const std::vector<std::string> keys{"field", "dims",   "out",
-                                        "model", "eb",     "epochs"};
+    const std::vector<std::string> keys{"field", "dims", "out",
+                                        "model", "eb",   "epochs", "codec"};
     CliArgs args(argc - 1, argv + 1, keys);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "compress") return cmd_compress(args);
     if (cmd == "decompress") return cmd_decompress(args);
     if (cmd == "assess") return cmd_assess(args);
+    if (cmd == "list-codecs") return cmd_list_codecs();
     if (cmd == "demo") return cmd_demo();
     return usage();
   } catch (const aesz::Error& e) {

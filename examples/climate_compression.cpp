@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   for (int t : {50, 52, 54, 56, 58, 60, 62}) {
     Field snap = synth::cesm_cldhgh(192, 384, t);
     const auto stream = codec.compress(snap, rel_eb);
-    Field recon = codec.decompress(stream);
+    Field recon = codec.decompress(stream).value();
     const double err = metrics::max_abs_err(snap.values(), recon.values());
     const double bound = rel_eb * snap.value_range();
     if (err > bound) {

@@ -1,9 +1,11 @@
-// Side-by-side comparison of every compressor in the repo on one field:
-// AE-SZ, SZ2.1, SZauto, SZinterp, ZFP, AE-A, AE-B (3-D only).
+// Side-by-side comparison of every compressor in the repo on one field.
+// The codec list comes from the CodecRegistry — adding a codec to the
+// registry automatically adds it to this report.
 //
-//   ./compressor_compare [dataset] [rel_eb]
+//   ./compressor_compare [dataset] [eb-spec]
 //     dataset: cesm | freqsh | exafel | nyx | hurricane | rtm  (default cesm)
-//     rel_eb : value-range-relative error bound (default 1e-2)
+//     eb-spec: MODE:VALUE with MODE in abs|rel|psnr, or a bare
+//              value-range-relative number (default rel:1e-2)
 
 #include <cstdio>
 #include <cstdlib>
@@ -11,16 +13,11 @@
 #include <memory>
 #include <vector>
 
-#include "ae_baselines/ae_a.hpp"
-#include "ae_baselines/ae_b.hpp"
-#include "core/aesz.hpp"
+#include "core/training.hpp"
 #include "data/synth.hpp"
 #include "metrics/metrics.hpp"
-#include "sz/sz21.hpp"
-#include "sz/szauto.hpp"
-#include "sz/szinterp.hpp"
+#include "predictors/registry.hpp"
 #include "util/timer.hpp"
-#include "zfp/zfp_like.hpp"
 
 namespace {
 
@@ -61,61 +58,67 @@ Dataset make_dataset(const std::string& name) {
 int main(int argc, char** argv) {
   using namespace aesz;
   const std::string dataset = argc > 1 ? argv[1] : "cesm";
-  const double rel_eb = argc > 2 ? std::atof(argv[2]) : 1e-2;
+  auto eb_spec = ErrorBound::parse(argc > 2 ? argv[2] : "rel:1e-2");
+  if (!eb_spec.ok()) {
+    std::fprintf(stderr, "error: %s\n", eb_spec.status().str().c_str());
+    return 2;
+  }
+  const ErrorBound eb = *eb_spec;
 
-  std::printf("=== compressor comparison on '%s' (rel_eb %.1e) ===\n",
-              dataset.c_str(), rel_eb);
+  std::printf("=== compressor comparison on '%s' (bound %s) ===\n",
+              dataset.c_str(), eb.str().c_str());
   Dataset ds = make_dataset(dataset);
-  std::printf("field: %s, value range %.4g\n\n", ds.test.dims().str().c_str(),
-              ds.test.value_range());
+  const int rank = ds.is3d ? 3 : 2;
+  std::printf("field: %s, value range %.4g, abs tolerance %.4g\n\n",
+              ds.test.dims().str().c_str(), ds.test.value_range(),
+              eb.absolute(ds.test.value_range()));
 
-  // Train the learned compressors on the training split.
-  AESZ::Options aopt;
-  aopt.ae.rank = ds.is3d ? 3 : 2;
-  aopt.ae.block = ds.is3d ? 8 : 32;
-  aopt.ae.latent = 16;
-  aopt.ae.channels = ds.is3d ? std::vector<std::size_t>{8, 16, 32}
-                             : std::vector<std::size_t>{8, 16, 32};
-  AESZ aesz_codec(aopt, 1);
-  AEA aea(AEA::Options{.window = 1024, .latent = 2}, 2);
-  AEB aeb(AEB::Options{}, 3);
+  auto& registry = CodecRegistry::instance();
+  std::vector<std::unique_ptr<Compressor>> codecs;
+  for (const std::string& name : registry.names()) {
+    auto c = registry.create(name, rank).value();
+    if (!c->supports_rank(rank)) {
+      std::printf("(skipping %s: no %d-D support)\n", name.c_str(), rank);
+      continue;
+    }
+    codecs.push_back(std::move(c));
+  }
 
+  // Train whatever is trainable on the training split.
   TrainOptions topt;
   topt.epochs = 8;
   topt.batch = ds.is3d ? 16 : 32;
-  std::printf("training AE-SZ / AE-A%s...\n", ds.is3d ? " / AE-B" : "");
-  aesz_codec.train({&ds.train0, &ds.train1}, topt);
-  aea.train({&ds.train0, &ds.train1}, topt);
-  if (ds.is3d) aeb.train({&ds.train0, &ds.train1}, topt);
+  for (auto& c : codecs) {
+    if (auto* t = dynamic_cast<Trainable*>(c.get())) {
+      std::printf("training %s...\n", c->name().c_str());
+      t->train({&ds.train0, &ds.train1}, topt);
+    }
+  }
   std::printf("\n");
 
-  SZ21 sz21;
-  SZAuto szauto;
-  SZInterp szinterp;
-  ZFPLike zfp;
-
-  std::vector<Compressor*> codecs{&aesz_codec, &sz21,    &szauto,
-                                  &szinterp,   &zfp,     &aea};
-  if (ds.is3d) codecs.push_back(&aeb);
-
+  const double bound = eb.absolute(ds.test.value_range());
   std::printf("%-10s %9s %9s %9s %10s %9s %9s %s\n", "codec", "CR",
               "bitrate", "PSNR", "max_err", "comp", "decomp", "bounded");
-  for (Compressor* c : codecs) {
+  for (auto& c : codecs) {
     Timer tc;
-    const auto stream = c->compress(ds.test, rel_eb);
+    const auto stream = c->compress(ds.test, eb);
     const double cs = tc.seconds();
     Timer td;
-    Field recon = c->decompress(stream);
+    auto recon = c->decompress(stream);
     const double dsx = td.seconds();
+    if (!recon.ok()) {
+      std::printf("%-10s DECODE FAILED: %s\n", c->name().c_str(),
+                  recon.status().str().c_str());
+      continue;
+    }
     const double err =
-        metrics::max_abs_err(ds.test.values(), recon.values());
-    const double bound = rel_eb * ds.test.value_range();
+        metrics::max_abs_err(ds.test.values(), recon->values());
     const double mb = ds.test.size() * sizeof(float) / 1e6;
     std::printf("%-10s %9.2f %9.3f %9.2f %10.2e %7.1fMB/s %7.1fMB/s %s\n",
                 c->name().c_str(),
                 metrics::compression_ratio(ds.test.size(), stream.size()),
                 metrics::bit_rate(ds.test.size(), stream.size()),
-                metrics::psnr(ds.test.values(), recon.values()), err,
+                metrics::psnr(ds.test.values(), recon->values()), err,
                 mb / cs, mb / dsx,
                 !c->error_bounded() ? "no (by design)"
                 : err <= bound * (1 + 1e-9) ? "yes"

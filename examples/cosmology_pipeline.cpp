@@ -9,12 +9,13 @@
 // the SZ2.1 baseline on the same field.
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/aesz.hpp"
 #include "data/synth.hpp"
 #include "metrics/metrics.hpp"
-#include "sz/sz21.hpp"
+#include "predictors/registry.hpp"
 
 int main() {
   using namespace aesz;
@@ -41,13 +42,15 @@ int main() {
   const auto rep = codec.train({&train_a, &train_b}, topt);
   std::printf("done: %zu samples, %.1fs\n\n", rep.samples, rep.seconds);
 
-  SZ21 sz21;
+  // The baseline comes from the registry — the runtime-selection path a
+  // service would use.
+  auto sz21 = CodecRegistry::instance().create("SZ2.1", 3).value();
   std::printf("%-10s %s\n", "", metrics::rd_header().c_str());
   for (double eb : {1e-1, 5e-2, 2e-2, 1e-2, 5e-3, 1e-3, 1e-4}) {
     for (Compressor* c :
-         std::initializer_list<Compressor*>{&codec, &sz21}) {
+         std::initializer_list<Compressor*>{&codec, sz21.get()}) {
       const auto stream = c->compress(test, eb);
-      Field recon = c->decompress(stream);
+      Field recon = c->decompress(stream).value();
       metrics::RDPoint p;
       p.rel_error_bound = eb;
       p.bit_rate = metrics::bit_rate(test.size(), stream.size());

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   // 4. Decompress and verify the bound.
   std::printf("[4/4] decompressing and verifying...\n\n");
   Timer td;
-  Field recon = codec.decompress(stream);
+  Field recon = codec.decompress(stream).value();
   const double decomp_s = td.seconds();
 
   const double abs_eb = rel_eb * test.value_range();

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build and run the test suite under ASan + UBSan. The corrupt-stream
+# robustness/registry tests are only meaningful with sanitizers watching
+# for the OOB reads and overflows they try to provoke.
+#
+#   scripts/run_sanitizers.sh            # full suite
+#   scripts/run_sanitizers.sh -R corrupt # extra args forwarded to ctest
+#
+# Env: BUILD_DIR (default build-asan), CC/CXX respected by CMake.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAESZ_SANITIZE=ON \
+  -DAESZ_BUILD_BENCH=OFF \
+  -DAESZ_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# allocator_may_return_null: hostile-length allocation attempts must surface
+# as bad_alloc (which decompress() converts to a typed status), not as an
+# ASan hard error; halt_on_error keeps genuine UB fatal.
+export ASAN_OPTIONS="allocator_may_return_null=1:detect_leaks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

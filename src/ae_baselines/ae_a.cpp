@@ -13,7 +13,7 @@
 namespace aesz {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x41454131;  // "AEA1"
+constexpr std::uint32_t kMagic = AEA::kStreamMagic;
 
 }  // namespace
 
@@ -132,18 +132,18 @@ TrainReport AEA::train(const std::vector<const Field*>& fields,
   return report;
 }
 
-std::vector<std::uint8_t> AEA::compress(const Field& f, double rel_eb) {
-  AESZ_CHECK_MSG(rel_eb > 0, "AE-A requires a positive error bound");
+std::vector<std::uint8_t> AEA::compress(const Field& f,
+                                        const ErrorBound& eb) {
   const Dims& d = f.dims();
   auto [lo, hi] = f.min_max();
   const float range = hi - lo;
-  const double abs_eb = range > 0 ? rel_eb * range : rel_eb;
+  const double abs_eb = sz::resolve_abs_eb(f, eb, "AE-A");
   const std::size_t W = opt_.window;
   const std::size_t n = f.size();
   const std::size_t nwin = (n + W - 1) / W;
 
   ByteWriter w;
-  sz::write_header(w, kMagic, d, abs_eb);
+  sz::write_header(w, kMagic, d, eb, abs_eb);
   w.put(lo);
   w.put(hi);
   w.put_varint(W);
@@ -190,30 +190,31 @@ std::vector<std::uint8_t> AEA::compress(const Field& f, double rel_eb) {
   return w.take();
 }
 
-Field AEA::decompress(std::span<const std::uint8_t> stream) {
+Field AEA::decompress_impl(std::span<const std::uint8_t> stream) {
   ByteReader r(stream);
-  double abs_eb = 0;
-  const Dims d = sz::read_header(r, kMagic, abs_eb);
+  const sz::StreamHeader h = sz::read_header_or_throw(r, kMagic);
+  const Dims d = h.dims;
+  const double abs_eb = h.abs_eb;
   const auto lo = r.get<float>();
   const auto hi = r.get<float>();
   const float range = hi - lo;
   const std::size_t W = r.get_varint();
   const std::size_t L = r.get_varint();
-  AESZ_CHECK_MSG(W == opt_.window && L == opt_.latent,
-                 "AE-A stream config mismatch");
+  if (W != opt_.window || L != opt_.latent)
+    throw Error(ErrCode::kModelMismatch, "AE-A stream config mismatch");
 
   const auto latent_bytes = lz::decompress(r.get_blob());
   ByteReader lr(latent_bytes);
   const auto latents = lr.get_array<float>();
   auto codes = qcodec::decode_codes(r.get_blob());
-  AESZ_CHECK_MSG(codes.size() == d.total(), "code count mismatch");
+  AESZ_CHECK_STREAM(codes.size() == d.total(), "code count mismatch");
   const auto unpred_bytes = lz::decompress(r.get_blob());
   ByteReader ur(unpred_bytes);
   const auto unpred = ur.get_array<float>();
 
   const std::size_t n = d.total();
   const std::size_t nwin = (n + W - 1) / W;
-  AESZ_CHECK_MSG(latents.size() == nwin * L, "latent count mismatch");
+  AESZ_CHECK_STREAM(latents.size() == nwin * L, "latent count mismatch");
 
   Field out(d);
   std::vector<float> pred(W);
@@ -226,7 +227,7 @@ Field AEA::decompress(std::span<const std::uint8_t> stream) {
     for (std::size_t i = 0; i < len; ++i) {
       const std::uint16_t code = codes[base + i];
       if (code == LinearQuantizer::kUnpredictable) {
-        AESZ_CHECK_MSG(ui < unpred.size(), "unpredictable underflow");
+        AESZ_CHECK_STREAM(ui < unpred.size(), "unpredictable underflow");
         out.at(base + i) = unpred[ui++];
         continue;
       }

@@ -20,8 +20,10 @@ namespace aesz {
 /// (dimension-blind), latents are stored as raw float32, and the windowed
 /// FC inference is much slower per byte than AE-SZ's conv blocks — this is
 /// what makes AE-A uncompetitive in Fig. 8 / Table VIII.
-class AEA final : public Compressor {
+class AEA final : public Compressor, public Trainable {
  public:
+  static constexpr std::uint32_t kStreamMagic = 0x41454131;  // "AEA1"
+
   struct Options {
     std::size_t window = 1024;  // 1-D window length (paper-scale: 4096)
     std::size_t latent = 2;     // window / 512
@@ -31,11 +33,15 @@ class AEA final : public Compressor {
   AEA(Options opt, std::uint64_t seed);
 
   TrainReport train(const std::vector<const Field*>& fields,
-                    const TrainOptions& opts);
+                    const TrainOptions& opts) override;
 
   std::string name() const override { return "AE-A"; }
-  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) override;
-  Field decompress(std::span<const std::uint8_t> stream) override;
+  using Compressor::compress;
+  std::vector<std::uint8_t> compress(const Field& f,
+                                     const ErrorBound& eb) override;
+
+ protected:
+  Field decompress_impl(std::span<const std::uint8_t> stream) override;
 
  private:
   /// Window prediction (normalized in, normalized out).

@@ -11,7 +11,7 @@
 namespace aesz {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x41454232;  // "AEB2"
+constexpr std::uint32_t kMagic = AEB::kStreamMagic;
 
 }  // namespace
 
@@ -150,8 +150,9 @@ TrainReport AEB::train(const std::vector<const Field*>& fields,
   return report;
 }
 
-std::vector<std::uint8_t> AEB::compress(const Field& f, double /*rel_eb*/) {
-  AESZ_CHECK_MSG(f.dims().rank == 3, "AE-B supports only 3-D data");
+std::vector<std::uint8_t> AEB::compress(const Field& f,
+                                        const ErrorBound& eb) {
+  AESZ_CHECK_ARG(f.dims().rank == 3, "AE-B supports only 3-D data");
   const Dims& d = f.dims();
   auto [lo, hi] = f.min_max();
   const Normalizer nrm{lo, hi};
@@ -159,7 +160,7 @@ std::vector<std::uint8_t> AEB::compress(const Field& f, double /*rel_eb*/) {
   const std::size_t be = split.block_elems();
 
   ByteWriter w;
-  sz::write_header(w, kMagic, d, 0.0);
+  sz::write_header(w, kMagic, d, eb, /*abs_eb=*/0.0);
   w.put(lo);
   w.put(hi);
   w.put_varint(opt_.block);
@@ -183,22 +184,24 @@ std::vector<std::uint8_t> AEB::compress(const Field& f, double /*rel_eb*/) {
   return w.take();
 }
 
-Field AEB::decompress(std::span<const std::uint8_t> stream) {
+Field AEB::decompress_impl(std::span<const std::uint8_t> stream) {
   ByteReader r(stream);
-  double ignored = 0;
-  const Dims d = sz::read_header(r, kMagic, ignored);
+  const sz::StreamHeader h = sz::read_header_or_throw(r, kMagic);
+  const Dims d = h.dims;
+  AESZ_CHECK_STREAM(d.rank == 3, "AE-B streams are 3-D");
   const auto lo = r.get<float>();
   const auto hi = r.get<float>();
   const std::size_t block = r.get_varint();
-  AESZ_CHECK_MSG(block == opt_.block, "AE-B stream block mismatch");
+  if (block != opt_.block)
+    throw Error(ErrCode::kModelMismatch, "AE-B stream block mismatch");
   const auto blob = r.get_blob();
   ByteReader lr(blob);
   const auto latents = lr.get_array<float>();
 
   const Normalizer nrm{lo, hi};
   const BlockSplit split = make_block_split(d, opt_.block);
-  AESZ_CHECK_MSG(latents.size() == split.total * latent_per_block_,
-                 "latent count mismatch");
+  AESZ_CHECK_STREAM(latents.size() == split.total * latent_per_block_,
+                    "latent count mismatch");
   Field out(d);
   const std::size_t lt = opt_.block / 4;
   const std::size_t batch = 16;

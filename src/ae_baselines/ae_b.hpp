@@ -18,8 +18,10 @@ namespace aesz {
 /// Reproduced at reduced width; error_bounded() returns false, matching
 /// the paper's caveat that AE-B's reported speeds cover only the AE
 /// prediction process.
-class AEB final : public Compressor {
+class AEB final : public Compressor, public Trainable {
  public:
+  static constexpr std::uint32_t kStreamMagic = 0x41454232;  // "AEB2"
+
   struct Options {
     std::size_t block = 16;  // processing tile (latent tile = block/4)
     std::size_t width = 4;   // base channel count (paper-scale: much wider)
@@ -30,13 +32,18 @@ class AEB final : public Compressor {
   AEB(Options opt, std::uint64_t seed);
 
   TrainReport train(const std::vector<const Field*>& fields,
-                    const TrainOptions& opts);
+                    const TrainOptions& opts) override;
 
   std::string name() const override { return "AE-B"; }
   bool error_bounded() const override { return false; }
-  /// rel_eb is ignored: AE-B has a fixed ratio (documented limitation).
-  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) override;
-  Field decompress(std::span<const std::uint8_t> stream) override;
+  bool supports_rank(int rank) const override { return rank == 3; }
+  /// The bound is ignored: AE-B has a fixed ratio (documented limitation).
+  using Compressor::compress;
+  std::vector<std::uint8_t> compress(const Field& f,
+                                     const ErrorBound& eb) override;
+
+ protected:
+  Field decompress_impl(std::span<const std::uint8_t> stream) override;
 
  private:
   nn::Tensor run(std::vector<std::unique_ptr<nn::Layer>>& stack,

@@ -12,7 +12,7 @@
 namespace aesz {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4145535A;  // "AESZ"
+constexpr std::uint32_t kMagic = AESZ::kStreamMagic;
 
 enum BlockFlag : std::uint8_t { kLorenzo = 0, kMean = 1, kAE = 2 };
 
@@ -67,14 +67,21 @@ void AESZ::load_model(const std::string& path) {
   trainer_->model().load(r);
 }
 
-std::vector<std::uint8_t> AESZ::compress(const Field& f, double rel_eb) {
-  AESZ_CHECK_MSG(rel_eb > 0, "AE-SZ requires a positive error bound");
+bool AESZ::supports_rank(int rank) const {
+  return rank == trainer_->model().config().rank;
+}
+
+std::vector<std::uint8_t> AESZ::compress(const Field& f,
+                                         const ErrorBound& eb) {
   const nn::AEConfig& cfg = trainer_->model().config();
-  AESZ_CHECK_MSG(f.dims().rank == cfg.rank,
+  AESZ_CHECK_ARG(f.dims().rank == cfg.rank,
                  "field rank does not match the trained AE");
   const Dims& d = f.dims();
   const double range = f.value_range();
-  const double abs_eb = range > 0 ? rel_eb * range : rel_eb;
+  const double abs_eb = sz::resolve_abs_eb(f, eb, "AE-SZ");
+  // The paper's latent bound scales with the *relative* bound ε; for Abs
+  // and PSNR requests use the equivalent relative bound abs_eb / range.
+  const double rel_eb = range > 0 ? abs_eb / range : abs_eb;
   auto [lo, hi] = f.min_max();
   const Normalizer nrm{lo, hi};
   const BlockSplit split = make_block_split(d, cfg.block);
@@ -243,7 +250,7 @@ std::vector<std::uint8_t> AESZ::compress(const Field& f, double rel_eb) {
 
   // ---- Step 5: stream assembly.
   ByteWriter w;
-  sz::write_header(w, kMagic, d, abs_eb);
+  sz::write_header(w, kMagic, d, eb, abs_eb);
   w.put(lo);
   w.put(hi);
   w.put(weight_fingerprint());
@@ -279,28 +286,31 @@ std::vector<std::uint8_t> AESZ::compress(const Field& f, double rel_eb) {
   return w.take();
 }
 
-Field AESZ::decompress(std::span<const std::uint8_t> stream) {
+Field AESZ::decompress_impl(std::span<const std::uint8_t> stream) {
   const nn::AEConfig& cfg = trainer_->model().config();
   ByteReader r(stream);
-  double abs_eb = 0;
-  const Dims d = sz::read_header(r, kMagic, abs_eb);
-  AESZ_CHECK_MSG(d.rank == cfg.rank, "stream rank != model rank");
+  const sz::StreamHeader h = sz::read_header_or_throw(r, kMagic);
+  const Dims d = h.dims;
+  const double abs_eb = h.abs_eb;
+  if (d.rank != cfg.rank)
+    throw Error(ErrCode::kModelMismatch, "stream rank != model rank");
   const auto lo = r.get<float>();
   const auto hi = r.get<float>();
   const auto fp = r.get<std::uint64_t>();
-  AESZ_CHECK_MSG(fp == weight_fingerprint(),
-                 "stream was compressed with different AE weights");
+  if (fp != weight_fingerprint())
+    throw Error(ErrCode::kModelMismatch,
+                "stream was compressed with different AE weights");
   const std::size_t block = r.get_varint();
   const std::size_t ld = r.get_varint();
-  AESZ_CHECK_MSG(block == cfg.block && ld == cfg.latent,
-                 "stream AE config != model config");
+  if (block != cfg.block || ld != cfg.latent)
+    throw Error(ErrCode::kModelMismatch, "stream AE config != model config");
   const Normalizer nrm{lo, hi};
   const BlockSplit split = make_block_split(d, block);
   const std::size_t be = split.block_elems();
 
   // Flags.
   const auto packed = lz::decompress(r.get_blob());
-  AESZ_CHECK_MSG(packed.size() >= (split.total + 3) / 4, "bad flag blob");
+  AESZ_CHECK_STREAM(packed.size() >= (split.total + 3) / 4, "bad flag blob");
   std::vector<std::uint8_t> flags(split.total);
   for (std::size_t i = 0; i < split.total; ++i)
     flags[i] = (packed[i >> 2] >> ((i & 3) * 2)) & 3;
@@ -310,7 +320,7 @@ Field AESZ::decompress(std::span<const std::uint8_t> stream) {
   std::vector<std::size_t> ae_blocks;
   for (std::size_t i = 0; i < split.total; ++i)
     if (flags[i] == kAE) ae_blocks.push_back(i);
-  AESZ_CHECK_MSG(zd.size() == ae_blocks.size() * ld,
+  AESZ_CHECK_STREAM(zd.size() == ae_blocks.size() * ld,
                  "latent count mismatch");
 
   Field ae_pred(d);
@@ -344,7 +354,7 @@ Field AESZ::decompress(std::span<const std::uint8_t> stream) {
   ByteReader mr(mean_bytes);
   const auto means = mr.get_array<float>();
   auto codes = qcodec::decode_codes(r.get_blob());
-  AESZ_CHECK_MSG(codes.size() == d.total(), "code count mismatch");
+  AESZ_CHECK_STREAM(codes.size() == d.total(), "code count mismatch");
   const auto unpred_bytes = lz::decompress(r.get_blob());
   ByteReader ur(unpred_bytes);
   const auto unpred = ur.get_array<float>();
@@ -360,7 +370,7 @@ Field AESZ::decompress(std::span<const std::uint8_t> stream) {
     const std::uint8_t flag = flags[bid];
     float mean = 0.0f;
     if (flag == kMean) {
-      AESZ_CHECK_MSG(mi < means.size(), "mean underflow");
+      AESZ_CHECK_STREAM(mi < means.size(), "mean underflow");
       mean = means[mi++];
     }
     for (std::size_t a = 0; a < ext[0]; ++a) {
@@ -371,7 +381,7 @@ Field AESZ::decompress(std::span<const std::uint8_t> stream) {
               cfg.rank == 2 ? lin2(d, i0, i1) : lin3(d, i0, i1, i2);
           const std::uint16_t code = codes[ci++];
           if (code == LinearQuantizer::kUnpredictable) {
-            AESZ_CHECK_MSG(ui < unpred.size(), "unpredictable underflow");
+            AESZ_CHECK_STREAM(ui < unpred.size(), "unpredictable underflow");
             recon[fidx] = unpred[ui++];
             continue;
           }

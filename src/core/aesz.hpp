@@ -23,8 +23,10 @@ namespace aesz {
 /// model "separately against the compressed data"); save_model/load_model
 /// support the offline-training / online-compression split. A weight
 /// fingerprint is embedded in each stream and checked on decompression.
-class AESZ final : public Compressor {
+class AESZ final : public Compressor, public Trainable {
  public:
+  static constexpr std::uint32_t kStreamMagic = 0x4145535A;  // "AESZ"
+
   /// Fig. 11 ablation knob: which predictors the selector may use.
   enum class Policy { kAuto, kAEOnly, kLorenzoOnly };
 
@@ -56,18 +58,24 @@ class AESZ final : public Compressor {
 
   /// Offline training on earlier-timestep snapshots (paper §III-B1).
   TrainReport train(const std::vector<const Field*>& fields,
-                    const TrainOptions& opts);
+                    const TrainOptions& opts) override;
 
   void save_model(const std::string& path);
   void load_model(const std::string& path);
 
   std::string name() const override { return "AE-SZ"; }
-  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) override;
-  Field decompress(std::span<const std::uint8_t> stream) override;
+  using Compressor::compress;
+  std::vector<std::uint8_t> compress(const Field& f,
+                                     const ErrorBound& eb) override;
+  /// AE-SZ is fixed to the rank of its trained model.
+  bool supports_rank(int rank) const override;
 
   const Stats& last_stats() const { return stats_; }
   nn::VariantTrainer& trainer() { return *trainer_; }
   const Options& options() const { return opt_; }
+
+ protected:
+  Field decompress_impl(std::span<const std::uint8_t> stream) override;
 
  private:
   Options opt_;

@@ -28,6 +28,16 @@ struct TrainReport {
   std::size_t samples = 0;
 };
 
+/// Mixin interface of the learned codecs (AE-SZ, AE-A, AE-B). Lets
+/// registry-driven callers train whatever supports it without knowing the
+/// concrete type: `if (auto* t = dynamic_cast<Trainable*>(codec.get())) ...`.
+class Trainable {
+ public:
+  virtual ~Trainable() = default;
+  virtual TrainReport train(const std::vector<const Field*>& fields,
+                            const TrainOptions& opts) = 0;
+};
+
 /// Split each training field into normalized blocks (per-field min/max, as
 /// the compressor will do online) and run minibatch training.
 TrainReport train_on_fields(nn::VariantTrainer& trainer,

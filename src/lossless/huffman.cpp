@@ -189,6 +189,11 @@ std::vector<std::uint16_t> decode(std::span<const std::uint8_t> stream) {
   const std::uint64_t n = r.get_varint();
   const Canonical c = read_table(r);
   const auto payload = r.get_blob();
+  // Every symbol costs at least one payload bit; a corrupt count that
+  // exceeds that would otherwise decode zero-filled bits for ~2^64
+  // iterations (and pre-reserve the memory to match).
+  AESZ_CHECK_STREAM(n <= payload.size() * 8,
+                    "huffman symbol count exceeds payload");
   BitReader bits(payload);
 
   std::vector<std::uint16_t> out;

@@ -101,7 +101,10 @@ std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream) {
   ByteReader r(stream);
   const std::uint64_t n = r.get_varint();
   std::vector<std::uint8_t> out;
-  out.reserve(n);
+  // Cap the speculative reservation: a corrupt length must not become a
+  // multi-gigabyte allocation. The overflow checks below still enforce `n`
+  // exactly; out simply grows on demand past the cap.
+  out.reserve(std::min<std::uint64_t>(n, std::uint64_t{1} << 20));
   while (true) {
     const std::uint64_t lit_len = r.get_varint();
     AESZ_CHECK_MSG(out.size() + lit_len <= n, "lz: literal overflow");

@@ -7,28 +7,82 @@
 #include <vector>
 
 #include "data/field.hpp"
+#include "predictors/error_bound.hpp"
+#include "util/expected.hpp"
 
 namespace aesz {
 
 /// Common interface of every compressor in the repo (AE-SZ, SZ2.1-like,
-/// SZauto-like, SZinterp-like, ZFP-like, AE-A, AE-B). Streams are
-/// self-describing: decompress() recovers dims from the header.
+/// SZauto-like, SZinterp-like, ZFP-like, AE-A, AE-B) — the v2 API:
+///
+///  - compress() takes an ErrorBound (abs / value-range-relative / PSNR);
+///    the legacy `double rel_eb` overload is a non-virtual shim for
+///    incremental migration of call sites.
+///  - decompress() is status-based: malformed input (truncated buffer, bad
+///    magic, hostile dims, model mismatch) comes back as a typed
+///    Expected<Field> error — it never throws and never reads out of
+///    bounds. Implementations override decompress_impl(), whose internal
+///    aesz::Error throws are translated here.
+///  - Streams are zero-copy views: decompress() borrows the caller's bytes
+///    for the duration of the call (nothing is copied or owned), and the
+///    decoded Field moves out through the Expected.
+///
+/// Streams are self-describing: decompress() recovers dims and the bound
+/// from the header. Codecs register themselves in the CodecRegistry
+/// (predictors/registry.hpp) for runtime, by-name construction.
 class Compressor {
  public:
   virtual ~Compressor() = default;
 
   virtual std::string name() const = 0;
 
-  /// Compress `f` under a value-range-relative error bound `rel_eb`
-  /// (absolute bound = rel_eb * value_range, the paper's ϵ). Codecs without
-  /// an error-bounding mechanism (AE-B) ignore `rel_eb` and document so.
+  /// Compress `f` under `eb`. Codecs without an error-bounding mechanism
+  /// (AE-B, fixed-rate ZFP) ignore the bound and document so. Throws
+  /// aesz::Error(kInvalidArgument) on unusable bounds or field shapes.
   virtual std::vector<std::uint8_t> compress(const Field& f,
-                                             double rel_eb) = 0;
+                                             const ErrorBound& eb) = 0;
 
-  virtual Field decompress(std::span<const std::uint8_t> stream) = 0;
+  /// Legacy shim: a bare double is a value-range-relative bound (the
+  /// paper's ϵ). Derived classes re-expose it via `using
+  /// Compressor::compress;`.
+  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) {
+    return compress(f, ErrorBound::Rel(rel_eb));
+  }
 
-  /// Whether compress() guarantees |orig - recon| <= rel_eb * range.
+  /// Decode a stream view. All failure modes become typed statuses.
+  Expected<Field> decompress(std::span<const std::uint8_t> stream) {
+    try {
+      return decompress_impl(stream);
+    } catch (const Error& e) {
+      // Inside a decoder, an invariant failure is by definition caused by
+      // the input: fold untyped/internal throws (the legacy lz/huffman
+      // checks) into kCorruptStream so callers can dispatch on the code.
+      const ErrCode c = (e.code() == ErrCode::kOk ||
+                         e.code() == ErrCode::kInternal)
+                            ? ErrCode::kCorruptStream
+                            : e.code();
+      return Status::error(c, e.what());
+    } catch (const std::exception& e) {
+      // Hostile sizes can surface as bad_alloc/length_error from the
+      // standard library; classify them as corrupt input, not a crash.
+      return Status::error(ErrCode::kCorruptStream, e.what());
+    }
+  }
+
+  /// Whether compress() guarantees |orig - recon| <= absolute bound.
   virtual bool error_bounded() const { return true; }
+
+  /// Whether this instance can compress fields of the given rank (AE-SZ is
+  /// fixed to its model's rank, AE-B to 3-D; registry round-trip tests use
+  /// this to skip unsupported combinations).
+  virtual bool supports_rank(int rank) const {
+    return rank >= 1 && rank <= 3;
+  }
+
+ protected:
+  /// Codec-specific decoder. May throw aesz::Error (typed); the public
+  /// decompress() converts those into statuses.
+  virtual Field decompress_impl(std::span<const std::uint8_t> stream) = 0;
 };
 
 }  // namespace aesz

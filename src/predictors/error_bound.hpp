@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/expected.hpp"
+
+namespace aesz {
+
+/// Error-bound modes of the SZ family. `kRel` is the paper's ε
+/// (value-range-relative); `kAbs` is a raw absolute tolerance; `kPSNR`
+/// targets a peak-signal-to-noise ratio in dB.
+enum class EbMode : std::uint8_t { kAbs = 0, kRel = 1, kPSNR = 2 };
+
+inline const char* eb_mode_name(EbMode m) {
+  switch (m) {
+    case EbMode::kAbs: return "abs";
+    case EbMode::kRel: return "rel";
+    case EbMode::kPSNR: return "psnr";
+  }
+  return "?";
+}
+
+/// A user-facing error-bound request: mode + value. Resolved against a
+/// field's value range into the absolute per-point tolerance the quantizers
+/// work with, and serialized (mode byte + value) into every stream header.
+class ErrorBound {
+ public:
+  constexpr ErrorBound() = default;
+  constexpr ErrorBound(EbMode mode, double value)
+      : mode_(mode), value_(value) {}
+
+  static constexpr ErrorBound Abs(double tolerance) {
+    return {EbMode::kAbs, tolerance};
+  }
+  static constexpr ErrorBound Rel(double epsilon) {
+    return {EbMode::kRel, epsilon};
+  }
+  static constexpr ErrorBound PSNR(double db) { return {EbMode::kPSNR, db}; }
+
+  EbMode mode() const { return mode_; }
+  double value() const { return value_; }
+
+  /// A bound every error-bounded codec can enforce: finite and positive.
+  bool usable() const { return std::isfinite(value_) && value_ > 0; }
+
+  /// The absolute per-point tolerance for a field with the given value
+  /// range. Rel follows the paper (abs = ε · range; degenerate
+  /// constant-range fields fall back to ε itself, matching the seed
+  /// codecs). PSNR assumes the uniform quantization-noise model
+  /// (MSE = e²/3): psnr = 10·log10(3·range²/e²)  =>  e = √3·range·10^(-db/20).
+  double absolute(double value_range) const {
+    switch (mode_) {
+      case EbMode::kAbs: return value_;
+      case EbMode::kRel:
+        return value_range > 0 ? value_ * value_range : value_;
+      case EbMode::kPSNR: {
+        const double range = value_range > 0 ? value_range : 1.0;
+        return std::sqrt(3.0) * range * std::pow(10.0, -value_ / 20.0);
+      }
+    }
+    return value_;
+  }
+
+  /// "mode:value" — the CLI/debug spelling, accepted back by parse().
+  std::string str() const {
+    // %g, not std::to_string: the latter fixes 6 decimals and would print
+    // a 1e-7 bound as 0.000000, which parse() then rejects.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", value_);
+    return std::string(eb_mode_name(mode_)) + ":" + buf;
+  }
+
+  /// Parse "abs:1e-3", "rel:1e-2", "psnr:60" (case-insensitive); a bare
+  /// number is value-range-relative, the historical CLI meaning of --eb.
+  static Expected<ErrorBound> parse(const std::string& spec) {
+    std::string mode_str = "rel", value_str = spec;
+    const auto colon = spec.find(':');
+    if (colon != std::string::npos) {
+      mode_str = spec.substr(0, colon);
+      value_str = spec.substr(colon + 1);
+    }
+    for (char& c : mode_str)
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    EbMode mode;
+    if (mode_str == "abs") {
+      mode = EbMode::kAbs;
+    } else if (mode_str == "rel") {
+      mode = EbMode::kRel;
+    } else if (mode_str == "psnr") {
+      mode = EbMode::kPSNR;
+    } else {
+      return Status::error(ErrCode::kInvalidArgument,
+                           "unknown error-bound mode '" + mode_str +
+                               "' (use abs|rel|psnr)");
+    }
+    char* end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &end);
+    if (value_str.empty() || end != value_str.c_str() + value_str.size() ||
+        !std::isfinite(value) || value <= 0) {
+      return Status::error(ErrCode::kInvalidArgument,
+                           "error bound needs a positive number, got '" +
+                               value_str + "'");
+    }
+    return ErrorBound(mode, value);
+  }
+
+  bool operator==(const ErrorBound& o) const {
+    return mode_ == o.mode_ && value_ == o.value_;
+  }
+
+ private:
+  EbMode mode_ = EbMode::kRel;
+  double value_ = 0.0;
+};
+
+}  // namespace aesz

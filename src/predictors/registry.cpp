@@ -1,0 +1,166 @@
+#include "predictors/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "ae_baselines/ae_a.hpp"
+#include "ae_baselines/ae_b.hpp"
+#include "core/aesz.hpp"
+#include "sz/sz21.hpp"
+#include "sz/szauto.hpp"
+#include "sz/szinterp.hpp"
+#include "util/bytestream.hpp"
+#include "zfp/zfp_like.hpp"
+
+// Layering note: this .cpp is the registry's one deliberate upward edge —
+// it references every codec so the linker keeps them all in the archive
+// and the registry is never silently empty. The header stays within the
+// predictors layer.
+
+namespace aesz {
+namespace {
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Default AE-SZ configs at CPU scale (paper Table VI at reduced width):
+/// 32x32 blocks in 2-D, 8x8x8 in 3-D, latent 16.
+AESZ::Options default_aesz_options(int rank) {
+  AESZ::Options opt;
+  opt.ae.rank = rank == 3 ? 3 : 2;
+  opt.ae.block = rank == 3 ? 8 : 32;
+  opt.ae.latent = 16;
+  opt.ae.channels = {8, 16, 32};
+  return opt;
+}
+
+/// Seeds are fixed so registry-built learned codecs are deterministic:
+/// the same binary always produces byte-identical streams.
+constexpr std::uint64_t kAeszSeed = 1;
+constexpr std::uint64_t kAeaSeed = 2;
+constexpr std::uint64_t kAebSeed = 3;
+
+void register_builtin_codecs(CodecRegistry& reg) {
+  reg.add({"AE-SZ",
+           "the paper's compressor: blockwise SWAE predictor + Lorenzo "
+           "fallback, error-bounded",
+           AESZ::kStreamMagic, /*error_bounded=*/true,
+           [](int rank) -> std::unique_ptr<Compressor> {
+             return std::make_unique<AESZ>(default_aesz_options(rank),
+                                           kAeszSeed);
+           }});
+  reg.add({"SZ2.1",
+           "Lorenzo + blockwise linear regression, error-bounded",
+           SZ21::kStreamMagic, /*error_bounded=*/true,
+           [](int) -> std::unique_ptr<Compressor> {
+             return std::make_unique<SZ21>();
+           }});
+  reg.add({"SZauto",
+           "second-order Lorenzo with sampled predictor selection, "
+           "error-bounded",
+           SZAuto::kStreamMagic, /*error_bounded=*/true,
+           [](int) -> std::unique_ptr<Compressor> {
+             return std::make_unique<SZAuto>();
+           }});
+  reg.add({"SZinterp",
+           "level-by-level spline interpolation (SZ3-style), error-bounded",
+           SZInterp::kStreamMagic, /*error_bounded=*/true,
+           [](int) -> std::unique_ptr<Compressor> {
+             return std::make_unique<SZInterp>();
+           }});
+  reg.add({"ZFP",
+           "lifted-transform bit-plane codec, fixed-accuracy mode, "
+           "error-bounded",
+           ZFPLike::kStreamMagic, /*error_bounded=*/true,
+           [](int) -> std::unique_ptr<Compressor> {
+             return std::make_unique<ZFPLike>();
+           }});
+  reg.add({"AE-A",
+           "sliding-window fully-connected AE with SZ-style residual "
+           "correction, error-bounded",
+           AEA::kStreamMagic, /*error_bounded=*/true,
+           [](int) -> std::unique_ptr<Compressor> {
+             return std::make_unique<AEA>(AEA::Options{}, kAeaSeed);
+           }});
+  reg.add({"AE-B",
+           "3-D convolutional AE, fixed 64x ratio, NOT error-bounded",
+           AEB::kStreamMagic, /*error_bounded=*/false,
+           [](int) -> std::unique_ptr<Compressor> {
+             return std::make_unique<AEB>(AEB::Options{}, kAebSeed);
+           }});
+}
+
+}  // namespace
+
+CodecRegistry& CodecRegistry::instance() {
+  static CodecRegistry* reg = [] {
+    auto* r = new CodecRegistry();
+    register_builtin_codecs(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void CodecRegistry::add(CodecInfo info) {
+  const std::string key = lower(info.name);
+  const auto it =
+      std::find_if(codecs_.begin(), codecs_.end(), [&](const CodecInfo& c) {
+        return lower(c.name) == key;
+      });
+  if (it != codecs_.end())
+    *it = std::move(info);
+  else
+    codecs_.push_back(std::move(info));
+}
+
+std::vector<std::string> CodecRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(codecs_.size());
+  for (const auto& c : codecs_) out.push_back(c.name);
+  return out;
+}
+
+const CodecInfo* CodecRegistry::find(const std::string& name) const {
+  const std::string key = lower(name);
+  for (const auto& c : codecs_)
+    if (lower(c.name) == key) return &c;
+  return nullptr;
+}
+
+bool CodecRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+Expected<std::unique_ptr<Compressor>> CodecRegistry::create(
+    const std::string& name, int rank) const {
+  const CodecInfo* info = find(name);
+  if (!info) {
+    std::string known;
+    for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
+    return Status::error(ErrCode::kUnsupported, "unknown codec '" + name +
+                                                    "' (registered: " +
+                                                    known + ")");
+  }
+  if (rank < 1 || rank > 3)
+    return Status::error(ErrCode::kInvalidArgument,
+                         "rank must be 1, 2, or 3");
+  return info->factory(rank);
+}
+
+Expected<std::string> CodecRegistry::identify(
+    std::span<const std::uint8_t> stream) const {
+  ByteReader r(stream);
+  std::uint32_t magic = 0;
+  if (!r.try_get(magic))
+    return Status::error(ErrCode::kTruncated, "stream too short for magic");
+  for (const auto& c : codecs_)
+    if (c.magic == magic) return c.name;
+  return Status::error(ErrCode::kBadMagic,
+                       "stream magic matches no registered codec");
+}
+
+}  // namespace aesz

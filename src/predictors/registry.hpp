@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "predictors/compressor.hpp"
+#include "util/expected.hpp"
+
+namespace aesz {
+
+/// One registered codec: how to name it, recognize its streams, and build
+/// an instance. The factory takes the field rank the caller intends to
+/// compress so rank-specific codecs (AE-SZ) can pick a matching default
+/// model config; rank-agnostic codecs ignore it.
+struct CodecInfo {
+  std::string name;
+  std::string description;
+  std::uint32_t magic = 0;
+  /// Default-options error_bounded() — kept here so metadata queries
+  /// (e.g. `aesz_cli list-codecs`) need not construct the codec, which
+  /// for the learned ones means building a whole network.
+  bool error_bounded = true;
+  std::function<std::unique_ptr<Compressor>(int rank)> factory;
+};
+
+/// Name -> factory registry over every codec in the repo. This is the
+/// runtime-selection layer the CLI (`--codec NAME`), the benches, and the
+/// registry-parameterized tests build codecs through, and the seam future
+/// backends plug into.
+///
+/// All seven built-in codecs are registered on first use of instance();
+/// registration lives in registry.cpp rather than per-codec static
+/// initializers because unreferenced objects in a static archive would be
+/// dropped by the linker, silently emptying the registry.
+class CodecRegistry {
+ public:
+  /// The process-wide registry with the built-in codecs registered.
+  static CodecRegistry& instance();
+
+  /// Register a codec. Last registration wins on a name collision (so
+  /// embedders can override a built-in). Lookup is case-insensitive.
+  void add(CodecInfo info);
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const;
+
+  bool contains(const std::string& name) const;
+
+  /// Metadata for a name, or nullptr when unknown.
+  const CodecInfo* find(const std::string& name) const;
+
+  /// Build a fresh codec instance for fields of the given rank.
+  Expected<std::unique_ptr<Compressor>> create(const std::string& name,
+                                               int rank = 2) const;
+
+  /// Identify which registered codec produced a stream, by leading magic.
+  Expected<std::string> identify(
+      std::span<const std::uint8_t> stream) const;
+
+ private:
+  std::vector<CodecInfo> codecs_;
+};
+
+}  // namespace aesz

@@ -1,33 +1,111 @@
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
+#include "data/field.hpp"
+#include "predictors/error_bound.hpp"
 #include "util/bytestream.hpp"
 #include "util/dims.hpp"
+#include "util/expected.hpp"
 
 namespace aesz::sz {
 
-/// Shared stream-header layout of the SZ-family codecs: magic + rank + dims
-/// + the absolute error bound the stream was encoded with.
+/// Stream-format version of the shared header (v2 added the ErrorBound
+/// mode byte + requested value next to the resolved absolute bound).
+constexpr std::uint8_t kFormatVersion = 2;
+
+/// Upper bound on total elements a header may declare — rejects hostile
+/// dims before any allocation. 2^33 covers a 2048^3 SDRBench-scale volume
+/// while keeping the worst hostile-header allocation (~32 GiB) bounded;
+/// services handling untrusted streams should additionally gate on their
+/// own memory budget before decompressing.
+constexpr std::uint64_t kMaxTotalElems = std::uint64_t{1} << 33;
+
+/// Parsed shared header of every codec's stream: magic + version + dims +
+/// the bound the user requested (mode + value) + the absolute bound the
+/// encoder resolved it to (what the decoder's quantizers need).
+struct StreamHeader {
+  Dims dims;
+  ErrorBound eb;
+  double abs_eb = 0.0;
+};
+
+/// Shared stream-header layout of all codecs in the repo:
+///   magic u32 | version u8 | rank u8 | dims varint* | eb-mode u8 |
+///   eb-value f64 | abs-bound f64
 inline void write_header(ByteWriter& w, std::uint32_t magic, const Dims& d,
-                         double abs_eb) {
+                         const ErrorBound& eb, double abs_eb) {
   w.put(magic);
+  w.put(kFormatVersion);
   w.put(static_cast<std::uint8_t>(d.rank));
   for (int i = 0; i < d.rank; ++i) w.put_varint(d[i]);
+  w.put(static_cast<std::uint8_t>(eb.mode()));
+  w.put(eb.value());
   w.put(abs_eb);
 }
 
-inline Dims read_header(ByteReader& r, std::uint32_t expected_magic,
-                        double& abs_eb) {
-  const auto magic = r.get<std::uint32_t>();
-  AESZ_CHECK_MSG(magic == expected_magic, "stream magic mismatch");
-  const int rank = r.get<std::uint8_t>();
-  AESZ_CHECK_MSG(rank >= 1 && rank <= 3, "bad rank");
-  Dims d;
-  d.rank = rank;
-  for (int i = 0; i < rank; ++i) d.d[static_cast<std::size_t>(i)] = r.get_varint();
-  abs_eb = r.get<double>();
-  return d;
+/// Fallible header parse: every malformed prefix (truncation, foreign
+/// magic, bad version/rank/mode, zero or overflowing dims, non-finite
+/// bound) maps to a typed status without reading out of bounds.
+inline Expected<StreamHeader> read_header(ByteReader& r,
+                                          std::uint32_t expected_magic) {
+  std::uint32_t magic = 0;
+  if (!r.try_get(magic))
+    return Status::error(ErrCode::kTruncated, "stream too short for magic");
+  if (magic != expected_magic)
+    return Status::error(ErrCode::kBadMagic, "stream magic mismatch");
+  std::uint8_t version = 0, rank = 0;
+  if (!r.try_get(version) || !r.try_get(rank))
+    return Status::error(ErrCode::kTruncated, "truncated header");
+  if (version != kFormatVersion)
+    return Status::error(ErrCode::kBadHeader, "unsupported stream version");
+  if (rank < 1 || rank > 3)
+    return Status::error(ErrCode::kBadHeader, "bad rank");
+  StreamHeader h;
+  h.dims.rank = rank;
+  std::uint64_t total = 1;
+  for (int i = 0; i < rank; ++i) {
+    std::uint64_t n = 0;
+    if (!r.try_get_varint(n))
+      return Status::error(ErrCode::kTruncated, "truncated dims");
+    if (n == 0 || n > kMaxTotalElems || total > kMaxTotalElems / n)
+      return Status::error(ErrCode::kBadHeader, "dims overflow");
+    total *= n;
+    h.dims.d[static_cast<std::size_t>(i)] = static_cast<std::size_t>(n);
+  }
+  std::uint8_t mode = 0;
+  double eb_value = 0.0;
+  if (!r.try_get(mode) || !r.try_get(eb_value) || !r.try_get(h.abs_eb))
+    return Status::error(ErrCode::kTruncated, "truncated bound fields");
+  if (mode > static_cast<std::uint8_t>(EbMode::kPSNR))
+    return Status::error(ErrCode::kBadHeader, "bad error-bound mode");
+  if (!std::isfinite(eb_value) || !std::isfinite(h.abs_eb) || h.abs_eb < 0)
+    return Status::error(ErrCode::kBadHeader, "bad error-bound value");
+  h.eb = ErrorBound(static_cast<EbMode>(mode), eb_value);
+  return h;
+}
+
+/// Throwing flavor for use inside decompress_impl bodies (the public
+/// Compressor::decompress converts the throw back into the same status).
+inline StreamHeader read_header_or_throw(ByteReader& r,
+                                         std::uint32_t expected_magic) {
+  auto h = read_header(r, expected_magic);
+  if (!h.ok()) throw Error(h.status().code, h.status().message);
+  return *std::move(h);
+}
+
+/// Shared compress-side bound resolution: validates the request and turns
+/// it into the absolute tolerance the quantizers enforce (previously
+/// duplicated across every codec's compress()).
+inline double resolve_abs_eb(const Field& f, const ErrorBound& eb,
+                             const char* codec_name) {
+  if (!eb.usable())
+    throw Error(ErrCode::kInvalidArgument,
+                std::string(codec_name) +
+                    " requires a positive, finite error bound (got " +
+                    eb.str() + ")");
+  return eb.absolute(f.value_range());
 }
 
 /// Zig-zag signed-to-unsigned mapping for varint coefficient streams.

@@ -11,7 +11,7 @@
 namespace aesz {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x535A3231;  // "SZ21"
+constexpr std::uint32_t kMagic = SZ21::kStreamMagic;
 
 /// Least-squares hyperplane fit f ≈ c[0] + sum_d c[1+d] * x_d over a
 /// rectangular sub-block. On a full grid the coordinates are uncorrelated,
@@ -98,15 +98,14 @@ BlockGrid make_grid(const Dims& d, const SZ21::Options& opt) {
 
 }  // namespace
 
-std::vector<std::uint8_t> SZ21::compress(const Field& f, double rel_eb) {
-  AESZ_CHECK_MSG(rel_eb > 0, "SZ2.1 requires a positive error bound");
+std::vector<std::uint8_t> SZ21::compress(const Field& f,
+                                         const ErrorBound& eb) {
   const Dims& d = f.dims();
-  const double range = f.value_range();
-  const double abs_eb = range > 0 ? rel_eb * range : rel_eb;
+  const double abs_eb = sz::resolve_abs_eb(f, eb, "SZ2.1");
   const int rank = d.rank;
 
   ByteWriter w;
-  sz::write_header(w, kMagic, d, abs_eb);
+  sz::write_header(w, kMagic, d, eb, abs_eb);
 
   const BlockGrid g = make_grid(d, opt_);
   LinearQuantizer quant(abs_eb);
@@ -241,16 +240,17 @@ std::vector<std::uint8_t> SZ21::compress(const Field& f, double rel_eb) {
   return w.take();
 }
 
-Field SZ21::decompress(std::span<const std::uint8_t> stream) {
+Field SZ21::decompress_impl(std::span<const std::uint8_t> stream) {
   ByteReader r(stream);
-  double abs_eb = 0;
-  const Dims d = sz::read_header(r, kMagic, abs_eb);
+  const sz::StreamHeader h = sz::read_header_or_throw(r, kMagic);
+  const Dims d = h.dims;
+  const double abs_eb = h.abs_eb;
   const int rank = d.rank;
   const BlockGrid g = make_grid(d, opt_);
 
   const auto packed = lz::decompress(r.get_blob());
   std::vector<std::uint8_t> flags(g.total, 0);
-  AESZ_CHECK_MSG(packed.size() >= (g.total + 7) / 8, "bad flag blob");
+  AESZ_CHECK_STREAM(packed.size() >= (g.total + 7) / 8, "bad flag blob");
   for (std::size_t i = 0; i < g.total; ++i)
     flags[i] = (packed[i >> 3] >> (i & 7)) & 1;
 
@@ -260,7 +260,7 @@ Field SZ21::decompress(std::span<const std::uint8_t> stream) {
   const double icept_prec = abs_eb;
 
   auto codes = qcodec::decode_codes(r.get_blob());
-  AESZ_CHECK_MSG(codes.size() == d.total(), "code count mismatch");
+  AESZ_CHECK_STREAM(codes.size() == d.total(), "code count mismatch");
   const auto unpred_bytes = lz::decompress(r.get_blob());
   ByteReader ur(unpred_bytes);
   const auto unpred = ur.get_array<float>();
@@ -296,7 +296,7 @@ Field SZ21::decompress(std::span<const std::uint8_t> stream) {
                                                   : lin3(d, i0, i1, i2);
               const std::uint16_t code = codes[ci++];
               if (code == LinearQuantizer::kUnpredictable) {
-                AESZ_CHECK_MSG(ui < unpred.size(), "unpredictable underflow");
+                AESZ_CHECK_STREAM(ui < unpred.size(), "unpredictable underflow");
                 recon[idx] = unpred[ui++];
                 continue;
               }

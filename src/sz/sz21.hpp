@@ -14,6 +14,8 @@ namespace aesz {
 /// Table IV compares the custom latent compressor against.
 class SZ21 final : public Compressor {
  public:
+  static constexpr std::uint32_t kStreamMagic = 0x535A3231;  // "SZ21"
+
   struct Options {
     std::size_t block_2d = 12;  // SZ2.1 defaults: 12x12 (2-D), 6x6x6 (3-D)
     std::size_t block_3d = 6;
@@ -25,8 +27,12 @@ class SZ21 final : public Compressor {
   explicit SZ21(Options opt) : opt_(opt) {}
 
   std::string name() const override { return "SZ2.1"; }
-  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) override;
-  Field decompress(std::span<const std::uint8_t> stream) override;
+  using Compressor::compress;
+  std::vector<std::uint8_t> compress(const Field& f,
+                                     const ErrorBound& eb) override;
+
+ protected:
+  Field decompress_impl(std::span<const std::uint8_t> stream) override;
 
  private:
   Options opt_;

@@ -10,7 +10,7 @@
 namespace aesz {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x535A4155;  // "SZAU"
+constexpr std::uint32_t kMagic = SZAuto::kStreamMagic;
 
 /// Sampled L1 prediction error of the first- vs second-order stencil on the
 /// original data — the "automatic parameter selection" step. Sampling every
@@ -47,16 +47,15 @@ bool second_order_wins(const Field& f) {
 
 }  // namespace
 
-std::vector<std::uint8_t> SZAuto::compress(const Field& f, double rel_eb) {
-  AESZ_CHECK_MSG(rel_eb > 0, "SZauto requires a positive error bound");
+std::vector<std::uint8_t> SZAuto::compress(const Field& f,
+                                           const ErrorBound& eb) {
   const Dims& d = f.dims();
-  const double range = f.value_range();
-  const double abs_eb = range > 0 ? rel_eb * range : rel_eb;
+  const double abs_eb = sz::resolve_abs_eb(f, eb, "SZauto");
 
   const bool use2nd = second_order_wins(f);
 
   ByteWriter w;
-  sz::write_header(w, kMagic, d, abs_eb);
+  sz::write_header(w, kMagic, d, eb, abs_eb);
   w.put(static_cast<std::uint8_t>(use2nd ? 2 : 1));
 
   LinearQuantizer quant(abs_eb);
@@ -100,16 +99,17 @@ std::vector<std::uint8_t> SZAuto::compress(const Field& f, double rel_eb) {
   return w.take();
 }
 
-Field SZAuto::decompress(std::span<const std::uint8_t> stream) {
+Field SZAuto::decompress_impl(std::span<const std::uint8_t> stream) {
   ByteReader r(stream);
-  double abs_eb = 0;
-  const Dims d = sz::read_header(r, kMagic, abs_eb);
+  const sz::StreamHeader h = sz::read_header_or_throw(r, kMagic);
+  const Dims d = h.dims;
+  const double abs_eb = h.abs_eb;
   const int order = r.get<std::uint8_t>();
-  AESZ_CHECK_MSG(order == 1 || order == 2, "bad predictor order");
+  AESZ_CHECK_STREAM(order == 1 || order == 2, "bad predictor order");
   const bool use2nd = order == 2;
 
   auto codes = qcodec::decode_codes(r.get_blob());
-  AESZ_CHECK_MSG(codes.size() == d.total(), "code count mismatch");
+  AESZ_CHECK_STREAM(codes.size() == d.total(), "code count mismatch");
   const auto unpred_bytes = lz::decompress(r.get_blob());
   ByteReader ur(unpred_bytes);
   const auto unpred = ur.get_array<float>();
@@ -122,7 +122,7 @@ Field SZAuto::decompress(std::span<const std::uint8_t> stream) {
   auto decode_point = [&](std::size_t idx, float pred) {
     const std::uint16_t code = codes[idx];
     if (code == LinearQuantizer::kUnpredictable) {
-      AESZ_CHECK_MSG(ui < unpred.size(), "unpredictable underflow");
+      AESZ_CHECK_STREAM(ui < unpred.size(), "unpredictable underflow");
       recon[idx] = unpred[ui++];
     } else {
       recon[idx] = quant.recover(pred, code);

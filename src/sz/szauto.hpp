@@ -14,9 +14,15 @@ namespace aesz {
 /// rate-distortion placement in the paper's Fig. 8.
 class SZAuto final : public Compressor {
  public:
+  static constexpr std::uint32_t kStreamMagic = 0x535A4155;  // "SZAU"
+
   std::string name() const override { return "SZauto"; }
-  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) override;
-  Field decompress(std::span<const std::uint8_t> stream) override;
+  using Compressor::compress;
+  std::vector<std::uint8_t> compress(const Field& f,
+                                     const ErrorBound& eb) override;
+
+ protected:
+  Field decompress_impl(std::span<const std::uint8_t> stream) override;
 };
 
 }  // namespace aesz

@@ -9,7 +9,7 @@
 namespace aesz {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x535A4950;  // "SZIP"
+constexpr std::uint32_t kMagic = SZInterp::kStreamMagic;
 
 /// Spline prediction of the point at 1-D coordinate `x` (an odd multiple of
 /// `s`) from reconstructed values at spacing `2s` along one axis. `base` is
@@ -88,17 +88,16 @@ void walk(const Dims& d, std::size_t S, bool cubic, const float* buf,
 
 }  // namespace
 
-std::vector<std::uint8_t> SZInterp::compress(const Field& f, double rel_eb) {
-  AESZ_CHECK_MSG(rel_eb > 0, "SZinterp requires a positive error bound");
+std::vector<std::uint8_t> SZInterp::compress(const Field& f,
+                                             const ErrorBound& eb) {
   const Dims& d = f.dims();
-  const double range = f.value_range();
-  const double abs_eb = range > 0 ? rel_eb * range : rel_eb;
+  const double abs_eb = sz::resolve_abs_eb(f, eb, "SZinterp");
   // Keep the stride a power of two no larger than the largest dimension.
   std::size_t S = 1;
   while (S * 2 <= opt_.max_stride && S * 2 < d[0]) S *= 2;
 
   ByteWriter w;
-  sz::write_header(w, kMagic, d, abs_eb);
+  sz::write_header(w, kMagic, d, eb, abs_eb);
   w.put_varint(S);
   w.put(static_cast<std::uint8_t>(opt_.cubic ? 1 : 0));
 
@@ -139,11 +138,17 @@ std::vector<std::uint8_t> SZInterp::compress(const Field& f, double rel_eb) {
   return w.take();
 }
 
-Field SZInterp::decompress(std::span<const std::uint8_t> stream) {
+Field SZInterp::decompress_impl(std::span<const std::uint8_t> stream) {
   ByteReader r(stream);
-  double abs_eb = 0;
-  const Dims d = sz::read_header(r, kMagic, abs_eb);
+  const sz::StreamHeader h = sz::read_header_or_throw(r, kMagic);
+  const Dims d = h.dims;
+  const double abs_eb = h.abs_eb;
   const std::size_t S = r.get_varint();
+  // S = 0 would make the anchor loops non-terminating; a corrupt stride is
+  // a stream error, not a crash.
+  AESZ_CHECK_STREAM(S >= 1 && S <= (std::size_t{1} << 20) &&
+                        (S & (S - 1)) == 0,
+                    "bad refinement stride");
   const bool cubic = r.get<std::uint8_t>() != 0;
 
   const auto anchor_bytes = lz::decompress(r.get_blob());
@@ -162,14 +167,14 @@ Field SZInterp::decompress(std::span<const std::uint8_t> stream) {
   walk(
       d, S, cubic, recon,
       [&](std::size_t idx) {
-        AESZ_CHECK_MSG(ai < anchors.size(), "anchor underflow");
+        AESZ_CHECK_STREAM(ai < anchors.size(), "anchor underflow");
         recon[idx] = anchors[ai++];
       },
       [&](std::size_t idx, float pred) {
-        AESZ_CHECK_MSG(ci < codes.size(), "code underflow");
+        AESZ_CHECK_STREAM(ci < codes.size(), "code underflow");
         const std::uint16_t code = codes[ci++];
         if (code == LinearQuantizer::kUnpredictable) {
-          AESZ_CHECK_MSG(ui < unpred.size(), "unpredictable underflow");
+          AESZ_CHECK_STREAM(ui < unpred.size(), "unpredictable underflow");
           recon[idx] = unpred[ui++];
         } else {
           recon[idx] = quant.recover(pred, code);

@@ -15,6 +15,8 @@ namespace aesz {
 /// AE-SZ is "close to SZinterp" there (Fig. 8).
 class SZInterp final : public Compressor {
  public:
+  static constexpr std::uint32_t kStreamMagic = 0x535A4950;  // "SZIP"
+
   struct Options {
     std::size_t max_stride = 32;  // coarsest refinement stride (anchor grid)
     bool cubic = true;            // false => linear interpolation (ablation)
@@ -24,8 +26,12 @@ class SZInterp final : public Compressor {
   explicit SZInterp(Options opt) : opt_(opt) {}
 
   std::string name() const override { return "SZinterp"; }
-  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) override;
-  Field decompress(std::span<const std::uint8_t> stream) override;
+  using Compressor::compress;
+  std::vector<std::uint8_t> compress(const Field& f,
+                                     const ErrorBound& eb) override;
+
+ protected:
+  Field decompress_impl(std::span<const std::uint8_t> stream) override;
 
  private:
   Options opt_;

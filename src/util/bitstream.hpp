@@ -53,8 +53,10 @@ class BitWriter {
 };
 
 /// LSB-first bit source matching BitWriter. Reading past the end returns
-/// zero bits (needed by truncated fixed-rate ZFP streams) unless strict
-/// mode is requested.
+/// zero bits (needed by truncated fixed-rate ZFP streams); `overran()`
+/// reports whether that ever happened, giving decoders a fallible
+/// bounds-checked path: decode optimistically, then reject the stream as
+/// truncated if any read fell off the end.
 class BitReader {
  public:
   explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -71,6 +73,7 @@ class BitReader {
     const std::size_t byte = pos_ >> 3;
     if (byte >= data_.size()) {
       ++pos_;
+      overran_ = true;
       return 0;  // zero-fill past end: truncated embedded streams decode low bits as 0
     }
     const int bit = (data_[byte] >> (pos_ & 7)) & 1;
@@ -86,10 +89,13 @@ class BitReader {
 
   std::size_t bit_pos() const { return pos_; }
   bool exhausted() const { return (pos_ >> 3) >= data_.size(); }
+  /// True once any read went past the last data bit (and was zero-filled).
+  bool overran() const { return overran_; }
 
  private:
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+  bool overran_ = false;
 };
 
 }  // namespace aesz

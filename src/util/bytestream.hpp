@@ -61,56 +61,105 @@ class ByteWriter {
   std::vector<std::uint8_t> buf_;
 };
 
-/// Bounds-checked reader over a compressed stream; throws aesz::Error on
-/// truncation instead of reading out of bounds.
+/// Bounds-checked reader over a compressed stream (a zero-copy view: the
+/// caller keeps ownership of the bytes; get_bytes/get_blob return subspans
+/// of them).
+///
+/// Two read flavors:
+///  - try_get* returns false on truncation and never throws — the fallible
+///    path used by header parsing to produce typed statuses;
+///  - get* throws aesz::Error(ErrCode::kTruncated) — the convenient path
+///    inside decoder bodies, translated to a Status by
+///    Compressor::decompress.
+/// All bounds arithmetic is overflow-safe against hostile varint lengths
+/// (`n` is compared against the remaining byte count, never added to pos_).
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
 
   template <typename T>
     requires std::is_trivially_copyable_v<T>
-  T get() {
-    AESZ_CHECK_MSG(pos_ + sizeof(T) <= data_.size(), "truncated stream");
-    T v;
-    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+  bool try_get(T& out) {
+    if (sizeof(T) > remaining()) return false;
+    std::memcpy(&out, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
+    return true;
+  }
+
+  bool try_get_varint(std::uint64_t& out) {
+    std::uint64_t v = 0;
+    int shift = 0;
+    std::size_t pos = pos_;
+    while (true) {
+      if (pos >= data_.size() || shift >= 64) return false;
+      const std::uint8_t b = data_[pos++];
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+    }
+    pos_ = pos;
+    out = v;
+    return true;
+  }
+
+  bool try_get_bytes(std::size_t n, std::span<const std::uint8_t>& out) {
+    if (n > remaining()) return false;
+    out = data_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool try_get_blob(std::span<const std::uint8_t>& out) {
+    const std::size_t mark = pos_;
+    std::uint64_t n = 0;
+    if (try_get_varint(n) && n <= remaining() &&
+        try_get_bytes(static_cast<std::size_t>(n), out))
+      return true;
+    pos_ = mark;
+    return false;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    T v;
+    if (!try_get(v)) throw Error(ErrCode::kTruncated, "truncated stream");
     return v;
   }
 
   std::uint64_t get_varint() {
     std::uint64_t v = 0;
-    int shift = 0;
-    while (true) {
-      AESZ_CHECK_MSG(pos_ < data_.size(), "truncated varint");
-      const std::uint8_t b = data_[pos_++];
-      AESZ_CHECK_MSG(shift < 64, "varint overflow");
-      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-      if (!(b & 0x80)) break;
-      shift += 7;
-    }
+    if (!try_get_varint(v))
+      throw Error(ErrCode::kTruncated, "truncated or overlong varint");
     return v;
   }
 
   std::span<const std::uint8_t> get_bytes(std::size_t n) {
-    AESZ_CHECK_MSG(pos_ + n <= data_.size(), "truncated stream");
-    auto s = data_.subspan(pos_, n);
-    pos_ += n;
+    std::span<const std::uint8_t> s;
+    if (!try_get_bytes(n, s))
+      throw Error(ErrCode::kTruncated, "truncated stream");
     return s;
   }
 
   std::span<const std::uint8_t> get_blob() {
     const std::uint64_t n = get_varint();
-    return get_bytes(n);
+    if (n > remaining())
+      throw Error(ErrCode::kTruncated, "blob length exceeds stream");
+    return get_bytes(static_cast<std::size_t>(n));
   }
 
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   std::vector<T> get_array() {
     const std::uint64_t n = get_varint();
-    AESZ_CHECK_MSG(pos_ + n * sizeof(T) <= data_.size(), "truncated array");
-    std::vector<T> v(n);
+    // Validate against the remaining bytes BEFORE allocating, so a hostile
+    // count cannot trigger a multi-gigabyte allocation.
+    if (n > remaining() / sizeof(T))
+      throw Error(ErrCode::kTruncated, "truncated array");
+    std::vector<T> v(static_cast<std::size_t>(n));
+    if (n == 0) return v;  // empty vector/span data() may be nullptr
     std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
-    pos_ += n * sizeof(T);
+    pos_ += static_cast<std::size_t>(n) * sizeof(T);
     return v;
   }
 

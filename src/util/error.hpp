@@ -5,17 +5,61 @@
 
 namespace aesz {
 
-/// Thrown on malformed compressed streams, bad configuration, or I/O failure.
+/// Machine-readable failure categories for the status-based v2 API. Stream
+/// decoders map every malformed input to one of these instead of crashing;
+/// `Expected<T>` (util/expected.hpp) carries them across the API boundary.
+enum class ErrCode : std::uint8_t {
+  kOk = 0,
+  kTruncated,        // stream ended before a required read completed
+  kBadMagic,         // leading magic does not identify this codec
+  kBadHeader,        // version/rank/dims/bound-mode out of range or overflow
+  kCorruptStream,    // payload inconsistent with its header
+  kModelMismatch,    // AE weights/config differ from the encoding side
+  kInvalidArgument,  // caller-supplied bound/options are unusable
+  kUnsupported,      // operation not provided by this codec (rank, mode)
+  kIoError,          // file open/read/write failure
+  kInternal,         // library invariant failure
+};
+
+inline const char* errcode_name(ErrCode c) {
+  switch (c) {
+    case ErrCode::kOk: return "ok";
+    case ErrCode::kTruncated: return "truncated";
+    case ErrCode::kBadMagic: return "bad_magic";
+    case ErrCode::kBadHeader: return "bad_header";
+    case ErrCode::kCorruptStream: return "corrupt_stream";
+    case ErrCode::kModelMismatch: return "model_mismatch";
+    case ErrCode::kInvalidArgument: return "invalid_argument";
+    case ErrCode::kUnsupported: return "unsupported";
+    case ErrCode::kIoError: return "io_error";
+    case ErrCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Thrown on malformed compressed streams, bad configuration, or I/O
+/// failure. Carries an ErrCode so `Compressor::decompress` can translate
+/// internal failures into typed statuses without string matching.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+  explicit Error(const std::string& msg)
+      : std::runtime_error(msg), code_(ErrCode::kInternal) {}
+  Error(ErrCode code, const std::string& msg)
+      : std::runtime_error(msg), code_(code) {}
+
+  ErrCode code() const { return code_; }
+
+ private:
+  ErrCode code_;
 };
 
 namespace detail {
 [[noreturn]] inline void fail(const char* expr, const char* file, int line,
-                              const std::string& msg) {
-  throw Error(std::string(file) + ":" + std::to_string(line) + ": check `" +
-              expr + "` failed" + (msg.empty() ? "" : (": " + msg)));
+                              const std::string& msg,
+                              ErrCode code = ErrCode::kInternal) {
+  throw Error(code, std::string(file) + ":" + std::to_string(line) +
+                        ": check `" + expr + "` failed" +
+                        (msg.empty() ? "" : (": " + msg)));
 }
 }  // namespace detail
 
@@ -31,4 +75,22 @@ namespace detail {
 #define AESZ_CHECK_MSG(expr, msg)                                 \
   do {                                                            \
     if (!(expr)) ::aesz::detail::fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Stream-validation flavor: failure is attributed to the *input stream*
+/// (ErrCode::kCorruptStream), not to a library bug, so decompress() can
+/// report it as a typed, recoverable status.
+#define AESZ_CHECK_STREAM(expr, msg)                            \
+  do {                                                          \
+    if (!(expr))                                                \
+      ::aesz::detail::fail(#expr, __FILE__, __LINE__, (msg),    \
+                           ::aesz::ErrCode::kCorruptStream);    \
+  } while (0)
+
+/// Argument-validation flavor for compress()/configuration entry points.
+#define AESZ_CHECK_ARG(expr, msg)                               \
+  do {                                                          \
+    if (!(expr))                                                \
+      ::aesz::detail::fail(#expr, __FILE__, __LINE__, (msg),    \
+                           ::aesz::ErrCode::kInvalidArgument);  \
   } while (0)

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace aesz {
+
+/// Failure descriptor of the status-based API: a typed code plus a
+/// human-readable message. `Status{}` is success.
+struct Status {
+  ErrCode code = ErrCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == ErrCode::kOk; }
+
+  static Status error(ErrCode c, std::string msg) {
+    return Status{c, std::move(msg)};
+  }
+
+  std::string str() const {
+    return ok() ? "ok"
+                : std::string(errcode_name(code)) +
+                      (message.empty() ? "" : (": " + message));
+  }
+};
+
+/// Minimal `std::expected`-style carrier: either a value of T or a Status.
+/// This is the return type of `Compressor::decompress` — malformed streams
+/// become typed statuses instead of exceptions. Works with move-only T.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT
+    AESZ_CHECK_MSG(!status_.ok(), "Expected built from an ok Status");
+  }
+  Expected(ErrCode code, std::string msg)
+      : status_(Status::error(code, std::move(msg))) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Status of a failed result; `Status{}` (ok) when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Access the value; throws aesz::Error when holding a status. This is
+  /// the bridge for callers that prefer exceptions (tests, examples).
+  T& value() & {
+    if (!ok()) throw Error(status_.code, status_.str());
+    return *value_;
+  }
+  const T& value() const& {
+    if (!ok()) throw Error(status_.code, status_.str());
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) throw Error(status_.code, status_.str());
+    return std::move(*value_);
+  }
+
+  template <typename U>
+  T value_or(U&& fallback) && {
+    return ok() ? std::move(*value_) : T(std::forward<U>(fallback));
+  }
+
+  /// Unchecked access (caller verified ok()).
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace aesz

@@ -12,7 +12,7 @@
 namespace aesz {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x5A465031;  // "ZFP1"
+constexpr std::uint32_t kMagic = ZFPLike::kStreamMagic;
 constexpr int kIntPrec = 32;                  // bit planes per value (float32)
 
 /// zfp's forward lifting step on a 4-vector with stride s. Arithmetic is
@@ -225,7 +225,7 @@ void encode_planes(BitWriter& w, const std::uint32_t* u, std::size_t size,
     const std::size_t m = std::min(n, budget);
     budget -= m;
     put_bits64(w, x, static_cast<int>(m));
-    x >>= m;
+    x = m >= 64 ? 0 : x >> m;  // m can hit 64 on full 3-D blocks
     if (m < n) return;  // budget exhausted mid-prefix
     // Group-test + unary run-length for the remainder.
     while (n < size && budget > 0) {
@@ -288,13 +288,12 @@ void decode_planes(BitReader& r, std::uint32_t* u, std::size_t size, int kmin,
 
 }  // namespace
 
-std::vector<std::uint8_t> ZFPLike::compress(const Field& f, double rel_eb) {
+std::vector<std::uint8_t> ZFPLike::compress(const Field& f,
+                                            const ErrorBound& eb) {
   const Dims& d = f.dims();
-  const double range = f.value_range();
   const bool fixed_rate = opt_.rate_bits_per_value > 0.0;
-  AESZ_CHECK_MSG(fixed_rate || rel_eb > 0,
-                 "ZFP fixed-accuracy requires a positive error bound");
-  const double tol = fixed_rate ? 0.0 : rel_eb * (range > 0 ? range : 1.0);
+  const double tol =
+      fixed_rate ? 0.0 : sz::resolve_abs_eb(f, eb, "ZFP fixed-accuracy");
 
   int minexp = 0;
   if (!fixed_rate) {
@@ -306,7 +305,7 @@ std::vector<std::uint8_t> ZFPLike::compress(const Field& f, double rel_eb) {
 
   const BlockGeom g = geom(d);
   ByteWriter header;
-  sz::write_header(header, kMagic, d, tol);
+  sz::write_header(header, kMagic, d, eb, tol);
   header.put(static_cast<std::uint8_t>(fixed_rate ? 1 : 0));
   header.put(static_cast<std::int32_t>(minexp));
   const std::size_t rate_budget =
@@ -314,7 +313,7 @@ std::vector<std::uint8_t> ZFPLike::compress(const Field& f, double rel_eb) {
                                             static_cast<double>(g.nvals))
                  : 0;
   // A block spends 1 (nonzero flag) + 10 (emax) bits before any plane bit.
-  AESZ_CHECK_MSG(!fixed_rate || rate_budget >= 11,
+  AESZ_CHECK_ARG(!fixed_rate || rate_budget >= 11,
                  "fixed rate too low (< 11 bits per block)");
   header.put_varint(rate_budget);
 
@@ -372,13 +371,19 @@ std::vector<std::uint8_t> ZFPLike::compress(const Field& f, double rel_eb) {
   return header.take();
 }
 
-Field ZFPLike::decompress(std::span<const std::uint8_t> stream) {
+Field ZFPLike::decompress_impl(std::span<const std::uint8_t> stream) {
   ByteReader r(stream);
-  double tol = 0;
-  const Dims d = sz::read_header(r, kMagic, tol);
+  const sz::StreamHeader h = sz::read_header_or_throw(r, kMagic);
+  const Dims d = h.dims;
   const bool fixed_rate = r.get<std::uint8_t>() != 0;
   const int minexp = r.get<std::int32_t>();
   const std::size_t rate_budget = r.get_varint();
+  // A block never legitimately spends more than flag + emax + all 32 planes
+  // verbatim; a larger budget is corruption and would stall the pad-skip
+  // loop below for ~2^64 iterations.
+  AESZ_CHECK_STREAM(!fixed_rate || (rate_budget >= 11 &&
+                                    rate_budget <= (kIntPrec + 2) * 64 + 11),
+                    "bad fixed-rate budget");
   const auto payload = r.get_blob();
   BitReader bits(payload);
 
@@ -424,6 +429,12 @@ Field ZFPLike::decompress(std::span<const std::uint8_t> stream) {
       }
     }
   }
+  // Fixed-accuracy streams are written in full; any zero-filled read past
+  // the payload means the bit stream was truncated mid-block. (Fixed-rate
+  // keeps the zero-fill tolerance: prefixes of a fixed-rate stream decode
+  // to progressively coarser fields by design.)
+  AESZ_CHECK_STREAM(fixed_rate || !bits.overran(),
+                    "bit stream truncated mid-block");
   return out;
 }
 

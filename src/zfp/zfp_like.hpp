@@ -20,9 +20,11 @@ namespace aesz {
 ///    bits (random-access layout), used by the fixed-rate comparisons.
 class ZFPLike final : public Compressor {
  public:
+  static constexpr std::uint32_t kStreamMagic = 0x5A465031;  // "ZFP1"
+
   struct Options {
-    /// 0 = fixed-accuracy driven by compress(rel_eb); >0 = fixed rate in
-    /// bits per value (rel_eb then ignored).
+    /// 0 = fixed-accuracy driven by the compress() error bound; >0 = fixed
+    /// rate in bits per value (the bound then ignored).
     double rate_bits_per_value = 0.0;
   };
 
@@ -30,11 +32,15 @@ class ZFPLike final : public Compressor {
   explicit ZFPLike(Options opt) : opt_(opt) {}
 
   std::string name() const override { return "ZFP"; }
-  std::vector<std::uint8_t> compress(const Field& f, double rel_eb) override;
-  Field decompress(std::span<const std::uint8_t> stream) override;
+  using Compressor::compress;
+  std::vector<std::uint8_t> compress(const Field& f,
+                                     const ErrorBound& eb) override;
   bool error_bounded() const override {
     return opt_.rate_bits_per_value == 0.0;
   }
+
+ protected:
+  Field decompress_impl(std::span<const std::uint8_t> stream) override;
 
  private:
   Options opt_;

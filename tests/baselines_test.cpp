@@ -15,7 +15,7 @@ TEST(AeA, ErrorBoundHoldsEvenUntrained) {
   Field f = synth::cesm_freqsh(32, 64, 50);
   for (double eb : {1e-2, 1e-3}) {
     const auto stream = c.compress(f, eb);
-    Field g = c.decompress(stream);
+    Field g = c.decompress(stream).value();
     ASSERT_EQ(g.size(), f.size());
     EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
               eb * f.value_range() * (1 + 1e-9));
@@ -33,7 +33,7 @@ TEST(AeA, TrainingImprovesRatio) {
   c.train({&train}, topt);
   const auto after = c.compress(test, 1e-2);
   EXPECT_LT(after.size(), before.size() * 1.2);  // no catastrophic regress
-  Field g = c.decompress(after);
+  Field g = c.decompress(after).value();
   EXPECT_LE(metrics::max_abs_err(test.values(), g.values()),
             1e-2 * test.value_range() * (1 + 1e-9));
 }
@@ -42,7 +42,7 @@ TEST(AeA, FlattensAnyRank) {
   AEA c(AEA::Options{.window = 256, .latent = 4}, 3);
   Field f3 = synth::hurricane_qvapor(4, 16, 16, 43);
   const auto stream = c.compress(f3, 1e-2);
-  Field g = c.decompress(stream);
+  Field g = c.decompress(stream).value();
   EXPECT_EQ(g.dims().rank, 3);
   EXPECT_LE(metrics::max_abs_err(f3.values(), g.values()),
             1e-2 * f3.value_range() * (1 + 1e-9));
@@ -71,7 +71,7 @@ TEST(AeB, NotErrorBounded) {
 TEST(AeB, RoundtripShapeAndRange) {
   AEB c(AEB::Options{}, 7);
   Field f = synth::hurricane_u(8, 32, 32, 43);
-  Field g = c.decompress(c.compress(f, 0.0));
+  Field g = c.decompress(c.compress(f, 0.0)).value();
   ASSERT_EQ(g.dims().rank, 3);
   ASSERT_EQ(g.size(), f.size());
   // Output is tanh-bounded in normalized space => within the data range.
@@ -86,13 +86,13 @@ TEST(AeB, TrainingReducesReconstructionError) {
   AEB c(AEB::Options{.block = 8, .width = 4, .res_blocks = 1}, 8);
   Field train = synth::value_noise_3d(24, 24, 24, 2, 2.0, 9);
   Field test = synth::value_noise_3d(24, 24, 24, 2, 2.0, 9, /*tphase=*/0.5);
-  Field g0 = c.decompress(c.compress(test, 0.0));
+  Field g0 = c.decompress(c.compress(test, 0.0)).value();
   const double before = metrics::mse(test.values(), g0.values());
   TrainOptions topt;
   topt.epochs = 6;
   topt.batch = 8;
   c.train({&train}, topt);
-  Field g1 = c.decompress(c.compress(test, 0.0));
+  Field g1 = c.decompress(c.compress(test, 0.0)).value();
   EXPECT_LT(metrics::mse(test.values(), g1.values()), before);
 }
 

@@ -163,7 +163,7 @@ Field* AESZFixture::test_ = nullptr;
 TEST_F(AESZFixture, ErrorBoundHoldsAcrossEbs) {
   for (double eb : {1e-1, 1e-2, 1e-3, 1e-4}) {
     const auto stream = codec_->compress(*test_, eb);
-    Field g = codec_->decompress(stream);
+    Field g = codec_->decompress(stream).value();
     ASSERT_EQ(g.size(), test_->size());
     EXPECT_LE(metrics::max_abs_err(test_->values(), g.values()),
               eb * test_->value_range() * (1 + 1e-9))
@@ -197,7 +197,7 @@ TEST_F(AESZFixture, PolicyAblationBounds) {
     codec_->save_model(path);
     c.load_model(path);
     const auto stream = c.compress(*test_, 1e-2);
-    Field g = c.decompress(stream);
+    Field g = c.decompress(stream).value();
     EXPECT_LE(metrics::max_abs_err(test_->values(), g.values()),
               1e-2 * test_->value_range() * (1 + 1e-9));
     if (p == AESZ::Policy::kAEOnly)
@@ -214,16 +214,18 @@ TEST_F(AESZFixture, ModelSaveLoadPreservesStreams) {
   AESZ other(codec_->options(), 99);  // different random init
   other.load_model(path);
   const auto stream = codec_->compress(*test_, 1e-2);
-  Field g = other.decompress(stream);  // decodes with loaded weights
+  Field g = other.decompress(stream).value();  // decodes with loaded weights
   EXPECT_LE(metrics::max_abs_err(test_->values(), g.values()),
             1e-2 * test_->value_range() * (1 + 1e-9));
   std::remove(path.c_str());
 }
 
-TEST_F(AESZFixture, FingerprintMismatchThrows) {
+TEST_F(AESZFixture, FingerprintMismatchIsTypedError) {
   const auto stream = codec_->compress(*test_, 1e-2);
   AESZ fresh(codec_->options(), 1234);  // untrained weights
-  EXPECT_THROW((void)fresh.decompress(stream), Error);
+  auto result = fresh.decompress(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code, ErrCode::kModelMismatch);
 }
 
 TEST_F(AESZFixture, RejectsRankMismatch) {
@@ -240,7 +242,7 @@ TEST_F(AESZFixture, RateDistortionMonotone) {
   std::size_t prev_size = 0;
   for (double eb : {1e-1, 1e-2, 1e-3}) {
     const auto stream = codec_->compress(*test_, eb);
-    Field g = codec_->decompress(stream);
+    Field g = codec_->decompress(stream).value();
     const double p = metrics::psnr(test_->values(), g.values());
     EXPECT_GT(p, prev_psnr);
     EXPECT_GE(stream.size(), prev_size);
@@ -287,7 +289,7 @@ TEST_F(AESZFixture, PartialBlocksField) {
   // 70x90 is not a multiple of 16: exercises padded blocks end to end.
   Field f = synth::cesm_cldhgh(70, 90, 60);
   const auto stream = codec_->compress(f, 1e-2);
-  Field g = codec_->decompress(stream);
+  Field g = codec_->decompress(stream).value();
   EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
             1e-2 * f.value_range() * (1 + 1e-9));
 }

@@ -43,7 +43,7 @@ TEST(Integration, FullPipelineOnClimateField) {
   for (Compressor* c : std::initializer_list<Compressor*>{
            &aesz_codec, &sz21, &szauto, &szinterp, &zfp, &aea}) {
     const auto stream = c->compress(test, rel_eb);
-    Field g = c->decompress(stream);
+    Field g = c->decompress(stream).value();
     ASSERT_EQ(g.size(), test.size()) << c->name();
     EXPECT_LE(metrics::max_abs_err(test.values(), g.values()),
               abs_eb * (1 + 1e-9))
@@ -106,7 +106,7 @@ TEST(Integration, NyxLogTransformPipeline) {
   codec.train({&train}, topt);
 
   const auto stream = codec.compress(test, 1e-2);
-  Field g = codec.decompress(stream);
+  Field g = codec.decompress(stream).value();
   EXPECT_LE(metrics::max_abs_err(test.values(), g.values()),
             1e-2 * test.value_range() * (1 + 1e-9));
   EXPECT_GT(codec.last_stats().blocks_total, 0u);
@@ -119,8 +119,8 @@ TEST(Integration, StreamsAreSelfContainedAcrossFields) {
   Field b = synth::hurricane_qvapor(8, 24, 24, 43);
   const auto sa = c.compress(a, 1e-3);
   const auto sb = c.compress(b, 1e-3);
-  Field ra = c.decompress(sa);
-  Field rb = c.decompress(sb);
+  Field ra = c.decompress(sa).value();
+  Field rb = c.decompress(sb).value();
   EXPECT_EQ(ra.dims().rank, 2);
   EXPECT_EQ(rb.dims().rank, 3);
   EXPECT_LE(metrics::max_abs_err(a.values(), ra.values()),
@@ -137,8 +137,8 @@ TEST(Integration, PsnrOrderingTracksErrorBound) {
   ZFPLike zfp;
   for (Compressor* c : std::initializer_list<Compressor*>{
            &sz21, &szinterp, &zfp}) {
-    Field loose = c->decompress(c->compress(f, 1e-2));
-    Field tight = c->decompress(c->compress(f, 1e-3));
+    Field loose = c->decompress(c->compress(f, 1e-2)).value();
+    Field tight = c->decompress(c->compress(f, 1e-3)).value();
     EXPECT_GT(metrics::psnr(f.values(), tight.values()),
               metrics::psnr(f.values(), loose.values()))
         << c->name();

@@ -4,8 +4,8 @@
 
 #include "data/synth.hpp"
 #include "metrics/metrics.hpp"
+#include "predictors/registry.hpp"
 #include "sz/sz21.hpp"
-#include "sz/szauto.hpp"
 #include "sz/szinterp.hpp"
 #include "util/rng.hpp"
 #include "zfp/zfp_like.hpp"
@@ -13,24 +13,28 @@
 namespace aesz {
 namespace {
 
-/// The robustness contract of every codec: a mangled stream must either be
-/// rejected with aesz::Error or decode into *some* field — never crash,
-/// hang, or read out of bounds (the latter two would trip ASan/timeouts).
+/// The robustness contract of every codec under the v2 API: a mangled
+/// stream must either come back as a typed error status or decode into
+/// *some* field — never throw, crash, hang, or read out of bounds (the
+/// latter two would trip ASan/timeouts).
 void expect_no_crash(Compressor& c, std::vector<std::uint8_t> stream) {
-  try {
-    Field g = c.decompress(stream);
-    (void)g;
-  } catch (const Error&) {
-    // Rejection is the preferred outcome.
+  const auto result = c.decompress(stream);
+  if (!result.ok()) {
+    EXPECT_NE(result.status().code, ErrCode::kOk);
   }
 }
 
 std::vector<Compressor*> codecs() {
-  static SZ21 sz21;
-  static SZAuto szauto;
-  static SZInterp szinterp;
-  static ZFPLike zfp;
-  return {&sz21, &szauto, &szinterp, &zfp};
+  // Built through the registry — the same instances a runtime caller gets.
+  static std::vector<std::unique_ptr<Compressor>> owned = [] {
+    std::vector<std::unique_ptr<Compressor>> v;
+    for (const char* n : {"SZ2.1", "SZauto", "SZinterp", "ZFP"})
+      v.push_back(CodecRegistry::instance().create(n).value());
+    return v;
+  }();
+  std::vector<Compressor*> out;
+  for (auto& c : owned) out.push_back(c.get());
+  return out;
 }
 
 Field test_field() { return synth::cesm_freqsh(48, 64, 50); }
@@ -78,8 +82,29 @@ TEST(Robustness, CrossCodecStreamsRejected) {
     const auto stream = a->compress(f, 1e-3);
     for (Compressor* b : cs) {
       if (a == b) continue;
-      EXPECT_THROW((void)b->decompress(stream), Error)
+      const auto result = b->decompress(stream);
+      ASSERT_FALSE(result.ok())
           << a->name() << " stream accepted by " << b->name();
+      EXPECT_EQ(result.status().code, ErrCode::kBadMagic)
+          << a->name() << " -> " << b->name();
+    }
+  }
+}
+
+TEST(Robustness, TruncationIsAlwaysATypedError) {
+  // Stronger than no-crash: any strict prefix of a valid stream must be
+  // *rejected* (every blob is length-prefixed, so a shortened buffer is
+  // always detectable).
+  Field f = test_field();
+  for (Compressor* c : codecs()) {
+    const auto stream = c->compress(f, 1e-3);
+    for (std::size_t frac = 0; frac < 8; ++frac) {
+      auto cut = stream;
+      cut.resize(stream.size() * frac / 8);
+      const auto result = c->decompress(cut);
+      ASSERT_FALSE(result.ok())
+          << c->name() << " accepted a " << cut.size() << "-byte prefix";
+      EXPECT_NE(result.status().code, ErrCode::kOk);
     }
   }
 }
@@ -105,7 +130,7 @@ TEST(Robustness, ExtremeValuesRoundtrip) {
   f.at(255) = 1.0f;
   for (Compressor* c : codecs()) {
     const auto stream = c->compress(f, 1e-3);
-    Field g = c->decompress(stream);
+    Field g = c->decompress(stream).value();
     EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
               1e-3 * static_cast<double>(f.value_range()) * (1 + 1e-9))
         << c->name();
@@ -118,7 +143,7 @@ TEST(Robustness, SingleElementField) {
   SZInterp si;
   ZFPLike zf;
   for (Compressor* c : std::initializer_list<Compressor*>{&sz, &si, &zf}) {
-    Field g = c->decompress(c->compress(f, 1e-3));
+    Field g = c->decompress(c->compress(f, 1e-3)).value();
     ASSERT_EQ(g.size(), 1u);
     EXPECT_NEAR(g.at(0), 42.0f, 1e-3 * 42.0f + 1e-3);
   }
@@ -132,7 +157,7 @@ TEST(Robustness, HighlyAnisotropicDims) {
     for (float& v : f.values()) v = rng.gaussianf();
     for (Compressor* c : codecs()) {
       const auto stream = c->compress(f, 1e-2);
-      Field g = c->decompress(stream);
+      Field g = c->decompress(stream).value();
       EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
                 1e-2 * f.value_range() * (1 + 1e-9))
           << c->name() << " on " << d.str();
@@ -143,14 +168,14 @@ TEST(Robustness, HighlyAnisotropicDims) {
 TEST(Robustness, NegativeOnlyAndConstantNegativeFields) {
   Field f(Dims(20, 20), -5.0f);
   for (Compressor* c : codecs()) {
-    Field g = c->decompress(c->compress(f, 1e-3));
+    Field g = c->decompress(c->compress(f, 1e-3)).value();
     for (float v : g.values()) EXPECT_NEAR(v, -5.0f, 1e-2);
   }
   Field h(Dims(20, 20));
   Rng rng(23);
   for (float& v : h.values()) v = -10.0f + rng.gaussianf();
   for (Compressor* c : codecs()) {
-    Field g = c->decompress(c->compress(h, 1e-3));
+    Field g = c->decompress(c->compress(h, 1e-3)).value();
     EXPECT_LE(metrics::max_abs_err(h.values(), g.values()),
               1e-3 * h.value_range() * (1 + 1e-9))
         << c->name();
@@ -167,7 +192,7 @@ TEST(Robustness, RepeatedCompressorReuse) {
     Field f(Dims(h, w));
     for (float& v : f.values()) v = rng.gaussianf();
     const double eb = std::pow(10.0, -1.0 - static_cast<double>(rng.below(4)));
-    Field g = c.decompress(c.compress(f, eb));
+    Field g = c.decompress(c.compress(f, eb)).value();
     EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
               eb * f.value_range() * (1 + 1e-9))
         << "round " << round;

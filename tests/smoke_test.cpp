@@ -36,7 +36,7 @@ TEST(Smoke, RoundTripHoldsErrorBoundAcrossBounds) {
 
   for (const double rel_eb : {1e-1, 1e-2, 1e-3}) {
     const auto stream = codec.compress(test, rel_eb);
-    const Field recon = codec.decompress(stream);
+    const Field recon = codec.decompress(stream).value();
     ASSERT_EQ(recon.size(), test.size());
     ASSERT_EQ(recon.dims(), test.dims());
     const double abs_eb = rel_eb * test.value_range();
@@ -56,7 +56,7 @@ TEST(Smoke, UntrainedModelStillErrorBounded) {
 
   const double rel_eb = 1e-2;
   const auto stream = codec.compress(test, rel_eb);
-  const Field recon = codec.decompress(stream);
+  const Field recon = codec.decompress(stream).value();
   ASSERT_EQ(recon.size(), test.size());
   EXPECT_LE(metrics::max_abs_err(test.values(), recon.values()),
             rel_eb * test.value_range() * (1 + 1e-9));
@@ -79,7 +79,7 @@ TEST(Smoke, RoundTrip3DField) {
 
   const double rel_eb = 1e-2;
   const auto stream = codec.compress(test, rel_eb);
-  const Field recon = codec.decompress(stream);
+  const Field recon = codec.decompress(stream).value();
   ASSERT_EQ(recon.size(), test.size());
   ASSERT_EQ(recon.dims(), test.dims());
   EXPECT_LE(metrics::max_abs_err(test.values(), recon.values()),

@@ -42,7 +42,7 @@ struct Case {
 
 void check_roundtrip(Compressor& c, const Field& f, double rel_eb) {
   const auto stream = c.compress(f, rel_eb);
-  Field g = c.decompress(stream);
+  Field g = c.decompress(stream).value();
   ASSERT_EQ(g.dims().rank, f.dims().rank);
   ASSERT_EQ(g.size(), f.size());
   const double abs_eb = rel_eb * f.value_range();
@@ -113,7 +113,7 @@ TEST(SZ21, TinyFieldRoundtrip) {
   Field f(Dims(3, 3), 1.0f);
   f.at2(1, 1) = 2.0f;
   SZ21 c;
-  Field g = c.decompress(c.compress(f, 1e-3));
+  Field g = c.decompress(c.compress(f, 1e-3)).value();
   ASSERT_EQ(g.size(), f.size());
   EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
             1e-3 * f.value_range() * (1 + 1e-9));
@@ -130,7 +130,9 @@ TEST(SZ21, RejectsForeignStream) {
   Field f = make_field(1);
   const auto stream = other.compress(f, 1e-3);
   SZ21 c;
-  EXPECT_THROW((void)c.decompress(stream), Error);
+  auto result = c.decompress(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code, ErrCode::kBadMagic);
 }
 
 TEST(SZAuto, PicksSecondOrderOnQuadratic) {
@@ -143,7 +145,7 @@ TEST(SZAuto, PicksSecondOrderOnQuadratic) {
         f.at3(i, j, k) = 0.01f * i * i + 0.02f * j * j + 0.05f * k * k;
   SZAuto c;
   const auto stream = c.compress(f, 1e-4);
-  Field g = c.decompress(stream);
+  Field g = c.decompress(stream).value();
   EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
             1e-4 * f.value_range() * (1 + 1e-9));
   // The second-order stencil is exact on the original values; residuals are
@@ -195,22 +197,75 @@ TEST(StreamFormat, ZigzagRoundtrip) {
 
 TEST(StreamFormat, HeaderRoundtrip) {
   ByteWriter w;
-  sz::write_header(w, 0xABCD1234u, Dims(7, 9, 11), 2.5e-4);
+  sz::write_header(w, 0xABCD1234u, Dims(7, 9, 11), ErrorBound::Abs(2.5e-4),
+                   2.5e-4);
   const auto bytes = w.take();
   ByteReader r(bytes);
-  double eb = 0;
-  const Dims d = sz::read_header(r, 0xABCD1234u, eb);
-  EXPECT_EQ(d, Dims(7, 9, 11));
-  EXPECT_EQ(eb, 2.5e-4);
+  auto h = sz::read_header(r, 0xABCD1234u);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->dims, Dims(7, 9, 11));
+  EXPECT_EQ(h->eb, ErrorBound::Abs(2.5e-4));
+  EXPECT_EQ(h->abs_eb, 2.5e-4);
 }
 
-TEST(StreamFormat, HeaderMagicMismatchThrows) {
+TEST(StreamFormat, HeaderMagicMismatchIsTypedError) {
   ByteWriter w;
-  sz::write_header(w, 0x11111111u, Dims(4), 1e-3);
+  sz::write_header(w, 0x11111111u, Dims(4), ErrorBound::Rel(1e-3), 1e-3);
   const auto bytes = w.take();
   ByteReader r(bytes);
-  double eb = 0;
-  EXPECT_THROW((void)sz::read_header(r, 0x22222222u, eb), Error);
+  const auto h = sz::read_header(r, 0x22222222u);
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code, ErrCode::kBadMagic);
+}
+
+TEST(StreamFormat, HeaderRejectsHostileDims) {
+  // A header declaring 2^20 x 2^20 x 2^20 elements must be rejected before
+  // anything tries to allocate that field.
+  ByteWriter w;
+  w.put(0xABCD1234u);
+  w.put(sz::kFormatVersion);
+  w.put(std::uint8_t{3});
+  for (int i = 0; i < 3; ++i) w.put_varint(std::uint64_t{1} << 20);
+  w.put(static_cast<std::uint8_t>(EbMode::kRel));
+  w.put(1e-3);
+  w.put(1e-3);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  const auto h = sz::read_header(r, 0xABCD1234u);
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code, ErrCode::kBadHeader);
+}
+
+TEST(StreamFormat, HeaderRejectsZeroDim) {
+  ByteWriter w;
+  w.put(0xABCD1234u);
+  w.put(sz::kFormatVersion);
+  w.put(std::uint8_t{2});
+  w.put_varint(16);
+  w.put_varint(0);
+  w.put(static_cast<std::uint8_t>(EbMode::kRel));
+  w.put(1e-3);
+  w.put(1e-3);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  const auto h = sz::read_header(r, 0xABCD1234u);
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code, ErrCode::kBadHeader);
+}
+
+TEST(StreamFormat, HeaderTruncationIsTypedError) {
+  ByteWriter w;
+  sz::write_header(w, 0xABCD1234u, Dims(7, 9, 11), ErrorBound::Rel(1e-3),
+                   1e-3);
+  const auto bytes = w.take();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> part(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    ByteReader r(part);
+    const auto h = sz::read_header(r, 0xABCD1234u);
+    ASSERT_FALSE(h.ok()) << "cut at " << cut;
+    EXPECT_EQ(h.status().code, ErrCode::kTruncated) << "cut at " << cut;
+  }
 }
 
 TEST(AllSZ, ConstantFieldCompressesExtremely) {
@@ -219,7 +274,7 @@ TEST(AllSZ, ConstantFieldCompressesExtremely) {
            new SZ21, new SZAuto, new SZInterp}) {
     std::unique_ptr<Compressor> owned(c);
     const auto stream = owned->compress(f, 1e-3);
-    Field g = owned->decompress(stream);
+    Field g = owned->decompress(stream).value();
     EXPECT_LE(metrics::max_abs_err(f.values(), g.values()), 1e-3);
     EXPECT_GT(metrics::compression_ratio(f.size(), stream.size()), 50.0)
         << owned->name();

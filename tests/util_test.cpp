@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "util/bitstream.hpp"
 #include "util/bytestream.hpp"
 #include "util/dims.hpp"
+#include "util/expected.hpp"
 #include "util/rng.hpp"
 
 namespace aesz {
@@ -79,6 +82,88 @@ TEST(ByteStream, TruncatedVarintThrows) {
   std::vector<std::uint8_t> bad{0x80, 0x80};  // never terminates
   ByteReader r(bad);
   EXPECT_THROW((void)r.get_varint(), Error);
+}
+
+TEST(ByteStream, TruncationCarriesTypedCode) {
+  ByteReader r({});
+  try {
+    (void)r.get<std::uint32_t>();
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrCode::kTruncated);
+  }
+}
+
+TEST(ByteStream, FallibleReadsNeverThrow) {
+  ByteWriter w;
+  w.put<std::uint32_t>(0xFEEDFACE);
+  w.put_varint(300);
+  w.put_blob(std::vector<std::uint8_t>{9, 8, 7});
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  std::uint32_t u = 0;
+  std::uint64_t v = 0;
+  std::span<const std::uint8_t> blob;
+  EXPECT_TRUE(r.try_get(u));
+  EXPECT_EQ(u, 0xFEEDFACEu);
+  EXPECT_TRUE(r.try_get_varint(v));
+  EXPECT_EQ(v, 300u);
+  EXPECT_TRUE(r.try_get_blob(blob));
+  EXPECT_EQ(blob.size(), 3u);
+  EXPECT_TRUE(r.eof());
+  // At EOF every fallible read reports failure without moving the cursor.
+  EXPECT_FALSE(r.try_get(u));
+  EXPECT_FALSE(r.try_get_varint(v));
+  EXPECT_FALSE(r.try_get_blob(blob));
+  EXPECT_TRUE(r.eof());
+}
+
+TEST(ByteStream, HostileLengthsDoNotAllocate) {
+  // A varint declaring a near-2^64 array/blob must fail the bounds check
+  // (overflow-safely) instead of attempting a giant allocation.
+  ByteWriter w;
+  w.put_varint(0xFFFFFFFFFFFFFFFFull);
+  w.put<std::uint8_t>(1);
+  const auto bytes = w.take();
+  {
+    ByteReader r(bytes);
+    EXPECT_THROW((void)r.get_array<float>(), Error);
+  }
+  {
+    ByteReader r(bytes);
+    EXPECT_THROW((void)r.get_blob(), Error);
+  }
+  {
+    ByteReader r(bytes);
+    std::span<const std::uint8_t> out;
+    EXPECT_FALSE(r.try_get_blob(out));
+  }
+}
+
+TEST(Expected, ValueAndStatusPaths) {
+  Expected<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(*good, 42);
+
+  Expected<int> bad(ErrCode::kBadMagic, "nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code, ErrCode::kBadMagic);
+  EXPECT_NE(bad.status().str().find("bad_magic"), std::string::npos);
+  try {
+    (void)bad.value();
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrCode::kBadMagic);
+  }
+  EXPECT_EQ(Expected<int>(ErrCode::kTruncated, "").value_or(7), 7);
+}
+
+TEST(Expected, WorksWithMoveOnlyTypes) {
+  Expected<std::unique_ptr<int>> e(std::make_unique<int>(5));
+  ASSERT_TRUE(e.ok());
+  std::unique_ptr<int> p = std::move(e).value();
+  EXPECT_EQ(*p, 5);
 }
 
 TEST(BitStream, SingleBits) {

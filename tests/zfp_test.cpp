@@ -41,7 +41,7 @@ TEST_P(ZfpAccuracy, ToleranceRespected) {
   Field f = make_field(GetParam().field_kind);
   ZFPLike c;
   const auto stream = c.compress(f, GetParam().rel_eb);
-  Field g = c.decompress(stream);
+  Field g = c.decompress(stream).value();
   ASSERT_EQ(g.size(), f.size());
   const double tol = GetParam().rel_eb * f.value_range();
   EXPECT_LE(metrics::max_abs_err(f.values(), g.values()), tol * (1 + 1e-9));
@@ -59,7 +59,7 @@ TEST(Zfp, AllZeroField) {
   Field f(Dims(16, 16, 16), 0.0f);
   ZFPLike c;
   const auto stream = c.compress(f, 1e-3);
-  Field g = c.decompress(stream);
+  Field g = c.decompress(stream).value();
   for (float v : g.values()) EXPECT_EQ(v, 0.0f);
   // One bit per block + header: tiny.
   EXPECT_LT(stream.size(), 100u);
@@ -69,7 +69,7 @@ TEST(Zfp, PartialBlocksPreserved) {
   // Dims not divisible by 4: padded lanes must not corrupt valid ones.
   Field f = synth::value_noise_2d(13, 19, 3, 2.0, 4);
   ZFPLike c;
-  Field g = c.decompress(c.compress(f, 1e-3));
+  Field g = c.decompress(c.compress(f, 1e-3)).value();
   EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
             1e-3 * f.value_range() * (1 + 1e-9));
 }
@@ -81,7 +81,7 @@ TEST(Zfp, MonotoneRateDistortion) {
   std::size_t prev_size = SIZE_MAX;
   for (double eb : {1e-1, 1e-2, 1e-3, 1e-4}) {
     const auto stream = c.compress(f, eb);
-    Field g = c.decompress(stream);
+    Field g = c.decompress(stream).value();
     const double p = metrics::psnr(f.values(), g.values());
     EXPECT_GT(p, prev_psnr);       // tighter bound -> better quality
     EXPECT_GE(stream.size(), prev_size == SIZE_MAX ? 0 : prev_size);
@@ -94,7 +94,7 @@ TEST(Zfp, FixedRateSizeIsExact) {
   Field f = synth::value_noise_3d(16, 16, 16, 3, 2.0, 5);
   ZFPLike c(ZFPLike::Options{.rate_bits_per_value = 8.0});
   const auto stream = c.compress(f, 0.0);
-  Field g = c.decompress(stream);
+  Field g = c.decompress(stream).value();
   ASSERT_EQ(g.size(), f.size());
   // 8 bits/value = CR 4: stream must be within a small header of n/4 bytes.
   EXPECT_NEAR(static_cast<double>(stream.size()),
@@ -108,7 +108,7 @@ TEST(Zfp, FixedRateQualityGrowsWithRate) {
   double prev = -1e9;
   for (double rate : {2.0, 4.0, 8.0, 16.0}) {
     ZFPLike c(ZFPLike::Options{.rate_bits_per_value = rate});
-    Field g = c.decompress(c.compress(f, 0.0));
+    Field g = c.decompress(c.compress(f, 0.0)).value();
     const double p = metrics::psnr(f.values(), g.values());
     EXPECT_GT(p, prev) << "rate " << rate;
     prev = p;
@@ -129,7 +129,7 @@ TEST(Zfp, SmoothDataBeatsNoiseInRatio) {
 TEST(Zfp, OneDimensionalSupport) {
   Field f = make_field(4);
   ZFPLike c;
-  Field g = c.decompress(c.compress(f, 1e-3));
+  Field g = c.decompress(c.compress(f, 1e-3)).value();
   EXPECT_LE(metrics::max_abs_err(f.values(), g.values()),
             1e-3 * f.value_range() * (1 + 1e-9));
 }
