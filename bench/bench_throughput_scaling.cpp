@@ -1,0 +1,162 @@
+// Throughput scaling of the parallel chunked-compression pipeline
+// (src/pipeline/): GB/s versus thread count, per codec, on a large
+// synthetic field. Not a paper figure — this measures the repo's own
+// production-scaling layer (ROADMAP "fast as the hardware allows").
+//
+// For each codec x thread count the field is sharded into axis-0 slabs,
+// compressed/decompressed through ParallelCompressor, the error bound is
+// verified on the reassembled field, and compress/decompress GB/s plus
+// the speedup over the 1-thread pipeline are reported — as a table on
+// stdout and as a JSON array (bench/common.hpp emitters) for plotting.
+//
+// Expected shape on a multi-core host: the non-learned codecs (SZ2.1,
+// ZFP, SZinterp) scale near-linearly until memory bandwidth saturates —
+// >= 2x compression throughput at 4 threads. On a single-core host every
+// thread count necessarily lands at ~1x; the bench prints the detected
+// hardware concurrency so that reading is not mistaken for a regression.
+//
+// Environment knobs (bench/common.hpp conventions):
+//   AESZ_BENCH_MB       field size in MiB (default 64)
+//   AESZ_BENCH_THREADS  comma list of thread counts (default "1,2,4,8")
+//   AESZ_BENCH_CODECS   comma list of inner codecs (default "SZ2.1,ZFP")
+//   AESZ_BENCH_EB       error bound spec (default "rel:1e-3")
+//   AESZ_BENCH_JSON     also write the JSON array to this file
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "metrics/metrics.hpp"
+#include "pipeline/parallel_compressor.hpp"
+
+namespace {
+
+using namespace aesz;
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t end = s.find(',', pos);
+    if (end == std::string::npos) end = s.size();
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+std::size_t parse_thread_count(const std::string& s) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  AESZ_CHECK_ARG(end == s.c_str() + s.size() && v > 0,
+                 "AESZ_BENCH_THREADS needs positive integers, got '" + s +
+                     "'");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+int run() {
+  bench::banner("throughput scaling: parallel pipeline GB/s vs threads",
+                "no paper figure (production scaling of this repo)");
+
+  const std::size_t mb = bench::env_size_t("AESZ_BENCH_MB", 64);
+  const std::string eb_spec = bench::env_str("AESZ_BENCH_EB", "rel:1e-3");
+  const ErrorBound eb = ErrorBound::parse(eb_spec).value();
+  const auto codecs =
+      split_list(bench::env_str("AESZ_BENCH_CODECS", "SZ2.1,ZFP"));
+  std::vector<std::size_t> thread_counts;
+  for (const auto& t : split_list(bench::env_str("AESZ_BENCH_THREADS",
+                                                 "1,2,4,8")))
+    thread_counts.push_back(parse_thread_count(t));
+  AESZ_CHECK_ARG(!thread_counts.empty(), "AESZ_BENCH_THREADS is empty");
+  const std::size_t base_threads = thread_counts.front();
+
+  // A 2-D multi-scale field of ~mb MiB: rows x 4096 columns of f32.
+  const std::size_t cols = 4096;
+  const std::size_t rows = mb * 1024 * 1024 / (cols * sizeof(float));
+  std::printf("field: %zux%zu f32 (%.1f MiB), bound %s, hw threads %u\n\n",
+              rows, cols,
+              static_cast<double>(rows * cols * sizeof(float)) / 1048576.0,
+              eb.str().c_str(), std::thread::hardware_concurrency());
+  const Field f = synth::value_noise_2d(rows, cols, 4, 24.0, /*seed=*/11);
+  const double gbytes =
+      static_cast<double>(f.size() * sizeof(float)) / 1e9;
+  const double tol = eb.absolute(f.value_range()) * (1 + 1e-9);
+
+  // The chunk table is a function of the dims alone (auto_chunk_rows), so
+  // every thread count compresses the identical set of slabs.
+  const std::size_t chunks =
+      pipeline::make_chunks(f.dims(), pipeline::auto_chunk_rows(f.dims()))
+          .size();
+  std::printf("%zu chunks of %zu rows each\n\n", chunks,
+              pipeline::auto_chunk_rows(f.dims()));
+  // Speedups are reported against the FIRST listed thread count (1 by
+  // default — put 1 first to read the column as speedup-vs-serial).
+  std::printf("%-10s %8s %12s %12s %14s %9s\n", "codec", "threads",
+              "comp GB/s", "decomp GB/s",
+              ("spdup/" + std::to_string(base_threads) + "t").c_str(), "CR");
+  std::vector<bench::JsonObj> rows_json;
+  for (const auto& name : codecs) {
+    double base_comp = 0.0;
+    for (const std::size_t threads : thread_counts) {
+      pipeline::ParallelCompressor codec(
+          {.inner = name, .threads = threads, .chunk_rows = 0}, 2);
+      Timer t;
+      const auto stream = codec.compress(f, eb);
+      const double comp_s = t.seconds();
+      t.reset();
+      auto recon = codec.decompress(stream);
+      const double decomp_s = t.seconds();
+      AESZ_CHECK_MSG(recon.ok(), recon.status().str());
+      const double max_err =
+          metrics::max_abs_err(f.values(), recon->values());
+      if (codec.error_bounded() && max_err > tol) {
+        std::printf("!! %s violated %s (max_err %g)\n", codec.name().c_str(),
+                    eb.str().c_str(), max_err);
+        return 1;
+      }
+      const double comp_gbps = gbytes / comp_s;
+      const double decomp_gbps = gbytes / decomp_s;
+      if (base_comp == 0.0) base_comp = comp_gbps;  // first row per codec
+      const double speedup = comp_gbps / base_comp;
+      const double cr =
+          metrics::compression_ratio(f.size(), stream.size());
+      std::printf("%-10s %8zu %12.3f %12.3f %13.2fx %9.1f\n", name.c_str(),
+                  threads, comp_gbps, decomp_gbps, speedup, cr);
+      rows_json.push_back(
+          bench::JsonObj()
+              .add("codec", name)
+              .add("threads", threads)
+              .add("chunks", chunks)
+              .add("compress_gbps", comp_gbps)
+              .add("decompress_gbps", decomp_gbps)
+              .add("baseline_threads", base_threads)
+              .add("speedup_vs_baseline", speedup)
+              .add("compression_ratio", cr)
+              .add("max_err", max_err)
+              .add("field_mb", mb));
+    }
+    std::printf("\n");
+  }
+
+  const std::string json = bench::json_array(rows_json);
+  std::printf("JSON:\n%s\n", json.c_str());
+  const std::string json_path = bench::env_str("AESZ_BENCH_JSON", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+int main() {
+  try {
+    return run();
+  } catch (const aesz::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

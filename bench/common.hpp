@@ -31,6 +31,60 @@ inline std::size_t env_size_t(const char* name, std::size_t fallback) {
   return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
 }
 
+inline std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v && *v) ? std::string(v) : fallback;
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON emission for benches with machine-readable output
+// (bench_throughput_scaling and friends): flat objects of string/number
+// fields, composed into an array. No external dependency.
+// ---------------------------------------------------------------------
+
+class JsonObj {
+ public:
+  JsonObj& add(const std::string& key, const std::string& v) {
+    return raw(key, '"' + escape(v) + '"');
+  }
+  JsonObj& add(const std::string& key, const char* v) {
+    return add(key, std::string(v));
+  }
+  JsonObj& add(const std::string& key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonObj& add(const std::string& key, std::size_t v) {
+    return raw(key, std::to_string(v));
+  }
+
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonObj& raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ",";
+    body_ += '"' + escape(key) + "\":" + value;
+    return *this;
+  }
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  std::string body_;
+};
+
+inline std::string json_array(const std::vector<JsonObj>& rows) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    out += (i ? ",\n " : "") + rows[i].str();
+  return out + "]";
+}
+
 inline std::size_t epochs() { return env_size_t("AESZ_BENCH_EPOCHS", 8); }
 inline std::size_t scale() { return env_size_t("AESZ_BENCH_SCALE", 1); }
 

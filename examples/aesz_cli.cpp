@@ -5,15 +5,25 @@
 // Subcommands:
 //   train    --field <table6-name> --dims AxB[xC] --out model.bin  files...
 //   compress --codec NAME --eb MODE:VALUE --dims AxB[xC] --out out.bin
-//            [--field <name> --model model.bin]  input.f32
+//            [--field <name> --model model.bin] [--threads N --chunk N]
+//            input.f32
 //   decompress [--codec NAME | auto-detected] --out recon.f32
-//            [--field <name> --model model.bin]  data.aesz
+//            [--field <name> --model model.bin] [--threads N]  data.aesz
 //   assess   --dims AxB[xC]  original.f32 reconstructed.f32
 //   list-codecs
 //
 // --codec defaults to AE-SZ (which needs --model); every other registered
 // codec works without a model. --eb accepts abs:V, rel:V, psnr:V, or a
 // bare number (value-range-relative, the paper's ε).
+//
+// --threads N runs the sharded parallel pipeline (src/pipeline/): the
+// field is split into slabs along the slowest axis, compressed
+// concurrently (one codec instance per worker), and written as a
+// multi-chunk container stream. --chunk N sets the slab thickness in
+// axis-0 planes (default: ~1 MiB slabs, from the dims alone so the
+// container bytes never depend on the thread count). --threads 0 means
+// hardware concurrency. Equivalent: --codec parallel:<NAME>. Container
+// streams are auto-detected on decompress.
 //
 // Synthetic smoke run (no files needed):
 //   aesz_cli demo
@@ -27,6 +37,7 @@
 #include "data/synth.hpp"
 #include "metrics/assessment.hpp"
 #include "metrics/metrics.hpp"
+#include "pipeline/parallel_compressor.hpp"
 #include "predictors/registry.hpp"
 #include "util/cli.hpp"
 
@@ -71,13 +82,16 @@ int usage() {
       "usage:\n"
       "  aesz_cli train --field NAME --dims AxB[xC] --out model.bin f...\n"
       "  aesz_cli compress --codec NAME --eb MODE:VALUE --dims AxB[xC]\n"
-      "           [--field NAME --model m.bin] --out out.bin input.f32\n"
+      "           [--field NAME --model m.bin] [--threads N --chunk N]\n"
+      "           --out out.bin input.f32\n"
       "  aesz_cli decompress [--codec NAME] [--field NAME --model m.bin]\n"
-      "           --out recon.f32 in\n"
+      "           [--threads N] --out recon.f32 in\n"
       "  aesz_cli assess --dims AxB[xC] original.f32 reconstructed.f32\n"
       "  aesz_cli list-codecs\n"
       "  aesz_cli demo\n"
       "--eb modes: abs:V | rel:V | psnr:V (bare number = rel)\n"
+      "--threads N: sharded parallel pipeline (0 = all cores);\n"
+      "             --chunk N sets slab thickness in axis-0 planes\n"
       "fields: ");
   for (const auto& f : model_zoo::known_fields())
     std::printf("%s ", f.c_str());
@@ -106,6 +120,58 @@ bool is_aesz(const std::string& codec_name) {
   return s == "ae-sz" || s == "aesz";
 }
 
+/// Strip a leading "parallel:" (case-insensitive) from a codec name;
+/// returns true when the prefix was present.
+bool strip_parallel(std::string& name) {
+  constexpr const char* kPrefix = "parallel:";
+  constexpr std::size_t kLen = 9;
+  if (name.size() <= kLen) return false;
+  for (std::size_t i = 0; i < kLen; ++i)
+    if (std::tolower(static_cast<unsigned char>(name[i])) != kPrefix[i])
+      return false;
+  name = name.substr(kLen);
+  return true;
+}
+
+/// Inner-codec factory for the parallel pipeline: AE-SZ instances load the
+/// trained model from --field/--model (one instance per worker), every
+/// other codec comes from the registry.
+pipeline::InnerFactory codec_factory(const CliArgs& args,
+                                     const std::string& name) {
+  if (is_aesz(name)) {
+    const std::string field = args.get("field", "CESM-CLDHGH");
+    const std::string model = args.get("model", "model.bin");
+    return [field, model](int) -> std::unique_ptr<Compressor> {
+      auto c = std::make_unique<AESZ>(model_zoo::options_for(field), 1);
+      c->load_model(model);
+      return c;
+    };
+  }
+  return [name](int rank) -> std::unique_ptr<Compressor> {
+    return CodecRegistry::instance().create(name, rank).value();
+  };
+}
+
+/// Build the codec for compress/decompress. The sharded parallel pipeline
+/// is selected by a `parallel:<name>` codec spelling, or (when
+/// `wrap_on_flags` — the compress path) by --threads/--chunk alone; on
+/// decompress the stream format decides, so --threads only sizes the pool.
+std::unique_ptr<Compressor> build_codec(const CliArgs& args,
+                                        std::string codec_name, int rank_hint,
+                                        bool wrap_on_flags) {
+  const bool prefixed = strip_parallel(codec_name);
+  const bool parallel =
+      prefixed || (wrap_on_flags && (args.has("threads") || args.has("chunk")));
+  auto factory = codec_factory(args, codec_name);
+  if (!parallel) return factory(rank_hint);
+  pipeline::ParallelCompressor::Options opt;
+  opt.inner = codec_name;
+  opt.threads = static_cast<std::size_t>(args.get_long("threads", 0));
+  opt.chunk_rows = static_cast<std::size_t>(args.get_long("chunk", 0));
+  return std::make_unique<pipeline::ParallelCompressor>(opt, rank_hint,
+                                                        std::move(factory));
+}
+
 int cmd_train(const CliArgs& args) {
   const std::string field = args.get("field", "CESM-CLDHGH");
   const Dims dims = parse_dims(args.get("dims", ""));
@@ -132,29 +198,18 @@ int cmd_compress(const CliArgs& args) {
   Field f = Field::load_raw(args.positional()[0], dims);
   const ErrorBound eb = ErrorBound::parse(args.get("eb", "rel:1e-2")).value();
 
-  std::unique_ptr<Compressor> owned;
-  std::unique_ptr<AESZ> aesz_codec;
-  Compressor* codec;
-  if (is_aesz(codec_name)) {
-    // AE-SZ needs its trained model (stored separately from the data).
-    const std::string field = args.get("field", "CESM-CLDHGH");
-    aesz_codec = std::make_unique<AESZ>(model_zoo::options_for(field), 1);
-    aesz_codec->load_model(args.get("model", "model.bin"));
-    codec = aesz_codec.get();
-  } else {
-    owned = CodecRegistry::instance().create(codec_name, dims.rank).value();
-    codec = owned.get();
-  }
-
+  auto codec = build_codec(args, codec_name, dims.rank,
+                           /*wrap_on_flags=*/true);
   const auto stream = codec->compress(f, eb);
   write_file(args.get("out", "out.aesz"), stream);
   std::printf("%s: %zu -> %zu bytes (CR %.2f, bound %s)", codec->name().c_str(),
               f.size() * sizeof(float), stream.size(),
               metrics::compression_ratio(f.size(), stream.size()),
               eb.str().c_str());
-  if (aesz_codec)
-    std::printf(", %.1f%% AE blocks",
-                100.0 * aesz_codec->last_stats().ae_fraction());
+  if (auto* par = dynamic_cast<pipeline::ParallelCompressor*>(codec.get()))
+    std::printf(", %zu threads", par->threads());
+  if (auto* ae = dynamic_cast<AESZ*>(codec.get()))
+    std::printf(", %.1f%% AE blocks", 100.0 * ae->last_stats().ae_fraction());
   std::printf("\n");
   return 0;
 }
@@ -163,7 +218,8 @@ int cmd_decompress(const CliArgs& args) {
   AESZ_CHECK_MSG(args.positional().size() == 1, "need one input file");
   const auto stream = read_file(args.positional()[0]);
 
-  // Pick the codec: explicit --codec wins, else sniff the stream magic.
+  // Pick the codec: explicit --codec wins, else sniff the stream magic
+  // (container streams identify as parallel:<inner codec>).
   auto& reg = CodecRegistry::instance();
   std::string codec_name = args.get("codec", "");
   if (codec_name.empty()) {
@@ -175,19 +231,8 @@ int cmd_decompress(const CliArgs& args) {
     codec_name = *identified;
   }
 
-  std::unique_ptr<Compressor> owned;
-  std::unique_ptr<AESZ> aesz_codec;
-  Compressor* codec;
-  if (is_aesz(codec_name)) {
-    const std::string field = args.get("field", "CESM-CLDHGH");
-    aesz_codec = std::make_unique<AESZ>(model_zoo::options_for(field), 1);
-    aesz_codec->load_model(args.get("model", "model.bin"));
-    codec = aesz_codec.get();
-  } else {
-    owned = reg.create(codec_name).value();
-    codec = owned.get();
-  }
-
+  auto codec = build_codec(args, codec_name, /*rank_hint=*/2,
+                           /*wrap_on_flags=*/false);
   auto result = codec->decompress(stream);
   if (!result.ok()) {
     std::fprintf(stderr, "error: cannot decompress with %s: %s\n",
@@ -275,6 +320,29 @@ int cmd_demo() {
                  const_cast<char**>(argv), {"out"});
     if (cmd_decompress(args)) return 1;
   }
+  {
+    // Parallel pipeline: sharded compression on a thread pool, written as
+    // a multi-chunk container stream...
+    const char* argv[] = {"aesz_cli", "--codec",   "SZ2.1",
+                          "--dims",   "96x192",    "--eb",
+                          "abs:0.01", "--threads", "2",
+                          "--chunk",  "24",        "--out",
+                          "/tmp/aesz_cli_demo.par",
+                          "/tmp/aesz_cli_test.f32"};
+    CliArgs args(static_cast<int>(std::size(argv)),
+                 const_cast<char**>(argv),
+                 {"codec", "dims", "eb", "threads", "chunk", "out"});
+    if (cmd_compress(args)) return 1;
+  }
+  {
+    // ...and auto-detected from the container magic on decompression.
+    const char* argv[] = {"aesz_cli", "--out",
+                          "/tmp/aesz_cli_recon_par.f32",
+                          "/tmp/aesz_cli_demo.par"};
+    CliArgs args(static_cast<int>(std::size(argv)),
+                 const_cast<char**>(argv), {"out"});
+    if (cmd_decompress(args)) return 1;
+  }
   return 0;
 }
 
@@ -284,8 +352,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    const std::vector<std::string> keys{"field", "dims", "out",
-                                        "model", "eb",   "epochs", "codec"};
+    const std::vector<std::string> keys{"field",  "dims",   "out",
+                                        "model",  "eb",     "epochs",
+                                        "codec",  "threads", "chunk"};
     CliArgs args(argc - 1, argv + 1, keys);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "compress") return cmd_compress(args);

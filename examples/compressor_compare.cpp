@@ -76,6 +76,12 @@ int main(int argc, char** argv) {
   auto& registry = CodecRegistry::instance();
   std::vector<std::unique_ptr<Compressor>> codecs;
   for (const std::string& name : registry.names()) {
+    // Skip the parallel:<codec> pipeline wrappers: they would double the
+    // table with rows whose quality is identical to the base codec, and
+    // the learned ones cannot be trained through the wrapper (each worker
+    // builds its own registry instance) — bench_throughput_scaling is the
+    // tool that measures the wrappers.
+    if (name.rfind("parallel:", 0) == 0) continue;
     auto c = registry.create(name, rank).value();
     if (!c->supports_rank(rank)) {
       std::printf("(skipping %s: no %d-D support)\n", name.c_str(), rank);

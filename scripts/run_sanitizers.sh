@@ -1,20 +1,32 @@
 #!/usr/bin/env bash
-# Build and run the test suite under ASan + UBSan. The corrupt-stream
-# robustness/registry tests are only meaningful with sanitizers watching
-# for the OOB reads and overflows they try to provoke.
+# Build and run the test suite under a sanitizer set. The corrupt-stream
+# robustness/registry/pipeline tests are only meaningful with sanitizers
+# watching for the OOB reads, overflows, and data races they try to
+# provoke.
 #
-#   scripts/run_sanitizers.sh            # full suite
-#   scripts/run_sanitizers.sh -R corrupt # extra args forwarded to ctest
+#   scripts/run_sanitizers.sh                  # ASan + UBSan, full suite
+#   scripts/run_sanitizers.sh -R corrupt       # extra args forwarded to ctest
+#   SANITIZER=tsan scripts/run_sanitizers.sh -R pipeline
+#                                              # ThreadSanitizer on the
+#                                              # parallel-pipeline tests
 #
-# Env: BUILD_DIR (default build-asan), CC/CXX respected by CMake.
+# Env: SANITIZER (asan|tsan, default asan), BUILD_DIR (default
+# build-$SANITIZER), CC/CXX respected by CMake.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build-asan}
+SANITIZER=${SANITIZER:-asan}
+BUILD_DIR=${BUILD_DIR:-build-$SANITIZER}
+
+case "$SANITIZER" in
+  asan) CMAKE_SANITIZE=ASAN ;;
+  tsan) CMAKE_SANITIZE=TSAN ;;
+  *) echo "unknown SANITIZER '$SANITIZER' (use asan|tsan)" >&2; exit 2 ;;
+esac
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DAESZ_SANITIZE=ON \
+  -DAESZ_SANITIZE="$CMAKE_SANITIZE" \
   -DAESZ_BUILD_BENCH=OFF \
   -DAESZ_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -24,5 +36,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # ASan hard error; halt_on_error keeps genuine UB fatal.
 export ASAN_OPTIONS="allocator_may_return_null=1:detect_leaks=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+# TSan: any reported race is a real bug in the thread pool / parallel
+# pipeline (OpenMP is disabled in TSAN builds, see CMakeLists.txt).
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

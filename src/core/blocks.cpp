@@ -8,6 +8,15 @@
 namespace aesz {
 
 BlockSplit make_block_split(const Dims& d, std::size_t bs) {
+  // Degenerate-input guards (surfaced by the chunked pipeline, which can
+  // hand codecs arbitrarily thin slabs): bs == 0 would divide by zero in
+  // num_blocks, and a zero extent would underflow the `ext[i] - 1`
+  // edge-replication arithmetic in extract_block.
+  AESZ_CHECK_ARG(bs > 0, "block size must be positive");
+  AESZ_CHECK_ARG(d.rank >= 1 && d.rank <= 3, "field rank must be 1, 2, or 3");
+  for (int i = 0; i < d.rank; ++i)
+    AESZ_CHECK_ARG(d[i] > 0, "field has a zero extent along axis " +
+                                 std::to_string(i));
   BlockSplit s;
   s.field_dims = d;
   s.bs = bs;

@@ -34,6 +34,11 @@ void block_region(const BlockSplit& s, std::size_t bid, std::size_t off[3],
 
 /// Linear [-1,1] normalization bound to a field's min/max (the paper's
 /// input normalization "based on the global maximum and minimum of data").
+/// Degenerate ranges (hi <= lo — e.g. an exactly constant chunk handed to
+/// a codec by the parallel pipeline) collapse consistently: norm() maps
+/// every value to 0 and denorm() maps everything back to `lo`, so
+/// denorm(norm(v)) reproduces a constant field exactly instead of
+/// drifting to the midpoint of an inverted range.
 struct Normalizer {
   float lo = 0.0f;
   float hi = 1.0f;
@@ -42,7 +47,10 @@ struct Normalizer {
     const float r = hi - lo;
     return r > 0 ? 2.0f * (v - lo) / r - 1.0f : 0.0f;
   }
-  float denorm(float v) const { return lo + (v + 1.0f) * 0.5f * (hi - lo); }
+  float denorm(float v) const {
+    const float r = hi - lo;
+    return r > 0 ? lo + (v + 1.0f) * 0.5f * r : lo;
+  }
 };
 
 /// Extract block `bid` into `out` (bs^rank floats), normalized, partial

@@ -1,0 +1,160 @@
+#include "pipeline/container.hpp"
+
+#include <cmath>
+
+#include "sz/common.hpp"
+#include "util/error.hpp"
+
+namespace aesz::pipeline {
+
+bool is_container(std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  std::uint32_t magic = 0;
+  return r.try_get(magic) && magic == kContainerMagic;
+}
+
+Expected<std::uint32_t> peek_inner_magic(
+    std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint32_t inner = 0;
+  if (!r.try_get(magic))
+    return Status::error(ErrCode::kTruncated, "stream too short for magic");
+  if (magic != kContainerMagic)
+    return Status::error(ErrCode::kBadMagic, "not a container stream");
+  if (!r.try_get(version) || !r.try_get(inner))
+    return Status::error(ErrCode::kTruncated, "truncated container header");
+  if (version != kContainerVersion)
+    return Status::error(ErrCode::kBadHeader,
+                         "unsupported container version");
+  return inner;
+}
+
+std::vector<std::uint8_t> write_container(
+    std::uint32_t inner_magic, const Dims& dims, const ErrorBound& eb,
+    double abs_eb, std::size_t chunk_rows,
+    const std::vector<ChunkSpec>& chunks,
+    const std::vector<std::vector<std::uint8_t>>& payloads) {
+  AESZ_CHECK_ARG(chunks.size() == payloads.size(),
+                 "chunk/payload count mismatch");
+  AESZ_CHECK_ARG(!chunks.empty(), "container needs at least one chunk");
+  ByteWriter w;
+  w.put(kContainerMagic);
+  w.put(kContainerVersion);
+  w.put(inner_magic);
+  w.put(static_cast<std::uint8_t>(dims.rank));
+  for (int i = 0; i < dims.rank; ++i) w.put_varint(dims[i]);
+  w.put(static_cast<std::uint8_t>(eb.mode()));
+  w.put(eb.value());
+  w.put(abs_eb);
+  w.put_varint(chunk_rows);
+  w.put_varint(chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    w.put_varint(chunks[i].rows);
+    w.put_varint(payloads[i].size());
+  }
+  for (const auto& p : payloads) w.put_bytes(p);
+  return w.take();
+}
+
+Expected<ContainerInfo> read_container(
+    std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  std::uint32_t magic = 0;
+  if (!r.try_get(magic))
+    return Status::error(ErrCode::kTruncated, "stream too short for magic");
+  if (magic != kContainerMagic)
+    return Status::error(ErrCode::kBadMagic, "container magic mismatch");
+  std::uint8_t version = 0;
+  ContainerInfo info;
+  if (!r.try_get(version) || !r.try_get(info.inner_magic))
+    return Status::error(ErrCode::kTruncated, "truncated container header");
+  if (version != kContainerVersion)
+    return Status::error(ErrCode::kBadHeader,
+                         "unsupported container version");
+  std::uint8_t rank = 0;
+  if (!r.try_get(rank))
+    return Status::error(ErrCode::kTruncated, "truncated container header");
+  if (rank < 1 || rank > 3)
+    return Status::error(ErrCode::kBadHeader, "bad rank");
+  info.dims.rank = rank;
+  std::uint64_t total = 1;
+  for (int i = 0; i < rank; ++i) {
+    std::uint64_t n = 0;
+    if (!r.try_get_varint(n))
+      return Status::error(ErrCode::kTruncated, "truncated dims");
+    if (n == 0 || n > sz::kMaxTotalElems || total > sz::kMaxTotalElems / n)
+      return Status::error(ErrCode::kBadHeader, "dims overflow");
+    total *= n;
+    info.dims.d[static_cast<std::size_t>(i)] = static_cast<std::size_t>(n);
+  }
+  std::uint8_t mode = 0;
+  double eb_value = 0.0;
+  if (!r.try_get(mode) || !r.try_get(eb_value) || !r.try_get(info.abs_eb))
+    return Status::error(ErrCode::kTruncated, "truncated bound fields");
+  if (mode > static_cast<std::uint8_t>(EbMode::kPSNR))
+    return Status::error(ErrCode::kBadHeader, "bad error-bound mode");
+  if (!std::isfinite(eb_value) || !std::isfinite(info.abs_eb) ||
+      info.abs_eb < 0)
+    return Status::error(ErrCode::kBadHeader, "bad error-bound value");
+  info.eb = ErrorBound(static_cast<EbMode>(mode), eb_value);
+
+  std::uint64_t chunk_rows = 0, chunk_count = 0;
+  if (!r.try_get_varint(chunk_rows) || !r.try_get_varint(chunk_count))
+    return Status::error(ErrCode::kTruncated, "truncated chunk table");
+  // A chunk spans at least one axis-0 plane and its table entry takes at
+  // least two bytes — both caps are checked BEFORE the table allocation so
+  // a hostile count cannot trigger one.
+  if (chunk_count == 0 || chunk_count > info.dims[0] ||
+      chunk_count > r.remaining() / 2)
+    return Status::error(ErrCode::kBadHeader, "bad chunk count");
+  info.chunk_rows = static_cast<std::size_t>(chunk_rows);
+
+  std::size_t stride = 1;
+  for (int i = 1; i < rank; ++i) stride *= info.dims[i];
+  info.chunks.reserve(static_cast<std::size_t>(chunk_count));
+  std::vector<std::uint64_t> lengths;
+  lengths.reserve(static_cast<std::size_t>(chunk_count));
+  std::uint64_t row0 = 0, payload_total = 0;
+  for (std::uint64_t i = 0; i < chunk_count; ++i) {
+    std::uint64_t rows = 0, nbytes = 0;
+    if (!r.try_get_varint(rows) || !r.try_get_varint(nbytes))
+      return Status::error(ErrCode::kTruncated, "truncated chunk table");
+    if (rows == 0 || rows > info.dims[0] - row0)
+      return Status::error(ErrCode::kCorruptStream,
+                           "chunk table does not tile the field");
+    // Bounds-before-accumulate: nbytes is compared against the remaining
+    // stream bytes, so payload_total can never overflow.
+    if (nbytes > r.remaining() || payload_total > r.remaining() - nbytes)
+      return Status::error(ErrCode::kTruncated,
+                           "chunk payload exceeds stream");
+    ChunkSpec c;
+    c.row0 = static_cast<std::size_t>(row0);
+    c.rows = static_cast<std::size_t>(rows);
+    c.dims = info.dims;
+    c.dims.d[0] = c.rows;
+    c.elem0 = c.row0 * stride;
+    c.elems = c.rows * stride;
+    info.chunks.push_back(c);
+    lengths.push_back(nbytes);
+    row0 += rows;
+    payload_total += nbytes;
+  }
+  if (row0 != info.dims[0])
+    return Status::error(ErrCode::kCorruptStream,
+                         "chunk table does not cover the field");
+  if (payload_total != r.remaining())
+    return Status::error(ErrCode::kCorruptStream,
+                         "container payload size mismatch");
+  info.payloads.reserve(lengths.size());
+  for (const std::uint64_t n : lengths) {
+    std::span<const std::uint8_t> p;
+    if (!r.try_get_bytes(static_cast<std::size_t>(n), p))
+      return Status::error(ErrCode::kTruncated, "truncated chunk payload");
+    info.payloads.push_back(p);
+  }
+  return info;
+}
+
+}  // namespace aesz::pipeline

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pipeline/sharder.hpp"
+#include "predictors/error_bound.hpp"
+#include "util/bytestream.hpp"
+#include "util/dims.hpp"
+#include "util/expected.hpp"
+
+namespace aesz::pipeline {
+
+/// Multi-chunk container stream format (version 1). A container wraps N
+/// independently compressed chunk streams of ANY registered codec without
+/// touching the inner format — each payload is a complete, self-describing
+/// stream of the inner codec. Layout (little-endian, varint = LEB128):
+///
+///   container magic u32 | version u8 | inner codec magic u32 |
+///   rank u8 | dims varint* | eb-mode u8 | eb-value f64 | abs-bound f64 |
+///   chunk-rows varint | chunk-count varint |
+///   per chunk: rows varint, byte-length varint |
+///   concatenated chunk payloads
+///
+/// `eb-mode`/`eb-value` record the bound the user requested on the WHOLE
+/// field; `abs-bound` is the absolute tolerance the encoder resolved it to
+/// and enforced on EVERY chunk (the max-over-chunks guarantee: if each
+/// chunk satisfies the absolute bound, so does the assembled field).
+/// Chunk geometry is validated against the declared dims before any
+/// allocation, mirroring the overflow checks of the v2 codec header
+/// (sz::read_header).
+
+/// "AEPC" in little-endian byte order.
+constexpr std::uint32_t kContainerMagic = 0x43504541u;
+constexpr std::uint8_t kContainerVersion = 1;
+
+/// Parsed and validated container: chunk geometry plus zero-copy payload
+/// views into the caller's stream bytes.
+struct ContainerInfo {
+  std::uint32_t inner_magic = 0;
+  Dims dims;
+  ErrorBound eb;
+  double abs_eb = 0.0;
+  std::size_t chunk_rows = 0;
+  std::vector<ChunkSpec> chunks;
+  std::vector<std::span<const std::uint8_t>> payloads;  // one per chunk
+};
+
+/// True when `stream` leads with the container magic (cheap sniff used by
+/// the CLI and the registry's identify()).
+bool is_container(std::span<const std::uint8_t> stream);
+
+/// The inner codec magic of a container stream, for codec identification
+/// without a full parse.
+Expected<std::uint32_t> peek_inner_magic(std::span<const std::uint8_t> stream);
+
+/// Serialize the container: header + chunk table + concatenated payloads.
+/// `chunks` and `payloads` must be parallel arrays in axis-0 order.
+std::vector<std::uint8_t> write_container(
+    std::uint32_t inner_magic, const Dims& dims, const ErrorBound& eb,
+    double abs_eb, std::size_t chunk_rows,
+    const std::vector<ChunkSpec>& chunks,
+    const std::vector<std::vector<std::uint8_t>>& payloads);
+
+/// Fallible parse of a container stream. Every malformed prefix —
+/// truncation, wrong magic/version, hostile rank/dims, a chunk table that
+/// does not exactly tile the field, payload lengths that overrun the
+/// stream — maps to a typed status without reading out of bounds or
+/// allocating unbounded memory.
+Expected<ContainerInfo> read_container(std::span<const std::uint8_t> stream);
+
+}  // namespace aesz::pipeline

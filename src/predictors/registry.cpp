@@ -6,6 +6,8 @@
 #include "ae_baselines/ae_a.hpp"
 #include "ae_baselines/ae_b.hpp"
 #include "core/aesz.hpp"
+#include "pipeline/container.hpp"
+#include "pipeline/parallel_compressor.hpp"
 #include "sz/sz21.hpp"
 #include "sz/szauto.hpp"
 #include "sz/szinterp.hpp"
@@ -13,9 +15,9 @@
 #include "zfp/zfp_like.hpp"
 
 // Layering note: this .cpp is the registry's one deliberate upward edge —
-// it references every codec so the linker keeps them all in the archive
-// and the registry is never silently empty. The header stays within the
-// predictors layer.
+// it references every codec (and the parallel pipeline wrapper) so the
+// linker keeps them all in the archive and the registry is never silently
+// empty. The header stays within the predictors layer.
 
 namespace aesz {
 namespace {
@@ -92,6 +94,22 @@ void register_builtin_codecs(CodecRegistry& reg) {
            [](int) -> std::unique_ptr<Compressor> {
              return std::make_unique<AEB>(AEB::Options{}, kAebSeed);
            }});
+
+  // One `parallel:<codec>` wrapper per built-in: sharded multi-chunk
+  // compression on a thread pool (src/pipeline/), container stream format.
+  // The wrappers carry no magic of their own (magic 0) — identify() maps
+  // the container magic + inner magic back to `parallel:<name>`.
+  for (const auto& name : reg.names()) {
+    const CodecInfo* inner = reg.find(name);
+    reg.add({"parallel:" + name,
+             "sharded thread-pool wrapper over " + name +
+                 " (multi-chunk container stream)",
+             /*magic=*/0, inner->error_bounded,
+             [name](int rank) -> std::unique_ptr<Compressor> {
+               return std::make_unique<pipeline::ParallelCompressor>(
+                   pipeline::ParallelCompressor::Options{name}, rank);
+             }});
+  }
 }
 
 }  // namespace
@@ -107,6 +125,7 @@ CodecRegistry& CodecRegistry::instance() {
 
 void CodecRegistry::add(CodecInfo info) {
   const std::string key = lower(info.name);
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it =
       std::find_if(codecs_.begin(), codecs_.end(), [&](const CodecInfo& c) {
         return lower(c.name) == key;
@@ -118,17 +137,23 @@ void CodecRegistry::add(CodecInfo info) {
 }
 
 std::vector<std::string> CodecRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(codecs_.size());
   for (const auto& c : codecs_) out.push_back(c.name);
   return out;
 }
 
-const CodecInfo* CodecRegistry::find(const std::string& name) const {
+const CodecInfo* CodecRegistry::find_locked(const std::string& name) const {
   const std::string key = lower(name);
   for (const auto& c : codecs_)
     if (lower(c.name) == key) return &c;
   return nullptr;
+}
+
+const CodecInfo* CodecRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_locked(name);
 }
 
 bool CodecRegistry::contains(const std::string& name) const {
@@ -137,8 +162,14 @@ bool CodecRegistry::contains(const std::string& name) const {
 
 Expected<std::unique_ptr<Compressor>> CodecRegistry::create(
     const std::string& name, int rank) const {
-  const CodecInfo* info = find(name);
-  if (!info) {
+  // Copy the factory out under the lock and run it outside: building a
+  // learned codec is expensive, and pipeline workers create concurrently.
+  std::function<std::unique_ptr<Compressor>(int)> factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const CodecInfo* info = find_locked(name)) factory = info->factory;
+  }
+  if (!factory) {
     std::string known;
     for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
     return Status::error(ErrCode::kUnsupported, "unknown codec '" + name +
@@ -148,7 +179,7 @@ Expected<std::unique_ptr<Compressor>> CodecRegistry::create(
   if (rank < 1 || rank > 3)
     return Status::error(ErrCode::kInvalidArgument,
                          "rank must be 1, 2, or 3");
-  return info->factory(rank);
+  return factory(rank);
 }
 
 Expected<std::string> CodecRegistry::identify(
@@ -157,8 +188,18 @@ Expected<std::string> CodecRegistry::identify(
   std::uint32_t magic = 0;
   if (!r.try_get(magic))
     return Status::error(ErrCode::kTruncated, "stream too short for magic");
+  if (magic == pipeline::kContainerMagic) {
+    const auto inner = pipeline::peek_inner_magic(stream);
+    if (!inner.ok()) return inner.status();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& c : codecs_)
+      if (c.magic != 0 && c.magic == *inner) return "parallel:" + c.name;
+    return Status::error(ErrCode::kBadMagic,
+                         "container wraps no registered codec");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& c : codecs_)
-    if (c.magic == magic) return c.name;
+    if (c.magic != 0 && c.magic == magic) return c.name;
   return Status::error(ErrCode::kBadMagic,
                        "stream magic matches no registered codec");
 }

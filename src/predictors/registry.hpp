@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,6 +21,9 @@ namespace aesz {
 struct CodecInfo {
   std::string name;
   std::string description;
+  /// Leading stream magic, or 0 for codecs without a magic of their own
+  /// (the `parallel:<codec>` wrappers share one container magic and are
+  /// identified by the inner magic stored in the container header).
   std::uint32_t magic = 0;
   /// Default-options error_bounded() — kept here so metadata queries
   /// (e.g. `aesz_cli list-codecs`) need not construct the codec, which
@@ -28,14 +33,26 @@ struct CodecInfo {
 };
 
 /// Name -> factory registry over every codec in the repo. This is the
-/// runtime-selection layer the CLI (`--codec NAME`), the benches, and the
-/// registry-parameterized tests build codecs through, and the seam future
-/// backends plug into.
+/// runtime-selection layer the CLI (`--codec NAME`), the benches, the
+/// registry-parameterized tests, and the parallel pipeline's per-worker
+/// codec construction all build codecs through.
 ///
-/// All seven built-in codecs are registered on first use of instance();
-/// registration lives in registry.cpp rather than per-codec static
-/// initializers because unreferenced objects in a static archive would be
-/// dropped by the linker, silently emptying the registry.
+/// Thread-safety guarantee: every method is individually thread-safe — a
+/// mutex guards the codec table, so pipeline workers may call create() /
+/// find() / identify() concurrently (ParallelCompressor builds one inner
+/// codec per worker thread). Entries are never removed and live in a
+/// std::deque, so `find()` pointers stay valid for the process lifetime.
+/// Factories run OUTSIDE the lock (building a learned codec is expensive),
+/// so a slow factory never serializes other lookups. The one caveat:
+/// add() with an already-registered name overwrites that entry in place —
+/// overriding a built-in is meant for startup, before other threads hold
+/// pointers to it.
+///
+/// All built-in codecs (and their `parallel:` wrappers) are registered on
+/// first use of instance(); registration lives in registry.cpp rather
+/// than per-codec static initializers because unreferenced objects in a
+/// static archive would be dropped by the linker, silently emptying the
+/// registry.
 class CodecRegistry {
  public:
   /// The process-wide registry with the built-in codecs registered.
@@ -50,7 +67,8 @@ class CodecRegistry {
 
   bool contains(const std::string& name) const;
 
-  /// Metadata for a name, or nullptr when unknown.
+  /// Metadata for a name, or nullptr when unknown. The pointer stays
+  /// valid for the process lifetime (entries are never removed).
   const CodecInfo* find(const std::string& name) const;
 
   /// Build a fresh codec instance for fields of the given rank.
@@ -58,11 +76,16 @@ class CodecRegistry {
                                                int rank = 2) const;
 
   /// Identify which registered codec produced a stream, by leading magic.
+  /// Container streams (the parallel pipeline's format) are recognized by
+  /// the container magic and reported as `parallel:<inner codec>`.
   Expected<std::string> identify(
       std::span<const std::uint8_t> stream) const;
 
  private:
-  std::vector<CodecInfo> codecs_;
+  const CodecInfo* find_locked(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::deque<CodecInfo> codecs_;
 };
 
 }  // namespace aesz

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace aesz {
+
+/// Fixed-size worker pool over a FIFO work queue — the execution engine of
+/// the parallel compression pipeline (src/pipeline/). Tasks are submitted
+/// as callables and observed through std::future, so exceptions thrown
+/// inside a task surface at the caller's future.get(), not in the worker.
+///
+/// Design points:
+///  - The destructor is a graceful drain: tasks still queued at shutdown
+///    are executed before the workers exit, so a caller that submitted N
+///    tasks and then joins on their futures never deadlocks.
+///  - `threads == 0` asks for std::thread::hardware_concurrency() (itself
+///    clamped to at least 1, since hardware_concurrency may return 0).
+///  - The pool is itself thread-safe: any thread may submit().
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue `fn` and return a future for its result. `fn` must be
+  /// invocable with no arguments; its return value (or exception) is
+  /// delivered through the future.
+  template <typename F>
+  std::future<std::invoke_result_t<std::decay_t<F>>> submit(F&& fn) {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        // Graceful drain: even when stopping, finish what was queued so
+        // every outstanding future is eventually satisfied.
+        if (queue_.empty()) return;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aesz

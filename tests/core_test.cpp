@@ -73,6 +73,69 @@ TEST(Blocks, DegenerateRangeNormalizer) {
   EXPECT_EQ(nrm.norm(2.0f), 0.0f);
 }
 
+// Regressions for degenerate inputs surfaced by the chunked pipeline
+// (src/pipeline/ hands codecs arbitrarily thin slabs and exactly constant
+// chunks).
+
+TEST(Blocks, DegenerateRangeNormalizerRoundTripsConstants) {
+  // A zero-range chunk must reconstruct its constant exactly: denorm of a
+  // degenerate range collapses to lo, never to the midpoint arithmetic.
+  Normalizer nrm{3.25f, 3.25f};
+  EXPECT_EQ(nrm.denorm(nrm.norm(3.25f)), 3.25f);
+  EXPECT_EQ(nrm.denorm(0.7f), 3.25f);  // any latent drift still decodes lo
+  // An inverted range (hi < lo, a caller bug) degrades the same way
+  // instead of extrapolating through the negative span.
+  Normalizer inv{5.0f, 1.0f};
+  EXPECT_EQ(inv.norm(3.0f), 0.0f);
+  EXPECT_EQ(inv.denorm(inv.norm(3.0f)), 5.0f);
+}
+
+TEST(Blocks, ZeroBlockSizeIsTypedError) {
+  // bs == 0 used to divide by zero (SIGFPE) in num_blocks.
+  EXPECT_THROW(
+      {
+        try {
+          make_block_split(Dims(10, 17), 0);
+        } catch (const Error& e) {
+          EXPECT_EQ(e.code(), ErrCode::kInvalidArgument);
+          throw;
+        }
+      },
+      Error);
+}
+
+TEST(Blocks, ZeroExtentDimsAreTypedError) {
+  // A zero extent would underflow the `ext[i] - 1` padding arithmetic in
+  // extract_block.
+  EXPECT_THROW(make_block_split(Dims(std::size_t{0}), 8), Error);
+  EXPECT_THROW(make_block_split(Dims(0, 17), 8), Error);
+  EXPECT_THROW(make_block_split(Dims(4, 0, 4), 8), Error);
+}
+
+TEST(Blocks, ChunkThinnerThanBlockSize) {
+  // A 1-row slab against a 32-wide block: one partial block per column
+  // strip, fully covered, edge-padded extraction stays in bounds.
+  Field f(Dims(1, 100));
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f.at(i) = static_cast<float>(i % 7);
+  const BlockSplit s = make_block_split(f.dims(), 32);
+  EXPECT_EQ(s.nb[0], 1u);
+  EXPECT_EQ(s.nb[1], 4u);
+  EXPECT_EQ(s.total, 4u);
+  Normalizer nrm{0.0f, 6.0f};
+  std::vector<float> buf(s.block_elems());
+  for (std::size_t bid = 0; bid < s.total; ++bid) {
+    extract_block(f, s, bid, nrm, buf.data());
+    for (float v : buf) {
+      EXPECT_GE(v, -1.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+    // Valid-region losses on the thin block stay finite and consistent.
+    EXPECT_GE(block_l1_lorenzo(f, s, bid), 0.0);
+    EXPECT_GE(block_l1_const(f, s, bid, block_mean(f, s, bid)), 0.0);
+  }
+}
+
 // ------------------------------------------------------- latent codec ----
 
 TEST(LatentCodec, RoundtripWithinBound) {

@@ -30,15 +30,21 @@ Field field_for_rank(int rank) {
   }
 }
 
-TEST(Registry, AllSevenCodecsRegistered) {
+TEST(Registry, AllCodecsAndParallelWrappersRegistered) {
+  // Seven built-ins plus one `parallel:<codec>` pipeline wrapper each.
   const auto names = reg().names();
-  ASSERT_EQ(names.size(), 7u);
-  for (const char* expected : {"AE-SZ", "SZ2.1", "SZauto", "SZinterp", "ZFP",
-                               "AE-A", "AE-B"}) {
-    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
-                names.end())
-        << expected << " missing from the registry";
-    EXPECT_TRUE(reg().contains(expected));
+  ASSERT_EQ(names.size(), 14u);
+  for (const char* base : {"AE-SZ", "SZ2.1", "SZauto", "SZinterp", "ZFP",
+                           "AE-A", "AE-B"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), base) != names.end())
+        << base << " missing from the registry";
+    EXPECT_TRUE(reg().contains(base));
+    const std::string wrapped = std::string("parallel:") + base;
+    EXPECT_TRUE(reg().contains(wrapped)) << wrapped;
+    // The wrapper advertises the inner codec's error-bound capability.
+    EXPECT_EQ(reg().find(wrapped)->error_bounded,
+              reg().find(base)->error_bounded)
+        << wrapped;
   }
 }
 
