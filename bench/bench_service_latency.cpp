@@ -1,0 +1,152 @@
+// bench_service_latency — request latency and throughput of the service
+// layer (src/service/) over the in-process pipe transport: a server with a
+// warm codec cache, one synchronous client issuing compress+decompress
+// round trips. Reports p50/p99 per-request latency and requests/s, per
+// codec, as JSON rows (bench::JsonObj).
+//
+// The pipe transport keeps the measurement about the service stack itself
+// (framing, dispatch, scheduling, codec work) rather than kernel TCP
+// buffering; on this repo's 1-core CI container absolute numbers are
+// modest — the value is tracking them across PRs.
+//
+// Env knobs:
+//   AESZ_SERVICE_REQS    round trips per codec      (default 40)
+//   AESZ_SERVICE_CODECS  comma list of codec names  (default SZ2.1,ZFP)
+//   AESZ_SERVICE_ROWS    field rows (cols = 2*rows) (default 192)
+//   AESZ_SERVICE_EB      bound spec, MODE:VALUE     (default rel:1e-2)
+//   AESZ_BENCH_JSON      path to also write the JSON array to
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "data/synth.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace aesz;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t end = s.find(',', pos);
+    if (end == std::string::npos) end = s.size();
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t reqs = bench::env_size_t("AESZ_SERVICE_REQS", 40);
+  const std::size_t rows = bench::env_size_t("AESZ_SERVICE_ROWS", 192);
+  const auto codecs =
+      split_csv(bench::env_str("AESZ_SERVICE_CODECS", "SZ2.1,ZFP"));
+  const ErrorBound eb =
+      ErrorBound::parse(bench::env_str("AESZ_SERVICE_EB", "rel:1e-2"))
+          .value();
+
+  bench::banner("service request latency (pipe transport, warm cache)",
+                "service-layer scaling target (ROADMAP north star), not a "
+                "paper figure");
+
+  const Field f = synth::cesm_cldhgh(rows, 2 * rows, 55);
+  std::printf("field %s (%.1f MiB), %zu round trips per codec, bound %s\n",
+              f.dims().str().c_str(),
+              static_cast<double>(f.size() * sizeof(float)) / (1024 * 1024),
+              reqs, eb.str().c_str());
+
+  auto [client_end, server_end] = service::PipeTransport::make_pair();
+  service::Server server;
+  std::thread session(
+      [&server, &t = *server_end] { server.serve(t); });
+  service::Client client(*client_end);
+
+  std::vector<bench::JsonObj> json_rows;
+  for (const auto& codec : codecs) {
+    // Warm the server's codec cache so the measured requests see the
+    // steady state a long-lived service runs in.
+    auto warm = client.compress(codec, f, eb);
+    if (!warm.ok()) {
+      std::printf("!! %s: %s — skipped\n", codec.c_str(),
+                  warm.status().str().c_str());
+      continue;
+    }
+    std::vector<double> compress_ms, decompress_ms;
+    compress_ms.reserve(reqs);
+    decompress_ms.reserve(reqs);
+    Timer wall;
+    for (std::size_t i = 0; i < reqs; ++i) {
+      Timer t;
+      auto compressed = client.compress(codec, f, eb);
+      if (!compressed.ok()) {
+        std::printf("!! %s compress: %s\n", codec.c_str(),
+                    compressed.status().str().c_str());
+        return 1;
+      }
+      compress_ms.push_back(t.seconds() * 1e3);
+      t.reset();
+      auto recon = client.decompress(compressed->stream, codec);
+      if (!recon.ok()) {
+        std::printf("!! %s decompress: %s\n", codec.c_str(),
+                    recon.status().str().c_str());
+        return 1;
+      }
+      decompress_ms.push_back(t.seconds() * 1e3);
+    }
+    const double wall_s = wall.seconds();
+    std::sort(compress_ms.begin(), compress_ms.end());
+    std::sort(decompress_ms.begin(), decompress_ms.end());
+    const double req_per_s =
+        wall_s > 0 ? static_cast<double>(2 * reqs) / wall_s : 0.0;
+
+    std::printf("%-12s compress p50 %8.2f ms  p99 %8.2f ms | "
+                "decompress p50 %8.2f ms  p99 %8.2f ms | %7.1f req/s\n",
+                codec.c_str(), percentile(compress_ms, 0.50),
+                percentile(compress_ms, 0.99),
+                percentile(decompress_ms, 0.50),
+                percentile(decompress_ms, 0.99), req_per_s);
+
+    bench::JsonObj row;
+    row.add("codec", codec)
+        .add("requests", 2 * reqs)
+        .add("field", f.dims().str())
+        .add("eb", eb.str())
+        .add("compress_p50_ms", percentile(compress_ms, 0.50))
+        .add("compress_p99_ms", percentile(compress_ms, 0.99))
+        .add("decompress_p50_ms", percentile(decompress_ms, 0.50))
+        .add("decompress_p99_ms", percentile(decompress_ms, 0.99))
+        .add("req_per_s", req_per_s);
+    json_rows.push_back(row);
+  }
+
+  client_end->shutdown();
+  session.join();
+
+  const std::string json = bench::json_array(json_rows);
+  std::printf("%s\n", json.c_str());
+  const std::string json_path = bench::env_str("AESZ_BENCH_JSON", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json << "\n";
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -39,43 +39,15 @@
 #include "metrics/metrics.hpp"
 #include "pipeline/parallel_compressor.hpp"
 #include "predictors/registry.hpp"
+#include "tool_common.hpp"
 #include "util/cli.hpp"
 
 namespace {
 
 using namespace aesz;
-
-Dims parse_dims(const std::string& s) {
-  Dims d;
-  std::size_t vals[3] = {0, 0, 0};
-  int n = 0;
-  std::size_t pos = 0;
-  while (pos < s.size() && n < 3) {
-    std::size_t end = s.find('x', pos);
-    if (end == std::string::npos) end = s.size();
-    vals[n++] = static_cast<std::size_t>(
-        std::atol(s.substr(pos, end - pos).c_str()));
-    pos = end + 1;
-  }
-  AESZ_CHECK_MSG(n >= 1 && vals[0] > 0, "bad --dims (use e.g. 1800x3600)");
-  if (n == 1) return Dims(vals[0]);
-  if (n == 2) return Dims(vals[0], vals[1]);
-  return Dims(vals[0], vals[1], vals[2]);
-}
-
-std::vector<std::uint8_t> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  AESZ_CHECK_MSG(in.good(), "cannot open " + path);
-  return {std::istreambuf_iterator<char>(in),
-          std::istreambuf_iterator<char>()};
-}
-
-void write_file(const std::string& path, std::span<const std::uint8_t> b) {
-  std::ofstream out(path, std::ios::binary);
-  AESZ_CHECK_MSG(out.good(), "cannot open " + path);
-  out.write(reinterpret_cast<const char*>(b.data()),
-            static_cast<std::streamsize>(b.size()));
-}
+using tool::parse_dims;
+using tool::read_file;
+using tool::write_file;
 
 int usage() {
   std::printf(
@@ -83,7 +55,7 @@ int usage() {
       "  aesz_cli train --field NAME --dims AxB[xC] --out model.bin f...\n"
       "  aesz_cli compress --codec NAME --eb MODE:VALUE --dims AxB[xC]\n"
       "           [--field NAME --model m.bin] [--threads N --chunk N]\n"
-      "           --out out.bin input.f32\n"
+      "           [--verify] --out out.bin input.f32\n"
       "  aesz_cli decompress [--codec NAME] [--field NAME --model m.bin]\n"
       "           [--threads N] --out recon.f32 in\n"
       "  aesz_cli assess --dims AxB[xC] original.f32 reconstructed.f32\n"
@@ -92,6 +64,8 @@ int usage() {
       "--eb modes: abs:V | rel:V | psnr:V (bare number = rel)\n"
       "--threads N: sharded parallel pipeline (0 = all cores);\n"
       "             --chunk N sets slab thickness in axis-0 planes\n"
+      "--verify: decompress in memory after compress, print max abs error\n"
+      "          vs the resolved bound, exit non-zero on a violation\n"
       "fields: ");
   for (const auto& f : model_zoo::known_fields())
     std::printf("%s ", f.c_str());
@@ -211,6 +185,26 @@ int cmd_compress(const CliArgs& args) {
   if (auto* ae = dynamic_cast<AESZ*>(codec.get()))
     std::printf(", %.1f%% AE blocks", 100.0 * ae->last_stats().ae_fraction());
   std::printf("\n");
+  if (args.has("verify")) {
+    // In-memory round-trip: decode what was just written and check the
+    // reconstruction against the bound the encoder resolved.
+    auto recon = codec->decompress(stream);
+    if (!recon.ok()) {
+      std::fprintf(stderr, "error: --verify decode failed: %s\n",
+                   recon.status().str().c_str());
+      return 1;
+    }
+    const double max_err = metrics::max_abs_err(f.values(), recon->values());
+    const double tol = eb.absolute(f.value_range());
+    const bool bounded = codec->error_bounded();
+    const bool violated = bounded && max_err > tol * (1 + 1e-9);
+    std::printf("verify: max abs error %.6g vs resolved bound %.6g — %s\n",
+                max_err, tol,
+                !bounded     ? "codec is not error-bounded, informational"
+                : violated   ? "BOUND VIOLATED"
+                             : "ok");
+    if (violated) return 1;
+  }
   return 0;
 }
 
@@ -302,13 +296,16 @@ int cmd_demo() {
     if (cmd_assess(args)) return 1;
   }
   {
-    // Registry path: a model-free codec under an absolute bound...
+    // Registry path: a model-free codec under an absolute bound, with the
+    // in-memory round-trip check (--verify) on top...
     const char* argv[] = {"aesz_cli", "--codec",    "SZ2.1",
                           "--dims",   "96x192",     "--eb",
-                          "abs:0.01", "--out",      "/tmp/aesz_cli_demo.sz21",
+                          "abs:0.01", "--verify",
+                          "--out",    "/tmp/aesz_cli_demo.sz21",
                           "/tmp/aesz_cli_test.f32"};
     CliArgs args(static_cast<int>(std::size(argv)),
-                 const_cast<char**>(argv), {"codec", "dims", "eb", "out"});
+                 const_cast<char**>(argv), {"codec", "dims", "eb", "out"},
+                 {"verify"});
     if (cmd_compress(args)) return 1;
   }
   {
@@ -355,7 +352,7 @@ int main(int argc, char** argv) {
     const std::vector<std::string> keys{"field",  "dims",   "out",
                                         "model",  "eb",     "epochs",
                                         "codec",  "threads", "chunk"};
-    CliArgs args(argc - 1, argv + 1, keys);
+    CliArgs args(argc - 1, argv + 1, keys, /*known_flags=*/{"verify"});
     if (cmd == "train") return cmd_train(args);
     if (cmd == "compress") return cmd_compress(args);
     if (cmd == "decompress") return cmd_decompress(args);

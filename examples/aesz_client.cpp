@@ -1,0 +1,182 @@
+// aesz_client — command-line client for aesz_server over the framed TCP
+// protocol (src/service/, docs/PROTOCOL.md).
+//
+//   aesz_client [--host H --port N --retries N] <subcommand>
+//
+//   list-codecs                          codecs the server offers
+//   stats                                server counters
+//   compress --codec NAME --eb MODE:VALUE --dims AxB[xC]
+//            --out out.bin input.f32     compress a raw f32 file remotely
+//   decompress --out recon.f32 in.bin    decompress (server identifies the
+//                                        codec by stream magic)
+//   demo                                 synthetic end-to-end smoke: one
+//                                        compress + decompress round trip,
+//                                        error bound checked client-side,
+//                                        then a stats read (CI uses this)
+//
+// --retries N (default 50) polls the connect every 100 ms — covers the
+// startup race when the server was launched a moment earlier.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "data/synth.hpp"
+#include "metrics/metrics.hpp"
+#include "service/client.hpp"
+#include "service/transport.hpp"
+#include "tool_common.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace aesz;
+using tool::parse_dims;
+using tool::read_file;
+using tool::write_file;
+
+std::unique_ptr<service::TcpTransport> connect_with_retry(
+    const std::string& host, std::uint16_t port, long retries) {
+  for (long attempt = 0;; ++attempt) {
+    auto t = service::TcpTransport::connect(host, port);
+    if (t.ok()) return std::move(t).value();
+    // Only kIoError (connection refused during the server-startup race)
+    // is worth retrying; a malformed --host can never succeed.
+    if (t.status().code != ErrCode::kIoError || attempt >= retries) {
+      std::fprintf(stderr, "error: %s\n", t.status().str().c_str());
+      return nullptr;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+int cmd_list_codecs(service::Client& client) {
+  auto codecs = client.list_codecs();
+  if (!codecs.ok()) {
+    std::fprintf(stderr, "error: %s\n", codecs.status().str().c_str());
+    return 1;
+  }
+  std::printf("%-16s %-13s %s\n", "codec", "error-bounded", "description");
+  for (const auto& c : *codecs)
+    std::printf("%-16s %-13s %s\n", c.name.c_str(),
+                c.error_bounded ? "yes" : "no", c.description.c_str());
+  return 0;
+}
+
+int cmd_stats(service::Client& client) {
+  auto stats = client.stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.status().str().c_str());
+    return 1;
+  }
+  for (const auto& [name, value] : stats->counters)
+    std::printf("%-22s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  return 0;
+}
+
+int cmd_compress(service::Client& client, const CliArgs& args) {
+  AESZ_CHECK_MSG(args.positional().size() == 2, "need one input file");
+  const Dims dims = parse_dims(args.get("dims", ""));
+  const Field f = Field::load_raw(args.positional()[1], dims);
+  const ErrorBound eb = ErrorBound::parse(args.get("eb", "rel:1e-2")).value();
+  auto result = client.compress(args.get("codec", "SZ2.1"), f, eb);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().str().c_str());
+    return 1;
+  }
+  write_file(args.get("out", "out.aesz"), result->stream);
+  std::printf("%zu -> %zu bytes (CR %.2f, bound %s resolved to abs %.6g)\n",
+              f.size() * sizeof(float), result->stream.size(),
+              metrics::compression_ratio(f.size(), result->stream.size()),
+              eb.str().c_str(), result->abs_eb);
+  return 0;
+}
+
+int cmd_decompress(service::Client& client, const CliArgs& args) {
+  AESZ_CHECK_MSG(args.positional().size() == 2, "need one input file");
+  const auto stream = read_file(args.positional()[1]);
+  auto result = client.decompress(stream, args.get("codec", ""));
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().str().c_str());
+    return 1;
+  }
+  result->save_raw(args.get("out", "recon.f32"));
+  std::printf("decompressed %s -> %s\n", result->dims().str().c_str(),
+              args.get("out", "recon.f32").c_str());
+  return 0;
+}
+
+/// One synthetic round trip against the live server with the error bound
+/// checked client-side — the CI loopback smoke.
+int cmd_demo(service::Client& client) {
+  const Field f = synth::cesm_cldhgh(96, 192, 55);
+  const ErrorBound eb = ErrorBound::Rel(1e-2);
+  auto compressed = client.compress("SZ2.1", f, eb);
+  if (!compressed.ok()) {
+    std::fprintf(stderr, "error: compress: %s\n",
+                 compressed.status().str().c_str());
+    return 1;
+  }
+  auto recon = client.decompress(compressed->stream);
+  if (!recon.ok()) {
+    std::fprintf(stderr, "error: decompress: %s\n",
+                 recon.status().str().c_str());
+    return 1;
+  }
+  const double max_err = metrics::max_abs_err(f.values(), recon->values());
+  std::printf("demo: %zu -> %zu bytes, max abs error %.6g vs bound %.6g\n",
+              f.size() * sizeof(float), compressed->stream.size(), max_err,
+              compressed->abs_eb);
+  if (recon->dims() != f.dims() ||
+      max_err > compressed->abs_eb * (1 + 1e-9)) {
+    std::fprintf(stderr, "error: demo round trip violated the bound\n");
+    return 1;
+  }
+  return cmd_stats(client);
+}
+
+int usage() {
+  std::printf(
+      "usage: aesz_client [--host H --port N --retries N] <subcommand>\n"
+      "  list-codecs\n"
+      "  stats\n"
+      "  compress --codec NAME --eb MODE:VALUE --dims AxB[xC]\n"
+      "           --out out.bin input.f32\n"
+      "  decompress [--codec NAME] --out recon.f32 in.bin\n"
+      "  demo\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    // argv[0] is skipped by CliArgs; the subcommand lands in positional(0)
+    // so flags may appear on either side of it.
+    CliArgs args(argc, argv,
+                 {"host", "port", "retries", "codec", "eb", "dims", "out"});
+    AESZ_CHECK_MSG(!args.positional().empty(), "missing subcommand");
+    const std::string cmd = args.positional()[0];
+
+    auto transport = connect_with_retry(
+        args.get("host", "127.0.0.1"),
+        static_cast<std::uint16_t>(args.get_long("port", 47471)),
+        args.get_long("retries", 50));
+    if (!transport) return 1;
+    service::Client client(*transport);
+
+    if (cmd == "list-codecs") return cmd_list_codecs(client);
+    if (cmd == "stats") return cmd_stats(client);
+    if (cmd == "compress") return cmd_compress(client, args);
+    if (cmd == "decompress") return cmd_decompress(client, args);
+    if (cmd == "demo") return cmd_demo(client);
+    return usage();
+  } catch (const aesz::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,99 @@
+// aesz_server — long-lived TCP compression server over the service layer
+// (src/service/): accepts loopback connections and serves the framed
+// protocol (docs/PROTOCOL.md) — compress / decompress / list-codecs /
+// stats — for every codec in the CodecRegistry, with warm per-codec
+// instances (AE models load once and stay resident).
+//
+//   aesz_server [--port N] [--threads N] [--model m.bin --field NAME]
+//               [--port-file PATH] [--once]
+//
+//   --port N       listen port; 0 (default) = kernel-assigned ephemeral
+//   --threads N    request worker threads; 0 = hardware concurrency
+//   --model/--field  serve a trained AE-SZ model for "AE-SZ" requests
+//   --port-file P  write the bound port to P (for scripts racing startup)
+//   --once         serve a single connection, then exit (CI smoke mode)
+//
+// The bound port is printed (and flushed) before the first accept, so
+// `aesz_server --port 0` can be driven by parsing the first stdout line.
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "service/server.hpp"
+#include "service/transport.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aesz;
+  try {
+    CliArgs args(argc, argv,
+                 {"port", "threads", "model", "field", "port-file"},
+                 /*known_flags=*/{"once"});
+
+    service::Server::Options opt;
+    opt.threads = static_cast<std::size_t>(args.get_long("threads", 0));
+    opt.aesz_model = args.get("model", "");
+    if (args.has("field")) opt.aesz_field = args.get("field", "");
+    service::Server server(opt);
+
+    auto listener = service::TcpListener::bind(
+        static_cast<std::uint16_t>(args.get_long("port", 0)));
+    if (!listener.ok()) {
+      std::fprintf(stderr, "error: %s\n", listener.status().str().c_str());
+      return 1;
+    }
+    std::printf("aesz_server listening on 127.0.0.1:%u\n", (*listener)->port());
+    std::fflush(stdout);
+    if (args.has("port-file")) {
+      std::ofstream pf(args.get("port-file", ""));
+      pf << (*listener)->port() << "\n";
+    }
+
+    // One thread per connection, reaped on every accept so a long-lived
+    // server does not accumulate dead threads/transports as clients come
+    // and go.
+    struct Session {
+      std::thread thread;
+      std::shared_ptr<std::atomic<bool>> done;
+    };
+    std::vector<Session> sessions;
+    for (;;) {
+      auto conn = (*listener)->accept();
+      if (!conn.ok()) break;
+      if (args.has("once")) {
+        server.serve(**conn);
+        break;
+      }
+      std::erase_if(sessions, [](Session& s) {
+        if (!s.done->load(std::memory_order_acquire)) return false;
+        s.thread.join();
+        return true;
+      });
+      auto done = std::make_shared<std::atomic<bool>>(false);
+      sessions.push_back(
+          {std::thread([&server, done,
+                        transport = std::shared_ptr<service::TcpTransport>(
+                            std::move(*conn))] {
+             server.serve(*transport);
+             done->store(true, std::memory_order_release);
+           }),
+           done});
+    }
+    for (auto& s : sessions) s.thread.join();
+    const auto stats = server.snapshot();
+    std::printf("served %llu requests (%llu errors), %llu bytes in, "
+                "%llu bytes out\n",
+                static_cast<unsigned long long>(stats.get("requests")),
+                static_cast<unsigned long long>(stats.get("error_responses")),
+                static_cast<unsigned long long>(stats.get("bytes_in")),
+                static_cast<unsigned long long>(stats.get("bytes_out")));
+    return 0;
+  } catch (const aesz::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,52 @@
+#pragma once
+
+// Helpers shared by the example tools (aesz_cli, aesz_client): --dims
+// parsing and whole-file byte I/O. Kept here rather than src/ because
+// they encode tool conventions (SDRBench AxB[xC] spelling, loud exit on
+// a missing file), not library behavior.
+
+#include <cstdlib>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/dims.hpp"
+#include "util/error.hpp"
+
+namespace aesz::tool {
+
+/// "AxB[xC]" → Dims, slowest-varying first (SDRBench convention).
+inline Dims parse_dims(const std::string& s) {
+  std::size_t vals[3] = {0, 0, 0};
+  int n = 0;
+  std::size_t pos = 0;
+  while (pos < s.size() && n < 3) {
+    std::size_t end = s.find('x', pos);
+    if (end == std::string::npos) end = s.size();
+    vals[n++] = static_cast<std::size_t>(
+        std::atol(s.substr(pos, end - pos).c_str()));
+    pos = end + 1;
+  }
+  AESZ_CHECK_MSG(n >= 1 && vals[0] > 0, "bad --dims (use e.g. 1800x3600)");
+  if (n == 1) return Dims(vals[0]);
+  if (n == 2) return Dims(vals[0], vals[1]);
+  return Dims(vals[0], vals[1], vals[2]);
+}
+
+inline std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AESZ_CHECK_MSG(in.good(), "cannot open " + path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+inline void write_file(const std::string& path,
+                       std::span<const std::uint8_t> b) {
+  std::ofstream out(path, std::ios::binary);
+  AESZ_CHECK_MSG(out.good(), "cannot open " + path);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+}
+
+}  // namespace aesz::tool

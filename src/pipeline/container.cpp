@@ -73,22 +73,8 @@ Expected<ContainerInfo> read_container(
   if (version != kContainerVersion)
     return Status::error(ErrCode::kBadHeader,
                          "unsupported container version");
-  std::uint8_t rank = 0;
-  if (!r.try_get(rank))
-    return Status::error(ErrCode::kTruncated, "truncated container header");
-  if (rank < 1 || rank > 3)
-    return Status::error(ErrCode::kBadHeader, "bad rank");
-  info.dims.rank = rank;
-  std::uint64_t total = 1;
-  for (int i = 0; i < rank; ++i) {
-    std::uint64_t n = 0;
-    if (!r.try_get_varint(n))
-      return Status::error(ErrCode::kTruncated, "truncated dims");
-    if (n == 0 || n > sz::kMaxTotalElems || total > sz::kMaxTotalElems / n)
-      return Status::error(ErrCode::kBadHeader, "dims overflow");
-    total *= n;
-    info.dims.d[static_cast<std::size_t>(i)] = static_cast<std::size_t>(n);
-  }
+  if (Status s = sz::read_dims_checked(r, info.dims); !s.ok()) return s;
+  const int rank = info.dims.rank;
   std::uint8_t mode = 0;
   double eb_value = 0.0;
   if (!r.try_get(mode) || !r.try_get(eb_value) || !r.try_get(info.abs_eb))

@@ -184,10 +184,18 @@ Expected<std::unique_ptr<Compressor>> CodecRegistry::create(
 
 Expected<std::string> CodecRegistry::identify(
     std::span<const std::uint8_t> stream) const {
+  // Degenerate inputs get distinct, explicit handling: an empty stream is
+  // a different caller mistake (no data at all) than a stream shorter
+  // than a magic word (truncated file/frame), and both must stay typed
+  // errors — the service layer routes untrusted bytes straight here.
+  if (stream.empty())
+    return Status::error(ErrCode::kTruncated, "empty stream");
   ByteReader r(stream);
   std::uint32_t magic = 0;
   if (!r.try_get(magic))
-    return Status::error(ErrCode::kTruncated, "stream too short for magic");
+    return Status::error(ErrCode::kTruncated,
+                         "stream too short for magic (" +
+                             std::to_string(stream.size()) + " bytes)");
   if (magic == pipeline::kContainerMagic) {
     const auto inner = pipeline::peek_inner_magic(stream);
     if (!inner.ok()) return inner.status();

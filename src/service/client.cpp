@@ -1,0 +1,77 @@
+#include "service/client.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace aesz::service {
+
+Expected<std::vector<std::uint8_t>> Client::round_trip(
+    std::span<const std::uint8_t> request, Op expected) {
+  if (Status s = transport_.send_frame(request); !s.ok()) return s;
+  auto response = transport_.recv_frame();
+  if (!response.ok()) return response.status();
+  const auto op = peek_op(*response);
+  if (!op.ok()) return op.status();
+  if (*op == Op::kErrorResponse) {
+    auto err = parse_error_response(*response);
+    if (!err.ok()) return err.status();
+    return Status::error(err->code, "server: " + err->message);
+  }
+  if (*op != expected)
+    return Status::error(ErrCode::kCorruptStream,
+                         std::string("expected ") + op_name(expected) +
+                             ", server sent " + op_name(*op));
+  return response;
+}
+
+Expected<Client::CompressResult> Client::compress(const std::string& codec,
+                                                  const Field& f,
+                                                  const ErrorBound& eb) {
+  const auto floats = f.values();
+  CompressRequest req;
+  req.codec = codec;
+  req.eb = eb;
+  req.dims = f.dims();
+  req.field = {reinterpret_cast<const std::uint8_t*>(floats.data()),
+               floats.size() * sizeof(float)};
+  const auto frame = encode_compress_request(req);
+  auto response = round_trip(frame, Op::kCompressResponse);
+  if (!response.ok()) return response.status();
+  auto parsed = parse_compress_response(*response);
+  if (!parsed.ok()) return parsed.status();
+  CompressResult out;
+  out.abs_eb = parsed->abs_eb;
+  out.stream.assign(parsed->stream.begin(), parsed->stream.end());
+  return out;
+}
+
+Expected<Field> Client::decompress(std::span<const std::uint8_t> stream,
+                                   const std::string& codec) {
+  DecompressRequest req;
+  req.codec = codec;
+  req.stream = stream;
+  const auto frame = encode_decompress_request(req);
+  auto response = round_trip(frame, Op::kDecompressResponse);
+  if (!response.ok()) return response.status();
+  auto parsed = parse_decompress_response(*response);
+  if (!parsed.ok()) return parsed.status();
+  std::vector<float> values(parsed->dims.total());
+  std::memcpy(values.data(), parsed->field.data(), parsed->field.size());
+  return Field(parsed->dims, std::move(values));
+}
+
+Expected<std::vector<CodecSummary>> Client::list_codecs() {
+  const auto frame = encode_list_codecs_request();
+  auto response = round_trip(frame, Op::kListCodecsResponse);
+  if (!response.ok()) return response.status();
+  return parse_list_codecs_response(*response);
+}
+
+Expected<StatsResponse> Client::stats() {
+  const auto frame = encode_stats_request();
+  auto response = round_trip(frame, Op::kStatsResponse);
+  if (!response.ok()) return response.status();
+  return parse_stats_response(*response);
+}
+
+}  // namespace aesz::service

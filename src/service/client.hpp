@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/field.hpp"
+#include "predictors/error_bound.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+#include "util/expected.hpp"
+
+namespace aesz::service {
+
+/// Synchronous client over any Transport: one request frame out, one
+/// response frame in. An error frame from the server comes back as the
+/// typed Status it carries, transport failures as kIoError — callers
+/// dispatch on ErrCode exactly like the local Expected-based codec API.
+///
+/// The client borrows the transport (no ownership) and is NOT thread-safe:
+/// give each thread its own connection, or serialize externally. Pipelined
+/// use (stacking requests before reading responses) is possible against
+/// the raw transport; this wrapper keeps the simple call-and-wait shape.
+class Client {
+ public:
+  explicit Client(Transport& transport) : transport_(transport) {}
+
+  struct CompressResult {
+    std::vector<std::uint8_t> stream;
+    /// The absolute tolerance the server resolved the requested bound to.
+    double abs_eb = 0.0;
+  };
+
+  /// Compress `f` under `eb` with the named server-side codec.
+  Expected<CompressResult> compress(const std::string& codec, const Field& f,
+                                    const ErrorBound& eb);
+
+  /// Decompress a stream. Empty `codec` asks the server to identify it by
+  /// its magic.
+  Expected<Field> decompress(std::span<const std::uint8_t> stream,
+                             const std::string& codec = "");
+
+  Expected<std::vector<CodecSummary>> list_codecs();
+
+  Expected<StatsResponse> stats();
+
+ private:
+  /// Send one frame, receive one frame, check it carries `expected` (an
+  /// error frame is unwrapped into its Status instead).
+  Expected<std::vector<std::uint8_t>> round_trip(
+      std::span<const std::uint8_t> request, Op expected);
+
+  Transport& transport_;
+};
+
+}  // namespace aesz::service

@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "predictors/error_bound.hpp"
+#include "util/dims.hpp"
+#include "util/expected.hpp"
+
+namespace aesz::service {
+
+/// Frame protocol (version 1) of the compression service. A *frame* is the
+/// unit a Transport delivers: the transport prefixes each frame with a u32
+/// byte length (see transport.hpp); everything below describes the frame
+/// body. Layout (little-endian, varint = LEB128, blob = varint length +
+/// bytes — the ByteWriter/ByteReader conventions shared with the codec
+/// stream formats):
+///
+///   magic u32 "AESF" | version u8 | opcode u8 | opcode-specific body
+///
+/// Request bodies:
+///   compress    codec blob | eb-mode u8 | eb-value f64 |
+///               rank u8 | dims varint* | field blob (raw f32, row-major)
+///   decompress  codec blob (empty = identify by stream magic) | stream blob
+///   list-codecs (empty)
+///   stats       (empty)
+///
+/// Response bodies:
+///   compress    abs-bound f64 (the bound the server resolved and enforced)
+///               | stream blob
+///   decompress  rank u8 | dims varint* | field blob (raw f32)
+///   list-codecs count varint | per codec: name blob, error-bounded u8,
+///               magic u32, description blob
+///   stats       count varint | per counter: name blob, value varint
+///   error       err-code u8 (ErrCode) | message blob
+///
+/// Hostile-input discipline (same as the container/codec header parsers):
+/// every length is bounds-validated against the remaining frame bytes
+/// before any allocation, dims are checked against sz::kMaxTotalElems with
+/// overflow-safe arithmetic, parse_* returns typed Expected statuses and
+/// never throws, and a frame with trailing bytes after its body is
+/// kCorruptStream. Parsed structs hold zero-copy spans into the caller's
+/// frame bytes (nothing is copied until the server/client builds a Field).
+
+/// "AESF" in little-endian byte order.
+constexpr std::uint32_t kFrameMagic = 0x46534541u;
+constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Bytes of the fixed frame-body header (magic + version + opcode).
+constexpr std::size_t kFrameHeaderBytes = 6;
+
+/// Upper bound on a single frame's byte length. Transports reject a larger
+/// declared length before allocating; at 4 bytes/element this caps a served
+/// field at 256 Mi elements per request, far above the bench/test sizes.
+constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 30;
+
+/// Cap on codec-name length inside a frame — a name longer than this is a
+/// hostile frame, not a registry lookup.
+constexpr std::size_t kMaxCodecName = 256;
+
+/// Frame opcodes. Requests have the high bit clear, responses set;
+/// kErrorResponse answers any request the server could not serve.
+enum class Op : std::uint8_t {
+  kCompressRequest = 0x01,
+  kDecompressRequest = 0x02,
+  kListCodecsRequest = 0x03,
+  kStatsRequest = 0x04,
+  kCompressResponse = 0x81,
+  kDecompressResponse = 0x82,
+  kListCodecsResponse = 0x83,
+  kStatsResponse = 0x84,
+  kErrorResponse = 0xFF,
+};
+
+const char* op_name(Op op);
+
+// ---------------------------------------------------------------- frames --
+
+struct CompressRequest {
+  std::string codec;
+  ErrorBound eb;
+  Dims dims;
+  /// Raw little-endian f32 field bytes; size == dims.total() * 4 (checked).
+  std::span<const std::uint8_t> field;
+};
+
+struct DecompressRequest {
+  std::string codec;  // empty = server identifies by stream magic
+  std::span<const std::uint8_t> stream;
+};
+
+struct CompressResponse {
+  double abs_eb = 0.0;  // the absolute bound the server resolved/enforced
+  std::span<const std::uint8_t> stream;
+};
+
+struct DecompressResponse {
+  Dims dims;
+  std::span<const std::uint8_t> field;  // raw f32, size == total() * 4
+};
+
+struct CodecSummary {
+  std::string name;
+  bool error_bounded = false;
+  std::uint32_t magic = 0;
+  std::string description;
+};
+
+/// Named monotonic counters — an extensible stats surface: servers may add
+/// counters without a protocol bump, clients look up by name.
+struct StatsResponse {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  /// Value of a counter, or 0 when the server does not report it.
+  std::uint64_t get(const std::string& name) const;
+};
+
+struct ErrorResponse {
+  ErrCode code = ErrCode::kInternal;
+  std::string message;
+};
+
+// -------------------------------------------------------------- encoding --
+
+std::vector<std::uint8_t> encode_compress_request(const CompressRequest& r);
+std::vector<std::uint8_t> encode_decompress_request(const DecompressRequest& r);
+std::vector<std::uint8_t> encode_list_codecs_request();
+std::vector<std::uint8_t> encode_stats_request();
+std::vector<std::uint8_t> encode_compress_response(const CompressResponse& r);
+std::vector<std::uint8_t> encode_decompress_response(
+    const DecompressResponse& r);
+std::vector<std::uint8_t> encode_list_codecs_response(
+    const std::vector<CodecSummary>& codecs);
+std::vector<std::uint8_t> encode_stats_response(const StatsResponse& r);
+std::vector<std::uint8_t> encode_error_response(const ErrorResponse& r);
+
+// --------------------------------------------------------------- parsing --
+
+/// Validate the 6-byte frame header and return the opcode. Statuses:
+/// kTruncated (short frame), kBadMagic, kBadHeader (version or unknown
+/// opcode).
+Expected<Op> peek_op(std::span<const std::uint8_t> frame);
+
+/// Each parse validates the header (magic/version/expected opcode), then
+/// the body, then that no trailing bytes remain. Spans in the result alias
+/// `frame` — the caller keeps the bytes alive.
+Expected<CompressRequest> parse_compress_request(
+    std::span<const std::uint8_t> frame);
+Expected<DecompressRequest> parse_decompress_request(
+    std::span<const std::uint8_t> frame);
+Expected<CompressResponse> parse_compress_response(
+    std::span<const std::uint8_t> frame);
+Expected<DecompressResponse> parse_decompress_response(
+    std::span<const std::uint8_t> frame);
+Expected<std::vector<CodecSummary>> parse_list_codecs_response(
+    std::span<const std::uint8_t> frame);
+Expected<StatsResponse> parse_stats_response(
+    std::span<const std::uint8_t> frame);
+Expected<ErrorResponse> parse_error_response(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace aesz::service

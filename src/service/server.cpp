@@ -1,0 +1,358 @@
+#include "service/server.hpp"
+
+#include <cctype>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "core/aesz.hpp"
+#include "core/model_zoo.hpp"
+#include "pipeline/container.hpp"
+#include "pipeline/parallel_compressor.hpp"
+#include "predictors/registry.hpp"
+#include "util/bytestream.hpp"
+
+namespace aesz::service {
+
+namespace {
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Split an optional "parallel:" prefix off a lowercased codec name.
+bool strip_parallel(std::string& name) {
+  constexpr const char* kPrefix = "parallel:";
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  name = name.substr(9);
+  return true;
+}
+
+bool is_aesz_name(const std::string& lowered) {
+  return lowered == "ae-sz" || lowered == "aesz";
+}
+
+/// Rank declared by a compressed stream's own header (shared v2 codec
+/// header, or the container header for parallel streams) — so a cached
+/// decompress codec is built at the rank the stream needs, not a guess.
+/// Falls back to `fallback` when the prefix is too short or out of range.
+int peek_rank(std::span<const std::uint8_t> stream, int fallback) {
+  ByteReader r(stream);
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0, rank = 0;
+  if (!r.try_get(magic) || !r.try_get(version)) return fallback;
+  if (magic == pipeline::kContainerMagic) {
+    std::uint32_t inner = 0;
+    if (!r.try_get(inner)) return fallback;
+  }
+  if (!r.try_get(rank)) return fallback;
+  return (rank >= 1 && rank <= 3) ? rank : fallback;
+}
+
+}  // namespace
+
+Server::Server() : Server(Options{}) {}
+
+Server::Server(Options opt)
+    : opt_(std::move(opt)),
+      pool_(std::make_unique<ThreadPool>(opt_.threads)) {}
+
+Expected<std::unique_ptr<Compressor>> Server::build_codec(
+    const std::string& base, bool parallel, int rank) {
+  try {
+    if (base == "ae-sz" && !opt_.aesz_model.empty()) {
+      // Warm trained-model path: AE-SZ instances come from the server's
+      // model file instead of the registry's fixed-seed untrained default.
+      auto make_aesz = [this](int) -> std::unique_ptr<Compressor> {
+        auto c = std::make_unique<AESZ>(
+            model_zoo::options_for(opt_.aesz_field), /*seed=*/1);
+        c->load_model(opt_.aesz_model);
+        counters_.ae_model_loads.fetch_add(1, std::memory_order_relaxed);
+        return c;
+      };
+      if (parallel)
+        return std::unique_ptr<Compressor>(
+            std::make_unique<pipeline::ParallelCompressor>(
+                pipeline::ParallelCompressor::Options{base, 0, 0}, rank,
+                std::move(make_aesz)));
+      return make_aesz(rank);
+    }
+    auto created = CodecRegistry::instance().create(
+        (parallel ? "parallel:" : "") + base, rank);
+    if (created.ok() && base == "ae-sz" && !parallel)
+      counters_.ae_model_loads.fetch_add(1, std::memory_order_relaxed);
+    return created;
+  } catch (const Error& e) {
+    const ErrCode c = e.code() == ErrCode::kOk ? ErrCode::kInternal : e.code();
+    return Status::error(c, e.what());
+  } catch (const std::exception& e) {
+    // A missing/corrupt model file must be a typed status, not a crash.
+    return Status::error(ErrCode::kInternal, e.what());
+  }
+}
+
+Expected<Server::CachedCodec> Server::codec_for(const std::string& name,
+                                                int rank) {
+  // Canonicalize before building the cache key so every spelling of the
+  // same codec ("AE-SZ", "AESZ", "parallel:aesz", ...) lands on ONE slot
+  // — mixed spellings must not double-load a model.
+  std::string base = lower(name);
+  const bool parallel = strip_parallel(base);
+  if (is_aesz_name(base)) base = "ae-sz";
+  const std::string key =
+      (parallel ? "parallel:" : "") + base + "#" + std::to_string(rank);
+
+  std::shared_ptr<CacheEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      counters_.codec_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      entry = it->second;
+    } else {
+      counters_.codec_cache_misses.fetch_add(1, std::memory_order_relaxed);
+      entry = std::make_shared<CacheEntry>();
+      cache_.emplace(key, entry);
+    }
+  }
+
+  // Construction runs under the ENTRY lock, not the cache lock: the
+  // build-exactly-once guarantee (what `ae_model_loads` certifies) holds
+  // per codec, while requests for other codecs hit the cache in parallel
+  // even during a seconds-long model load.
+  std::unique_lock<std::mutex> entry_lock(entry->mu);
+  if (!entry->codec) {
+    auto built = build_codec(base, parallel, rank);
+    if (!built.ok()) {
+      entry_lock.unlock();
+      // Drop the empty slot so hostile unknown codec names cannot grow
+      // the cache without bound.
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      if (auto it = cache_.find(key);
+          it != cache_.end() && it->second == entry)
+        cache_.erase(it);
+      return built.status();
+    }
+    entry->codec = std::move(built).value();
+  }
+  return CachedCodec{entry->codec,
+                     std::shared_ptr<std::mutex>(entry, &entry->mu)};
+}
+
+std::vector<std::uint8_t> Server::error_frame(ErrCode code,
+                                              std::string message) {
+  counters_.error_responses.fetch_add(1, std::memory_order_relaxed);
+  if (code == ErrCode::kOk) code = ErrCode::kInternal;
+  return encode_error_response({code, std::move(message)});
+}
+
+std::vector<std::uint8_t> Server::handle_compress(
+    std::span<const std::uint8_t> frame) {
+  auto req = parse_compress_request(frame);
+  if (!req.ok())
+    return error_frame(req.status().code, req.status().message);
+  std::vector<float> values(req->dims.total());
+  std::memcpy(values.data(), req->field.data(), req->field.size());
+  const Field f(req->dims, std::move(values));
+  auto entry = codec_for(req->codec, req->dims.rank);
+  if (!entry.ok())
+    return error_frame(entry.status().code, entry.status().message);
+  std::vector<std::uint8_t> stream;
+  {
+    std::lock_guard<std::mutex> lock(*entry->mu);
+    if (!entry->codec->supports_rank(req->dims.rank))
+      return error_frame(ErrCode::kUnsupported,
+                         req->codec + " does not support rank-" +
+                             std::to_string(req->dims.rank) + " fields");
+    stream = entry->codec->compress(f, req->eb);
+  }
+  // Report the bound the encoder resolved and enforced — the same
+  // resolution sz::resolve_abs_eb applies on the compress side.
+  const double abs_eb = req->eb.absolute(f.value_range());
+  return encode_compress_response({abs_eb, stream});
+}
+
+std::vector<std::uint8_t> Server::handle_decompress(
+    std::span<const std::uint8_t> frame) {
+  auto req = parse_decompress_request(frame);
+  if (!req.ok())
+    return error_frame(req.status().code, req.status().message);
+  std::string codec_name = req->codec;
+  if (codec_name.empty()) {
+    auto identified = CodecRegistry::instance().identify(req->stream);
+    if (!identified.ok())
+      return error_frame(identified.status().code,
+                         identified.status().message);
+    codec_name = *identified;
+  }
+  auto entry = codec_for(codec_name, peek_rank(req->stream, /*fallback=*/2));
+  if (!entry.ok())
+    return error_frame(entry.status().code, entry.status().message);
+  Expected<Field> result = [&] {
+    std::lock_guard<std::mutex> lock(*entry->mu);
+    return entry->codec->decompress(req->stream);
+  }();
+  if (!result.ok())
+    return error_frame(result.status().code, result.status().message);
+  const auto floats = result->values();
+  return encode_decompress_response(
+      {result->dims(),
+       {reinterpret_cast<const std::uint8_t*>(floats.data()),
+        floats.size() * sizeof(float)}});
+}
+
+std::vector<std::uint8_t> Server::handle_list_codecs() {
+  auto& reg = CodecRegistry::instance();
+  std::vector<CodecSummary> codecs;
+  for (const auto& name : reg.names()) {
+    const CodecInfo* info = reg.find(name);
+    if (!info) continue;
+    codecs.push_back({info->name, info->error_bounded, info->magic,
+                      info->description});
+  }
+  return encode_list_codecs_response(codecs);
+}
+
+StatsResponse Server::snapshot() const {
+  StatsResponse out;
+  const auto put = [&](const char* name,
+                       const std::atomic<std::uint64_t>& v) {
+    out.counters.emplace_back(name, v.load(std::memory_order_relaxed));
+  };
+  put("requests", counters_.requests);
+  put("compress_requests", counters_.compress_requests);
+  put("decompress_requests", counters_.decompress_requests);
+  put("list_codecs_requests", counters_.list_codecs_requests);
+  put("stats_requests", counters_.stats_requests);
+  put("error_responses", counters_.error_responses);
+  put("bytes_in", counters_.bytes_in);
+  put("bytes_out", counters_.bytes_out);
+  put("codec_cache_hits", counters_.codec_cache_hits);
+  put("codec_cache_misses", counters_.codec_cache_misses);
+  put("ae_model_loads", counters_.ae_model_loads);
+  return out;
+}
+
+std::vector<std::uint8_t> Server::handle_stats() {
+  return encode_stats_response(snapshot());
+}
+
+std::vector<std::uint8_t> Server::dispatch(
+    Op op, std::span<const std::uint8_t> frame) {
+  switch (op) {
+    case Op::kCompressRequest:
+      counters_.compress_requests.fetch_add(1, std::memory_order_relaxed);
+      return handle_compress(frame);
+    case Op::kDecompressRequest:
+      counters_.decompress_requests.fetch_add(1, std::memory_order_relaxed);
+      return handle_decompress(frame);
+    case Op::kListCodecsRequest:
+      counters_.list_codecs_requests.fetch_add(1, std::memory_order_relaxed);
+      return handle_list_codecs();
+    case Op::kStatsRequest:
+      counters_.stats_requests.fetch_add(1, std::memory_order_relaxed);
+      return handle_stats();
+    default:
+      return error_frame(ErrCode::kUnsupported,
+                         std::string(op_name(op)) + " is not a request");
+  }
+}
+
+std::vector<std::uint8_t> Server::handle_frame(
+    std::span<const std::uint8_t> frame) {
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_in.fetch_add(frame.size(), std::memory_order_relaxed);
+  std::vector<std::uint8_t> response;
+  const auto op = peek_op(frame);
+  if (!op.ok()) {
+    response = error_frame(op.status().code, op.status().message);
+  } else {
+    try {
+      response = dispatch(*op, frame);
+    } catch (const Error& e) {
+      // Same folding as Compressor::decompress: an untyped internal throw
+      // during request handling is attributed to the request.
+      const ErrCode c =
+          e.code() == ErrCode::kOk ? ErrCode::kInternal : e.code();
+      response = error_frame(c, e.what());
+    } catch (const std::exception& e) {
+      // Hostile sizes can surface as bad_alloc/length_error; a request
+      // must never take the server down.
+      response = error_frame(ErrCode::kInternal, e.what());
+    }
+  }
+  if (response.size() > kMaxFrameBytes) {
+    // e.g. a sub-cap compressed stream that decodes past the frame cap.
+    // The transport would refuse to send it, and serve()'s writer cannot
+    // substitute anything — the client would hang waiting. Answer with a
+    // typed error instead.
+    response = error_frame(
+        ErrCode::kUnsupported,
+        "response (" + std::to_string(response.size()) +
+            " bytes) exceeds the frame limit; request a smaller field");
+  }
+  counters_.bytes_out.fetch_add(response.size(), std::memory_order_relaxed);
+  return response;
+}
+
+void Server::serve(Transport& transport) {
+  // Pipelined scheduling: the reader keeps pulling frames and submitting
+  // them to the pool while earlier requests execute; the writer thread
+  // sends completed responses strictly in request order, so a client that
+  // stacks N requests gets N responses in the order it asked. The reader
+  // stops accepting new frames while kMaxInflight requests are buffered —
+  // without that cap a client that streams requests without draining
+  // responses would grow server memory without bound (request bytes plus
+  // completed responses), defeating the per-frame size limit.
+  constexpr std::size_t kMaxInflight = 32;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::future<std::vector<std::uint8_t>>> inflight;
+  bool done = false;
+
+  std::thread writer([&] {
+    for (;;) {
+      std::future<std::vector<std::uint8_t>> next;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done || !inflight.empty(); });
+        if (inflight.empty()) return;  // done and drained
+        next = std::move(inflight.front());
+        inflight.pop_front();
+      }
+      cv.notify_all();  // a slot freed: unblock a backpressured reader
+      // A failed send means the peer is gone; keep draining futures so
+      // every submitted request still completes.
+      (void)transport.send_frame(next.get());
+    }
+  });
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return inflight.size() < kMaxInflight; });
+    }
+    auto frame = transport.recv_frame();
+    if (!frame.ok()) break;  // orderly close or framing violation
+    auto fut = pool_->submit(
+        [this, bytes = std::move(*frame)] { return handle_frame(bytes); });
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      inflight.push_back(std::move(fut));
+    }
+    cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  cv.notify_all();
+  writer.join();
+}
+
+}  // namespace aesz::service

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "predictors/compressor.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+#include "util/thread_pool.hpp"
+
+namespace aesz::service {
+
+/// Long-lived compression server: dispatches protocol frames onto a
+/// ThreadPool, routes codec names through the CodecRegistry (including the
+/// `parallel:<codec>` wrappers), and keeps every constructed codec warm in
+/// a per-(codec, rank) instance cache — for the learned codecs that cache
+/// IS the warm-model cache: the AE network is built (or loaded from a
+/// trained model file) exactly once and reused by every later request,
+/// observable through the `ae_model_loads` stats counter. The one case
+/// the cache cannot keep warm is `parallel:AE-SZ`: the wrapper itself is
+/// cached, but ParallelCompressor builds fresh per-worker inner instances
+/// on every compress/decompress by design, so each such request loads the
+/// model once per worker.
+///
+/// Request scheduling: serve() pipelines — it keeps reading frames while
+/// earlier requests are still executing on the pool, and a dedicated
+/// response writer sends results back in request order, so a client may
+/// stack N requests on one connection and the pool works them
+/// concurrently. Codec instances are not required to be thread-safe, so
+/// requests hitting the SAME cached instance serialize on a per-instance
+/// mutex; requests for different codecs (or ranks) run in parallel.
+///
+/// Failure discipline: handle_frame() never throws and always produces a
+/// response frame — every malformed or unserviceable request becomes a
+/// typed error frame (protocol::ErrorResponse), mirroring the
+/// Expected-based codec API.
+class Server {
+ public:
+  struct Options {
+    /// Worker threads for request execution; 0 = hardware concurrency.
+    std::size_t threads = 0;
+    /// Optional trained AE-SZ model served for "AE-SZ" requests: path to a
+    /// save_model() file plus the model-zoo field name that configured it.
+    /// Empty = registry default (fixed-seed untrained network).
+    std::string aesz_model;
+    std::string aesz_field = "CESM-CLDHGH";
+  };
+
+  // Two overloads, not a `= {}` default argument: NSDMIs of a nested
+  // class are only parsed once the enclosing class is complete, so GCC
+  // rejects brace-init of Options in a default argument here.
+  Server();
+  explicit Server(Options opt);
+
+  /// Handle one request frame and return the response frame. Thread-safe;
+  /// this is the transport-free core the deterministic tests drive.
+  std::vector<std::uint8_t> handle_frame(std::span<const std::uint8_t> frame);
+
+  /// Serve one connection until the peer closes (or the transport fails).
+  /// Blocking; call from a dedicated thread per connection.
+  void serve(Transport& transport);
+
+  /// Snapshot of the running counters (the same data a stats frame
+  /// reports).
+  StatsResponse snapshot() const;
+
+ private:
+  /// One cache slot per canonical (codec, rank). `mu` serializes both the
+  /// first construction and every later use of the instance (codecs keep
+  /// per-compression state); the global cache_mu_ only ever guards the
+  /// map itself, so an expensive model load never stalls requests for
+  /// other codecs.
+  struct CacheEntry {
+    std::mutex mu;
+    std::shared_ptr<Compressor> codec;  // null until the first build
+  };
+
+  /// Handler-facing view of a cache entry: the instance plus the mutex to
+  /// hold while using it (aliased into the owning CacheEntry).
+  struct CachedCodec {
+    std::shared_ptr<Compressor> codec;
+    std::shared_ptr<std::mutex> mu;
+  };
+
+  Expected<CachedCodec> codec_for(const std::string& name, int rank);
+  Expected<std::unique_ptr<Compressor>> build_codec(const std::string& base,
+                                                    bool parallel, int rank);
+  std::vector<std::uint8_t> dispatch(Op op,
+                                     std::span<const std::uint8_t> frame);
+  std::vector<std::uint8_t> handle_compress(
+      std::span<const std::uint8_t> frame);
+  std::vector<std::uint8_t> handle_decompress(
+      std::span<const std::uint8_t> frame);
+  std::vector<std::uint8_t> handle_list_codecs();
+  std::vector<std::uint8_t> handle_stats();
+  std::vector<std::uint8_t> error_frame(ErrCode code, std::string message);
+
+  Options opt_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::mutex cache_mu_;
+  std::map<std::string, std::shared_ptr<CacheEntry>> cache_;
+
+  struct Counters {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> compress_requests{0};
+    std::atomic<std::uint64_t> decompress_requests{0};
+    std::atomic<std::uint64_t> list_codecs_requests{0};
+    std::atomic<std::uint64_t> stats_requests{0};
+    std::atomic<std::uint64_t> error_responses{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> codec_cache_hits{0};
+    std::atomic<std::uint64_t> codec_cache_misses{0};
+    std::atomic<std::uint64_t> ae_model_loads{0};
+  };
+  Counters counters_;
+};
+
+}  // namespace aesz::service

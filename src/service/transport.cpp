@@ -1,0 +1,282 @@
+#include "service/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "service/protocol.hpp"
+
+namespace aesz::service {
+
+namespace detail {
+
+class ByteChannel {
+ public:
+  /// Soft capacity mirroring a kernel socket buffer: write() blocks while
+  /// the buffer is at/over this, so a peer that never reads bounds the
+  /// channel at cap + one frame instead of growing it without limit.
+  static constexpr std::size_t kMaxBuffered = std::size_t{64} << 20;
+
+  void write(std::span<const std::uint8_t> bytes) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock,
+               [&] { return closed_ || bytes_.size() < kMaxBuffered; });
+      if (closed_) return;  // peer is gone; drop silently like a broken pipe
+      bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until `n` bytes are available and copy them out. Returns false
+  /// when the channel closes with fewer than `n` bytes left (EOF).
+  bool read_exact(std::uint8_t* dst, std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || bytes_.size() >= n; });
+    if (bytes_.size() < n) return false;
+    // Bulk copy + range erase (deque iterators are random-access): a
+    // per-byte front/pop_front loop would hold the lock for millions of
+    // operations on multi-MB frames and dominate pipe latency.
+    const auto first = bytes_.begin();
+    std::copy(first, first + static_cast<std::ptrdiff_t>(n), dst);
+    bytes_.erase(first, first + static_cast<std::ptrdiff_t>(n));
+    cv_.notify_all();  // room freed: unblock a backpressured writer
+    return true;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::uint8_t> bytes_;
+  bool closed_ = false;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- pipe ----
+
+PipeTransport::PipeTransport(std::shared_ptr<detail::ByteChannel> in,
+                             std::shared_ptr<detail::ByteChannel> out)
+    : in_(std::move(in)), out_(std::move(out)) {}
+
+std::pair<std::unique_ptr<PipeTransport>, std::unique_ptr<PipeTransport>>
+PipeTransport::make_pair() {
+  auto a_to_b = std::make_shared<detail::ByteChannel>();
+  auto b_to_a = std::make_shared<detail::ByteChannel>();
+  std::unique_ptr<PipeTransport> a(new PipeTransport(b_to_a, a_to_b));
+  std::unique_ptr<PipeTransport> b(new PipeTransport(a_to_b, b_to_a));
+  return {std::move(a), std::move(b)};
+}
+
+Status PipeTransport::send_frame(std::span<const std::uint8_t> frame) {
+  if (frame.size() > kMaxFrameBytes)
+    return Status::error(ErrCode::kInvalidArgument, "frame exceeds limit");
+  if (out_->closed())
+    return Status::error(ErrCode::kIoError, "pipe closed");
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  std::uint8_t prefix[4];
+  std::memcpy(prefix, &len, 4);
+  out_->write({prefix, 4});
+  out_->write(frame);
+  return {};
+}
+
+void PipeTransport::send_raw(std::span<const std::uint8_t> bytes) {
+  out_->write(bytes);
+}
+
+Expected<std::vector<std::uint8_t>> PipeTransport::recv_frame() {
+  std::uint8_t prefix[4];
+  if (!in_->read_exact(prefix, 4))
+    return Status::error(ErrCode::kIoError, "pipe closed");
+  std::uint32_t len = 0;
+  std::memcpy(&len, prefix, 4);
+  // Validated BEFORE the allocation the length would size.
+  if (len > kMaxFrameBytes)
+    return Status::error(ErrCode::kCorruptStream,
+                         "declared frame length exceeds limit");
+  std::vector<std::uint8_t> frame(len);
+  if (len > 0 && !in_->read_exact(frame.data(), len))
+    return Status::error(ErrCode::kCorruptStream,
+                         "pipe closed mid-frame");
+  return frame;
+}
+
+void PipeTransport::shutdown() {
+  in_->close();
+  out_->close();
+}
+
+// ----------------------------------------------------------------- tcp ----
+
+namespace {
+
+Status send_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::error(ErrCode::kIoError,
+                           std::string("send: ") + std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return {};
+}
+
+/// Read exactly n bytes; false on EOF/error (orderly close included).
+bool recv_all(int fd, std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, data, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF
+    data += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int fd) : fd_(fd) {}
+
+TcpTransport::~TcpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Expected<std::unique_ptr<TcpTransport>> TcpTransport::connect(
+    const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::error(ErrCode::kIoError,
+                         std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::error(ErrCode::kInvalidArgument,
+                         "bad IPv4 address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::error(ErrCode::kIoError,
+                         std::string("connect: ") + std::strerror(err));
+  }
+  return std::make_unique<TcpTransport>(fd);
+}
+
+Status TcpTransport::send_frame(std::span<const std::uint8_t> frame) {
+  if (frame.size() > kMaxFrameBytes)
+    return Status::error(ErrCode::kInvalidArgument, "frame exceeds limit");
+  if (fd_ < 0) return Status::error(ErrCode::kIoError, "socket closed");
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  std::uint8_t prefix[4];
+  std::memcpy(prefix, &len, 4);
+  if (Status s = send_all(fd_, prefix, 4); !s.ok()) return s;
+  return send_all(fd_, frame.data(), frame.size());
+}
+
+Expected<std::vector<std::uint8_t>> TcpTransport::recv_frame() {
+  if (fd_ < 0) return Status::error(ErrCode::kIoError, "socket closed");
+  std::uint8_t prefix[4];
+  if (!recv_all(fd_, prefix, 4))
+    return Status::error(ErrCode::kIoError, "connection closed");
+  std::uint32_t len = 0;
+  std::memcpy(&len, prefix, 4);
+  if (len > kMaxFrameBytes)
+    return Status::error(ErrCode::kCorruptStream,
+                         "declared frame length exceeds limit");
+  std::vector<std::uint8_t> frame(len);
+  if (len > 0 && !recv_all(fd_, frame.data(), len))
+    return Status::error(ErrCode::kCorruptStream,
+                         "connection closed mid-frame");
+  return frame;
+}
+
+void TcpTransport::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+// ------------------------------------------------------------- listener ----
+
+Expected<std::unique_ptr<TcpListener>> TcpListener::bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::error(ErrCode::kIoError,
+                         std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::error(ErrCode::kIoError,
+                         std::string("bind/listen: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::error(ErrCode::kIoError,
+                         std::string("getsockname: ") + std::strerror(err));
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(bound.sin_port)));
+}
+
+TcpListener::~TcpListener() { close(); }
+
+Expected<std::unique_ptr<TcpTransport>> TcpListener::accept() {
+  if (fd_ < 0) return Status::error(ErrCode::kIoError, "listener closed");
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) return std::make_unique<TcpTransport>(conn);
+    if (errno == EINTR) continue;
+    return Status::error(ErrCode::kIoError,
+                         std::string("accept: ") + std::strerror(errno));
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    // shutdown() unblocks a concurrent accept() before the fd goes away.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace aesz::service

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace aesz::service {
+
+/// Bidirectional, frame-oriented byte transport between a client and a
+/// server. On the wire every frame is a u32 little-endian byte length
+/// followed by the frame body (protocol.hpp); recv_frame() validates the
+/// declared length against protocol::kMaxFrameBytes BEFORE allocating, so
+/// a hostile peer cannot trigger an unbounded allocation with a 4-byte
+/// prefix.
+///
+/// Threading contract: one thread may send while another receives (the
+/// server's pipelined response writer depends on full-duplex operation),
+/// but concurrent sends — or concurrent receives — need external
+/// serialization.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Deliver one frame. kIoError when the peer is gone.
+  virtual Status send_frame(std::span<const std::uint8_t> frame) = 0;
+
+  /// Block for the next frame. kIoError on orderly close / lost peer,
+  /// kCorruptStream on an un-resynchronizable framing violation (oversized
+  /// declared length, truncated length prefix mid-stream).
+  virtual Expected<std::vector<std::uint8_t>> recv_frame() = 0;
+
+  /// Unblock any pending recv_frame on both ends and refuse further
+  /// traffic. Idempotent.
+  virtual void shutdown() = 0;
+};
+
+namespace detail {
+/// One direction of an in-process pipe: an unbounded byte FIFO with
+/// blocking reads and a closed flag (reads drain remaining bytes first).
+class ByteChannel;
+}  // namespace detail
+
+/// In-process transport for deterministic tests: a pair of endpoints
+/// connected by two byte FIFOs, no sockets involved. The wire format is
+/// byte-exact with the TCP transport, so framing violations (a hostile
+/// length prefix injected via send_raw) exercise the same validation path.
+class PipeTransport final : public Transport {
+ public:
+  /// Two connected endpoints; frames sent on one arrive at the other.
+  static std::pair<std::unique_ptr<PipeTransport>,
+                   std::unique_ptr<PipeTransport>>
+  make_pair();
+
+  Status send_frame(std::span<const std::uint8_t> frame) override;
+  Expected<std::vector<std::uint8_t>> recv_frame() override;
+  void shutdown() override;
+
+  /// Test hook: put raw bytes on the wire with NO length prefix — the way
+  /// to present a hostile/truncated length prefix to the peer's
+  /// recv_frame().
+  void send_raw(std::span<const std::uint8_t> bytes);
+
+ private:
+  PipeTransport(std::shared_ptr<detail::ByteChannel> in,
+                std::shared_ptr<detail::ByteChannel> out);
+
+  std::shared_ptr<detail::ByteChannel> in_, out_;
+};
+
+/// TCP loopback transport over a connected socket. Construction paths:
+/// TcpListener::accept() on the server side, TcpTransport::connect() on
+/// the client side. Close/shutdown use ::shutdown so a blocked recv on
+/// another thread returns instead of hanging.
+class TcpTransport final : public Transport {
+ public:
+  /// Connect to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  static Expected<std::unique_ptr<TcpTransport>> connect(
+      const std::string& host, std::uint16_t port);
+
+  /// Adopt an already-connected socket (the listener's accept path).
+  explicit TcpTransport(int fd);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Status send_frame(std::span<const std::uint8_t> frame) override;
+  Expected<std::vector<std::uint8_t>> recv_frame() override;
+  void shutdown() override;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Loopback (127.0.0.1) listening socket. `port == 0` binds an ephemeral
+/// port; port() reports the one the kernel assigned, for clients and port
+/// files.
+class TcpListener {
+ public:
+  static Expected<std::unique_ptr<TcpListener>> bind(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Block for the next connection. kIoError after close().
+  Expected<std::unique_ptr<TcpTransport>> accept();
+
+  /// Stop listening and unblock a pending accept(). Idempotent.
+  void close();
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace aesz::service

@@ -31,6 +31,30 @@ struct StreamHeader {
   double abs_eb = 0.0;
 };
 
+/// Shared rank + dims parse/validation used by every header format in the
+/// repo (codec stream headers, the pipeline container, service frames):
+/// rank ∈ [1,3], nonzero dims, product capped at kMaxTotalElems with
+/// overflow-safe arithmetic — all checked before any allocation.
+inline Status read_dims_checked(ByteReader& r, Dims& out) {
+  std::uint8_t rank = 0;
+  if (!r.try_get(rank))
+    return Status::error(ErrCode::kTruncated, "truncated rank");
+  if (rank < 1 || rank > 3)
+    return Status::error(ErrCode::kBadHeader, "bad rank");
+  out.rank = rank;
+  std::uint64_t total = 1;
+  for (int i = 0; i < rank; ++i) {
+    std::uint64_t n = 0;
+    if (!r.try_get_varint(n))
+      return Status::error(ErrCode::kTruncated, "truncated dims");
+    if (n == 0 || n > kMaxTotalElems || total > kMaxTotalElems / n)
+      return Status::error(ErrCode::kBadHeader, "dims overflow");
+    total *= n;
+    out.d[static_cast<std::size_t>(i)] = static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
 /// Shared stream-header layout of all codecs in the repo:
 ///   magic u32 | version u8 | rank u8 | dims varint* | eb-mode u8 |
 ///   eb-value f64 | abs-bound f64
@@ -55,25 +79,13 @@ inline Expected<StreamHeader> read_header(ByteReader& r,
     return Status::error(ErrCode::kTruncated, "stream too short for magic");
   if (magic != expected_magic)
     return Status::error(ErrCode::kBadMagic, "stream magic mismatch");
-  std::uint8_t version = 0, rank = 0;
-  if (!r.try_get(version) || !r.try_get(rank))
+  std::uint8_t version = 0;
+  if (!r.try_get(version))
     return Status::error(ErrCode::kTruncated, "truncated header");
   if (version != kFormatVersion)
     return Status::error(ErrCode::kBadHeader, "unsupported stream version");
-  if (rank < 1 || rank > 3)
-    return Status::error(ErrCode::kBadHeader, "bad rank");
   StreamHeader h;
-  h.dims.rank = rank;
-  std::uint64_t total = 1;
-  for (int i = 0; i < rank; ++i) {
-    std::uint64_t n = 0;
-    if (!r.try_get_varint(n))
-      return Status::error(ErrCode::kTruncated, "truncated dims");
-    if (n == 0 || n > kMaxTotalElems || total > kMaxTotalElems / n)
-      return Status::error(ErrCode::kBadHeader, "dims overflow");
-    total *= n;
-    h.dims.d[static_cast<std::size_t>(i)] = static_cast<std::size_t>(n);
-  }
+  if (Status s = read_dims_checked(r, h.dims); !s.ok()) return s;
   std::uint8_t mode = 0;
   double eb_value = 0.0;
   if (!r.try_get(mode) || !r.try_get(eb_value) || !r.try_get(h.abs_eb))

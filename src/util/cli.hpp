@@ -12,11 +12,14 @@ namespace aesz {
 
 /// Minimal --flag/--key value parser for the example tools. Positional
 /// arguments are collected in order; "--key value" and "--key=value" both
-/// work; unknown flags throw so typos fail loudly.
+/// work; names in `known_flags` are bare boolean switches ("--verify",
+/// queried with has()) that consume no value; unknown flags throw so typos
+/// fail loudly.
 class CliArgs {
  public:
-  CliArgs(int argc, char** argv, std::vector<std::string> known_keys)
-      : known_(std::move(known_keys)) {
+  CliArgs(int argc, char** argv, std::vector<std::string> known_keys,
+          std::vector<std::string> known_flags = {})
+      : known_(std::move(known_keys)), flags_(std::move(known_flags)) {
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
@@ -29,10 +32,23 @@ class CliArgs {
       if (eq != std::string::npos) {
         value = key.substr(eq + 1);
         key = key.substr(0, eq);
+      } else if (std::find(flags_.begin(), flags_.end(), key) !=
+                 flags_.end()) {
+        // std::string temporary, not a char* assign: GCC 12's -Wrestrict
+        // false-fires on the inlined assign(const char*) path here.
+        values_[key] = std::string("1");
+        continue;
       } else if (i + 1 < argc) {
         value = argv[++i];
       } else {
         throw Error("missing value for --" + key);
+      }
+      if (std::find(flags_.begin(), flags_.end(), key) != flags_.end()) {
+        // Callers test flags by presence (has()), so "--flag=0" /
+        // "--flag=false" must drop the key entirely to mean off.
+        if (value != "0" && value != "false")
+          values_[key] = std::string("1");
+        continue;
       }
       AESZ_CHECK_MSG(std::find(known_.begin(), known_.end(), key) !=
                          known_.end(),
@@ -62,6 +78,7 @@ class CliArgs {
 
  private:
   std::vector<std::string> known_;
+  std::vector<std::string> flags_;
   std::vector<std::string> positional_;
   std::map<std::string, std::string> values_;
 };

@@ -7,6 +7,7 @@
 
 #include "data/synth.hpp"
 #include "metrics/metrics.hpp"
+#include "pipeline/container.hpp"
 #include "predictors/registry.hpp"
 #include "sz/common.hpp"
 #include "util/bytestream.hpp"
@@ -180,6 +181,33 @@ TEST(Registry, ZeroLengthStreamIsTypedErrorForEveryCodec) {
   for (const auto& name : reg().names()) {
     auto c = reg().create(name, 3).value();
     const auto result = c->decompress({});
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.status().code, ErrCode::kTruncated) << name;
+  }
+}
+
+/// Satellite regression: identify(), container parsing, and every codec's
+/// decompress must treat zero-length AND single-byte inputs as typed
+/// errors — the degenerate prefixes a flaky transport or truncated file
+/// hands the service layer.
+TEST(Registry, ZeroAndSingleByteInputsAreTypedErrors) {
+  const std::vector<std::uint8_t> empty;
+  const std::vector<std::uint8_t> one_byte{0x41};
+  EXPECT_EQ(reg().identify(empty).status().code, ErrCode::kTruncated);
+  EXPECT_EQ(reg().identify(one_byte).status().code, ErrCode::kTruncated);
+  EXPECT_EQ(pipeline::read_container(empty).status().code,
+            ErrCode::kTruncated);
+  EXPECT_EQ(pipeline::read_container(one_byte).status().code,
+            ErrCode::kTruncated);
+  EXPECT_EQ(pipeline::peek_inner_magic(empty).status().code,
+            ErrCode::kTruncated);
+  EXPECT_EQ(pipeline::peek_inner_magic(one_byte).status().code,
+            ErrCode::kTruncated);
+  EXPECT_FALSE(pipeline::is_container(empty));
+  EXPECT_FALSE(pipeline::is_container(one_byte));
+  for (const auto& name : reg().names()) {
+    auto c = reg().create(name, 3).value();
+    const auto result = c->decompress(one_byte);
     ASSERT_FALSE(result.ok()) << name;
     EXPECT_EQ(result.status().code, ErrCode::kTruncated) << name;
   }
