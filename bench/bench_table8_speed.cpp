@@ -18,6 +18,7 @@
 #include "sz/sz21.hpp"
 #include "sz/szauto.hpp"
 #include "sz/szinterp.hpp"
+#include "util/stage_timer.hpp"
 #include "zfp/zfp_like.hpp"
 
 namespace {
@@ -92,13 +93,31 @@ void add_rate_counters(benchmark::State& state, const Field* f) {
       bytes / 1e9, benchmark::Counter::kIsIterationInvariantRate);
 }
 
+/// Per-stage attribution (predict/quantize/entropy/inference seconds per
+/// iteration, from the process-wide stage accumulators in
+/// util/stage_timer.hpp) so perf PRs can see which stage a win came from.
+/// SZ-family fuses quantization into its prediction loops; that time lands
+/// under "predict" (see the Stage enum docs).
+void add_stage_counters(benchmark::State& state,
+                        const prof::StageTimes& before,
+                        const prof::StageTimes& after) {
+  const double it = static_cast<double>(std::max<int64_t>(
+      state.iterations(), 1));
+  state.counters["s_predict"] = (after.predict - before.predict) / it;
+  state.counters["s_quantize"] = (after.quantize - before.quantize) / it;
+  state.counters["s_entropy"] = (after.entropy - before.entropy) / it;
+  state.counters["s_inference"] = (after.inference - before.inference) / it;
+}
+
 void bench_compress(benchmark::State& state, Compressor* c, const Field* f) {
   std::size_t bytes = 0;
+  const prof::StageTimes before = prof::snapshot();
   for (auto _ : state) {
     auto stream = c->compress(*f, kRelEb);
     bytes = stream.size();
     benchmark::DoNotOptimize(stream);
   }
+  add_stage_counters(state, before, prof::snapshot());
   add_rate_counters(state, f);
   state.counters["CR"] = metrics::compression_ratio(f->size(), bytes);
 }
@@ -106,10 +125,12 @@ void bench_compress(benchmark::State& state, Compressor* c, const Field* f) {
 void bench_decompress(benchmark::State& state, Compressor* c,
                       const Field* f) {
   const auto stream = c->compress(*f, kRelEb);
+  const prof::StageTimes before = prof::snapshot();
   for (auto _ : state) {
     Field g = c->decompress(stream).value();
     benchmark::DoNotOptimize(g);
   }
+  add_stage_counters(state, before, prof::snapshot());
   add_rate_counters(state, f);
 }
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build and run the kernel microbench, writing the machine-readable result
+# to BENCH_kernels.json at the repo root so the perf trajectory of the
+# single-thread hot paths (bit I/O, Huffman, GEMM/conv) is recorded per
+# machine. Human-readable output goes to the terminal (stderr).
+#
+#   scripts/run_bench.sh                  # default sizes (~10 s)
+#   AESZ_BENCH_KERNELS_SYMS=1000000 scripts/run_bench.sh   # quicker
+#
+# Env: BUILD_DIR (default build), plus the AESZ_BENCH_KERNELS_* knobs
+# documented in bench/bench_kernels.cpp.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_kernels >/dev/null
+
+"$BUILD_DIR"/bench_kernels > BENCH_kernels.json
+echo "wrote BENCH_kernels.json:"
+python3 -m json.tool BENCH_kernels.json 2>/dev/null || cat BENCH_kernels.json

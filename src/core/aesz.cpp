@@ -8,6 +8,7 @@
 #include "predictors/lorenzo.hpp"
 #include "predictors/quantizer.hpp"
 #include "sz/common.hpp"
+#include "util/stage_timer.hpp"
 
 namespace aesz {
 namespace {
@@ -211,6 +212,7 @@ std::vector<std::uint8_t> AESZ::compress(const Field& f,
 
   // ---- Step 4: residual quantization (blockwise raster; Lorenzo reads
   // reconstructed neighbors, which block-raster order keeps causal).
+  prof::StageScope quantize_stage(prof::Stage::kQuantize);
   LinearQuantizer quant(abs_eb);
   std::vector<float> recon(d.total());
   std::vector<std::uint16_t> codes(d.total());
@@ -247,6 +249,7 @@ std::vector<std::uint8_t> AESZ::compress(const Field& f,
     }
   }
   stats_.unpredictable = unpred.size();
+  quantize_stage.stop();
 
   // ---- Step 5: stream assembly.
   ByteWriter w;
@@ -360,6 +363,7 @@ Field AESZ::decompress_impl(std::span<const std::uint8_t> stream) {
   const auto unpred = ur.get_array<float>();
 
   // Residual reconstruction, mirroring the compression traversal.
+  prof::StageScope quantize_stage(prof::Stage::kQuantize);
   LinearQuantizer quant(abs_eb);
   Field out(d);
   float* recon = out.data();

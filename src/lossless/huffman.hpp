@@ -22,7 +22,15 @@ namespace huffman {
 std::vector<std::uint8_t> encode(std::span<const std::uint16_t> symbols);
 
 /// Decode a stream produced by encode(). Throws aesz::Error on corruption.
+/// Table-driven: codes of length <= 11 resolve via one LUT lookup, longer
+/// codes fall back to the per-length canonical walk.
 std::vector<std::uint16_t> decode(std::span<const std::uint8_t> stream);
+
+/// Bit-at-a-time canonical-walk decoder, kept as the differential-testing
+/// reference for decode() and the "scalar path" baseline in bench_kernels.
+/// Identical accept/reject behavior and output to decode().
+std::vector<std::uint16_t> decode_reference(
+    std::span<const std::uint8_t> stream);
 
 /// Code lengths chosen for the given frequencies (exposed for tests:
 /// Kraft inequality, optimality vs entropy).

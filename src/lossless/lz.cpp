@@ -6,6 +6,7 @@
 #include "lossless/huffman.hpp"
 #include "util/bytestream.hpp"
 #include "util/error.hpp"
+#include "util/stage_timer.hpp"
 
 namespace aesz::lz {
 namespace {
@@ -32,6 +33,7 @@ std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
 }  // namespace
 
 std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
+  prof::StageScope stage(prof::Stage::kEntropy);
   ByteWriter w;
   w.put_varint(input.size());
   const std::size_t n = input.size();
@@ -98,6 +100,7 @@ std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
 }
 
 std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream) {
+  prof::StageScope stage(prof::Stage::kEntropy);
   ByteReader r(stream);
   const std::uint64_t n = r.get_varint();
   std::vector<std::uint8_t> out;

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "nn/gemm.hpp"
+#include "util/stage_timer.hpp"
+
 namespace aesz::nn {
 namespace {
 
@@ -10,25 +13,18 @@ float he_std(std::size_t fan_in) {
 }
 
 using idx = std::ptrdiff_t;
-
-/// Valid output range [lo, hi) for "o*s - p + k in [0, n)". With k <= 2 and
-/// p <= 1 the numerators stay tiny, but the formulas are general.
-inline void out_range(idx o_extent, idx n, idx s, idx p, idx k, idx& lo,
-                      idx& hi) {
-  const idx a = p - k;  // o*s >= a
-  lo = a > 0 ? (a + s - 1) / s : 0;
-  const idx b = n - 1 + p - k;  // o*s <= b
-  hi = b < 0 ? 0 : std::min(o_extent, b / s + 1);
-}
+using detail::out_range;  // shared window math, defined in nn/gemm.hpp
 
 }  // namespace
 
 // ---------------------------------------------------------------- Conv2d --
 //
-// All four convolution classes use the same loop strategy: the kernel taps
-// (ic, kh, kw) are hoisted outside the spatial loops, so the innermost loop
-// is a contiguous (or stride-s) AXPY over one row — which vectorizes. The
-// correctness of every path is pinned by finite-difference tests.
+// 2-D forwards run through the im2col + blocked-SGEMM kernels in
+// src/nn/gemm.cpp (the inference hot path). Backward passes and the 3-D
+// classes keep the direct loop strategy: kernel taps (ic, kh, kw) hoisted
+// outside the spatial loops so the innermost loop is a contiguous (or
+// stride-s) AXPY over one row — which vectorizes. The correctness of every
+// path is pinned by finite-difference tests and GEMM-vs-naive checks.
 
 Conv2d::Conv2d(std::size_t in_c, std::size_t out_c, std::size_t k,
                std::size_t stride, std::size_t pad, Rng& rng)
@@ -37,6 +33,7 @@ Conv2d::Conv2d(std::size_t in_c, std::size_t out_c, std::size_t k,
       b_(Tensor::zeros({out_c})) {}
 
 Tensor Conv2d::forward(const Tensor& x, bool train) {
+  prof::StageScope scope(prof::Stage::kInference);
   AESZ_CHECK(x.shape().size() == 4 && x.dim(1) == in_c_);
   const std::size_t N = x.dim(0), H = x.dim(2), W = x.dim(3);
   const std::size_t OH = out_size(H), OW = out_size(W);
@@ -45,43 +42,12 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const float* wp = w_.value.data();
   const float* bp = b_.value.data();
   float* yp = y.data();
-  const idx S = static_cast<idx>(stride_), P = static_cast<idx>(pad_);
 
-#pragma omp parallel for collapse(2) schedule(static)
+#pragma omp parallel for schedule(static)
   for (idx n = 0; n < static_cast<idx>(N); ++n) {
-    for (idx oc = 0; oc < static_cast<idx>(out_c_); ++oc) {
-      float* yplane = yp + (static_cast<std::size_t>(n) * out_c_ +
-                            static_cast<std::size_t>(oc)) *
-                               OH * OW;
-      for (std::size_t i = 0; i < OH * OW; ++i)
-        yplane[i] = bp[static_cast<std::size_t>(oc)];
-      for (std::size_t ic = 0; ic < in_c_; ++ic) {
-        const float* xplane =
-            xp + (static_cast<std::size_t>(n) * in_c_ + ic) * H * W;
-        for (std::size_t kh = 0; kh < k_; ++kh) {
-          idx oh_lo, oh_hi;
-          out_range(static_cast<idx>(OH), static_cast<idx>(H), S, P,
-                    static_cast<idx>(kh), oh_lo, oh_hi);
-          for (std::size_t kw = 0; kw < k_; ++kw) {
-            const float wv =
-                wp[((static_cast<std::size_t>(oc) * in_c_ + ic) * k_ + kh) *
-                       k_ +
-                   kw];
-            idx ow_lo, ow_hi;
-            out_range(static_cast<idx>(OW), static_cast<idx>(W), S, P,
-                      static_cast<idx>(kw), ow_lo, ow_hi);
-            for (idx oh = oh_lo; oh < oh_hi; ++oh) {
-              const idx ih = oh * S - P + static_cast<idx>(kh);
-              float* yrow = yplane + oh * static_cast<idx>(OW);
-              const float* xrow = xplane + ih * static_cast<idx>(W) - P +
-                                  static_cast<idx>(kw);
-              for (idx ow = ow_lo; ow < ow_hi; ++ow)
-                yrow[ow] += wv * xrow[ow * S];
-            }
-          }
-        }
-      }
-    }
+    const auto un = static_cast<std::size_t>(n);
+    conv2d_forward(xp + un * in_c_ * H * W, in_c_, H, W, wp, out_c_, k_,
+                   stride_, pad_, bp, yp + un * out_c_ * OH * OW, OH, OW);
   }
   if (train) x_cache_ = x;
   return y;
@@ -180,6 +146,7 @@ ConvT2d::ConvT2d(std::size_t in_c, std::size_t out_c, std::size_t k,
       b_(Tensor::zeros({out_c})) {}
 
 Tensor ConvT2d::forward(const Tensor& x, bool train) {
+  prof::StageScope scope(prof::Stage::kInference);
   AESZ_CHECK(x.shape().size() == 4 && x.dim(1) == in_c_);
   const std::size_t N = x.dim(0), H = x.dim(2), W = x.dim(3);
   const std::size_t OH = out_size(H), OW = out_size(W);
@@ -188,41 +155,12 @@ Tensor ConvT2d::forward(const Tensor& x, bool train) {
   const float* wp = w_.value.data();
   const float* bp = b_.value.data();
   float* yp = y.data();
-  const idx S = static_cast<idx>(stride_), P = static_cast<idx>(pad_);
 
-  // Scatter: y[ih*s+kh-p][iw*s+kw-p] += x[ih][iw] * w[ic][oc][kh][kw].
-#pragma omp parallel for collapse(2) schedule(static)
+#pragma omp parallel for schedule(static)
   for (idx n = 0; n < static_cast<idx>(N); ++n) {
-    for (idx oc = 0; oc < static_cast<idx>(out_c_); ++oc) {
-      const auto uoc = static_cast<std::size_t>(oc);
-      float* yplane =
-          yp + (static_cast<std::size_t>(n) * out_c_ + uoc) * OH * OW;
-      for (std::size_t i = 0; i < OH * OW; ++i) yplane[i] = bp[uoc];
-      for (std::size_t ic = 0; ic < in_c_; ++ic) {
-        const float* xplane =
-            xp + (static_cast<std::size_t>(n) * in_c_ + ic) * H * W;
-        for (std::size_t kh = 0; kh < k_; ++kh) {
-          idx ih_lo, ih_hi;  // valid i: i*s + kh - p in [0, OH)
-          out_range(static_cast<idx>(H), static_cast<idx>(OH), S, P,
-                    static_cast<idx>(kh), ih_lo, ih_hi);
-          for (std::size_t kw = 0; kw < k_; ++kw) {
-            const float wv =
-                wp[((ic * out_c_ + uoc) * k_ + kh) * k_ + kw];
-            idx iw_lo, iw_hi;
-            out_range(static_cast<idx>(W), static_cast<idx>(OW), S, P,
-                      static_cast<idx>(kw), iw_lo, iw_hi);
-            for (idx ih = ih_lo; ih < ih_hi; ++ih) {
-              const idx oh = ih * S + static_cast<idx>(kh) - P;
-              const float* xrow = xplane + ih * static_cast<idx>(W);
-              float* yrow = yplane + oh * static_cast<idx>(OW) - P +
-                            static_cast<idx>(kw);
-              for (idx iw = iw_lo; iw < iw_hi; ++iw)
-                yrow[iw * S] += wv * xrow[iw];
-            }
-          }
-        }
-      }
-    }
+    const auto un = static_cast<std::size_t>(n);
+    convt2d_forward(xp + un * in_c_ * H * W, in_c_, H, W, wp, out_c_, k_,
+                    stride_, pad_, bp, yp + un * out_c_ * OH * OW, OH, OW);
   }
   if (train) x_cache_ = x;
   return y;
@@ -324,6 +262,7 @@ Conv3d::Conv3d(std::size_t in_c, std::size_t out_c, std::size_t k,
       b_(Tensor::zeros({out_c})) {}
 
 Tensor Conv3d::forward(const Tensor& x, bool train) {
+  prof::StageScope scope(prof::Stage::kInference);
   AESZ_CHECK(x.shape().size() == 5 && x.dim(1) == in_c_);
   const std::size_t N = x.dim(0), D = x.dim(2), H = x.dim(3), W = x.dim(4);
   const std::size_t OD = out_size(D), OH = out_size(H), OW = out_size(W);
@@ -500,6 +439,7 @@ ConvT3d::ConvT3d(std::size_t in_c, std::size_t out_c, std::size_t k,
       b_(Tensor::zeros({out_c})) {}
 
 Tensor ConvT3d::forward(const Tensor& x, bool train) {
+  prof::StageScope scope(prof::Stage::kInference);
   AESZ_CHECK(x.shape().size() == 5 && x.dim(1) == in_c_);
   const std::size_t N = x.dim(0), D = x.dim(2), H = x.dim(3), W = x.dim(4);
   const std::size_t OD = out_size(D), OH = out_size(H), OW = out_size(W);

@@ -1,6 +1,10 @@
 #include "nn/dense.hpp"
 
 #include <cmath>
+#include <cstring>
+
+#include "nn/gemm.hpp"
+#include "util/stage_timer.hpp"
 
 namespace aesz::nn {
 
@@ -11,6 +15,7 @@ Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
       b_(Tensor::zeros({out})) {}
 
 Tensor Linear::forward(const Tensor& x, bool train) {
+  prof::StageScope scope(prof::Stage::kInference);
   AESZ_CHECK(x.shape().size() == 2 && x.dim(1) == in_);
   const std::size_t N = x.dim(0);
   Tensor y({N, out_});
@@ -18,17 +23,10 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   const float* wp = w_.value.data();
   const float* bp = b_.value.data();
   float* yp = y.data();
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(N); ++n) {
-    const auto un = static_cast<std::size_t>(n);
-    for (std::size_t o = 0; o < out_; ++o) {
-      float acc = bp[o];
-      const float* row = wp + o * in_;
-      const float* xin = xp + un * in_;
-      for (std::size_t i = 0; i < in_; ++i) acc += row[i] * xin[i];
-      yp[un * out_ + o] = acc;
-    }
-  }
+  // y = x * W^T + b through the blocked kernel (bias seeds the accumulate).
+  for (std::size_t n = 0; n < N; ++n)
+    std::memcpy(yp + n * out_, bp, out_ * sizeof(float));
+  sgemm(false, true, N, out_, in_, xp, in_, wp, in_, 1.0f, yp, out_);
   if (train) x_cache_ = x;
   return y;
 }

@@ -7,6 +7,7 @@
 #include "predictors/lorenzo.hpp"
 #include "predictors/quantizer.hpp"
 #include "sz/common.hpp"
+#include "util/stage_timer.hpp"
 
 namespace aesz {
 namespace {
@@ -116,6 +117,7 @@ std::vector<std::uint8_t> SZ21::compress(const Field& f,
   const double icept_prec = abs_eb;
   ByteWriter coeff_w;
 
+  prof::StageScope predict_stage(prof::Stage::kPredict);
   // Pass 1: per-block predictor selection on original data, regression
   // coefficient quantization.
   const float* src = f.data();
@@ -223,6 +225,7 @@ std::vector<std::uint8_t> SZ21::compress(const Field& f,
     }
   }
 
+  predict_stage.stop();
   // Assemble self-describing stream.
   {
     std::vector<std::uint8_t> packed((g.total + 7) / 8, 0);
@@ -265,6 +268,7 @@ Field SZ21::decompress_impl(std::span<const std::uint8_t> stream) {
   ByteReader ur(unpred_bytes);
   const auto unpred = ur.get_array<float>();
 
+  prof::StageScope predict_stage(prof::Stage::kPredict);
   LinearQuantizer quant(abs_eb);
   Field out(d);
   float* recon = out.data();

@@ -6,6 +6,7 @@
 #include "predictors/lorenzo.hpp"
 #include "predictors/quantizer.hpp"
 #include "sz/common.hpp"
+#include "util/stage_timer.hpp"
 
 namespace aesz {
 namespace {
@@ -63,6 +64,7 @@ std::vector<std::uint8_t> SZAuto::compress(const Field& f,
   std::vector<float> recon(d.total());
   std::vector<std::uint16_t> codes(d.total());
   std::vector<float> unpred;
+  prof::StageScope predict_stage(prof::Stage::kPredict);
 
   auto encode_point = [&](std::size_t idx, float pred) {
     float r;
@@ -92,6 +94,7 @@ std::vector<std::uint8_t> SZAuto::compress(const Field& f,
                            : lorenzo::predict3(recon.data(), d, i, j, k));
   }
 
+  predict_stage.stop();
   w.put_blob(qcodec::encode_codes(codes));
   ByteWriter uw;
   uw.put_array<float>(unpred);
@@ -114,6 +117,7 @@ Field SZAuto::decompress_impl(std::span<const std::uint8_t> stream) {
   ByteReader ur(unpred_bytes);
   const auto unpred = ur.get_array<float>();
 
+  prof::StageScope predict_stage(prof::Stage::kPredict);
   LinearQuantizer quant(abs_eb);
   Field out(d);
   float* recon = out.data();

@@ -5,6 +5,7 @@
 #include "lossless/lz.hpp"
 #include "predictors/quantizer.hpp"
 #include "sz/common.hpp"
+#include "util/stage_timer.hpp"
 
 namespace aesz {
 namespace {
@@ -109,6 +110,7 @@ std::vector<std::uint8_t> SZInterp::compress(const Field& f,
   std::vector<float> anchors;
   std::vector<float> unpred;
 
+  prof::StageScope predict_stage(prof::Stage::kPredict);
   walk(
       d, S, opt_.cubic, recon.data(),
       [&](std::size_t idx) {
@@ -124,6 +126,7 @@ std::vector<std::uint8_t> SZInterp::compress(const Field& f,
         codes.push_back(code);
       });
 
+  predict_stage.stop();
   {
     ByteWriter aw;
     aw.put_array<float>(anchors);
@@ -159,6 +162,7 @@ Field SZInterp::decompress_impl(std::span<const std::uint8_t> stream) {
   ByteReader ur(unpred_bytes);
   const auto unpred = ur.get_array<float>();
 
+  prof::StageScope predict_stage(prof::Stage::kPredict);
   LinearQuantizer quant(abs_eb);
   Field out(d);
   float* recon = out.data();

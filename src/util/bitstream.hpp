@@ -9,76 +9,145 @@
 namespace aesz {
 
 /// LSB-first bit sink for Huffman codes and ZFP bit planes.
-/// Bits are packed into a 64-bit accumulator and flushed bytewise; write
-/// order equals read order in BitReader.
+///
+/// Word-at-a-time: bits accumulate in a 64-bit register and are flushed as
+/// whole 8-byte words; a single put_bits() call appends up to 64 bits. The
+/// emitted byte stream is identical to per-bit emission (bit i of the
+/// stream is bit (i&7) of byte i>>3), so streams written by older per-bit
+/// writers and by this one are interchangeable.
 class BitWriter {
  public:
-  /// Append the low `n` bits of `v` (n in [0, 57]; callers split longer
-  /// words). LSB of `v` is emitted first.
-  void put(std::uint64_t v, int n) {
-    acc_ |= (n >= 64 ? v : (v & ((1ULL << n) - 1))) << fill_;
-    fill_ += n;
-    while (fill_ >= 8) {
-      buf_.push_back(static_cast<std::uint8_t>(acc_));
-      acc_ >>= 8;
-      fill_ -= 8;
+  /// Append the low `n` bits of `v`, LSB of `v` first. n in [0, 64].
+  void put_bits(std::uint64_t v, int n) {
+    if (n <= 0) return;
+    if (n < 64) v &= (1ULL << n) - 1;
+    acc_ |= v << fill_;  // fill_ in [0, 63] between calls
+    if (fill_ + n >= 64) {
+      flush_word();
+      const int consumed = 64 - fill_;
+      acc_ = consumed >= 64 ? 0 : v >> consumed;
+      fill_ = fill_ + n - 64;
+    } else {
+      fill_ += n;
     }
   }
 
-  void put_bit(bool b) { put(b ? 1 : 0, 1); }
+  /// Compatibility alias for put_bits (historical name).
+  void put(std::uint64_t v, int n) { put_bits(v, n); }
+
+  void put_bit(bool b) { put_bits(b ? 1 : 0, 1); }
 
   /// Unary-coded small integer (n zero bits then a one); cheap for the
   /// geometric distributions in ZFP group tests.
   void put_unary(unsigned n) {
-    for (unsigned i = 0; i < n; ++i) put_bit(false);
-    put_bit(true);
+    while (n >= 63) {
+      put_bits(0, 63);
+      n -= 63;
+    }
+    put_bits(1ULL << n, static_cast<int>(n) + 1);
   }
+
+  /// Grow the backing buffer ahead of a known-size payload.
+  void reserve_bits(std::size_t bits) { buf_.reserve(buf_.size() + bits / 8 + 9); }
 
   /// Pad to a byte boundary and return the stream.
   std::vector<std::uint8_t> finish() {
-    if (fill_ > 0) {
+    int left = fill_;
+    while (left > 0) {
       buf_.push_back(static_cast<std::uint8_t>(acc_));
-      acc_ = 0;
-      fill_ = 0;
+      acc_ >>= 8;
+      left -= 8;
     }
+    acc_ = 0;
+    fill_ = 0;
     return std::move(buf_);
   }
 
-  std::size_t bit_count() const { return buf_.size() * 8 + fill_; }
+  std::size_t bit_count() const {
+    return buf_.size() * 8 + static_cast<std::size_t>(fill_);
+  }
 
  private:
+  void flush_word() {
+    const std::size_t old = buf_.size();
+    buf_.resize(old + 8);
+    std::uint64_t a = acc_;
+    for (int i = 0; i < 8; ++i) {  // little-endian store, single mov on x86
+      buf_[old + i] = static_cast<std::uint8_t>(a);
+      a >>= 8;
+    }
+  }
+
   std::vector<std::uint8_t> buf_;
   std::uint64_t acc_ = 0;
-  int fill_ = 0;
+  int fill_ = 0;  // buffered bits in acc_, [0, 63]
 };
 
-/// LSB-first bit source matching BitWriter. Reading past the end returns
-/// zero bits (needed by truncated fixed-rate ZFP streams); `overran()`
-/// reports whether that ever happened, giving decoders a fallible
-/// bounds-checked path: decode optimistically, then reject the stream as
-/// truncated if any read fell off the end.
+/// LSB-first bit source matching BitWriter, buffered through a 64-bit
+/// accumulator (refilled a byte at a time, so get_bits(n) is one shift/mask
+/// for any n). Reading past the end returns zero bits (needed by truncated
+/// fixed-rate ZFP streams); `overran()` reports whether that ever happened,
+/// giving decoders a fallible bounds-checked path: decode optimistically,
+/// then reject the stream as truncated if any read fell off the end.
 class BitReader {
  public:
   explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
 
-  std::uint64_t get(int n) {
-    std::uint64_t v = 0;
-    for (int i = 0; i < n; ++i) {
-      v |= static_cast<std::uint64_t>(get_bit()) << i;
+  /// Consume and return the next `n` bits, LSB = first stream bit.
+  /// n in [0, 64]; bits past the end read as zero and set overran().
+  std::uint64_t get_bits(int n) {
+    if (n <= 0) return 0;
+    refill();
+    std::uint64_t v;
+    if (n <= nbits_) {
+      v = n >= 64 ? acc_ : acc_ & ((1ULL << n) - 1);
+      acc_ = n >= 64 ? 0 : acc_ >> n;
+      nbits_ -= n;
+    } else {
+      // Fewer buffered bits than requested: either n > 57 with more bytes
+      // available (refill stops at >=57), or the stream is ending.
+      v = acc_;
+      const int got = nbits_;
+      acc_ = 0;
+      nbits_ = 0;
+      refill();
+      const int need = n - got;
+      if (need <= nbits_) {
+        v |= (acc_ & ((1ULL << need) - 1)) << got;
+        acc_ >>= need;
+        nbits_ -= need;
+      } else {  // stream exhausted: zero-fill the remainder
+        v |= acc_ << got;
+        acc_ = 0;
+        nbits_ = 0;
+        overran_ = true;
+      }
     }
+    pos_ += static_cast<std::size_t>(n);
     return v;
   }
 
-  int get_bit() {
-    const std::size_t byte = pos_ >> 3;
-    if (byte >= data_.size()) {
-      ++pos_;
-      overran_ = true;
-      return 0;  // zero-fill past end: truncated embedded streams decode low bits as 0
+  /// Compatibility alias for get_bits (historical name).
+  std::uint64_t get(int n) { return get_bits(n); }
+
+  int get_bit() { return static_cast<int>(get_bits(1)); }
+
+  /// Return the next `n` bits without consuming them. n in [0, 57] (the
+  /// refill guarantee); bits past the end read as zero and do NOT set
+  /// overran() — only consuming them does. This is the lookahead primitive
+  /// behind table-driven Huffman decoding.
+  std::uint64_t peek_bits(int n) {
+    refill();
+    return n <= 0 ? 0 : acc_ & ((1ULL << n) - 1);
+  }
+
+  /// Discard `n` bits (any size); past-the-end bits set overran().
+  void skip_bits(std::size_t n) {
+    while (n > 57) {
+      (void)get_bits(57);
+      n -= 57;
     }
-    const int bit = (data_[byte] >> (pos_ & 7)) & 1;
-    ++pos_;
-    return bit;
+    (void)get_bits(static_cast<int>(n));
   }
 
   unsigned get_unary(unsigned limit) {
@@ -93,8 +162,18 @@ class BitReader {
   bool overran() const { return overran_; }
 
  private:
+  void refill() {
+    while (nbits_ <= 56 && byte_ < data_.size()) {
+      acc_ |= static_cast<std::uint64_t>(data_[byte_++]) << nbits_;
+      nbits_ += 8;
+    }
+  }
+
   std::span<const std::uint8_t> data_;
-  std::size_t pos_ = 0;
+  std::size_t byte_ = 0;  // next byte to load into acc_
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;           // valid bits in acc_, [0, 64]
+  std::size_t pos_ = 0;     // consumed bit count
   bool overran_ = false;
 };
 

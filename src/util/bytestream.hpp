@@ -53,6 +53,9 @@ class ByteWriter {
     std::memcpy(buf_.data() + old, v.data(), v.size() * sizeof(T));
   }
 
+  /// Pre-size the backing buffer from a stream-size estimate.
+  void reserve(std::size_t bytes) { buf_.reserve(buf_.size() + bytes); }
+
   std::size_t size() const { return buf_.size(); }
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace aesz::prof {
+
+/// Pipeline-stage attribution for the speed benchmarks (bench_table8_speed's
+/// per-stage breakdown). Process-wide monotonic accumulators, fed by RAII
+/// scopes placed at coarse seams (whole prediction passes, whole entropy
+/// blobs, whole layer forwards) so the clock cost is negligible next to the
+/// work being timed.
+///
+/// Stage meanings across the codec zoo:
+///   kPredict   prediction passes (SZ-family fuses quantization into the
+///              same raster loop; that fused time lands here)
+///   kQuantize  standalone quantization (AE-SZ residual/latent quantization)
+///   kEntropy   Huffman + LZ, encode and decode
+///   kInference neural-network layer forwards (AE encode/decode, baselines)
+///
+/// Nested scopes of the same stage count once (only the outermost
+/// accumulates), so e.g. huffman::encode inside qcodec::encode_codes is not
+/// double-billed.
+enum class Stage : int { kPredict = 0, kQuantize, kEntropy, kInference };
+inline constexpr int kStageCount = 4;
+
+inline std::array<std::atomic<std::uint64_t>, kStageCount>& stage_ns() {
+  static std::array<std::atomic<std::uint64_t>, kStageCount> totals{};
+  return totals;
+}
+
+inline int& stage_depth(Stage s) {
+  thread_local std::array<int, kStageCount> depth{};
+  return depth[static_cast<int>(s)];
+}
+
+/// Cumulative per-stage seconds since process start (monotonic; benches
+/// subtract two snapshots around a measured region).
+struct StageTimes {
+  double predict = 0, quantize = 0, entropy = 0, inference = 0;
+};
+
+inline StageTimes snapshot() {
+  auto& t = stage_ns();
+  const auto sec = [&](Stage s) {
+    return static_cast<double>(
+               t[static_cast<int>(s)].load(std::memory_order_relaxed)) *
+           1e-9;
+  };
+  return {sec(Stage::kPredict), sec(Stage::kQuantize), sec(Stage::kEntropy),
+          sec(Stage::kInference)};
+}
+
+class StageScope {
+ public:
+  explicit StageScope(Stage s) : s_(s), outer_(stage_depth(s)++ == 0) {
+    if (outer_) t0_ = std::chrono::steady_clock::now();
+  }
+  ~StageScope() { stop(); }
+
+  /// End attribution early (before other stages start in the same block).
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    --stage_depth(s_);
+    if (outer_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0_)
+                          .count();
+      stage_ns()[static_cast<int>(s_)].fetch_add(
+          static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
+    }
+  }
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  Stage s_;
+  bool outer_;
+  bool stopped_ = false;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace aesz::prof

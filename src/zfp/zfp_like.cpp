@@ -73,23 +73,8 @@ std::int32_t from_negabinary(std::uint32_t u) {
   return static_cast<std::int32_t>((u ^ mask) - mask);
 }
 
-/// Write up to 64 bits (BitWriter::put handles <= 57 per call).
-void put_bits64(BitWriter& w, std::uint64_t v, int n) {
-  if (n > 32) {
-    w.put(v, 32);
-    w.put(v >> 32, n - 32);
-  } else if (n > 0) {
-    w.put(v, n);
-  }
-}
-
-std::uint64_t get_bits64(BitReader& r, int n) {
-  if (n > 32) {
-    const std::uint64_t lo = r.get(32);
-    return lo | (r.get(n - 32) << 32);
-  }
-  return n > 0 ? r.get(n) : 0;
-}
+// BitWriter::put_bits / BitReader::get_bits handle the full 64-bit range
+// in one call, so no chunked helpers are needed here anymore.
 
 struct BlockGeom {
   int rank;
@@ -224,7 +209,7 @@ void encode_planes(BitWriter& w, const std::uint32_t* u, std::size_t size,
     // Verbatim bits for the already-scanned prefix.
     const std::size_t m = std::min(n, budget);
     budget -= m;
-    put_bits64(w, x, static_cast<int>(m));
+    w.put_bits(x, static_cast<int>(m));
     x = m >= 64 ? 0 : x >> m;  // m can hit 64 on full 3-D blocks
     if (m < n) return;  // budget exhausted mid-prefix
     // Group-test + unary run-length for the remainder.
@@ -260,7 +245,7 @@ void decode_planes(BitReader& r, std::uint32_t* u, std::size_t size, int kmin,
   for (int k = kIntPrec - 1; k >= kmin; --k) {
     const std::size_t m = std::min(n, budget);
     budget -= m;
-    std::uint64_t x = get_bits64(r, static_cast<int>(m));
+    std::uint64_t x = r.get_bits(static_cast<int>(m));
     if (m < n) {
       for (std::size_t i = 0; x; ++i, x >>= 1)
         u[i] |= static_cast<std::uint32_t>(x & 1u) << k;

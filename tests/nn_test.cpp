@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "nn/autoencoder.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/gemm.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/variants.hpp"
 #include "util/bytestream.hpp"
@@ -58,6 +62,174 @@ Tensor smooth_batch(const AEConfig& cfg, std::size_t n, std::uint64_t seed) {
     }
   }
   return t;
+}
+
+// ---------------------------------------------------------------------
+// Blocked-GEMM kernel layer: the register-tiled sgemm and the im2col conv
+// forwards must agree with straightforward reference loops to 1e-4.
+// ---------------------------------------------------------------------
+
+void naive_gemm(bool ta, bool tb, std::size_t m, std::size_t n, std::size_t k,
+                const float* a, std::size_t lda, const float* b,
+                std::size_t ldb, float beta, float* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = ta ? a[kk * lda + i] : a[i * lda + kk];
+        const float bv = tb ? b[j * ldb + kk] : b[kk * ldb + j];
+        acc += av * bv;
+      }
+      c[i * ldc + j] = beta * c[i * ldc + j] + acc;
+    }
+}
+
+TEST(Gemm, MatchesNaiveAcrossShapesAndTransposes) {
+  Rng rng(71);
+  struct Case {
+    std::size_t m, n, k;
+    bool ta, tb;
+    float beta;
+  };
+  const std::vector<Case> cases{
+      {1, 1, 1, false, false, 0.0f},   {7, 13, 5, false, false, 0.0f},
+      {6, 16, 32, false, false, 1.0f}, {97, 33, 130, false, false, 0.0f},
+      {33, 97, 65, true, false, 0.0f}, {40, 24, 70, false, true, 0.5f},
+      {19, 21, 23, true, true, 1.0f},  {128, 1, 300, false, true, 0.0f},
+  };
+  for (const auto& tc : cases) {
+    const std::size_t lda = tc.ta ? tc.m : tc.k;
+    const std::size_t ldb = tc.tb ? tc.k : tc.n;
+    std::vector<float> a(tc.m * tc.k), b(tc.k * tc.n);
+    std::vector<float> c1(tc.m * tc.n), c2(tc.m * tc.n);
+    for (auto& v : a) v = rng.gaussianf();
+    for (auto& v : b) v = rng.gaussianf();
+    for (std::size_t i = 0; i < c1.size(); ++i) c1[i] = c2[i] = rng.gaussianf();
+    sgemm(tc.ta, tc.tb, tc.m, tc.n, tc.k, a.data(), lda, b.data(), ldb,
+          tc.beta, c1.data(), tc.n);
+    naive_gemm(tc.ta, tc.tb, tc.m, tc.n, tc.k, a.data(), lda, b.data(), ldb,
+               tc.beta, c2.data(), tc.n);
+    float maxd = 0.0f;
+    for (std::size_t i = 0; i < c1.size(); ++i)
+      maxd = std::max(maxd, std::abs(c1[i] - c2[i]));
+    EXPECT_LT(maxd, 1e-4f) << tc.m << "x" << tc.n << "x" << tc.k << " ta="
+                           << tc.ta << " tb=" << tc.tb;
+  }
+}
+
+TEST(Gemm, Conv2dForwardMatchesNaive) {
+  Rng rng(72);
+  for (const auto& [stride, pad] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{1, 1}, {2, 1},
+                                                        {1, 0}, {2, 0}}) {
+    const std::size_t in_c = 5, out_c = 7, k = 3, H = 17, W = 13, N = 2;
+    Conv2d layer(in_c, out_c, k, stride, pad, rng);
+    const std::size_t OH = layer.out_size(H), OW = layer.out_size(W);
+    Tensor x({N, in_c, H, W});
+    for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.gaussianf();
+    Tensor y = layer.forward(x, false);
+    const float* wp = layer.params()[0]->value.data();
+    const float* bp = layer.params()[1]->value.data();
+    // Direct definition: y[n][oc][o][p] = b + sum x[n][ic][o*s-p+kh][...]*w.
+    float maxd = 0.0f;
+    for (std::size_t n = 0; n < N; ++n)
+      for (std::size_t oc = 0; oc < out_c; ++oc)
+        for (std::size_t o = 0; o < OH; ++o)
+          for (std::size_t q = 0; q < OW; ++q) {
+            float acc = bp[oc];
+            for (std::size_t ic = 0; ic < in_c; ++ic)
+              for (std::size_t kh = 0; kh < k; ++kh)
+                for (std::size_t kw = 0; kw < k; ++kw) {
+                  const std::ptrdiff_t ih =
+                      static_cast<std::ptrdiff_t>(o * stride + kh) -
+                      static_cast<std::ptrdiff_t>(pad);
+                  const std::ptrdiff_t iw =
+                      static_cast<std::ptrdiff_t>(q * stride + kw) -
+                      static_cast<std::ptrdiff_t>(pad);
+                  if (ih < 0 || iw < 0 ||
+                      ih >= static_cast<std::ptrdiff_t>(H) ||
+                      iw >= static_cast<std::ptrdiff_t>(W))
+                    continue;
+                  acc += x[((n * in_c + ic) * H +
+                            static_cast<std::size_t>(ih)) *
+                               W +
+                           static_cast<std::size_t>(iw)] *
+                         wp[((oc * in_c + ic) * k + kh) * k + kw];
+                }
+            const float got = y[((n * out_c + oc) * OH + o) * OW + q];
+            maxd = std::max(maxd, std::abs(got - acc));
+          }
+    EXPECT_LT(maxd, 1e-4f) << "stride=" << stride << " pad=" << pad;
+  }
+}
+
+TEST(Gemm, ConvT2dForwardMatchesNaive) {
+  Rng rng(73);
+  for (const auto& [stride, pad, out_pad] :
+       std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>{
+           {2, 1, 1}, {1, 1, 0}, {2, 0, 0}}) {
+    const std::size_t in_c = 6, out_c = 4, k = 3, H = 9, W = 11, N = 2;
+    ConvT2d layer(in_c, out_c, k, stride, pad, out_pad, rng);
+    const std::size_t OH = layer.out_size(H), OW = layer.out_size(W);
+    Tensor x({N, in_c, H, W});
+    for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.gaussianf();
+    Tensor y = layer.forward(x, false);
+    const float* wp = layer.params()[0]->value.data();
+    const float* bp = layer.params()[1]->value.data();
+    // Reference scatter: y[oh][ow] += x[ih][iw] * w, oh = ih*s + kh - p.
+    Tensor ref({N, out_c, OH, OW});
+    for (std::size_t n = 0; n < N; ++n)
+      for (std::size_t oc = 0; oc < out_c; ++oc)
+        for (std::size_t o = 0; o < OH * OW; ++o)
+          ref[(n * out_c + oc) * OH * OW + o] = bp[oc];
+    for (std::size_t n = 0; n < N; ++n)
+      for (std::size_t ic = 0; ic < in_c; ++ic)
+        for (std::size_t ih = 0; ih < H; ++ih)
+          for (std::size_t iw = 0; iw < W; ++iw)
+            for (std::size_t oc = 0; oc < out_c; ++oc)
+              for (std::size_t kh = 0; kh < k; ++kh)
+                for (std::size_t kw = 0; kw < k; ++kw) {
+                  const std::ptrdiff_t oh =
+                      static_cast<std::ptrdiff_t>(ih * stride + kh) -
+                      static_cast<std::ptrdiff_t>(pad);
+                  const std::ptrdiff_t ow =
+                      static_cast<std::ptrdiff_t>(iw * stride + kw) -
+                      static_cast<std::ptrdiff_t>(pad);
+                  if (oh < 0 || ow < 0 ||
+                      oh >= static_cast<std::ptrdiff_t>(OH) ||
+                      ow >= static_cast<std::ptrdiff_t>(OW))
+                    continue;
+                  ref[((n * out_c + oc) * OH + static_cast<std::size_t>(oh)) *
+                          OW +
+                      static_cast<std::size_t>(ow)] +=
+                      x[((n * in_c + ic) * H + ih) * W + iw] *
+                      wp[((ic * out_c + oc) * k + kh) * k + kw];
+                }
+    float maxd = 0.0f;
+    for (std::size_t i = 0; i < y.numel(); ++i)
+      maxd = std::max(maxd, std::abs(y[i] - ref[i]));
+    EXPECT_LT(maxd, 1e-4f) << "stride=" << stride << " pad=" << pad;
+  }
+}
+
+TEST(Gemm, LinearForwardMatchesNaive) {
+  Rng rng(74);
+  const std::size_t in = 130, out = 37, N = 9;
+  Linear layer(in, out, rng);
+  Tensor x({N, in});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.gaussianf();
+  Tensor y = layer.forward(x, false);
+  const float* wp = layer.params()[0]->value.data();
+  const float* bp = layer.params()[1]->value.data();
+  float maxd = 0.0f;
+  for (std::size_t n = 0; n < N; ++n)
+    for (std::size_t o = 0; o < out; ++o) {
+      float acc = bp[o];
+      for (std::size_t i = 0; i < in; ++i)
+        acc += x[n * in + i] * wp[o * in + i];
+      maxd = std::max(maxd, std::abs(y[n * out + o] - acc));
+    }
+  EXPECT_LT(maxd, 1e-4f);
 }
 
 TEST(Tensor, ShapeAndReshape) {

@@ -198,6 +198,85 @@ TEST(BitStream, UnaryRoundtrip) {
   for (unsigned n : {0u, 1u, 2u, 7u, 31u}) EXPECT_EQ(r.get_unary(64), n);
 }
 
+TEST(BitStream, PutGetBitsEveryLength) {
+  // Round-trip every width 1..64, each preceded by a 3-bit phase shift so
+  // the values straddle byte and 64-bit-word boundaries in varying ways.
+  BitWriter w;
+  std::vector<std::uint64_t> vals;
+  Rng rng(13);
+  for (int n = 1; n <= 64; ++n) {
+    w.put_bits(0x5, 3);
+    const std::uint64_t mask = n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+    const std::uint64_t v = rng.next_u64() & mask;
+    vals.push_back(v);
+    w.put_bits(v, n);
+    w.put_bits(mask, n);  // all-ones pattern at the same width
+  }
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (int n = 1; n <= 64; ++n) {
+    EXPECT_EQ(r.get_bits(3), 0x5u) << "phase before n=" << n;
+    const std::uint64_t mask = n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+    EXPECT_EQ(r.get_bits(n), vals[static_cast<std::size_t>(n - 1)])
+        << "n=" << n;
+    EXPECT_EQ(r.get_bits(n), mask) << "ones n=" << n;
+  }
+  EXPECT_FALSE(r.overran());
+}
+
+TEST(BitStream, PutBitsMatchesPerBitEmission) {
+  // The word-at-a-time writer must emit the byte-identical stream a
+  // per-bit writer would (bitstream compatibility across the refactor).
+  Rng rng(29);
+  BitWriter word, bit;
+  for (int i = 0; i < 3000; ++i) {
+    const int n = 1 + static_cast<int>(rng.below(64));
+    const std::uint64_t v =
+        rng.next_u64() & (n >= 64 ? ~0ULL : ((1ULL << n) - 1));
+    word.put_bits(v, n);
+    for (int b = 0; b < n; ++b) bit.put_bit((v >> b) & 1);
+  }
+  EXPECT_EQ(word.finish(), bit.finish());
+}
+
+TEST(BitStream, GetBitsZeroFillAndOverran) {
+  BitWriter w;
+  w.put_bits(0x1FF, 9);
+  const auto bytes = w.finish();  // 2 bytes: 9 ones + 7 pad zeros
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(4), 0xFu);
+  EXPECT_FALSE(r.overran());
+  // 12 real bits remain (5 ones + 7 pad); the top 48 read as zero-fill.
+  EXPECT_EQ(r.get_bits(60), 0x1Fu);
+  EXPECT_TRUE(r.overran());
+  EXPECT_EQ(r.get_bits(64), 0u);
+}
+
+TEST(BitStream, PeekBitsDoesNotConsumeOrOverrun) {
+  BitWriter w;
+  w.put_bits(0b1011, 4);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.peek_bits(4), 0b1011u);
+  EXPECT_EQ(r.peek_bits(4), 0b1011u);  // unchanged position
+  EXPECT_EQ(r.bit_pos(), 0u);
+  // Peeking past the end zero-fills without flagging an overrun.
+  EXPECT_EQ(r.peek_bits(20), 0b1011u);
+  EXPECT_FALSE(r.overran());
+  EXPECT_EQ(r.get_bits(4), 0b1011u);
+}
+
+TEST(BitStream, SkipBitsAdvancesLikeReads) {
+  BitWriter w;
+  for (int i = 0; i < 40; ++i) w.put_bits(static_cast<std::uint64_t>(i), 7);
+  const auto bytes = w.finish();
+  BitReader a(bytes), b(bytes);
+  a.skip_bits(7 * 13);
+  for (int i = 0; i < 13; ++i) (void)b.get_bits(7);
+  EXPECT_EQ(a.bit_pos(), b.bit_pos());
+  EXPECT_EQ(a.get_bits(7), 13u);
+}
+
 TEST(BitStream, ZeroFillPastEnd) {
   BitWriter w;
   w.put_bit(true);
