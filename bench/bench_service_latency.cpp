@@ -9,14 +9,25 @@
 // buffering; on this repo's 1-core CI container absolute numbers are
 // modest — the value is tracking them across PRs.
 //
+// Three legs:
+//   roundtrip  — synchronous compress+decompress per codec (as before)
+//   batching   — pipelined AE-SZ requests (depth 8) against a server with
+//                cross-request inference batching ON (max_batch 8) vs OFF
+//                (max_batch 1), both on a single worker thread; the req/s
+//                ratio is the coalescing win (must be > 1 at batch >= 4)
+//   tcp_event  — concurrent TCP connections through the event-loop server
+//
 // Env knobs:
 //   AESZ_SERVICE_REQS    round trips per codec      (default 40)
 //   AESZ_SERVICE_CODECS  comma list of codec names  (default SZ2.1,ZFP)
 //   AESZ_SERVICE_ROWS    field rows (cols = 2*rows) (default 192)
 //   AESZ_SERVICE_EB      bound spec, MODE:VALUE     (default rel:1e-2)
+//   AESZ_SERVICE_ROUNDS  pipelined batching rounds  (default 24)
+//   AESZ_SERVICE_CONNS   concurrent TCP clients     (default 4)
 //   AESZ_BENCH_JSON      path to also write the JSON array to
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <thread>
@@ -25,6 +36,7 @@
 #include "bench/common.hpp"
 #include "data/synth.hpp"
 #include "service/client.hpp"
+#include "service/event_loop.hpp"
 #include "service/server.hpp"
 #include "service/transport.hpp"
 #include "util/timer.hpp"
@@ -139,6 +151,134 @@ int main() {
 
   client_end->shutdown();
   session.join();
+
+  // ---- leg 2: cross-request AE-SZ inference batching, on vs off --------
+  // Depth-8 pipelined compress requests for small fields; a single worker
+  // thread serves both configurations so the only difference is whether
+  // compatible queued requests are coalesced into one batched inference.
+  {
+    const std::size_t rounds = bench::env_size_t("AESZ_SERVICE_ROUNDS", 24);
+    constexpr std::size_t kDepth = 8;
+    // One 32x32 block per field: the many-small-requests shape that
+    // cross-request batching exists for — per-request fixed costs (weight
+    // fingerprint, forward-pass setup) dominate a single block's compute.
+    std::vector<Field> small_fields;
+    std::vector<const Field*> ptrs;
+    for (std::size_t i = 0; i < kDepth; ++i)
+      small_fields.push_back(
+          synth::cesm_cldhgh(32, 32, static_cast<int>(30 + i)));
+    for (const Field& sf : small_fields) ptrs.push_back(&sf);
+
+    std::printf("\npipelined AE-SZ compress, depth %zu, %zu rounds, "
+                "1 worker thread:\n", kDepth, rounds);
+    double seq_rps = 0.0;
+    for (const std::size_t max_batch :
+         {std::size_t{1}, std::size_t{4}, kDepth}) {
+      service::Server::Options so;
+      so.threads = 1;
+      so.max_batch = max_batch;
+      so.batch_delay_us = 2000;
+      service::Server batch_server(so);
+      auto [cend, send] = service::PipeTransport::make_pair();
+      std::thread serving(
+          [&batch_server, &t = *send] { batch_server.serve(t); });
+      service::Client bclient(*cend);
+
+      // Warm the model cache; the steady state is what a service runs in.
+      for (auto& r : bclient.compress_many("AE-SZ", ptrs, eb))
+        if (!r.ok()) {
+          std::printf("!! AE-SZ warmup: %s\n", r.status().str().c_str());
+          return 1;
+        }
+      Timer wall;
+      for (std::size_t round = 0; round < rounds; ++round)
+        for (auto& r : bclient.compress_many("AE-SZ", ptrs, eb))
+          if (!r.ok()) {
+            std::printf("!! AE-SZ: %s\n", r.status().str().c_str());
+            return 1;
+          }
+      const double wall_s = wall.seconds();
+      const double rps =
+          wall_s > 0 ? static_cast<double>(rounds * kDepth) / wall_s : 0.0;
+      cend->shutdown();
+      serving.join();
+
+      const auto snap = batch_server.snapshot();
+      const bool batching = max_batch > 1;
+      if (!batching) seq_rps = rps;
+      char label[32];
+      std::snprintf(label, sizeof(label),
+                    batching ? "batched (max_batch %zu)" : "sequential",
+                    max_batch);
+      std::printf("  %-22s %7.1f req/s  (%llu batch executions)",
+                  label, rps,
+                  static_cast<unsigned long long>(
+                      snap.get("batch_executions")));
+      if (batching && seq_rps > 0)
+        std::printf("  speedup %.2fx", rps / seq_rps);
+      std::printf("\n");
+
+      bench::JsonObj row;
+      row.add("leg", "batching")
+          .add("codec", "AE-SZ")
+          .add("max_batch", max_batch)
+          .add("pipeline_depth", kDepth)
+          .add("requests", rounds * kDepth)
+          .add("req_per_s", rps)
+          .add("batch_executions", snap.get("batch_executions"));
+      if (batching && seq_rps > 0) row.add("speedup_vs_sequential",
+                                           rps / seq_rps);
+      json_rows.push_back(row);
+    }
+  }
+
+  // ---- leg 3: concurrent TCP connections through the event loop -------
+  {
+    const std::size_t conns = bench::env_size_t("AESZ_SERVICE_CONNS", 4);
+    const std::size_t per_conn = std::max<std::size_t>(reqs / 4, 8);
+    service::Server tcp_server;
+    auto listener = service::TcpListener::bind(0);
+    if (!listener.ok()) {
+      std::printf("!! bind: %s\n", listener.status().str().c_str());
+      return 1;
+    }
+    service::EventServer events(tcp_server, **listener, {});
+    std::thread loop([&events] { events.run(); });
+
+    const Field small = synth::cesm_cldhgh(96, 192, 55);
+    std::atomic<bool> failed{false};
+    Timer wall;
+    std::vector<std::thread> workers;
+    for (std::size_t c = 0; c < conns; ++c)
+      workers.emplace_back([&, c] {
+        auto t = service::TcpTransport::connect("127.0.0.1",
+                                                (*listener)->port());
+        if (!t.ok()) { failed = true; return; }
+        service::Client cl(**t);
+        for (std::size_t i = 0; i < per_conn; ++i)
+          if (!cl.compress("SZ2.1", small, eb).ok()) { failed = true;
+            return; }
+      });
+    for (auto& w : workers) w.join();
+    const double wall_s = wall.seconds();
+    events.stop();
+    loop.join();
+    if (failed) {
+      std::printf("!! tcp_event leg failed\n");
+      return 1;
+    }
+    const double rps = wall_s > 0
+        ? static_cast<double>(conns * per_conn) / wall_s : 0.0;
+    std::printf("\ntcp event loop: %zu connections x %zu requests — "
+                "%7.1f req/s aggregate\n", conns, per_conn, rps);
+    bench::JsonObj row;
+    row.add("leg", "tcp_event")
+        .add("codec", "SZ2.1")
+        .add("connections", conns)
+        .add("requests", conns * per_conn)
+        .add("req_per_s", rps);
+    json_rows.push_back(row);
+  }
 
   const std::string json = bench::json_array(json_rows);
   std::printf("%s\n", json.c_str());

@@ -1,28 +1,32 @@
 // aesz_server — long-lived TCP compression server over the service layer
-// (src/service/): accepts loopback connections and serves the framed
-// protocol (docs/PROTOCOL.md) — compress / decompress / list-codecs /
-// stats — for every codec in the CodecRegistry, with warm per-codec
-// instances (AE models load once and stay resident).
+// (src/service/): an event-driven loop (epoll, or poll with --poll)
+// multiplexes every loopback connection through one thread while request
+// execution runs on the server's worker pool, with cross-request AE-SZ
+// inference batching, admission control, and per-connection backpressure
+// (docs/PROTOCOL.md, docs/ARCHITECTURE.md).
 //
 //   aesz_server [--port N] [--threads N] [--model m.bin --field NAME]
-//               [--port-file PATH] [--once]
+//               [--port-file PATH] [--once N] [--poll]
+//               [--max-inflight N] [--max-batch N] [--batch-delay-us N]
 //
-//   --port N       listen port; 0 (default) = kernel-assigned ephemeral
-//   --threads N    request worker threads; 0 = hardware concurrency
-//   --model/--field  serve a trained AE-SZ model for "AE-SZ" requests
-//   --port-file P  write the bound port to P (for scripts racing startup)
-//   --once         serve a single connection, then exit (CI smoke mode)
+//   --port N           listen port; 0 (default) = kernel-assigned ephemeral
+//   --threads N        request worker threads; 0 = hardware concurrency
+//   --model/--field    serve a trained AE-SZ model for "AE-SZ" requests
+//   --port-file P      write the bound port to P (for scripts racing startup)
+//   --once N           exit after N connections have come and gone (CI mode)
+//   --poll             use the poll(2) backend instead of epoll
+//   --max-inflight N   admission cap before kOverloaded answers (default 64)
+//   --max-batch N      AE-SZ requests coalesced per inference (default 8;
+//                      1 disables batching)
+//   --batch-delay-us N how long a batch waits for company (default 1000)
 //
 // The bound port is printed (and flushed) before the first accept, so
 // `aesz_server --port 0` can be driven by parsing the first stdout line.
 
-#include <atomic>
 #include <cstdio>
 #include <fstream>
-#include <memory>
-#include <thread>
-#include <vector>
 
+#include "service/event_loop.hpp"
 #include "service/server.hpp"
 #include "service/transport.hpp"
 #include "util/cli.hpp"
@@ -31,13 +35,17 @@ int main(int argc, char** argv) {
   using namespace aesz;
   try {
     CliArgs args(argc, argv,
-                 {"port", "threads", "model", "field", "port-file"},
-                 /*known_flags=*/{"once"});
+                 {"port", "threads", "model", "field", "port-file", "once",
+                  "max-inflight", "max-batch", "batch-delay-us"},
+                 /*known_flags=*/{"poll"});
 
     service::Server::Options opt;
     opt.threads = static_cast<std::size_t>(args.get_long("threads", 0));
     opt.aesz_model = args.get("model", "");
     if (args.has("field")) opt.aesz_field = args.get("field", "");
+    opt.max_batch = static_cast<std::size_t>(args.get_long("max-batch", 8));
+    opt.batch_delay_us =
+        static_cast<std::uint64_t>(args.get_long("batch-delay-us", 1000));
     service::Server server(opt);
 
     auto listener = service::TcpListener::bind(
@@ -53,37 +61,14 @@ int main(int argc, char** argv) {
       pf << (*listener)->port() << "\n";
     }
 
-    // One thread per connection, reaped on every accept so a long-lived
-    // server does not accumulate dead threads/transports as clients come
-    // and go.
-    struct Session {
-      std::thread thread;
-      std::shared_ptr<std::atomic<bool>> done;
-    };
-    std::vector<Session> sessions;
-    for (;;) {
-      auto conn = (*listener)->accept();
-      if (!conn.ok()) break;
-      if (args.has("once")) {
-        server.serve(**conn);
-        break;
-      }
-      std::erase_if(sessions, [](Session& s) {
-        if (!s.done->load(std::memory_order_acquire)) return false;
-        s.thread.join();
-        return true;
-      });
-      auto done = std::make_shared<std::atomic<bool>>(false);
-      sessions.push_back(
-          {std::thread([&server, done,
-                        transport = std::shared_ptr<service::TcpTransport>(
-                            std::move(*conn))] {
-             server.serve(*transport);
-             done->store(true, std::memory_order_release);
-           }),
-           done});
-    }
-    for (auto& s : sessions) s.thread.join();
+    service::EventServer::Options ev;
+    ev.force_poll = args.has("poll");
+    ev.max_inflight =
+        static_cast<std::size_t>(args.get_long("max-inflight", 64));
+    ev.accept_limit = static_cast<std::uint64_t>(args.get_long("once", 0));
+    service::EventServer event_server(server, **listener, ev);
+    event_server.run();
+
     const auto stats = server.snapshot();
     std::printf("served %llu requests (%llu errors), %llu bytes in, "
                 "%llu bytes out\n",

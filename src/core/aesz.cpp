@@ -74,66 +74,119 @@ bool AESZ::supports_rank(int rank) const {
 
 std::vector<std::uint8_t> AESZ::compress(const Field& f,
                                          const ErrorBound& eb) {
+  return std::move(compress_batch({&f}, {eb}).front());
+}
+
+std::vector<std::vector<std::uint8_t>> AESZ::compress_batch(
+    const std::vector<const Field*>& fields,
+    const std::vector<ErrorBound>& ebs) {
+  AESZ_CHECK_ARG(fields.size() == ebs.size(),
+                 "compress_batch: fields/bounds size mismatch");
+  if (fields.empty()) return {};
   const nn::AEConfig& cfg = trainer_->model().config();
-  AESZ_CHECK_ARG(f.dims().rank == cfg.rank,
-                 "field rank does not match the trained AE");
-  const Dims& d = f.dims();
-  const double range = f.value_range();
-  const double abs_eb = sz::resolve_abs_eb(f, eb, "AE-SZ");
-  // The paper's latent bound scales with the *relative* bound ε; for Abs
-  // and PSNR requests use the equivalent relative bound abs_eb / range.
-  const double rel_eb = range > 0 ? abs_eb / range : abs_eb;
-  auto [lo, hi] = f.min_max();
-  const Normalizer nrm{lo, hi};
-  const BlockSplit split = make_block_split(d, cfg.block);
-  const std::size_t be = split.block_elems();
   const std::size_t ld = cfg.latent;
 
-  stats_ = Stats{};
-  stats_.blocks_total = split.total;
+  // Per-field bound resolution and block geometry; blocks of ALL fields
+  // are pooled into one global list so the encode/decode passes below run
+  // at the full inference batch size even when each field alone is small
+  // (the cross-request batching case). Per-block network outputs are
+  // bitwise independent of batch composition, so this pooling cannot
+  // change any stream byte relative to a solo compress().
+  struct Plan {
+    const Field* f = nullptr;
+    double abs_eb = 0.0;
+    double rel_eb = 0.0;
+    float lo = 0.0f, hi = 0.0f;
+    Normalizer nrm{0.0f, 0.0f};
+    BlockSplit split{};
+    std::size_t first_block = 0;  // offset into the pooled block list
+    double latent_abs_eb = 0.0;
+  };
+  std::vector<Plan> plans(fields.size());
+  std::size_t total_blocks = 0;
+  for (std::size_t pi = 0; pi < fields.size(); ++pi) {
+    const Field& f = *fields[pi];
+    AESZ_CHECK_ARG(f.dims().rank == cfg.rank,
+                   "field rank does not match the trained AE");
+    Plan& p = plans[pi];
+    p.f = &f;
+    const double range = f.value_range();
+    p.abs_eb = sz::resolve_abs_eb(f, ebs[pi], "AE-SZ");
+    // The paper's latent bound scales with the *relative* bound ε; for Abs
+    // and PSNR requests use the equivalent relative bound abs_eb / range.
+    p.rel_eb = range > 0 ? p.abs_eb / range : p.abs_eb;
+    auto [lo, hi] = f.min_max();
+    p.lo = lo;
+    p.hi = hi;
+    p.nrm = Normalizer{lo, hi};
+    p.split = make_block_split(f.dims(), cfg.block);
+    p.first_block = total_blocks;
+    total_blocks += p.split.total;
+  }
+  const std::size_t be = plans.front().split.block_elems();
 
-  // ---- Step 1+2a: batched AE encoding of every block.
-  std::vector<float> latents(split.total * ld);
+  // ---- Step 1+2a: batched AE encoding of every block of every field.
+  std::vector<float> latents(total_blocks * ld);
   std::vector<std::size_t> in_shape{0, 1};
   for (int i = 0; i < cfg.rank; ++i) in_shape.push_back(cfg.block);
-  for (std::size_t start = 0; start < split.total; start += opt_.batch) {
-    const std::size_t n = std::min(opt_.batch, split.total - start);
+  std::size_t fi = 0;  // field owning the block being pulled (monotonic)
+  for (std::size_t start = 0; start < total_blocks; start += opt_.batch) {
+    const std::size_t n = std::min(opt_.batch, total_blocks - start);
     in_shape[0] = n;
     nn::Tensor batch(in_shape);
-    for (std::size_t i = 0; i < n; ++i)
-      extract_block(f, split, start + i, nrm, batch.data() + i * be);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t g = start + i;
+      while (g >= plans[fi].first_block + plans[fi].split.total) ++fi;
+      const Plan& p = plans[fi];
+      extract_block(*p.f, p.split, g - p.first_block, p.nrm,
+                    batch.data() + i * be);
+    }
     nn::Tensor z = trainer_->encode_latent(batch);
     std::copy(z.data(), z.data() + n * ld, latents.data() + start * ld);
   }
 
-  // Latent error bound: factor * e, value-range based on the latents
-  // themselves (paper §IV-E).
-  float llo = latents.empty() ? 0.0f : latents[0], lhi = llo;
-  for (float v : latents) {
-    llo = std::min(llo, v);
-    lhi = std::max(lhi, v);
-  }
-  const double latent_abs_eb =
-      std::max(opt_.latent_eb_factor * rel_eb *
-                   (static_cast<double>(lhi) - static_cast<double>(llo)),
-               1e-12);
-
-  // ---- Step 2b: decode the *lossily reconstructed* latents to get the AE
-  // prediction for every block (exactly what the decompressor will see).
+  // Latent error bound: factor * e, value-range based on each field's OWN
+  // latents (paper §IV-E) — pooling must not couple fields' bounds.
   std::vector<float> zd(latents.size());
-  for (std::size_t i = 0; i < latents.size(); ++i)
-    zd[i] = latent_codec::quantize_value(latents[i], latent_abs_eb);
+  for (Plan& p : plans) {
+    const float* pl = latents.data() + p.first_block * ld;
+    const std::size_t cnt = p.split.total * ld;
+    float llo = cnt == 0 ? 0.0f : pl[0], lhi = llo;
+    for (std::size_t i = 0; i < cnt; ++i) {
+      llo = std::min(llo, pl[i]);
+      lhi = std::max(lhi, pl[i]);
+    }
+    p.latent_abs_eb =
+        std::max(opt_.latent_eb_factor * p.rel_eb *
+                     (static_cast<double>(lhi) - static_cast<double>(llo)),
+                 1e-12);
+    // ---- Step 2b (quantize): what the decompressor will see.
+    float* pzd = zd.data() + p.first_block * ld;
+    for (std::size_t i = 0; i < cnt; ++i)
+      pzd[i] = latent_codec::quantize_value(pl[i], p.latent_abs_eb);
+  }
 
-  Field ae_pred(d);
-  for (std::size_t start = 0; start < split.total; start += opt_.batch) {
-    const std::size_t n = std::min(opt_.batch, split.total - start);
+  // ---- Step 2b (decode): AE prediction for every block, again pooled
+  // across fields.
+  std::vector<Field> ae_preds;
+  ae_preds.reserve(plans.size());
+  for (const Plan& p : plans) ae_preds.emplace_back(p.f->dims());
+  fi = 0;
+  for (std::size_t start = 0; start < total_blocks; start += opt_.batch) {
+    const std::size_t n = std::min(opt_.batch, total_blocks - start);
     nn::Tensor zt({n, ld});
     std::copy(zd.data() + start * ld, zd.data() + (start + n) * ld,
               zt.data());
     nn::Tensor rec = trainer_->model().decode(zt, /*train=*/false);
     for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t g = start + i;
+      while (g >= plans[fi].first_block + plans[fi].split.total) ++fi;
+      const Plan& p = plans[fi];
+      const Dims& d = p.f->dims();
+      const BlockSplit& split = p.split;
+      Field& ae_pred = ae_preds[fi];
       std::size_t off[3], ext[3];
-      block_region(split, start + i, off, ext);
+      block_region(split, g - p.first_block, off, ext);
       const float* r = rec.data() + i * be;
       for (std::size_t a = 0; a < ext[0]; ++a)
         for (std::size_t b = 0; b < ext[1]; ++b)
@@ -144,10 +197,28 @@ std::vector<std::uint8_t> AESZ::compress(const Field& f,
             const std::size_t bidx =
                 cfg.rank == 2 ? a * split.bs + b
                               : (a * split.bs + b) * split.bs + c;
-            ae_pred.at(fidx) = nrm.denorm(r[bidx]);
+            ae_pred.at(fidx) = p.nrm.denorm(r[bidx]);
           }
     }
   }
+
+  // Steps 3-5 are per-field (selection, residual quantization, assembly).
+  // The model cannot change within one call, so every stream in the batch
+  // shares one weight fingerprint; computing it per field would re-hash
+  // all parameters and dominate small-field compression time.
+  const std::uint64_t fp = weight_fingerprint();
+  std::vector<std::vector<std::uint8_t>> out(plans.size());
+  for (std::size_t pi = 0; pi < plans.size(); ++pi) {
+    const Plan& p = plans[pi];
+    const Field& f = *p.f;
+    const Dims& d = f.dims();
+    const BlockSplit& split = p.split;
+    const Field& ae_pred = ae_preds[pi];
+    const double abs_eb = p.abs_eb;
+    const float lo = p.lo, hi = p.hi;
+
+    stats_ = Stats{};
+    stats_.blocks_total = split.total;
 
   // ---- Step 3: per-block predictor selection (Algorithm 1 lines 3-13).
   std::vector<std::uint8_t> flags(split.total, kLorenzo);
@@ -200,8 +271,10 @@ std::vector<std::uint8_t> AESZ::compress(const Field& f,
   for (std::size_t bid = 0; bid < split.total; ++bid) {
     if (flags[bid] == kAE) {
       ++stats_.blocks_ae;
-      sel_latents.insert(sel_latents.end(), latents.begin() + bid * ld,
-                         latents.begin() + (bid + 1) * ld);
+      sel_latents.insert(
+          sel_latents.end(),
+          latents.begin() + (p.first_block + bid) * ld,
+          latents.begin() + (p.first_block + bid + 1) * ld);
     } else if (flags[bid] == kMean) {
       ++stats_.blocks_mean;
       means.push_back(block_mean(f, split, bid));
@@ -253,10 +326,10 @@ std::vector<std::uint8_t> AESZ::compress(const Field& f,
 
   // ---- Step 5: stream assembly.
   ByteWriter w;
-  sz::write_header(w, kMagic, d, eb, abs_eb);
+  sz::write_header(w, kMagic, d, ebs[pi], abs_eb);
   w.put(lo);
   w.put(hi);
-  w.put(weight_fingerprint());
+  w.put(fp);
   w.put_varint(cfg.block);
   w.put_varint(ld);
   {
@@ -267,7 +340,8 @@ std::vector<std::uint8_t> AESZ::compress(const Field& f,
     w.put_blob(lz::compress(packed));
   }
   {
-    const auto latent_blob = latent_codec::encode(sel_latents, latent_abs_eb);
+    const auto latent_blob =
+        latent_codec::encode(sel_latents, p.latent_abs_eb);
     stats_.latent_stream_bytes = latent_blob.size();
     w.put_blob(latent_blob);
   }
@@ -286,7 +360,9 @@ std::vector<std::uint8_t> AESZ::compress(const Field& f,
     uw.put_array<float>(unpred);
     w.put_blob(lz::compress(uw.bytes()));
   }
-  return w.take();
+  out[pi] = w.take();
+  }
+  return out;
 }
 
 Field AESZ::decompress_impl(std::span<const std::uint8_t> stream) {

@@ -23,7 +23,8 @@ namespace aesz {
 /// model "separately against the compressed data"); save_model/load_model
 /// support the offline-training / online-compression split. A weight
 /// fingerprint is embedded in each stream and checked on decompression.
-class AESZ final : public Compressor, public Trainable {
+class AESZ final : public Compressor, public Trainable,
+                   public BatchCompressor {
  public:
   static constexpr std::uint32_t kStreamMagic = 0x4145535A;  // "AESZ"
 
@@ -67,6 +68,17 @@ class AESZ final : public Compressor, public Trainable {
   using Compressor::compress;
   std::vector<std::uint8_t> compress(const Field& f,
                                      const ErrorBound& eb) override;
+
+  /// Compress several fields in one pass, pooling the AE encode/decode of
+  /// ALL fields' blocks into shared inference batches (the service layer's
+  /// cross-request batcher calls this). Because every block's network
+  /// output is bitwise independent of its batch neighbors (see nn/gemm),
+  /// stream i is byte-identical to compress(*fields[i], ebs[i]).
+  /// last_stats() afterwards describes the final field of the batch.
+  std::vector<std::vector<std::uint8_t>> compress_batch(
+      const std::vector<const Field*>& fields,
+      const std::vector<ErrorBound>& ebs) override;
+
   /// AE-SZ is fixed to the rank of its trained model.
   bool supports_rank(int rank) const override;
 

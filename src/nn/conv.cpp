@@ -38,17 +38,12 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const std::size_t N = x.dim(0), H = x.dim(2), W = x.dim(3);
   const std::size_t OH = out_size(H), OW = out_size(W);
   Tensor y({N, out_c_, OH, OW});
-  const float* xp = x.data();
-  const float* wp = w_.value.data();
-  const float* bp = b_.value.data();
-  float* yp = y.data();
-
-#pragma omp parallel for schedule(static)
-  for (idx n = 0; n < static_cast<idx>(N); ++n) {
-    const auto un = static_cast<std::size_t>(n);
-    conv2d_forward(xp + un * in_c_ * H * W, in_c_, H, W, wp, out_c_, k_,
-                   stride_, pad_, bp, yp + un * out_c_ * OH * OW, OH, OW);
-  }
+  // Batched im2col + SGEMM: the whole minibatch shares each packed weight
+  // panel (bitwise identical to per-sample conv2d_forward calls — the
+  // server's cross-request batcher depends on that identity).
+  conv2d_forward_batched(x.data(), N, in_c_, H, W, w_.value.data(), out_c_,
+                         k_, stride_, pad_, b_.value.data(), y.data(), OH,
+                         OW);
   if (train) x_cache_ = x;
   return y;
 }
@@ -151,17 +146,9 @@ Tensor ConvT2d::forward(const Tensor& x, bool train) {
   const std::size_t N = x.dim(0), H = x.dim(2), W = x.dim(3);
   const std::size_t OH = out_size(H), OW = out_size(W);
   Tensor y({N, out_c_, OH, OW});
-  const float* xp = x.data();
-  const float* wp = w_.value.data();
-  const float* bp = b_.value.data();
-  float* yp = y.data();
-
-#pragma omp parallel for schedule(static)
-  for (idx n = 0; n < static_cast<idx>(N); ++n) {
-    const auto un = static_cast<std::size_t>(n);
-    convt2d_forward(xp + un * in_c_ * H * W, in_c_, H, W, wp, out_c_, k_,
-                    stride_, pad_, bp, yp + un * out_c_ * OH * OW, OH, OW);
-  }
+  convt2d_forward_batched(x.data(), N, in_c_, H, W, w_.value.data(), out_c_,
+                          k_, stride_, pad_, b_.value.data(), y.data(), OH,
+                          OW);
   if (train) x_cache_ = x;
   return y;
 }

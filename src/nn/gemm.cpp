@@ -212,21 +212,23 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
 namespace {
 using idx = std::ptrdiff_t;
 using detail::out_range;
-}  // namespace
 
-void conv2d_forward(const float* x, std::size_t in_c, std::size_t h,
-                    std::size_t w, const float* wgt, std::size_t out_c,
-                    std::size_t kk, std::size_t stride, std::size_t pad,
-                    const float* bias, float* y, std::size_t oh,
-                    std::size_t ow) {
-  const std::size_t kdim = in_c * kk * kk;  // gemm depth
+/// Scratch for the batched kernels' sample-interleaved matrices (the
+/// column matrix lives in tl_col, as for the per-sample kernels).
+thread_local std::vector<float> tl_batch;
+
+/// im2col of ONE sample into a column matrix shared by a sample group:
+/// row r of the group matrix has leading dimension `ld` and this sample
+/// owns the `ncols`-wide slice starting at column `col_off`. With
+/// ld == ncols and col_off == 0 this is exactly the single-sample im2col.
+void im2col_2d(const float* x, std::size_t in_c, std::size_t h,
+               std::size_t w, std::size_t kk, std::size_t stride,
+               std::size_t pad, std::size_t oh, std::size_t ow, float* col,
+               std::size_t ld, std::size_t col_off) {
   const std::size_t ncols = oh * ow;
-  tl_col.resize(kdim * ncols);
-  float* col = tl_col.data();
   const idx S = static_cast<idx>(stride), P = static_cast<idx>(pad);
-
-  // im2col: row (ic, kh, kw) of `col` is the input tap shifted to each
-  // output position; zeros where the tap falls into padding.
+  // Row (ic, kh, kw) is the input tap shifted to each output position;
+  // zeros where the tap falls into padding.
   for (std::size_t ic = 0; ic < in_c; ++ic) {
     const float* xplane = x + ic * h * w;
     for (std::size_t khi = 0; khi < kk; ++khi) {
@@ -234,7 +236,7 @@ void conv2d_forward(const float* x, std::size_t in_c, std::size_t h,
       out_range(static_cast<idx>(oh), static_cast<idx>(h), S, P,
                 static_cast<idx>(khi), oh_lo, oh_hi);
       for (std::size_t kwi = 0; kwi < kk; ++kwi) {
-        float* row = col + ((ic * kk + khi) * kk + kwi) * ncols;
+        float* row = col + ((ic * kk + khi) * kk + kwi) * ld + col_off;
         std::memset(row, 0, ncols * sizeof(float));
         idx ow_lo, ow_hi;
         out_range(static_cast<idx>(ow), static_cast<idx>(w), S, P,
@@ -255,41 +257,21 @@ void conv2d_forward(const float* x, std::size_t in_c, std::size_t h,
       }
     }
   }
-
-  // y = wgt (out_c x kdim) * col (+ bias broadcast per output channel).
-  for (std::size_t oc = 0; oc < out_c; ++oc) {
-    const float bv = bias ? bias[oc] : 0.0f;
-    float* yrow = y + oc * ncols;
-    for (std::size_t i = 0; i < ncols; ++i) yrow[i] = bv;
-  }
-  sgemm(false, false, out_c, ncols, kdim, wgt, kdim, col, ncols, 1.0f, y,
-        ncols);
 }
 
-void convt2d_forward(const float* x, std::size_t in_c, std::size_t h,
-                     std::size_t w, const float* wgt, std::size_t out_c,
-                     std::size_t kk, std::size_t stride, std::size_t pad,
-                     const float* bias, float* y, std::size_t oh,
-                     std::size_t ow) {
-  const std::size_t kdim = out_c * kk * kk;
-  const std::size_t ncols = h * w;
-  tl_col.resize(kdim * ncols);
-  float* col = tl_col.data();
+/// col2im scatter of ONE sample out of a group column matrix (leading
+/// dimension `ld`, sample slice at `col_off`) into its (out_c, oh, ow)
+/// output plane — same index math as the direct transposed-conv scatter.
+void col2im_2d(const float* col, std::size_t ld, std::size_t col_off,
+               std::size_t out_c, std::size_t h, std::size_t w,
+               std::size_t kk, std::size_t stride, std::size_t pad,
+               const float* bias, float* y, std::size_t oh, std::size_t ow) {
   const idx S = static_cast<idx>(stride), P = static_cast<idx>(pad);
-
-  // colmat (kdim x h*w) = wgt^T (kdim x in_c) * x (in_c x h*w); the stored
-  // weight is (in_c, out_c*kk*kk), so trans_a with lda = kdim.
-  sgemm(true, false, kdim, ncols, in_c, wgt, kdim, x, ncols, 0.0f, col,
-        ncols);
-
   for (std::size_t oc = 0; oc < out_c; ++oc) {
     const float bv = bias ? bias[oc] : 0.0f;
     float* yplane = y + oc * oh * ow;
     for (std::size_t i = 0; i < oh * ow; ++i) yplane[i] = bv;
   }
-
-  // col2im: scatter-add each tap row to its strided output positions
-  // (same index math as the direct transposed-conv scatter).
   for (std::size_t oc = 0; oc < out_c; ++oc) {
     float* yplane = y + oc * oh * ow;
     for (std::size_t khi = 0; khi < kk; ++khi) {
@@ -297,7 +279,8 @@ void convt2d_forward(const float* x, std::size_t in_c, std::size_t h,
       out_range(static_cast<idx>(h), static_cast<idx>(oh), S, P,
                 static_cast<idx>(khi), ih_lo, ih_hi);
       for (std::size_t kwi = 0; kwi < kk; ++kwi) {
-        const float* row = col + ((oc * kk + khi) * kk + kwi) * ncols;
+        const float* row =
+            col + ((oc * kk + khi) * kk + kwi) * ld + col_off;
         idx iw_lo, iw_hi;
         out_range(static_cast<idx>(w), static_cast<idx>(ow), S, P,
                   static_cast<idx>(kwi), iw_lo, iw_hi);
@@ -309,6 +292,141 @@ void convt2d_forward(const float* x, std::size_t in_c, std::size_t h,
           for (idx iw = iw_lo; iw < iw_hi; ++iw) dst[iw * S] += src[iw];
         }
       }
+    }
+  }
+}
+
+/// Samples per SGEMM group, from layer shapes only (determinism: never a
+/// function of the sample count remainder, thread count, or load). Bounds
+/// the interleaved col + scratch matrices to ~8 MiB so grouping buys
+/// packed-panel reuse without blowing the cache.
+std::size_t conv_group_size(std::size_t per_sample_floats) {
+  constexpr std::size_t kBudgetFloats = std::size_t{2} << 20;
+  if (per_sample_floats == 0) return 1;
+  return std::max<std::size_t>(1, kBudgetFloats / per_sample_floats);
+}
+
+}  // namespace
+
+void conv2d_forward(const float* x, std::size_t in_c, std::size_t h,
+                    std::size_t w, const float* wgt, std::size_t out_c,
+                    std::size_t kk, std::size_t stride, std::size_t pad,
+                    const float* bias, float* y, std::size_t oh,
+                    std::size_t ow) {
+  const std::size_t kdim = in_c * kk * kk;  // gemm depth
+  const std::size_t ncols = oh * ow;
+  tl_col.resize(kdim * ncols);
+  float* col = tl_col.data();
+  im2col_2d(x, in_c, h, w, kk, stride, pad, oh, ow, col, ncols, 0);
+
+  // y = wgt (out_c x kdim) * col (+ bias broadcast per output channel).
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    const float bv = bias ? bias[oc] : 0.0f;
+    float* yrow = y + oc * ncols;
+    for (std::size_t i = 0; i < ncols; ++i) yrow[i] = bv;
+  }
+  sgemm(false, false, out_c, ncols, kdim, wgt, kdim, col, ncols, 1.0f, y,
+        ncols);
+}
+
+void conv2d_forward_batched(const float* x, std::size_t n, std::size_t in_c,
+                            std::size_t h, std::size_t w, const float* wgt,
+                            std::size_t out_c, std::size_t kk,
+                            std::size_t stride, std::size_t pad,
+                            const float* bias, float* y, std::size_t oh,
+                            std::size_t ow) {
+  if (n == 0) return;
+  const std::size_t kdim = in_c * kk * kk;
+  const std::size_t ncols = oh * ow;
+  const std::size_t group =
+      std::min(n, conv_group_size((kdim + out_c) * ncols));
+  tl_col.resize(kdim * group * ncols);
+  tl_batch.resize(out_c * group * ncols);
+  float* col = tl_col.data();
+  float* buf = tl_batch.data();
+
+  for (std::size_t g0 = 0; g0 < n; g0 += group) {
+    const std::size_t gn = std::min(group, n - g0);
+    const std::size_t ld = gn * ncols;
+    // Samples side by side along the column dimension: one packed weight
+    // panel then serves the whole group. Column position does not change
+    // any element's accumulation order, so each sample's result is
+    // bitwise what a solo conv2d_forward would produce.
+#pragma omp parallel for schedule(static)
+    for (idx gi = 0; gi < static_cast<idx>(gn); ++gi) {
+      const auto ug = static_cast<std::size_t>(gi);
+      im2col_2d(x + (g0 + ug) * in_c * h * w, in_c, h, w, kk, stride, pad,
+                oh, ow, col, ld, ug * ncols);
+    }
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+      const float bv = bias ? bias[oc] : 0.0f;
+      float* brow = buf + oc * ld;
+      for (std::size_t i = 0; i < ld; ++i) brow[i] = bv;
+    }
+    sgemm(false, false, out_c, ld, kdim, wgt, kdim, col, ld, 1.0f, buf, ld);
+    // De-interleave (out_c x group*ncols) back into per-sample NCHW.
+#pragma omp parallel for schedule(static)
+    for (idx gi = 0; gi < static_cast<idx>(gn); ++gi) {
+      const auto ug = static_cast<std::size_t>(gi);
+      for (std::size_t oc = 0; oc < out_c; ++oc)
+        std::memcpy(y + ((g0 + ug) * out_c + oc) * ncols,
+                    buf + oc * ld + ug * ncols, ncols * sizeof(float));
+    }
+  }
+}
+
+void convt2d_forward(const float* x, std::size_t in_c, std::size_t h,
+                     std::size_t w, const float* wgt, std::size_t out_c,
+                     std::size_t kk, std::size_t stride, std::size_t pad,
+                     const float* bias, float* y, std::size_t oh,
+                     std::size_t ow) {
+  const std::size_t kdim = out_c * kk * kk;
+  const std::size_t ncols = h * w;
+  tl_col.resize(kdim * ncols);
+  float* col = tl_col.data();
+
+  // colmat (kdim x h*w) = wgt^T (kdim x in_c) * x (in_c x h*w); the stored
+  // weight is (in_c, out_c*kk*kk), so trans_a with lda = kdim.
+  sgemm(true, false, kdim, ncols, in_c, wgt, kdim, x, ncols, 0.0f, col,
+        ncols);
+  col2im_2d(col, ncols, 0, out_c, h, w, kk, stride, pad, bias, y, oh, ow);
+}
+
+void convt2d_forward_batched(const float* x, std::size_t n, std::size_t in_c,
+                             std::size_t h, std::size_t w, const float* wgt,
+                             std::size_t out_c, std::size_t kk,
+                             std::size_t stride, std::size_t pad,
+                             const float* bias, float* y, std::size_t oh,
+                             std::size_t ow) {
+  if (n == 0) return;
+  const std::size_t kdim = out_c * kk * kk;
+  const std::size_t ncols = h * w;
+  const std::size_t group =
+      std::min(n, conv_group_size((kdim + in_c) * ncols));
+  tl_col.resize(kdim * group * ncols);
+  tl_batch.resize(in_c * group * ncols);
+  float* col = tl_col.data();
+  float* xbuf = tl_batch.data();
+
+  for (std::size_t g0 = 0; g0 < n; g0 += group) {
+    const std::size_t gn = std::min(group, n - g0);
+    const std::size_t ld = gn * ncols;
+    // Gather NCHW samples into one (in_c x group*ncols) right-hand side so
+    // the transposed weight packs once per group.
+#pragma omp parallel for schedule(static)
+    for (idx gi = 0; gi < static_cast<idx>(gn); ++gi) {
+      const auto ug = static_cast<std::size_t>(gi);
+      for (std::size_t ic = 0; ic < in_c; ++ic)
+        std::memcpy(xbuf + ic * ld + ug * ncols,
+                    x + ((g0 + ug) * in_c + ic) * ncols,
+                    ncols * sizeof(float));
+    }
+    sgemm(true, false, kdim, ld, in_c, wgt, kdim, xbuf, ld, 0.0f, col, ld);
+#pragma omp parallel for schedule(static)
+    for (idx gi = 0; gi < static_cast<idx>(gn); ++gi) {
+      const auto ug = static_cast<std::size_t>(gi);
+      col2im_2d(col, ld, ug * ncols, out_c, h, w, kk, stride, pad, bias,
+                y + (g0 + ug) * out_c * oh * ow, oh, ow);
     }
   }
 }

@@ -60,4 +60,31 @@ void convt2d_forward(const float* x, std::size_t in_c, std::size_t h,
                      const float* bias, float* y, std::size_t oh,
                      std::size_t ow);
 
+/// Batched Conv2d forward: n samples in NCHW layout, one im2col matrix and
+/// one SGEMM per sample *group* instead of per sample, so the packed
+/// weight panels are amortized across the group — the win that makes
+/// cross-request inference batching pay off on the latency bench.
+///
+/// Samples are grouped so the column matrix stays cache-friendly; the
+/// group size is a pure function of the layer shapes (never of n or the
+/// thread count), and every output element accumulates in exactly the
+/// per-sample order — results are bitwise identical to n calls of
+/// conv2d_forward, which is what lets the server coalesce requests without
+/// changing a single output byte.
+void conv2d_forward_batched(const float* x, std::size_t n, std::size_t in_c,
+                            std::size_t h, std::size_t w, const float* wgt,
+                            std::size_t out_c, std::size_t kk,
+                            std::size_t stride, std::size_t pad,
+                            const float* bias, float* y, std::size_t oh,
+                            std::size_t ow);
+
+/// Batched ConvT2d forward; same grouping/identity contract as
+/// conv2d_forward_batched.
+void convt2d_forward_batched(const float* x, std::size_t n, std::size_t in_c,
+                             std::size_t h, std::size_t w, const float* wgt,
+                             std::size_t out_c, std::size_t kk,
+                             std::size_t stride, std::size_t pad,
+                             const float* bias, float* y, std::size_t oh,
+                             std::size_t ow);
+
 }  // namespace aesz::nn

@@ -85,4 +85,23 @@ class Compressor {
   virtual Field decompress_impl(std::span<const std::uint8_t> stream) = 0;
 };
 
+/// Optional mixin (like Trainable) for codecs whose compression pipeline
+/// can amortize work across several independent fields — AE-SZ coalesces
+/// the per-block network inference of a whole request batch into shared
+/// forward passes. The contract the service batcher relies on: stream i of
+/// compress_batch(fields, ebs) is BYTE-IDENTICAL to compress(*fields[i],
+/// ebs[i]), for any batch composition, so coalescing requests is purely a
+/// throughput decision and never changes what a client receives.
+class BatchCompressor {
+ public:
+  virtual ~BatchCompressor() = default;
+
+  /// Compress fields[i] under ebs[i]; sizes must match. Throws
+  /// aesz::Error like compress() — one unusable field fails the call, so
+  /// callers wanting per-request isolation fall back to solo compress.
+  virtual std::vector<std::vector<std::uint8_t>> compress_batch(
+      const std::vector<const Field*>& fields,
+      const std::vector<ErrorBound>& ebs) = 0;
+};
+
 }  // namespace aesz

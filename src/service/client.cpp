@@ -45,6 +45,65 @@ Expected<Client::CompressResult> Client::compress(const std::string& codec,
   return out;
 }
 
+std::vector<Expected<Client::CompressResult>> Client::compress_many(
+    const std::string& codec, const std::vector<const Field*>& fields,
+    const ErrorBound& eb) {
+  std::vector<Expected<CompressResult>> out;
+  out.reserve(fields.size());
+  std::size_t sent = 0;
+  Status send_failure;
+  for (const Field* f : fields) {
+    const auto floats = f->values();
+    CompressRequest req;
+    req.codec = codec;
+    req.eb = eb;
+    req.dims = f->dims();
+    req.field = {reinterpret_cast<const std::uint8_t*>(floats.data()),
+                 floats.size() * sizeof(float)};
+    if (Status s = transport_.send_frame(encode_compress_request(req));
+        !s.ok()) {
+      send_failure = s;
+      break;
+    }
+    ++sent;
+  }
+  for (std::size_t i = 0; i < sent; ++i) {
+    auto response = transport_.recv_frame();
+    if (!response.ok()) {
+      // The connection is gone; everything still owed fails the same way.
+      for (std::size_t j = i; j < fields.size(); ++j)
+        out.push_back(response.status());
+      return out;
+    }
+    const auto op = peek_op(*response);
+    if (!op.ok()) {
+      out.push_back(op.status());
+      continue;
+    }
+    if (*op == Op::kErrorResponse) {
+      auto err = parse_error_response(*response);
+      out.push_back(err.ok() ? Expected<CompressResult>(Status::error(
+                                   err->code, "server: " + err->message))
+                             : Expected<CompressResult>(err.status()));
+      continue;
+    }
+    auto parsed = parse_compress_response(*response);
+    if (!parsed.ok()) {
+      out.push_back(parsed.status());
+      continue;
+    }
+    CompressResult r;
+    r.abs_eb = parsed->abs_eb;
+    r.stream.assign(parsed->stream.begin(), parsed->stream.end());
+    out.push_back(std::move(r));
+  }
+  for (std::size_t i = sent; i < fields.size(); ++i)
+    out.push_back(send_failure.ok()
+                      ? Status::error(ErrCode::kIoError, "send failed")
+                      : send_failure);
+  return out;
+}
+
 Expected<Field> Client::decompress(std::span<const std::uint8_t> stream,
                                    const std::string& codec) {
   DecompressRequest req;

@@ -36,6 +36,16 @@ class Client {
   Expected<CompressResult> compress(const std::string& codec, const Field& f,
                                     const ErrorBound& eb);
 
+  /// Pipelined compression: send ALL requests before reading any response,
+  /// so an event-loop server sees them queued together and can coalesce
+  /// compatible ones into one batched inference pass. Result i corresponds
+  /// to fields[i] (responses arrive in request order); each slot carries
+  /// its own success or typed error. A transport failure mid-pipeline
+  /// fails the remaining slots with its status.
+  std::vector<Expected<CompressResult>> compress_many(
+      const std::string& codec, const std::vector<const Field*>& fields,
+      const ErrorBound& eb);
+
   /// Decompress a stream. Empty `codec` asks the server to identify it by
   /// its magic.
   Expected<Field> decompress(std::span<const std::uint8_t> stream,

@@ -1,0 +1,479 @@
+#include "service/event_loop.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "service/protocol.hpp"
+
+namespace aesz::service {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- EventLoop ----
+
+EventLoop::EventLoop(bool force_poll) {
+#ifdef __linux__
+  if (!force_poll) epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+#else
+  (void)force_poll;
+#endif
+}
+
+EventLoop::~EventLoop() {
+#ifdef __linux__
+  if (epfd_ >= 0) ::close(epfd_);
+#endif
+}
+
+void EventLoop::add(int fd, bool want_read, bool want_write) {
+  interest_[fd] = Interest{want_read, want_write};
+#ifdef __linux__
+  if (epfd_ >= 0) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+#endif
+}
+
+void EventLoop::modify(int fd, bool want_read, bool want_write) {
+  auto it = interest_.find(fd);
+  if (it == interest_.end()) return;
+  if (it->second.read == want_read && it->second.write == want_write)
+    return;
+  it->second = Interest{want_read, want_write};
+#ifdef __linux__
+  if (epfd_ >= 0) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+#endif
+}
+
+void EventLoop::remove(int fd) {
+  interest_.erase(fd);
+#ifdef __linux__
+  if (epfd_ >= 0) ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+}
+
+int EventLoop::wait(std::vector<Event>& out, int timeout_ms) {
+#ifdef __linux__
+  if (epfd_ >= 0) {
+    epoll_event evs[64];
+    const int n = ::epoll_wait(epfd_, evs, 64, timeout_ms);
+    if (n <= 0) return 0;  // timeout or EINTR
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = evs[i].data.fd;
+      // EPOLLHUP still allows draining buffered input, so it maps to
+      // readable (a read then observes EOF); only EPOLLERR is fatal here.
+      e.readable = (evs[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      e.writable = (evs[i].events & EPOLLOUT) != 0;
+      e.error = (evs[i].events & EPOLLERR) != 0;
+      out.push_back(e);
+    }
+    return n;
+  }
+#endif
+  std::vector<pollfd> pfds;
+  pfds.reserve(interest_.size());
+  for (const auto& [fd, in] : interest_) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = static_cast<short>((in.read ? POLLIN : 0) |
+                                  (in.write ? POLLOUT : 0));
+    pfds.push_back(p);
+  }
+  const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (n <= 0) return 0;
+  int appended = 0;
+  for (const pollfd& p : pfds) {
+    if (p.revents == 0) continue;
+    Event e;
+    e.fd = p.fd;
+    e.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+    e.writable = (p.revents & POLLOUT) != 0;
+    e.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+    out.push_back(e);
+    ++appended;
+  }
+  return appended;
+}
+
+// --------------------------------------------------------- EventServer ----
+
+EventServer::EventServer(Server& server, TcpListener& listener, Options opt)
+    : server_(server),
+      listener_(listener),
+      opt_(opt),
+      loop_(opt_.force_poll) {
+  set_nonblocking(listener_.fd());
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    set_nonblocking(fds[0]);
+    set_nonblocking(fds[1]);
+    wake_rd_ = fds[0];
+    wake_wr_ = fds[1];
+  }
+  server_.set_extra_stats([this](StatsResponse& out) {
+    const auto put = [&](const char* name,
+                         const std::atomic<std::uint64_t>& v) {
+      out.counters.emplace_back(name, v.load(std::memory_order_relaxed));
+    };
+    put("ev_connections", connections_);
+    put("ev_connections_total", connections_total_);
+    put("ev_connections_closed", connections_closed_);
+    put("ev_inflight", inflight_);
+    put("ev_conns_executing", conns_executing_);
+    put("ev_conns_write_blocked", conns_write_blocked_);
+    put("ev_conns_read_paused", conns_read_paused_);
+    put("ev_rejected_requests", rejected_requests_);
+    put("ev_read_pauses", read_pauses_);
+    put("ev_buffered_high_water", buffered_high_water_);
+  });
+}
+
+EventServer::~EventServer() {
+  server_.set_extra_stats(nullptr);
+  for (auto& [fd, c] : conns_) ::close(fd);
+  conns_.clear();
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+}
+
+void EventServer::wake() {
+  if (wake_wr_ < 0) return;
+  const std::uint8_t one = 1;
+  // EAGAIN means the pipe already holds a wakeup; that is enough.
+  (void)!::write(wake_wr_, &one, 1);
+}
+
+void EventServer::stop() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventServer::update_interest(Conn& c) {
+  // State gauges ride the same transition points the poller interest does.
+  const bool executing = c.inflight > 0;
+  if (executing != c.gauged_exec) {
+    c.gauged_exec = executing;
+    if (executing)
+      conns_executing_.fetch_add(1, std::memory_order_relaxed);
+    else
+      conns_executing_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  const bool write_blocked = !c.wqueue.empty();
+  if (write_blocked != c.gauged_write) {
+    c.gauged_write = write_blocked;
+    if (write_blocked)
+      conns_write_blocked_.fetch_add(1, std::memory_order_relaxed);
+    else
+      conns_write_blocked_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Backpressure: a slow reader pauses its own reads past the threshold
+  // and resumes below half, so its buffered responses stay bounded.
+  if (!c.read_paused && c.buffered > opt_.max_conn_buffered) {
+    c.read_paused = true;
+    read_pauses_.fetch_add(1, std::memory_order_relaxed);
+    conns_read_paused_.fetch_add(1, std::memory_order_relaxed);
+  } else if (c.read_paused && c.buffered < opt_.max_conn_buffered / 2) {
+    c.read_paused = false;
+    conns_read_paused_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  const bool want_read = !c.read_paused && !c.peer_eof && !c.closing;
+  loop_.modify(c.fd, want_read, !c.wqueue.empty());
+}
+
+bool EventServer::maybe_close(Conn& c) {
+  if ((c.closing || c.peer_eof) && c.inflight == 0 && c.wqueue.empty() &&
+      c.ready.empty()) {
+    close_conn(c);
+    return true;
+  }
+  return false;
+}
+
+void EventServer::close_conn(Conn& c) {
+  if (c.gauged_exec)
+    conns_executing_.fetch_sub(1, std::memory_order_relaxed);
+  if (c.gauged_write)
+    conns_write_blocked_.fetch_sub(1, std::memory_order_relaxed);
+  if (c.read_paused)
+    conns_read_paused_.fetch_sub(1, std::memory_order_relaxed);
+  loop_.remove(c.fd);
+  ::close(c.fd);
+  id_to_fd_.erase(c.id);
+  connections_.fetch_sub(1, std::memory_order_relaxed);
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  conns_.erase(c.fd);  // invalidates `c`
+}
+
+void EventServer::accept_ready() {
+  for (;;) {
+    if (!accepting_) return;
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or listener trouble — wait for the next
+    }
+    set_nonblocking(fd);
+    Conn c;
+    c.fd = fd;
+    c.id = next_conn_id_++;
+    id_to_fd_[c.id] = fd;
+    conns_.emplace(fd, std::move(c));
+    loop_.add(fd, /*want_read=*/true, /*want_write=*/false);
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    if (opt_.accept_limit > 0 &&
+        connections_total_.load(std::memory_order_relaxed) >=
+            opt_.accept_limit) {
+      accepting_ = false;
+      loop_.remove(listener_.fd());
+      return;
+    }
+  }
+}
+
+void EventServer::admit_frame(Conn& c, std::vector<std::uint8_t> frame) {
+  const std::uint64_t seq = c.next_seq++;
+  if (inflight_.load(std::memory_order_relaxed) >= opt_.max_inflight) {
+    // Admission control: answer immediately (in this request's ordered
+    // slot) instead of queueing work the server has no room for.
+    rejected_requests_.fetch_add(1, std::memory_order_relaxed);
+    complete(c, seq,
+             encode_error_response(
+                 {ErrCode::kOverloaded,
+                  "server overloaded: too many requests in flight"}));
+    return;
+  }
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  ++c.inflight;
+  const std::uint64_t conn_id = c.id;
+  server_.submit(std::move(frame),
+                 [this, conn_id, seq](std::vector<std::uint8_t> response) {
+                   {
+                     std::lock_guard<std::mutex> lock(done_mu_);
+                     done_.push_back(
+                         Completion{conn_id, seq, std::move(response)});
+                   }
+                   wake();
+                 });
+}
+
+void EventServer::parse_frames(Conn& c) {
+  while (!c.closing) {
+    if (c.rbuf.size() < 4) return;
+    std::uint32_t len = 0;
+    std::memcpy(&len, c.rbuf.data(), 4);
+    // Validated BEFORE any body allocation — a hostile 4-byte prefix
+    // cannot size a buffer. Framing cannot resynchronize after a bad
+    // prefix, so the typed error is this connection's final response.
+    if (len > kMaxFrameBytes) {
+      complete(c, c.next_seq++,
+               encode_error_response(
+                   {ErrCode::kCorruptStream,
+                    "declared frame length exceeds limit"}));
+      c.closing = true;
+      c.rbuf.clear();
+      return;
+    }
+    if (c.rbuf.size() < 4 + static_cast<std::size_t>(len)) return;
+    std::vector<std::uint8_t> frame(c.rbuf.begin() + 4,
+                                    c.rbuf.begin() + 4 + len);
+    c.rbuf.erase(c.rbuf.begin(), c.rbuf.begin() + 4 + len);
+    admit_frame(c, std::move(frame));
+  }
+}
+
+bool EventServer::read_ready(Conn& c) {
+  std::uint8_t tmp[65536];
+  // Bounded burst per readiness: level-triggered polling re-reports
+  // whatever this pass leaves in the socket, keeping the loop fair to
+  // other connections.
+  for (int burst = 0; burst < 4; ++burst) {
+    if (c.read_paused || c.closing || c.peer_eof) break;
+    const ssize_t r = ::recv(c.fd, tmp, sizeof tmp, 0);
+    if (r > 0) {
+      c.rbuf.insert(c.rbuf.end(), tmp, tmp + r);
+      parse_frames(c);
+      if (static_cast<std::size_t>(r) < sizeof tmp) break;
+    } else if (r == 0) {
+      // Half-close: the peer is done asking; it still gets every answer
+      // it is owed before the connection goes away.
+      c.peer_eof = true;
+      break;
+    } else if (errno == EINTR) {
+      continue;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else {
+      close_conn(c);
+      return true;
+    }
+  }
+  if (maybe_close(c)) return true;
+  update_interest(c);
+  return false;
+}
+
+bool EventServer::write_ready(Conn& c) {
+  while (!c.wqueue.empty()) {
+    const std::vector<std::uint8_t>& front = c.wqueue.front();
+    const ssize_t w = ::send(c.fd, front.data() + c.woff,
+                             front.size() - c.woff, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(c);  // peer is gone; nothing left to deliver
+      return true;
+    }
+    c.woff += static_cast<std::size_t>(w);
+    c.buffered -= static_cast<std::size_t>(w);
+    if (c.woff == front.size()) {
+      c.wqueue.pop_front();
+      c.woff = 0;
+    }
+  }
+  if (maybe_close(c)) return true;
+  update_interest(c);
+  return false;
+}
+
+void EventServer::complete(Conn& c, std::uint64_t seq,
+                           std::vector<std::uint8_t> response) {
+  // Frame (length prefix + body) now, park in the ordered slot, then
+  // flush every consecutively-ready response.
+  const std::uint32_t len = static_cast<std::uint32_t>(response.size());
+  std::vector<std::uint8_t> framed(4 + response.size());
+  std::memcpy(framed.data(), &len, 4);
+  std::memcpy(framed.data() + 4, response.data(), response.size());
+  c.buffered += framed.size();
+  const std::uint64_t hw = c.buffered;
+  std::uint64_t seen = buffered_high_water_.load(std::memory_order_relaxed);
+  while (hw > seen && !buffered_high_water_.compare_exchange_weak(
+                          seen, hw, std::memory_order_relaxed)) {
+  }
+  c.ready.emplace(seq, std::move(framed));
+  while (true) {
+    auto it = c.ready.find(c.next_flush);
+    if (it == c.ready.end()) break;
+    c.wqueue.push_back(std::move(it->second));
+    c.ready.erase(it);
+    ++c.next_flush;
+  }
+  // Opportunistic flush; write_ready also refreshes interest/gauges and
+  // may close the connection if this was the last owed byte.
+  write_ready(c);
+}
+
+void EventServer::drain_completions() {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    batch.swap(done_);
+  }
+  for (Completion& done : batch) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    auto idit = id_to_fd_.find(done.conn_id);
+    if (idit == id_to_fd_.end()) continue;  // connection died first
+    auto cit = conns_.find(idit->second);
+    if (cit == conns_.end()) continue;
+    Conn& c = cit->second;
+    --c.inflight;
+    complete(c, done.seq, std::move(done.response));
+  }
+}
+
+void EventServer::run() {
+  if (wake_rd_ >= 0)
+    loop_.add(wake_rd_, /*want_read=*/true, /*want_write=*/false);
+  accepting_ = opt_.accept_limit == 0 ||
+               connections_total_.load(std::memory_order_relaxed) <
+                   opt_.accept_limit;
+  if (accepting_)
+    loop_.add(listener_.fd(), /*want_read=*/true, /*want_write=*/false);
+
+  std::vector<EventLoop::Event> events;
+  bool stopping = false;
+  for (;;) {
+    events.clear();
+    loop_.wait(events, /*timeout_ms=*/-1);
+    for (const EventLoop::Event& ev : events) {
+      if (ev.fd == wake_rd_) {
+        std::uint8_t sink[256];
+        while (::read(wake_rd_, sink, sizeof sink) > 0) {
+        }
+        drain_completions();
+        continue;
+      }
+      if (ev.fd == listener_.fd()) {
+        accept_ready();
+        continue;
+      }
+      auto it = conns_.find(ev.fd);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      Conn& c = it->second;
+      if (ev.error) {
+        close_conn(c);
+        continue;
+      }
+      if (ev.writable && write_ready(c)) continue;
+      // Re-find: write_ready may not close but the map is stable here.
+      if (ev.readable) (void)read_ready(c);
+    }
+
+    if (stop_.load(std::memory_order_acquire) && !stopping) {
+      stopping = true;
+      if (accepting_) {
+        accepting_ = false;
+        loop_.remove(listener_.fd());
+      }
+      std::vector<int> fds;
+      fds.reserve(conns_.size());
+      for (const auto& [fd, c] : conns_) fds.push_back(fd);
+      for (int fd : fds) {
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+        it->second.closing = true;
+        if (!maybe_close(it->second)) update_interest(it->second);
+      }
+    }
+
+    const bool limit_done =
+        opt_.accept_limit > 0 &&
+        connections_closed_.load(std::memory_order_relaxed) >=
+            opt_.accept_limit;
+    if ((stopping || limit_done) && conns_.empty()) break;
+  }
+  if (wake_rd_ >= 0) loop_.remove(wake_rd_);
+  if (accepting_) loop_.remove(listener_.fd());
+  // Late completions for connections that no longer exist still need
+  // their inflight accounting drained.
+  drain_completions();
+}
+
+}  // namespace aesz::service

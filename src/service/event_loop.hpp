@@ -1,0 +1,189 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "service/server.hpp"
+#include "service/transport.hpp"
+
+namespace aesz::service {
+
+/// Readiness multiplexer: a thin wrapper over epoll(7) where available,
+/// with a byte-compatible poll(2) fallback (`force_poll` selects it
+/// explicitly, e.g. to exercise both paths in one test binary). Level
+/// triggered in both modes, so handlers may consume partial input and rely
+/// on the next wait() re-reporting readiness.
+class EventLoop {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;  // EPOLLERR/EPOLLHUP — treat as fatal for the fd
+  };
+
+  explicit EventLoop(bool force_poll = false);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  void add(int fd, bool want_read, bool want_write);
+  void modify(int fd, bool want_read, bool want_write);
+  void remove(int fd);
+
+  /// Block up to timeout_ms (-1 = forever) and append ready fds to `out`.
+  /// Returns the number of events appended (0 on timeout).
+  int wait(std::vector<Event>& out, int timeout_ms);
+
+  bool using_epoll() const { return epfd_ >= 0; }
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  int epfd_ = -1;  // epoll instance; -1 = poll fallback
+  std::map<int, Interest> interest_;
+};
+
+/// Event-driven multi-client front end over one Server: a single loop
+/// thread multiplexes the listening socket and every client connection
+/// through EventLoop, while request execution stays on the Server's
+/// ThreadPool / batching scheduler via Server::submit().
+///
+/// Per-connection lifecycle (docs/PROTOCOL.md "connection lifecycle"):
+///
+///   reading-frame -> queued/executing -> writing-response -> reading-frame
+///
+///  - reading-frame: nonblocking reads feed an incremental reassembly
+///    buffer; the 4-byte length prefix is validated against
+///    kMaxFrameBytes BEFORE any body allocation, and a hostile prefix gets
+///    a typed kCorruptStream error frame before the connection closes
+///    (framing cannot resynchronize after it).
+///  - queued/executing: each completed frame takes a per-connection
+///    sequence slot and goes to Server::submit(). Admission control:
+///    past Options::max_inflight outstanding requests (across ALL
+///    connections) a request is answered immediately with a typed
+///    kOverloaded error frame instead of being queued.
+///  - writing-response: completions arrive on worker threads, are handed
+///    to the loop through a wake pipe, and flush strictly in request
+///    order per connection. A peer that stops reading only backs up its
+///    OWN buffers: past Options::max_conn_buffered outbound bytes the
+///    loop pauses that connection's reads (resuming below half), so a
+///    slow reader caps server memory instead of growing it.
+///
+/// Half-close is honored: EOF stops reads, but responses still in flight
+/// flush before the connection closes. The loop registers its gauges with
+/// Server::set_extra_stats, so one stats frame reports both layers.
+class EventServer {
+ public:
+  struct Options {
+    /// Use the poll(2) backend even where epoll is available.
+    bool force_poll = false;
+    /// Admission cap: outstanding (submitted, unanswered) requests across
+    /// all connections before new requests get kOverloaded answers.
+    std::size_t max_inflight = 64;
+    /// Per-connection outbound byte threshold that pauses reading from
+    /// that connection (resumes below half of it).
+    std::size_t max_conn_buffered = std::size_t{8} << 20;
+    /// 0 = serve until stop(); N = return from run() once N accepted
+    /// connections have fully closed (the example's --once N mode).
+    std::uint64_t accept_limit = 0;
+  };
+
+  EventServer(Server& server, TcpListener& listener, Options opt);
+  ~EventServer();
+
+  EventServer(const EventServer&) = delete;
+  EventServer& operator=(const EventServer&) = delete;
+
+  /// Run the loop on the calling thread until stop() or accept_limit.
+  void run();
+
+  /// Thread-safe and idempotent: wake the loop, stop accepting, let every
+  /// connection flush what it owes, then make run() return.
+  void stop();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    // Incremental frame reassembly: raw bytes as they arrived; a frame is
+    // extracted the moment its prefix + body are complete.
+    std::vector<std::uint8_t> rbuf;
+    // Ordered response slots: requests take seqs in arrival order and
+    // responses flush in seq order no matter which finishes first.
+    std::uint64_t next_seq = 0;
+    std::uint64_t next_flush = 0;
+    std::map<std::uint64_t, std::vector<std::uint8_t>> ready;
+    // Outbound: length-prefixed frames waiting for the socket.
+    std::deque<std::vector<std::uint8_t>> wqueue;
+    std::size_t woff = 0;            // bytes of wqueue.front() already sent
+    std::size_t buffered = 0;        // wqueue + ready payload bytes
+    std::size_t inflight = 0;        // submitted, not yet completed
+    bool read_paused = false;        // backpressure: read interest dropped
+    bool peer_eof = false;           // half-close: no more requests
+    bool closing = false;            // close once inflight == 0 and flushed
+    bool gauged_exec = false;        // bookkeeping for the state gauges
+    bool gauged_write = false;
+  };
+
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> response;
+  };
+
+  void accept_ready();
+  /// Handlers that may close the connection return true when they did —
+  /// the Conn reference is dead afterwards and callers must not touch it.
+  bool read_ready(Conn& c);
+  bool write_ready(Conn& c);
+  void parse_frames(Conn& c);
+  void admit_frame(Conn& c, std::vector<std::uint8_t> frame);
+  void complete(Conn& c, std::uint64_t seq,
+                std::vector<std::uint8_t> response);
+  void drain_completions();
+  void update_interest(Conn& c);
+  bool maybe_close(Conn& c);
+  void close_conn(Conn& c);
+  void wake();
+
+  Server& server_;
+  TcpListener& listener_;
+  Options opt_;
+  EventLoop loop_;
+
+  int wake_rd_ = -1, wake_wr_ = -1;
+  bool accepting_ = true;
+
+  std::map<int, Conn> conns_;                // keyed by fd (loop thread only)
+  std::map<std::uint64_t, int> id_to_fd_;    // loop thread only
+  std::uint64_t next_conn_id_ = 1;
+
+  std::mutex done_mu_;
+  std::deque<Completion> done_;
+
+  std::atomic<bool> stop_{false};
+
+  // Gauges/counters exported through Server::set_extra_stats. Loop thread
+  // writes, stats requests (worker threads) read.
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> connections_total_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> conns_executing_{0};
+  std::atomic<std::uint64_t> conns_write_blocked_{0};
+  std::atomic<std::uint64_t> conns_read_paused_{0};
+  std::atomic<std::uint64_t> rejected_requests_{0};
+  std::atomic<std::uint64_t> read_pauses_{0};
+  std::atomic<std::uint64_t> buffered_high_water_{0};
+};
+
+}  // namespace aesz::service

@@ -357,7 +357,7 @@ Expected<ErrorResponse> parse_error_response(
   std::uint8_t raw_code = 0;
   if (!r.try_get(raw_code))
     return Status::error(ErrCode::kTruncated, "truncated error code");
-  if (raw_code > static_cast<std::uint8_t>(ErrCode::kInternal) ||
+  if (raw_code > static_cast<std::uint8_t>(ErrCode::kOverloaded) ||
       raw_code == static_cast<std::uint8_t>(ErrCode::kOk))
     return Status::error(ErrCode::kBadHeader, "bad error code");
   ErrorResponse out;

@@ -1,6 +1,7 @@
 #include "service/server.hpp"
 
 #include <cctype>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -55,39 +56,147 @@ int peek_rank(std::span<const std::uint8_t> stream, int fallback) {
   return (rank >= 1 && rank <= 3) ? rank : fallback;
 }
 
+/// Shared pool of warm inner-codec instances. ParallelCompressor's workers
+/// construct one codec each per compress/decompress call by design; for
+/// AE-SZ that used to mean a full model build per worker per request. The
+/// pool makes those constructions leases instead: an instance is built at
+/// most once per peak-concurrent worker for the lifetime of the cached
+/// wrapper, then reused by every later request.
+struct WarmPool {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Compressor>> free_list;
+  std::function<std::unique_ptr<Compressor>(int)> make;
+  int rank = 2;
+};
+
+/// The cheap stand-in ParallelCompressor workers receive: every operation
+/// leases a real instance from the pool and returns it afterwards, so
+/// constructing a PooledCompressor itself loads nothing.
+class PooledCompressor final : public Compressor {
+ public:
+  PooledCompressor(std::shared_ptr<WarmPool> pool, std::string display_name)
+      : pool_(std::move(pool)), name_(std::move(display_name)) {}
+
+  std::string name() const override { return name_; }
+  using Compressor::compress;
+  std::vector<std::uint8_t> compress(const Field& f,
+                                     const ErrorBound& eb) override {
+    Lease lease(*pool_);
+    return lease->compress(f, eb);
+  }
+  bool supports_rank(int rank) const override {
+    Lease lease(*pool_);
+    return lease->supports_rank(rank);
+  }
+
+ protected:
+  Field decompress_impl(std::span<const std::uint8_t> stream) override {
+    Lease lease(*pool_);
+    auto result = lease->decompress(stream);
+    if (!result.ok())
+      throw Error(result.status().code, result.status().message);
+    return std::move(*result);
+  }
+
+ private:
+  struct Lease {
+    WarmPool& pool;
+    std::unique_ptr<Compressor> inst;
+    explicit Lease(WarmPool& p) : pool(p) {
+      {
+        std::lock_guard<std::mutex> lock(pool.mu);
+        if (!pool.free_list.empty()) {
+          inst = std::move(pool.free_list.back());
+          pool.free_list.pop_back();
+        }
+      }
+      if (!inst) inst = pool.make(pool.rank);  // may throw a typed Error
+    }
+    ~Lease() {
+      if (!inst) return;
+      std::lock_guard<std::mutex> lock(pool.mu);
+      pool.free_list.push_back(std::move(inst));
+    }
+    Compressor* operator->() const { return inst.get(); }
+  };
+
+  std::shared_ptr<WarmPool> pool_;
+  std::string name_;
+};
+
 }  // namespace
 
 Server::Server() : Server(Options{}) {}
 
 Server::Server(Options opt)
     : opt_(std::move(opt)),
-      pool_(std::make_unique<ThreadPool>(opt_.threads)) {}
+      pool_(std::make_unique<ThreadPool>(opt_.threads)) {
+  batcher_ = std::thread([this] { batcher_main(); });
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    batch_stop_ = true;
+  }
+  batch_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+  // The batcher drains its queue before exiting, so anything left here
+  // means submit() raced teardown; still answer it — done callbacks fire
+  // exactly once per submitted frame.
+  std::deque<BatchJob> rest;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    rest.swap(batch_queue_);
+  }
+  for (auto& job : rest) {
+    std::vector<BatchJob> one;
+    one.push_back(std::move(job));
+    run_batch(one);
+  }
+}
 
 Expected<std::unique_ptr<Compressor>> Server::build_codec(
     const std::string& base, bool parallel, int rank) {
   try {
-    if (base == "ae-sz" && !opt_.aesz_model.empty()) {
-      // Warm trained-model path: AE-SZ instances come from the server's
-      // model file instead of the registry's fixed-seed untrained default.
-      auto make_aesz = [this](int) -> std::unique_ptr<Compressor> {
-        auto c = std::make_unique<AESZ>(
-            model_zoo::options_for(opt_.aesz_field), /*seed=*/1);
-        c->load_model(opt_.aesz_model);
+    if (base == "ae-sz") {
+      // Every AE-SZ instance — served directly or leased by pipeline
+      // workers — comes through this maker, so ae_model_loads counts true
+      // model constructions wherever they happen.
+      auto make_aesz = [this](int r) -> std::unique_ptr<Compressor> {
+        std::unique_ptr<Compressor> c;
+        if (!opt_.aesz_model.empty()) {
+          // Warm trained-model path: instances come from the server's
+          // model file instead of the registry's fixed-seed default.
+          auto a = std::make_unique<AESZ>(
+              model_zoo::options_for(opt_.aesz_field), /*seed=*/1);
+          a->load_model(opt_.aesz_model);
+          c = std::move(a);
+        } else {
+          auto created = CodecRegistry::instance().create("ae-sz", r);
+          if (!created.ok())
+            throw Error(created.status().code, created.status().message);
+          c = std::move(created).value();
+        }
         counters_.ae_model_loads.fetch_add(1, std::memory_order_relaxed);
         return c;
       };
-      if (parallel)
-        return std::unique_ptr<Compressor>(
-            std::make_unique<pipeline::ParallelCompressor>(
-                pipeline::ParallelCompressor::Options{base, 0, 0}, rank,
-                std::move(make_aesz)));
-      return make_aesz(rank);
+      if (!parallel) return make_aesz(rank);
+      // parallel:AE-SZ — route every pipeline worker through a warm pool
+      // owned by the cached wrapper, so repeated requests reuse the same
+      // loaded models instead of rebuilding one per worker per request.
+      auto pool = std::make_shared<WarmPool>();
+      pool->make = make_aesz;
+      pool->rank = rank;
+      return std::unique_ptr<Compressor>(
+          std::make_unique<pipeline::ParallelCompressor>(
+              pipeline::ParallelCompressor::Options{base, 0, 0}, rank,
+              [pool](int) -> std::unique_ptr<Compressor> {
+                return std::make_unique<PooledCompressor>(pool, "AE-SZ");
+              }));
     }
-    auto created = CodecRegistry::instance().create(
+    return CodecRegistry::instance().create(
         (parallel ? "parallel:" : "") + base, rank);
-    if (created.ok() && base == "ae-sz" && !parallel)
-      counters_.ae_model_loads.fetch_add(1, std::memory_order_relaxed);
-    return created;
   } catch (const Error& e) {
     const ErrCode c = e.code() == ErrCode::kOk ? ErrCode::kInternal : e.code();
     return Status::error(c, e.what());
@@ -235,7 +344,26 @@ StatsResponse Server::snapshot() const {
   put("codec_cache_hits", counters_.codec_cache_hits);
   put("codec_cache_misses", counters_.codec_cache_misses);
   put("ae_model_loads", counters_.ae_model_loads);
+  put("batched_requests", counters_.batched_requests);
+  put("batch_executions", counters_.batch_executions);
+  put("batch_size_1", counters_.batch_size_1);
+  put("batch_size_2_3", counters_.batch_size_2_3);
+  put("batch_size_4_7", counters_.batch_size_4_7);
+  put("batch_size_8_plus", counters_.batch_size_8_plus);
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    out.counters.emplace_back("batch_queue_depth", batch_queue_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lock(extra_mu_);
+    if (extra_stats_) extra_stats_(out);
+  }
   return out;
+}
+
+void Server::set_extra_stats(std::function<void(StatsResponse&)> fn) {
+  std::lock_guard<std::mutex> lock(extra_mu_);
+  extra_stats_ = std::move(fn);
 }
 
 std::vector<std::uint8_t> Server::handle_stats() {
@@ -300,15 +428,213 @@ std::vector<std::uint8_t> Server::handle_frame(
   return response;
 }
 
+void Server::submit(std::vector<std::uint8_t> frame, DoneFn done) {
+  // Batchable = a well-formed compress request for plain (non-parallel)
+  // AE-SZ. Anything else — other codecs, other opcodes, malformed frames —
+  // takes the direct pool path, where handle_frame() re-derives the same
+  // classification and produces the response (or typed error) itself.
+  bool batchable = false;
+  std::string key;
+  if (opt_.max_batch > 1) {
+    if (auto op = peek_op(frame); op.ok() && *op == Op::kCompressRequest) {
+      if (auto req = parse_compress_request(frame); req.ok()) {
+        std::string base = lower(req->codec);
+        const bool parallel = strip_parallel(base);
+        if (is_aesz_name(base)) base = "ae-sz";
+        if (!parallel && base == "ae-sz") {
+          batchable = true;
+          key = base + "#" + std::to_string(req->dims.rank);
+        }
+      }
+    }
+  }
+  if (!batchable) {
+    pool_->submit(
+        [this, f = std::move(frame), cb = std::move(done)]() mutable {
+          cb(handle_frame(f));
+        });
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    batch_queue_.push_back(
+        BatchJob{std::move(frame), std::move(key), std::move(done)});
+  }
+  batch_cv_.notify_one();
+}
+
+void Server::batcher_main() {
+  std::unique_lock<std::mutex> lock(batch_mu_);
+  for (;;) {
+    batch_cv_.wait(lock,
+                   [&] { return batch_stop_ || !batch_queue_.empty(); });
+    if (batch_queue_.empty()) {
+      if (batch_stop_) return;  // stopped and drained
+      continue;
+    }
+    // The oldest queued job opens a group and fixes its key; compatible
+    // jobs anywhere in the queue join (other keys keep their order and
+    // form their own groups on later iterations).
+    std::vector<BatchJob> group;
+    group.push_back(std::move(batch_queue_.front()));
+    batch_queue_.pop_front();
+    const std::string key = group.front().key;
+    const auto extract_compatible = [&] {
+      for (auto it = batch_queue_.begin();
+           it != batch_queue_.end() && group.size() < opt_.max_batch;) {
+        if (it->key == key) {
+          group.push_back(std::move(*it));
+          it = batch_queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    extract_compatible();
+    if (group.size() < opt_.max_batch && opt_.batch_delay_us > 0 &&
+        !batch_stop_) {
+      // Hold the group open briefly for companions; a full group or
+      // server shutdown ends the wait early.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(opt_.batch_delay_us);
+      while (group.size() < opt_.max_batch && !batch_stop_) {
+        if (batch_cv_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          extract_compatible();
+          break;
+        }
+        extract_compatible();
+      }
+    }
+    lock.unlock();
+    run_batch(group);  // never throws
+    lock.lock();
+  }
+}
+
+void Server::run_batch(std::vector<BatchJob>& jobs) {
+  counters_.batch_executions.fetch_add(1, std::memory_order_relaxed);
+  counters_.batched_requests.fetch_add(jobs.size(),
+                                       std::memory_order_relaxed);
+  auto& bucket = jobs.size() >= 8   ? counters_.batch_size_8_plus
+                 : jobs.size() >= 4 ? counters_.batch_size_4_7
+                 : jobs.size() >= 2 ? counters_.batch_size_2_3
+                                    : counters_.batch_size_1;
+  bucket.fetch_add(1, std::memory_order_relaxed);
+
+  // Completion mirrors handle_frame()'s tail: oversize responses become
+  // typed errors, bytes_out counts what actually leaves.
+  const auto finish = [this](BatchJob& job,
+                             std::vector<std::uint8_t> response) {
+    if (response.size() > kMaxFrameBytes)
+      response = error_frame(
+          ErrCode::kUnsupported,
+          "response (" + std::to_string(response.size()) +
+              " bytes) exceeds the frame limit; request a smaller field");
+    counters_.bytes_out.fetch_add(response.size(),
+                                  std::memory_order_relaxed);
+    job.done(std::move(response));
+  };
+
+  struct Live {
+    BatchJob* job;
+    Field field;
+    ErrorBound eb;
+    std::string codec_name;
+    int rank;
+    CachedCodec entry;
+  };
+  std::vector<Live> live;
+  live.reserve(jobs.size());
+  for (auto& job : jobs) {
+    // Same per-request accounting as the solo path (handle_frame +
+    // dispatch): one requests/bytes_in/compress_requests tick each, one
+    // codec_for hit-or-miss each — coalescing is invisible in these
+    // counters.
+    counters_.requests.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_in.fetch_add(job.frame.size(),
+                                 std::memory_order_relaxed);
+    counters_.compress_requests.fetch_add(1, std::memory_order_relaxed);
+    auto req = parse_compress_request(job.frame);
+    if (!req.ok()) {  // raced mutation cannot happen (frame is owned), but
+                      // keep the typed-error discipline anyway
+      finish(job, error_frame(req.status().code, req.status().message));
+      continue;
+    }
+    auto entry = codec_for(req->codec, req->dims.rank);
+    if (!entry.ok()) {
+      finish(job, error_frame(entry.status().code, entry.status().message));
+      continue;
+    }
+    std::vector<float> values(req->dims.total());
+    std::memcpy(values.data(), req->field.data(), req->field.size());
+    live.push_back(Live{&job, Field(req->dims, std::move(values)), req->eb,
+                        req->codec, req->dims.rank, std::move(*entry)});
+  }
+  if (live.empty()) return;
+
+  // One canonical key per group — every live job shares one instance and
+  // one per-instance mutex.
+  std::lock_guard<std::mutex> lock(*live.front().entry.mu);
+  Compressor* codec = live.front().entry.codec.get();
+  if (!codec->supports_rank(live.front().rank)) {
+    for (Live& l : live)
+      finish(*l.job, error_frame(ErrCode::kUnsupported,
+                                 l.codec_name + " does not support rank-" +
+                                     std::to_string(l.rank) + " fields"));
+    return;
+  }
+
+  std::vector<std::vector<std::uint8_t>> streams(live.size());
+  bool batched = false;
+  if (live.size() > 1) {
+    if (auto* bc = dynamic_cast<BatchCompressor*>(codec)) {
+      std::vector<const Field*> fields;
+      std::vector<ErrorBound> ebs;
+      fields.reserve(live.size());
+      ebs.reserve(live.size());
+      for (Live& l : live) {
+        fields.push_back(&l.field);
+        ebs.push_back(l.eb);
+      }
+      try {
+        streams = bc->compress_batch(fields, ebs);
+        batched = streams.size() == live.size();
+      } catch (...) {
+        // One bad field fails a whole compress_batch call; redo the group
+        // solo below so each request gets its own success or typed error.
+        batched = false;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Live& l = live[i];
+    try {
+      if (!batched) streams[i] = codec->compress(l.field, l.eb);
+      const double abs_eb = l.eb.absolute(l.field.value_range());
+      finish(*l.job, encode_compress_response({abs_eb, streams[i]}));
+    } catch (const Error& e) {
+      const ErrCode c =
+          e.code() == ErrCode::kOk ? ErrCode::kInternal : e.code();
+      finish(*l.job, error_frame(c, e.what()));
+    } catch (const std::exception& e) {
+      finish(*l.job, error_frame(ErrCode::kInternal, e.what()));
+    }
+  }
+}
+
 void Server::serve(Transport& transport) {
   // Pipelined scheduling: the reader keeps pulling frames and submitting
-  // them to the pool while earlier requests execute; the writer thread
-  // sends completed responses strictly in request order, so a client that
-  // stacks N requests gets N responses in the order it asked. The reader
-  // stops accepting new frames while kMaxInflight requests are buffered —
-  // without that cap a client that streams requests without draining
-  // responses would grow server memory without bound (request bytes plus
-  // completed responses), defeating the per-frame size limit.
+  // them while earlier requests are still executing (on the pool or with
+  // the batcher — it is this pipelining that gives the batcher same-key
+  // companions to coalesce); the writer thread sends completed responses
+  // strictly in request order, so a client that stacks N requests gets N
+  // responses in the order it asked. The reader stops accepting new
+  // frames while kMaxInflight requests are buffered — without that cap a
+  // client that streams requests without draining responses would grow
+  // server memory without bound (request bytes plus completed responses),
+  // defeating the per-frame size limit.
   constexpr std::size_t kMaxInflight = 32;
   std::mutex mu;
   std::condition_variable cv;
@@ -339,13 +665,16 @@ void Server::serve(Transport& transport) {
     }
     auto frame = transport.recv_frame();
     if (!frame.ok()) break;  // orderly close or framing violation
-    auto fut = pool_->submit(
-        [this, bytes = std::move(*frame)] { return handle_frame(bytes); });
+    auto prom =
+        std::make_shared<std::promise<std::vector<std::uint8_t>>>();
     {
       std::lock_guard<std::mutex> lock(mu);
-      inflight.push_back(std::move(fut));
+      inflight.push_back(prom->get_future());
     }
     cv.notify_all();
+    submit(std::move(*frame), [prom](std::vector<std::uint8_t> response) {
+      prom->set_value(std::move(response));
+    });
   }
   {
     std::lock_guard<std::mutex> lock(mu);

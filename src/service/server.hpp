@@ -1,12 +1,16 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "predictors/compressor.hpp"
@@ -22,24 +26,29 @@ namespace aesz::service {
 /// a per-(codec, rank) instance cache — for the learned codecs that cache
 /// IS the warm-model cache: the AE network is built (or loaded from a
 /// trained model file) exactly once and reused by every later request,
-/// observable through the `ae_model_loads` stats counter. The one case
-/// the cache cannot keep warm is `parallel:AE-SZ`: the wrapper itself is
-/// cached, but ParallelCompressor builds fresh per-worker inner instances
-/// on every compress/decompress by design, so each such request loads the
-/// model once per worker.
+/// observable through the `ae_model_loads` stats counter. `parallel:AE-SZ`
+/// shares that warmth too: its pipeline workers draw inner instances from
+/// a pooled factory, so repeated parallel requests reuse the same loaded
+/// models instead of rebuilding one per worker per request.
 ///
-/// Request scheduling: serve() pipelines — it keeps reading frames while
-/// earlier requests are still executing on the pool, and a dedicated
-/// response writer sends results back in request order, so a client may
-/// stack N requests on one connection and the pool works them
-/// concurrently. Codec instances are not required to be thread-safe, so
-/// requests hitting the SAME cached instance serialize on a per-instance
-/// mutex; requests for different codecs (or ranks) run in parallel.
+/// Request scheduling: submit() is the async entry point. Most requests go
+/// straight to the ThreadPool; AE-SZ compress requests are routed through
+/// the batching scheduler, which coalesces up to Options::max_batch queued
+/// requests for the same (codec, rank) into ONE AESZ::compress_batch()
+/// call so their per-block network inference shares forward passes.
+/// Because batched streams are byte-identical to solo streams (see
+/// BatchCompressor), coalescing is invisible to clients except as
+/// throughput. serve() pipelines submit() over a transport: it keeps
+/// reading frames while earlier requests execute and writes responses back
+/// strictly in request order. Codec instances are not required to be
+/// thread-safe, so requests hitting the SAME cached instance serialize on
+/// a per-instance mutex; different codecs (or ranks) run in parallel.
 ///
 /// Failure discipline: handle_frame() never throws and always produces a
 /// response frame — every malformed or unserviceable request becomes a
 /// typed error frame (protocol::ErrorResponse), mirroring the
-/// Expected-based codec API.
+/// Expected-based codec API. The batched path keeps the same per-request
+/// counter and error semantics as the solo path.
 class Server {
  public:
   struct Options {
@@ -50,6 +59,14 @@ class Server {
     /// Empty = registry default (fixed-seed untrained network).
     std::string aesz_model;
     std::string aesz_field = "CESM-CLDHGH";
+    /// Cross-request inference batching: up to max_batch queued AE-SZ
+    /// compress requests for the same (codec, rank) coalesce into one
+    /// compress_batch() call. 1 disables coalescing entirely.
+    std::size_t max_batch = 8;
+    /// How long the batcher holds the first request of a group open
+    /// waiting for companions, in microseconds. 0 = coalesce only what is
+    /// already queued (no added latency).
+    std::uint64_t batch_delay_us = 1000;
   };
 
   // Two overloads, not a `= {}` default argument: NSDMIs of a nested
@@ -57,18 +74,35 @@ class Server {
   // rejects brace-init of Options in a default argument here.
   Server();
   explicit Server(Options opt);
+  ~Server();
 
   /// Handle one request frame and return the response frame. Thread-safe;
   /// this is the transport-free core the deterministic tests drive.
+  /// Synchronous — never routed through the batcher.
   std::vector<std::uint8_t> handle_frame(std::span<const std::uint8_t> frame);
+
+  /// Response sink for submit(). Invoked exactly once per submitted frame,
+  /// from a worker or batcher thread; must not throw.
+  using DoneFn = std::function<void(std::vector<std::uint8_t>)>;
+
+  /// Async entry point: classify `frame` and either hand it to the
+  /// ThreadPool or enqueue it with the batching scheduler. `done` receives
+  /// the response frame. Thread-safe; callers needing ordered responses
+  /// sequence completions themselves (serve() does).
+  void submit(std::vector<std::uint8_t> frame, DoneFn done);
 
   /// Serve one connection until the peer closes (or the transport fails).
   /// Blocking; call from a dedicated thread per connection.
   void serve(Transport& transport);
 
   /// Snapshot of the running counters (the same data a stats frame
-  /// reports).
+  /// reports), including any extra gauges registered by the front end.
   StatsResponse snapshot() const;
+
+  /// Register a provider of extra stats rows appended to snapshot() — the
+  /// event-loop front end adds its connection-state and queue gauges here
+  /// so one stats frame reports both layers. Pass nullptr to clear.
+  void set_extra_stats(std::function<void(StatsResponse&)> fn);
 
  private:
   /// One cache slot per canonical (codec, rank). `mu` serializes both the
@@ -88,6 +122,14 @@ class Server {
     std::shared_ptr<std::mutex> mu;
   };
 
+  /// A compress request parked with the batching scheduler. `key` is the
+  /// canonical "codec#rank" the group is formed on.
+  struct BatchJob {
+    std::vector<std::uint8_t> frame;
+    std::string key;
+    DoneFn done;
+  };
+
   Expected<CachedCodec> codec_for(const std::string& name, int rank);
   Expected<std::unique_ptr<Compressor>> build_codec(const std::string& base,
                                                     bool parallel, int rank);
@@ -101,11 +143,23 @@ class Server {
   std::vector<std::uint8_t> handle_stats();
   std::vector<std::uint8_t> error_frame(ErrCode code, std::string message);
 
+  void batcher_main();
+  void run_batch(std::vector<BatchJob>& jobs);
+
   Options opt_;
   std::unique_ptr<ThreadPool> pool_;
 
   std::mutex cache_mu_;
   std::map<std::string, std::shared_ptr<CacheEntry>> cache_;
+
+  mutable std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::deque<BatchJob> batch_queue_;
+  bool batch_stop_ = false;
+  std::thread batcher_;
+
+  mutable std::mutex extra_mu_;
+  std::function<void(StatsResponse&)> extra_stats_;
 
   struct Counters {
     std::atomic<std::uint64_t> requests{0};
@@ -119,6 +173,14 @@ class Server {
     std::atomic<std::uint64_t> codec_cache_hits{0};
     std::atomic<std::uint64_t> codec_cache_misses{0};
     std::atomic<std::uint64_t> ae_model_loads{0};
+    // Batching scheduler: how many requests rode through it, how many
+    // compress_batch group executions ran, and a group-size histogram.
+    std::atomic<std::uint64_t> batched_requests{0};
+    std::atomic<std::uint64_t> batch_executions{0};
+    std::atomic<std::uint64_t> batch_size_1{0};
+    std::atomic<std::uint64_t> batch_size_2_3{0};
+    std::atomic<std::uint64_t> batch_size_4_7{0};
+    std::atomic<std::uint64_t> batch_size_8_plus{0};
   };
   Counters counters_;
 };

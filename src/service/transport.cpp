@@ -204,6 +204,11 @@ Status TcpTransport::send_frame(std::span<const std::uint8_t> frame) {
   return send_all(fd_, frame.data(), frame.size());
 }
 
+Status TcpTransport::send_raw(std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) return Status::error(ErrCode::kIoError, "socket closed");
+  return send_all(fd_, bytes.data(), bytes.size());
+}
+
 Expected<std::vector<std::uint8_t>> TcpTransport::recv_frame() {
   if (fd_ < 0) return Status::error(ErrCode::kIoError, "socket closed");
   std::uint8_t prefix[4];

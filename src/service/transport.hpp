@@ -93,6 +93,11 @@ class TcpTransport final : public Transport {
   Expected<std::vector<std::uint8_t>> recv_frame() override;
   void shutdown() override;
 
+  /// Test hook mirroring PipeTransport::send_raw: put raw bytes on the
+  /// wire with NO length prefix, so fuzzers can present hostile/truncated
+  /// prefixes and split frames at arbitrary byte boundaries.
+  Status send_raw(std::span<const std::uint8_t> bytes);
+
  private:
   int fd_ = -1;
 };
@@ -109,6 +114,11 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
 
   std::uint16_t port() const { return port_; }
+
+  /// Underlying listening socket, for readiness-based accept loops (the
+  /// event server polls this instead of blocking in accept()). -1 after
+  /// close(). The listener keeps ownership.
+  int fd() const { return fd_; }
 
   /// Block for the next connection. kIoError after close().
   Expected<std::unique_ptr<TcpTransport>> accept();

@@ -19,6 +19,7 @@ enum class ErrCode : std::uint8_t {
   kUnsupported,      // operation not provided by this codec (rank, mode)
   kIoError,          // file open/read/write failure
   kInternal,         // library invariant failure
+  kOverloaded,       // server admission control rejected the request
 };
 
 inline const char* errcode_name(ErrCode c) {
@@ -33,6 +34,7 @@ inline const char* errcode_name(ErrCode c) {
     case ErrCode::kUnsupported: return "unsupported";
     case ErrCode::kIoError: return "io_error";
     case ErrCode::kInternal: return "internal";
+    case ErrCode::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

@@ -1,0 +1,236 @@
+// Deterministic protocol fuzz layer: seeded-PRNG mutations of valid frames
+// (bit flips, truncation, extension, splicing, hostile length prefixes)
+// pushed through the frame handler, the pipe transport, and the TCP event
+// server. The contract under ASan/UBSan (run_sanitizers.sh): every input
+// produces a typed error frame or a valid response — never a crash, hang,
+// out-of-bounds access, or unbounded allocation.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "data/synth.hpp"
+#include "service/client.hpp"
+#include "service/event_loop.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+#include "util/rng.hpp"
+
+namespace aesz {
+namespace {
+
+namespace svc = ::aesz::service;
+
+/// Corpus of well-formed request frames the mutators start from.
+std::vector<std::vector<std::uint8_t>> corpus() {
+  std::vector<std::vector<std::uint8_t>> out;
+  const Field f = synth::cesm_freqsh(16, 24, 50);
+  const auto floats = f.values();
+  svc::CompressRequest creq;
+  creq.codec = "SZ2.1";
+  creq.eb = ErrorBound::Rel(1e-2);
+  creq.dims = f.dims();
+  creq.field = {reinterpret_cast<const std::uint8_t*>(floats.data()),
+                floats.size() * sizeof(float)};
+  out.push_back(svc::encode_compress_request(creq));
+  creq.codec = "AE-SZ";
+  out.push_back(svc::encode_compress_request(creq));
+
+  static std::vector<std::uint8_t> stream;  // valid SZ2.1 stream
+  if (stream.empty()) {
+    svc::Server one_shot;
+    auto response = one_shot.handle_frame(out.front());
+    auto parsed = svc::parse_compress_response(response);
+    EXPECT_TRUE(parsed.ok());
+    stream.assign(parsed->stream.begin(), parsed->stream.end());
+  }
+  svc::DecompressRequest dreq;
+  dreq.codec = "";
+  dreq.stream = stream;
+  out.push_back(svc::encode_decompress_request(dreq));
+  out.push_back(svc::encode_list_codecs_request());
+  out.push_back(svc::encode_stats_request());
+  return out;
+}
+
+/// A hostile length prefix: either a small lie (peer waits for bytes that
+/// never come) or a guaranteed-oversize one (> kMaxFrameBytes, must be
+/// rejected before any allocation). Never an in-between value that would
+/// make the transport legitimately pre-allocate hundreds of megabytes.
+std::uint32_t hostile_len(Rng& rng) {
+  if (rng.below(2) == 0)
+    return static_cast<std::uint32_t>(rng.below(1 << 16));
+  return 0xC0000000u | static_cast<std::uint32_t>(rng.next_u64());
+}
+
+/// One deterministic mutation of `base` driven by `rng`.
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& base,
+                                 const std::vector<std::uint8_t>& other,
+                                 Rng& rng) {
+  std::vector<std::uint8_t> m = base;
+  switch (rng.below(6)) {
+    case 0:  // flip 1-8 random bits
+      for (std::uint64_t i = 0, n = 1 + rng.below(8); i < n && !m.empty();
+           ++i)
+        m[rng.below(m.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      break;
+    case 1:  // truncate at a random point (frame boundaries included)
+      m.resize(rng.below(m.size() + 1));
+      break;
+    case 2:  // extend with random tail bytes
+      for (std::uint64_t i = 0, n = 1 + rng.below(64); i < n; ++i)
+        m.push_back(static_cast<std::uint8_t>(rng.below(256)));
+      break;
+    case 3: {  // splice: head of one frame, tail of another
+      const std::size_t cut_a = rng.below(m.size() + 1);
+      const std::size_t cut_b = other.empty() ? 0 : rng.below(other.size());
+      m.resize(cut_a);
+      m.insert(m.end(), other.begin() + cut_b, other.end());
+      break;
+    }
+    case 4:  // stomp a random aligned u32 (magic/length/count fields)
+      if (m.size() >= 4) {
+        const std::uint32_t v = static_cast<std::uint32_t>(rng.next_u64());
+        std::memcpy(m.data() + 4 * rng.below(m.size() / 4), &v, 4);
+      }
+      break;
+    default:  // pure noise of hostile length
+      m.assign(rng.below(512), 0);
+      for (auto& b : m) b = static_cast<std::uint8_t>(rng.below(256));
+      break;
+  }
+  return m;
+}
+
+bool is_valid_response_or_error(std::span<const std::uint8_t> frame) {
+  const auto op = svc::peek_op(frame);
+  if (!op.ok()) return false;
+  switch (*op) {
+    case svc::Op::kErrorResponse:
+      return svc::parse_error_response(frame).ok();
+    case svc::Op::kCompressResponse:
+      return svc::parse_compress_response(frame).ok();
+    case svc::Op::kDecompressResponse:
+      return svc::parse_decompress_response(frame).ok();
+    case svc::Op::kListCodecsResponse:
+      return svc::parse_list_codecs_response(frame).ok();
+    case svc::Op::kStatsResponse:
+      return svc::parse_stats_response(frame).ok();
+    default:
+      return false;
+  }
+}
+
+/// Frame-level: every mutated frame gets a parseable typed response.
+TEST(ServiceFuzz, MutatedFramesAlwaysGetTypedResponses) {
+  svc::Server server;
+  const auto seeds = {0x5eedULL, 0xfeedULL, 0xc0ffeeULL};
+  const auto base = corpus();
+  for (const auto seed : seeds) {
+    Rng rng(seed);
+    for (int iter = 0; iter < 150; ++iter) {
+      const auto& a = base[rng.below(base.size())];
+      const auto& b = base[rng.below(base.size())];
+      const auto m = mutate(a, b, rng);
+      const auto response = server.handle_frame(m);
+      EXPECT_TRUE(is_valid_response_or_error(response))
+          << "seed " << seed << " iter " << iter;
+    }
+  }
+  // The server survived several hundred hostile frames and still works.
+  const auto ok = server.handle_frame(base.front());
+  EXPECT_TRUE(svc::parse_compress_response(ok).ok());
+}
+
+/// Pipe-transport-level: mutated bytes INCLUDING the length prefix go
+/// through serve()'s framing; the serving thread must always terminate
+/// (typed response, or orderly close on an un-resynchronizable prefix).
+TEST(ServiceFuzz, PipeTransportSurvivesHostileFraming) {
+  svc::Server server;
+  const auto base = corpus();
+  for (const auto seed : {0x11ULL, 0x22ULL, 0x33ULL}) {
+    Rng rng(seed);
+    for (int iter = 0; iter < 40; ++iter) {
+      auto [client_end, server_end] = svc::PipeTransport::make_pair();
+      std::thread serving([&server, &server_end] {
+        server.serve(*server_end);
+      });
+      // A valid framed request, then mutated raw bytes (frame + mangled
+      // prefix), then close.
+      const auto& a = base[rng.below(base.size())];
+      const auto m = mutate(a, base[rng.below(base.size())], rng);
+      if (rng.below(2) == 0)
+        (void)client_end->send_frame(a);
+      std::uint32_t len = static_cast<std::uint32_t>(m.size());
+      if (rng.below(3) == 0) len = hostile_len(rng);
+      std::uint8_t prefix[4];
+      std::memcpy(prefix, &len, 4);
+      client_end->send_raw({prefix, 4});
+      client_end->send_raw(m);
+      client_end->shutdown();
+      serving.join();  // must not hang
+    }
+  }
+}
+
+/// TCP-level against the event server: byte soup, split at random points
+/// across many connections; the server must survive them all and then
+/// serve a normal client correctly.
+TEST(ServiceFuzz, EventServerSurvivesTcpByteSoup) {
+  svc::Server server;
+  auto bound = svc::TcpListener::bind(0);
+  ASSERT_TRUE(bound.ok());
+  svc::EventServer::Options ev;
+  svc::EventServer events(server, **bound, ev);
+  std::thread loop([&] { events.run(); });
+
+  const auto base = corpus();
+  for (const auto seed : {0xaaULL, 0xbbULL}) {
+    Rng rng(seed);
+    for (int iter = 0; iter < 30; ++iter) {
+      auto conn = svc::TcpTransport::connect("127.0.0.1", (*bound)->port());
+      ASSERT_TRUE(conn.ok());
+      const auto& a = base[rng.below(base.size())];
+      auto m = mutate(a, base[rng.below(base.size())], rng);
+      // Random framing: half the time a (possibly lying) prefix, half raw.
+      if (rng.below(2) == 0) {
+        std::uint32_t len = static_cast<std::uint32_t>(m.size());
+        if (rng.below(3) == 0) len = hostile_len(rng);
+        std::uint8_t prefix[4];
+        std::memcpy(prefix, &len, 4);
+        m.insert(m.begin(), prefix, prefix + 4);
+      }
+      // Split the bytes at random points so frames straddle reads.
+      std::size_t off = 0;
+      while (off < m.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng.below(96), m.size() - off);
+        if (!(*conn)->send_raw({m.data() + off, n}).ok()) break;
+        off += n;
+      }
+      (*conn)->shutdown();  // never waits for a response: hang-proof
+    }
+  }
+
+  // The loop is still healthy after the abuse.
+  auto conn = svc::TcpTransport::connect("127.0.0.1", (*bound)->port());
+  ASSERT_TRUE(conn.ok());
+  svc::Client client(**conn);
+  const Field f = synth::cesm_freqsh(16, 24, 50);
+  auto result = client.compress("SZ2.1", f, ErrorBound::Rel(1e-2));
+  ASSERT_TRUE(result.ok());
+  auto round = client.decompress(result->stream);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->dims().total(), f.dims().total());
+
+  events.stop();
+  loop.join();
+}
+
+}  // namespace
+}  // namespace aesz
