@@ -6,14 +6,16 @@
 // (docs/PROTOCOL.md, docs/ARCHITECTURE.md).
 //
 //   aesz_server [--port N] [--threads N] [--model m.bin --field NAME]
-//               [--port-file PATH] [--once N] [--poll]
+//               [--port-file PATH] [--once [N]] [--poll]
 //               [--max-inflight N] [--max-batch N] [--batch-delay-us N]
 //
 //   --port N           listen port; 0 (default) = kernel-assigned ephemeral
 //   --threads N        request worker threads; 0 = hardware concurrency
 //   --model/--field    serve a trained AE-SZ model for "AE-SZ" requests
 //   --port-file P      write the bound port to P (for scripts racing startup)
-//   --once N           exit after N connections have come and gone (CI mode)
+//   --once [N]         exit after N connections have come and gone (CI
+//                      mode); bare --once means --once 1, the flag's
+//                      pre-event-loop spelling
 //   --poll             use the poll(2) backend instead of epoll
 //   --max-inflight N   admission cap before kOverloaded answers (default 64)
 //   --max-batch N      AE-SZ requests coalesced per inference (default 8;
@@ -35,9 +37,10 @@ int main(int argc, char** argv) {
   using namespace aesz;
   try {
     CliArgs args(argc, argv,
-                 {"port", "threads", "model", "field", "port-file", "once",
+                 {"port", "threads", "model", "field", "port-file",
                   "max-inflight", "max-batch", "batch-delay-us"},
-                 /*known_flags=*/{"poll"});
+                 /*known_flags=*/{"poll"},
+                 /*optional_value_keys=*/{"once"});
 
     service::Server::Options opt;
     opt.threads = static_cast<std::size_t>(args.get_long("threads", 0));

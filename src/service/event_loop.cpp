@@ -122,19 +122,44 @@ int EventLoop::wait(std::vector<Event>& out, int timeout_ms) {
 
 // --------------------------------------------------------- EventServer ----
 
+EventServer::CompletionQueue::CompletionQueue() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0)
+    throw Error(ErrCode::kIoError,
+                std::string("event server wake pipe: ") +
+                    std::strerror(errno));
+  set_nonblocking(fds[0]);
+  set_nonblocking(fds[1]);
+  wake_rd = fds[0];
+  wake_wr = fds[1];
+}
+
+EventServer::CompletionQueue::~CompletionQueue() {
+  ::close(wake_rd);
+  ::close(wake_wr);
+}
+
+void EventServer::CompletionQueue::push(Completion done) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    q.push_back(std::move(done));
+  }
+  wake();
+}
+
+void EventServer::CompletionQueue::wake() {
+  const std::uint8_t one = 1;
+  // EAGAIN means the pipe already holds a wakeup; that is enough.
+  (void)!::write(wake_wr, &one, 1);
+}
+
 EventServer::EventServer(Server& server, TcpListener& listener, Options opt)
     : server_(server),
       listener_(listener),
       opt_(opt),
-      loop_(opt_.force_poll) {
+      loop_(opt_.force_poll),
+      done_q_(std::make_shared<CompletionQueue>()) {
   set_nonblocking(listener_.fd());
-  int fds[2] = {-1, -1};
-  if (::pipe(fds) == 0) {
-    set_nonblocking(fds[0]);
-    set_nonblocking(fds[1]);
-    wake_rd_ = fds[0];
-    wake_wr_ = fds[1];
-  }
   server_.set_extra_stats([this](StatsResponse& out) {
     const auto put = [&](const char* name,
                          const std::atomic<std::uint64_t>& v) {
@@ -157,20 +182,14 @@ EventServer::~EventServer() {
   server_.set_extra_stats(nullptr);
   for (auto& [fd, c] : conns_) ::close(fd);
   conns_.clear();
-  if (wake_rd_ >= 0) ::close(wake_rd_);
-  if (wake_wr_ >= 0) ::close(wake_wr_);
-}
-
-void EventServer::wake() {
-  if (wake_wr_ < 0) return;
-  const std::uint8_t one = 1;
-  // EAGAIN means the pipe already holds a wakeup; that is enough.
-  (void)!::write(wake_wr_, &one, 1);
+  // done_q_ (and its wake pipe) is NOT torn down here: completion lambdas
+  // still executing in the Server's pool share ownership and release it
+  // when the last one finishes.
 }
 
 void EventServer::stop() {
   stop_.store(true, std::memory_order_release);
-  wake();
+  done_q_->wake();
 }
 
 void EventServer::update_interest(Conn& c) {
@@ -258,55 +277,56 @@ void EventServer::accept_ready() {
   }
 }
 
-void EventServer::admit_frame(Conn& c, std::vector<std::uint8_t> frame) {
+bool EventServer::admit_frame(Conn& c, std::vector<std::uint8_t> frame) {
   const std::uint64_t seq = c.next_seq++;
   if (inflight_.load(std::memory_order_relaxed) >= opt_.max_inflight) {
     // Admission control: answer immediately (in this request's ordered
     // slot) instead of queueing work the server has no room for.
     rejected_requests_.fetch_add(1, std::memory_order_relaxed);
-    complete(c, seq,
-             encode_error_response(
-                 {ErrCode::kOverloaded,
-                  "server overloaded: too many requests in flight"}));
-    return;
+    return complete(c, seq,
+                    encode_error_response(
+                        {ErrCode::kOverloaded,
+                         "server overloaded: too many requests in flight"}));
   }
   inflight_.fetch_add(1, std::memory_order_relaxed);
   ++c.inflight;
   const std::uint64_t conn_id = c.id;
+  // The lambda captures the shared queue, NOT `this`: it may run after
+  // the EventServer (and its wake pipe, were it owned there) is gone.
   server_.submit(std::move(frame),
-                 [this, conn_id, seq](std::vector<std::uint8_t> response) {
-                   {
-                     std::lock_guard<std::mutex> lock(done_mu_);
-                     done_.push_back(
-                         Completion{conn_id, seq, std::move(response)});
-                   }
-                   wake();
+                 [dq = done_q_, conn_id, seq](
+                     std::vector<std::uint8_t> response) {
+                   dq->push(Completion{conn_id, seq, std::move(response)});
                  });
+  return false;
 }
 
-void EventServer::parse_frames(Conn& c) {
+bool EventServer::parse_frames(Conn& c) {
   while (!c.closing) {
-    if (c.rbuf.size() < 4) return;
+    if (c.rbuf.size() < 4) return false;
     std::uint32_t len = 0;
     std::memcpy(&len, c.rbuf.data(), 4);
     // Validated BEFORE any body allocation — a hostile 4-byte prefix
     // cannot size a buffer. Framing cannot resynchronize after a bad
     // prefix, so the typed error is this connection's final response.
     if (len > kMaxFrameBytes) {
-      complete(c, c.next_seq++,
-               encode_error_response(
-                   {ErrCode::kCorruptStream,
-                    "declared frame length exceeds limit"}));
+      // closing is set BEFORE complete(): its opportunistic flush may
+      // close the connection (flushed in full, or peer reset), and `c`
+      // must not be touched after that.
       c.closing = true;
       c.rbuf.clear();
-      return;
+      return complete(c, c.next_seq++,
+                      encode_error_response(
+                          {ErrCode::kCorruptStream,
+                           "declared frame length exceeds limit"}));
     }
-    if (c.rbuf.size() < 4 + static_cast<std::size_t>(len)) return;
+    if (c.rbuf.size() < 4 + static_cast<std::size_t>(len)) return false;
     std::vector<std::uint8_t> frame(c.rbuf.begin() + 4,
                                     c.rbuf.begin() + 4 + len);
     c.rbuf.erase(c.rbuf.begin(), c.rbuf.begin() + 4 + len);
-    admit_frame(c, std::move(frame));
+    if (admit_frame(c, std::move(frame))) return true;
   }
+  return false;
 }
 
 bool EventServer::read_ready(Conn& c) {
@@ -319,7 +339,7 @@ bool EventServer::read_ready(Conn& c) {
     const ssize_t r = ::recv(c.fd, tmp, sizeof tmp, 0);
     if (r > 0) {
       c.rbuf.insert(c.rbuf.end(), tmp, tmp + r);
-      parse_frames(c);
+      if (parse_frames(c)) return true;  // connection closed; `c` is gone
       if (static_cast<std::size_t>(r) < sizeof tmp) break;
     } else if (r == 0) {
       // Half-close: the peer is done asking; it still gets every answer
@@ -363,7 +383,7 @@ bool EventServer::write_ready(Conn& c) {
   return false;
 }
 
-void EventServer::complete(Conn& c, std::uint64_t seq,
+bool EventServer::complete(Conn& c, std::uint64_t seq,
                            std::vector<std::uint8_t> response) {
   // Frame (length prefix + body) now, park in the ordered slot, then
   // flush every consecutively-ready response.
@@ -386,15 +406,16 @@ void EventServer::complete(Conn& c, std::uint64_t seq,
     ++c.next_flush;
   }
   // Opportunistic flush; write_ready also refreshes interest/gauges and
-  // may close the connection if this was the last owed byte.
-  write_ready(c);
+  // closes the connection (returning true) if this was the last owed byte
+  // of a closing connection or the peer reset underneath the send.
+  return write_ready(c);
 }
 
 void EventServer::drain_completions() {
   std::deque<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(done_mu_);
-    batch.swap(done_);
+    std::lock_guard<std::mutex> lock(done_q_->mu);
+    batch.swap(done_q_->q);
   }
   for (Completion& done : batch) {
     inflight_.fetch_sub(1, std::memory_order_relaxed);
@@ -404,13 +425,14 @@ void EventServer::drain_completions() {
     if (cit == conns_.end()) continue;
     Conn& c = cit->second;
     --c.inflight;
-    complete(c, done.seq, std::move(done.response));
+    // complete() may close the connection; `c` is not touched afterwards.
+    (void)complete(c, done.seq, std::move(done.response));
   }
 }
 
 void EventServer::run() {
-  if (wake_rd_ >= 0)
-    loop_.add(wake_rd_, /*want_read=*/true, /*want_write=*/false);
+  const int wake_rd = done_q_->wake_rd;
+  loop_.add(wake_rd, /*want_read=*/true, /*want_write=*/false);
   accepting_ = opt_.accept_limit == 0 ||
                connections_total_.load(std::memory_order_relaxed) <
                    opt_.accept_limit;
@@ -423,9 +445,9 @@ void EventServer::run() {
     events.clear();
     loop_.wait(events, /*timeout_ms=*/-1);
     for (const EventLoop::Event& ev : events) {
-      if (ev.fd == wake_rd_) {
+      if (ev.fd == wake_rd) {
         std::uint8_t sink[256];
-        while (::read(wake_rd_, sink, sizeof sink) > 0) {
+        while (::read(wake_rd, sink, sizeof sink) > 0) {
         }
         drain_completions();
         continue;
@@ -469,10 +491,12 @@ void EventServer::run() {
             opt_.accept_limit;
     if ((stopping || limit_done) && conns_.empty()) break;
   }
-  if (wake_rd_ >= 0) loop_.remove(wake_rd_);
+  loop_.remove(wake_rd);
   if (accepting_) loop_.remove(listener_.fd());
   // Late completions for connections that no longer exist still need
-  // their inflight accounting drained.
+  // their inflight accounting drained. Completions arriving after this
+  // (requests still executing in the pool) land in done_q_, which the
+  // lambdas keep alive past the EventServer itself.
   drain_completions();
 }
 

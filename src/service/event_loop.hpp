@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -140,35 +141,62 @@ class EventServer {
     std::vector<std::uint8_t> response;
   };
 
+  /// Worker→loop completion handoff that OUTLIVES the EventServer: the
+  /// DoneFn lambdas handed to Server::submit() capture it by shared_ptr,
+  /// so a request still executing in the Server's pool when the front end
+  /// is torn down delivers into this queue (and its wake pipe) instead of
+  /// a destroyed object; the last such lambda releases it. Owns both ends
+  /// of the wake pipe for the same reason.
+  struct CompletionQueue {
+    /// Throws Error(kIoError) if the wake pipe cannot be created — without
+    /// it completions could never wake the loop and the server would
+    /// wedge, so construction failure is fatal.
+    CompletionQueue();
+    ~CompletionQueue();
+
+    CompletionQueue(const CompletionQueue&) = delete;
+    CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+    /// Enqueue one completion and wake the loop. Any-thread safe.
+    void push(Completion done);
+    /// Make the loop's next wait() return. Any-thread safe.
+    void wake();
+
+    std::mutex mu;
+    std::deque<Completion> q;
+    int wake_rd = -1;  // loop side: readable => drain completions
+    int wake_wr = -1;
+  };
+
   void accept_ready();
   /// Handlers that may close the connection return true when they did —
   /// the Conn reference is dead afterwards and callers must not touch it.
+  /// This includes complete()/admit_frame()/parse_frames(): each ends with
+  /// an opportunistic flush that closes the connection when the peer has
+  /// reset, so their closed result must propagate all the way up.
   bool read_ready(Conn& c);
   bool write_ready(Conn& c);
-  void parse_frames(Conn& c);
-  void admit_frame(Conn& c, std::vector<std::uint8_t> frame);
-  void complete(Conn& c, std::uint64_t seq,
+  bool parse_frames(Conn& c);
+  bool admit_frame(Conn& c, std::vector<std::uint8_t> frame);
+  bool complete(Conn& c, std::uint64_t seq,
                 std::vector<std::uint8_t> response);
   void drain_completions();
   void update_interest(Conn& c);
   bool maybe_close(Conn& c);
   void close_conn(Conn& c);
-  void wake();
 
   Server& server_;
   TcpListener& listener_;
   Options opt_;
   EventLoop loop_;
 
-  int wake_rd_ = -1, wake_wr_ = -1;
   bool accepting_ = true;
 
   std::map<int, Conn> conns_;                // keyed by fd (loop thread only)
   std::map<std::uint64_t, int> id_to_fd_;    // loop thread only
   std::uint64_t next_conn_id_ = 1;
 
-  std::mutex done_mu_;
-  std::deque<Completion> done_;
+  std::shared_ptr<CompletionQueue> done_q_;
 
   std::atomic<bool> stop_{false};
 

@@ -13,13 +13,23 @@ namespace aesz {
 /// Minimal --flag/--key value parser for the example tools. Positional
 /// arguments are collected in order; "--key value" and "--key=value" both
 /// work; names in `known_flags` are bare boolean switches ("--verify",
-/// queried with has()) that consume no value; unknown flags throw so typos
-/// fail loudly.
+/// queried with has()) that consume no value; names in
+/// `optional_value_keys` take a value when one follows ("--once 3") but
+/// default to "1" when the next token is another option or argv ends
+/// (bare "--once" — kept for callers that predate the key growing a
+/// value); unknown flags throw so typos fail loudly.
 class CliArgs {
  public:
   CliArgs(int argc, char** argv, std::vector<std::string> known_keys,
-          std::vector<std::string> known_flags = {})
-      : known_(std::move(known_keys)), flags_(std::move(known_flags)) {
+          std::vector<std::string> known_flags = {},
+          std::vector<std::string> optional_value_keys = {})
+      : known_(std::move(known_keys)),
+        flags_(std::move(known_flags)),
+        optional_(std::move(optional_value_keys)) {
+    const auto in = [](const std::vector<std::string>& v,
+                       const std::string& k) {
+      return std::find(v.begin(), v.end(), k) != v.end();
+    };
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
@@ -32,26 +42,28 @@ class CliArgs {
       if (eq != std::string::npos) {
         value = key.substr(eq + 1);
         key = key.substr(0, eq);
-      } else if (std::find(flags_.begin(), flags_.end(), key) !=
-                 flags_.end()) {
+      } else if (in(flags_, key)) {
         // std::string temporary, not a char* assign: GCC 12's -Wrestrict
         // false-fires on the inlined assign(const char*) path here.
         values_[key] = std::string("1");
         continue;
+      } else if (in(optional_, key) &&
+                 (i + 1 >= argc ||
+                  std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+        value = std::string("1");
       } else if (i + 1 < argc) {
         value = argv[++i];
       } else {
         throw Error("missing value for --" + key);
       }
-      if (std::find(flags_.begin(), flags_.end(), key) != flags_.end()) {
+      if (in(flags_, key)) {
         // Callers test flags by presence (has()), so "--flag=0" /
         // "--flag=false" must drop the key entirely to mean off.
         if (value != "0" && value != "false")
           values_[key] = std::string("1");
         continue;
       }
-      AESZ_CHECK_MSG(std::find(known_.begin(), known_.end(), key) !=
-                         known_.end(),
+      AESZ_CHECK_MSG(in(known_, key) || in(optional_, key),
                      "unknown option --" + key);
       values_[key] = value;
     }
@@ -79,6 +91,7 @@ class CliArgs {
  private:
   std::vector<std::string> known_;
   std::vector<std::string> flags_;
+  std::vector<std::string> optional_;
   std::vector<std::string> positional_;
   std::map<std::string, std::string> values_;
 };

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -245,6 +250,117 @@ TEST(EventServerConcurrency, SlowReaderBackpressureBoundsServerBuffering) {
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->get("error_responses"), 0u);
   EXPECT_EQ(stats->get("ev_conns_read_paused"), 0u);
+}
+
+/// Raw loopback socket the harness transports can't express: closes with
+/// SO_LINGER{on, 0s}, so ::close sends RST instead of FIN and the server's
+/// next send/recv on the connection fails hard.
+struct RawClient {
+  int fd = -1;
+  explicit RawClient(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      ADD_FAILURE() << "raw connect failed: " << std::strerror(errno);
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  void send(std::span<const std::uint8_t> bytes) {
+    ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  void rst_close() {
+    if (fd < 0) return;
+    linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    ::close(fd);
+    fd = -1;
+  }
+  ~RawClient() { rst_close(); }
+};
+
+/// Hostile peers that pipeline past the admission cap (or send a lying
+/// length prefix) and then RESET the connection race the server's
+/// synchronous error responses against a dying socket: send() inside the
+/// completion path fails and the connection must be torn down exactly once
+/// with nothing touching it afterwards (the use-after-free regression this
+/// pins is only observable under ASan). The server must survive the storm
+/// and keep serving.
+TEST(EventServerConcurrency, ResetDuringErrorResponsesDoesNotCorrupt) {
+  for (const bool force_poll : {false, true}) {
+    svc::Server::Options so;
+    so.max_batch = 8;
+    so.batch_delay_us = 400000;  // parks one admitted AE-SZ request
+    svc::EventServer::Options ev;
+    ev.force_poll = force_poll;
+    ev.max_inflight = 1;
+    EventHarness h(ev, so);
+
+    // Occupy the single in-flight slot so every stormer frame is answered
+    // synchronously with kOverloaded inside the read pass.
+    auto occupier = h.connect();
+    const Field f = synth::cesm_freqsh(24, 36, 50);
+    ASSERT_TRUE(
+        occupier->send_raw(framed(compress_frame(f, 1e-3, "AE-SZ"))).ok());
+
+    std::vector<std::uint8_t> tiny = {1, 0, 0, 0, 0xEE};  // 1-byte frame
+    std::vector<std::uint8_t> burst;
+    for (int i = 0; i < 16; ++i)
+      burst.insert(burst.end(), tiny.begin(), tiny.end());
+    const std::vector<std::uint8_t> hostile = {0xFF, 0xFF, 0xFF, 0xFF};
+
+    for (int i = 0; i < 40; ++i) {
+      RawClient raw(h.listener->port());
+      if (raw.fd < 0) break;  // ASSERT in ctor already failed the test
+      // Alternate abuse: overload burst vs. oversized length prefix, with
+      // a sliding delay to move the reset around the server's read→send
+      // window.
+      raw.send(i % 2 == 0 ? burst : hostile);
+      if (i % 4 != 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(50 * (i % 4)));
+      raw.rst_close();
+    }
+
+    // The parked request still completes for the well-behaved client...
+    auto response = occupier->recv_frame();
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(svc::parse_compress_response(*response).ok());
+    // ...and a fresh connection round-trips against a healthy server.
+    auto probe = h.connect();
+    svc::Client client(*probe);
+    auto again = client.compress("SZ2.1", f, ErrorBound::Rel(1e-2));
+    ASSERT_TRUE(again.ok());
+  }
+}
+
+/// Tear the front end down while a request is still executing: the client
+/// resets (so the connection is reaped) and the harness is destroyed while
+/// the admitted request is still parked in the batcher. Its completion
+/// then fires after the EventServer is gone and must land in the
+/// shared-ownership completion queue, not the destroyed front end (the
+/// destroyed-mutex/wake-pipe regression this pins shows up under ASan).
+TEST(EventServerConcurrency, TeardownWithRequestStillExecuting) {
+  svc::Server::Options so;
+  so.max_batch = 8;
+  so.batch_delay_us = 300000;  // keeps the request alive past teardown
+  const Field f = synth::cesm_freqsh(24, 36, 50);
+  {
+    EventHarness h({}, so);
+    RawClient raw(h.listener->port());
+    ASSERT_GE(raw.fd, 0);
+    raw.send(framed(compress_frame(f, 1e-3, "AE-SZ")));
+    // Let the loop read and admit the frame before the reset discards it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    raw.rst_close();
+  }  // stop() + join, then ~EventServer, then ~Server completes the job
 }
 
 /// Stacked pipelined requests all get answered, in order, on one

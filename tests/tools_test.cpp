@@ -11,11 +11,14 @@ namespace {
 // ---------------------------------------------------------------- CLI ----
 
 CliArgs make_args(std::vector<std::string> argv,
-                  std::vector<std::string> keys) {
+                  std::vector<std::string> keys,
+                  std::vector<std::string> flags = {},
+                  std::vector<std::string> optional = {}) {
   std::vector<char*> raw;
   raw.push_back(const_cast<char*>("prog"));
   for (auto& a : argv) raw.push_back(a.data());
-  return CliArgs(static_cast<int>(raw.size()), raw.data(), std::move(keys));
+  return CliArgs(static_cast<int>(raw.size()), raw.data(), std::move(keys),
+                 std::move(flags), std::move(optional));
 }
 
 TEST(Cli, ParsesKeyValuePairs) {
@@ -46,6 +49,26 @@ TEST(Cli, UnknownFlagThrows) {
 
 TEST(Cli, MissingValueThrows) {
   EXPECT_THROW(make_args({"--eb"}, {"eb"}), Error);
+}
+
+// Optional-value keys: aesz_server's --once grew a count but must keep
+// accepting the bare pre-event-loop spelling (== "--once 1").
+TEST(Cli, OptionalValueKeyTakesValueWhenGiven) {
+  auto args = make_args({"--once", "3", "--port", "0"}, {"port"}, {},
+                        {"once"});
+  EXPECT_EQ(args.get_long("once", 0), 3);
+  EXPECT_EQ(args.get_long("port", 9), 0);
+}
+
+TEST(Cli, OptionalValueKeyDefaultsToOneWhenBare) {
+  auto trailing = make_args({"--port", "0", "--once"}, {"port"}, {},
+                            {"once"});
+  EXPECT_EQ(trailing.get_long("once", 0), 1);
+  auto mid = make_args({"--once", "--port", "0"}, {"port"}, {}, {"once"});
+  EXPECT_EQ(mid.get_long("once", 0), 1);
+  EXPECT_EQ(mid.get_long("port", 9), 0);
+  auto eq = make_args({"--once=5"}, {}, {}, {"once"});
+  EXPECT_EQ(eq.get_long("once", 0), 5);
 }
 
 // ----------------------------------------------------------- model zoo ---
