@@ -1,0 +1,173 @@
+// bench_temporal — residual temporal coding (src/temporal/) vs independent
+// per-timestep snapshots, on a slowly advected synthetic field. Measures,
+// per inner codec and gop setting:
+//
+//   snapshot_bytes  sum of independent inner-codec streams (the baseline
+//                   a user gets by compressing each timestep on its own)
+//   stream_bytes    one AETC artifact in residual (kAuto) mode
+//   ratio           snapshot_bytes / stream_bytes  (the temporal win;
+//                   must be > 1 on correlated data or the run FAILS)
+//   append_ms       mean wall time per TemporalWriter::append
+//   read_ms         mean wall time per random TemporalReader::read
+//
+// The field is multi-octave value noise whose phase advances a small step
+// per timestep — frame-to-frame deltas are much smaller than the frames,
+// the regime temporal residual coding exists for. An all-intra AETC stream
+// is also measured to isolate container overhead from coding gains.
+//
+// Env knobs:
+//   AESZ_TEMPORAL_STEPS   timesteps per stream        (default 16)
+//   AESZ_TEMPORAL_ROWS    field rows (cols = 4/3*rows)(default 96)
+//   AESZ_TEMPORAL_CODECS  comma list of inner codecs  (default SZ2.1,ZFP)
+//   AESZ_TEMPORAL_EB      bound spec, MODE:VALUE      (default abs:1e-3)
+//   AESZ_BENCH_JSON       path to also write the JSON array to
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "data/synth.hpp"
+#include "temporal/temporal.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace aesz;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t end = s.find(',', pos);
+    if (end == std::string::npos) end = s.size();
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t steps = bench::env_size_t("AESZ_TEMPORAL_STEPS", 16);
+  const std::size_t rows = bench::env_size_t("AESZ_TEMPORAL_ROWS", 96);
+  const std::size_t cols = rows * 4 / 3;
+  const auto codecs =
+      split_csv(bench::env_str("AESZ_TEMPORAL_CODECS", "SZ2.1,ZFP"));
+  const ErrorBound eb =
+      ErrorBound::parse(bench::env_str("AESZ_TEMPORAL_EB", "abs:1e-3"))
+          .value();
+
+  bench::banner("temporal residual coding vs independent snapshots",
+                "temporal-stream subsystem target (ROADMAP), not a paper "
+                "figure");
+
+  // Advected frames: the lattice phase moves 0.05 per step, so successive
+  // frames differ by a small smooth delta.
+  std::vector<Field> frames;
+  frames.reserve(steps);
+  for (std::size_t t = 0; t < steps; ++t)
+    frames.push_back(synth::value_noise_2d(rows, cols, 4, 6.0, /*seed=*/17,
+                                           0.05 * static_cast<double>(t)));
+  const Dims dims = frames.front().dims();
+
+  std::printf("field %zux%zu, %zu timesteps, bound %s\n\n", rows, cols,
+              steps, eb.str().c_str());
+  std::printf("%-8s %4s  %12s %12s %7s  %9s %8s\n", "codec", "gop",
+              "snapshot(B)", "stream(B)", "ratio", "append_ms", "read_ms");
+
+  std::vector<bench::JsonObj> json;
+  bool residual_won_somewhere = false;
+  for (const auto& name : codecs) {
+    // Baseline: each timestep through a fresh inner codec, independent
+    // streams (what an AETC stream degenerates to without residuals).
+    std::size_t snapshot_bytes = 0;
+    {
+      auto codec = bench::registry_codec(name, 2);
+      for (const auto& f : frames)
+        snapshot_bytes += codec->compress(f, eb).size();
+    }
+
+    for (std::size_t gop : {std::size_t(0), std::size_t(4), std::size_t(8)}) {
+      temporal::TemporalWriter::Options opt;
+      opt.inner = name;
+      opt.gop = gop;
+      opt.mode = temporal::Mode::kAuto;
+      temporal::TemporalWriter writer(dims, eb, std::move(opt));
+
+      Timer append_timer;
+      for (const auto& f : frames) writer.append(f);
+      const double append_ms =
+          append_timer.seconds() * 1e3 / static_cast<double>(steps);
+      const auto artifact = writer.bytes();
+
+      // Random reads through a fresh reader: the O(gop) seek cost.
+      auto reader = temporal::TemporalReader::open(artifact).value();
+      Timer read_timer;
+      std::size_t reads = 0;
+      for (std::size_t t = steps; t-- > 0; t = t >= 3 ? t - 2 : 0) {
+        auto f = reader->read(t);
+        AESZ_CHECK_MSG(f.ok(), f.status().str());
+        ++reads;
+        if (t == 0) break;
+      }
+      const double read_ms =
+          read_timer.seconds() * 1e3 / static_cast<double>(reads);
+
+      const double ratio = static_cast<double>(snapshot_bytes) /
+                           static_cast<double>(artifact.size());
+      if (ratio > 1.0) residual_won_somewhere = true;
+      std::printf("%-8s %4zu  %12zu %12zu %7.3f  %9.3f %8.3f\n",
+                  name.c_str(), gop, snapshot_bytes, artifact.size(), ratio,
+                  append_ms, read_ms);
+
+      bench::JsonObj row;
+      row.add("bench", "temporal")
+          .add("codec", name)
+          .add("gop", gop)
+          .add("steps", steps)
+          .add("snapshot_bytes", snapshot_bytes)
+          .add("stream_bytes", artifact.size())
+          .add("ratio", ratio)
+          .add("append_ms", append_ms)
+          .add("read_ms", read_ms);
+      json.push_back(row);
+    }
+
+    // Container-overhead control: the same stream forced all-intra should
+    // land within a few header bytes per record of the snapshot baseline.
+    temporal::TemporalWriter::Options opt;
+    opt.inner = name;
+    opt.gop = 1;  // every step a keyframe
+    opt.mode = temporal::Mode::kIntra;
+    temporal::TemporalWriter intra(dims, eb, std::move(opt));
+    for (const auto& f : frames) intra.append(f);
+    const auto intra_bytes = intra.bytes().size();
+    std::printf("%-8s %4s  %12zu %12zu %7s  (all-intra control)\n\n",
+                name.c_str(), "-", snapshot_bytes, intra_bytes, "-");
+    bench::JsonObj row;
+    row.add("bench", "temporal_intra_control")
+        .add("codec", name)
+        .add("steps", steps)
+        .add("snapshot_bytes", snapshot_bytes)
+        .add("stream_bytes", intra_bytes);
+    json.push_back(row);
+  }
+
+  if (!residual_won_somewhere) {
+    std::printf("!! residual coding never beat independent snapshots on "
+                "correlated data — temporal regression\n");
+    return 1;
+  }
+
+  const std::string out = bench::json_array(json);
+  std::printf("%s\n", out.c_str());
+  const std::string path = bench::env_str("AESZ_BENCH_JSON", "");
+  if (!path.empty()) {
+    std::ofstream f(path);
+    f << out << "\n";
+  }
+  return 0;
+}

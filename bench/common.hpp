@@ -20,6 +20,7 @@
 #include "data/synth.hpp"
 #include "metrics/metrics.hpp"
 #include "predictors/registry.hpp"
+#include "util/cpu.hpp"
 #include "util/timer.hpp"
 
 namespace aesz::bench {
@@ -92,8 +93,9 @@ inline void banner(const char* what, const char* paper_ref) {
   std::printf("==============================================================\n");
   std::printf("%s\n", what);
   std::printf("reproduces: %s\n", paper_ref);
-  std::printf("epochs=%zu scale=%zu (env AESZ_BENCH_EPOCHS / AESZ_BENCH_SCALE)\n",
-              epochs(), scale());
+  std::printf("epochs=%zu scale=%zu (env AESZ_BENCH_EPOCHS / AESZ_BENCH_SCALE)"
+              ", simd=%s\n",
+              epochs(), scale(), util::cpu_dispatch_tier());
   std::printf("==============================================================\n");
 }
 

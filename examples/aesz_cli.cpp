@@ -39,6 +39,7 @@
 #include "metrics/metrics.hpp"
 #include "pipeline/parallel_compressor.hpp"
 #include "predictors/registry.hpp"
+#include "temporal/temporal.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
 
@@ -66,6 +67,12 @@ int usage() {
       "             --chunk N sets slab thickness in axis-0 planes\n"
       "--verify: decompress in memory after compress, print max abs error\n"
       "          vs the resolved bound, exit non-zero on a violation\n"
+      "--append: temporal mode — each input file is one timestep appended\n"
+      "          to the AETC stream at --out (created if absent, extended\n"
+      "          if present; --recover accepts a truncated tail). Knobs:\n"
+      "          --gop N (keyframe cadence, default 8), --mode\n"
+      "          auto|intra|residual (default auto)\n"
+      "--timestep N: decompress one timestep of an AETC stream (default 0)\n"
       "fields: ");
   for (const auto& f : model_zoo::known_fields())
     std::printf("%s ", f.c_str());
@@ -165,7 +172,72 @@ int cmd_train(const CliArgs& args) {
   return 0;
 }
 
+/// compress --append: each positional input is one timestep appended to
+/// the AETC stream at --out. A fresh file opens a new stream with the
+/// requested codec/bound/gop; an existing file is extended (its header
+/// pins those knobs — the flags only govern new streams). The whole
+/// artifact is rewritten each run; --recover reopens a file whose tail
+/// was torn by an interrupted append.
+int cmd_compress_append(const CliArgs& args) {
+  const std::string out_path = args.get("out", "out.aetc");
+  AESZ_CHECK_MSG(!args.positional().empty(),
+                 "need at least one input timestep file");
+  temporal::TemporalWriter::Options wopt;
+  wopt.inner = args.get("codec", "SZ2.1");
+  wopt.gop = static_cast<std::size_t>(args.get_long("gop", 8));
+  wopt.mode = temporal::parse_mode(args.get("mode", "auto")).value();
+  wopt.factory = [&args](const std::string& name,
+                         int rank) -> std::unique_ptr<Compressor> {
+    return build_codec(args, name, rank, /*wrap_on_flags=*/false);
+  };
+
+  std::unique_ptr<temporal::TemporalWriter> writer;
+  std::ifstream existing(out_path, std::ios::binary);
+  if (existing.good()) {
+    existing.close();
+    const auto stream = read_file(out_path);
+    auto opened = temporal::TemporalWriter::open(stream, wopt,
+                                                 args.has("recover"));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: cannot reopen %s: %s%s\n",
+                   out_path.c_str(), opened.status().str().c_str(),
+                   opened.status().code == ErrCode::kTruncated ||
+                           opened.status().code == ErrCode::kCorruptStream
+                       ? " (try --recover for a torn tail)"
+                       : "");
+      return 1;
+    }
+    writer = std::move(*opened);
+    std::printf("extending %s: %zu timesteps, inner %s, gop %zu\n",
+                out_path.c_str(), writer->timesteps(),
+                writer->inner().c_str(), writer->gop());
+  } else {
+    const Dims dims = parse_dims(args.get("dims", ""));
+    const ErrorBound eb =
+        ErrorBound::parse(args.get("eb", "rel:1e-2")).value();
+    writer = std::make_unique<temporal::TemporalWriter>(dims, eb,
+                                                        std::move(wopt));
+  }
+
+  for (const auto& path : args.positional()) {
+    const Field f = Field::load_raw(path, writer->dims());
+    const auto res = writer->append(f);
+    std::printf("  t=%zu %s: %zu bytes (bound %.6g)\n", res.timestep,
+                res.mode == temporal::kModeResidual ? "residual" : "intra",
+                res.stored_bytes, res.abs_eb);
+  }
+  const auto artifact = writer->bytes();
+  write_file(out_path, artifact);
+  std::printf("%s: %zu timesteps, %zu bytes (CR %.2f)\n", out_path.c_str(),
+              writer->timesteps(), artifact.size(),
+              metrics::compression_ratio(
+                  writer->timesteps() * writer->dims().total(),
+                  artifact.size()));
+  return 0;
+}
+
 int cmd_compress(const CliArgs& args) {
+  if (args.has("append")) return cmd_compress_append(args);
   const std::string codec_name = args.get("codec", "AE-SZ");
   const Dims dims = parse_dims(args.get("dims", ""));
   AESZ_CHECK_MSG(args.positional().size() == 1, "need one input file");
@@ -211,6 +283,30 @@ int cmd_compress(const CliArgs& args) {
 int cmd_decompress(const CliArgs& args) {
   AESZ_CHECK_MSG(args.positional().size() == 1, "need one input file");
   const auto stream = read_file(args.positional()[0]);
+
+  if (temporal::is_temporal(stream)) {
+    // AETC temporal stream: decode the timestep --timestep asks for.
+    const auto t = static_cast<std::size_t>(args.get_long("timestep", 0));
+    auto reader = temporal::TemporalReader::open(
+        stream, [&args](const std::string& name,
+                        int rank) -> std::unique_ptr<Compressor> {
+          return build_codec(args, name, rank, /*wrap_on_flags=*/false);
+        });
+    if (!reader.ok()) {
+      std::fprintf(stderr, "error: %s\n", reader.status().str().c_str());
+      return 1;
+    }
+    auto f = (*reader)->read(t);
+    if (!f.ok()) {
+      std::fprintf(stderr, "error: %s\n", f.status().str().c_str());
+      return 1;
+    }
+    f->save_raw(args.get("out", "recon.f32"));
+    std::printf("%s: timestep %zu of %zu (%s) -> %s\n",
+                (*reader)->info().inner.c_str(), t, (*reader)->timesteps(),
+                f->dims().str().c_str(), args.get("out", "recon.f32").c_str());
+    return 0;
+  }
 
   // Pick the codec: explicit --codec wins, else sniff the stream magic
   // (container streams identify as parallel:<inner codec>).
@@ -340,6 +436,33 @@ int cmd_demo() {
                  const_cast<char**>(argv), {"out"});
     if (cmd_decompress(args)) return 1;
   }
+  {
+    // Temporal stream: three advected snapshots appended into one AETC
+    // artifact (t>0 stored as residuals vs the decoded predecessor)...
+    std::remove("/tmp/aesz_cli_demo.aetc");
+    for (int t = 0; t < 3; ++t) {
+      const Field f = synth::cesm_cldhgh(96, 192, 55 + t);
+      f.save_raw("/tmp/aesz_cli_step.f32");
+      const char* argv[] = {"aesz_cli",  "--append", "--codec",
+                            "SZ2.1",     "--dims",   "96x192",
+                            "--eb",      "abs:0.01", "--gop",
+                            "8",         "--out",    "/tmp/aesz_cli_demo.aetc",
+                            "/tmp/aesz_cli_step.f32"};
+      CliArgs args(static_cast<int>(std::size(argv)),
+                   const_cast<char**>(argv),
+                   {"codec", "dims", "eb", "gop", "out"}, {"append"});
+      if (cmd_compress(args)) return 1;
+    }
+  }
+  {
+    // ...with any single timestep decodable on its own.
+    const char* argv[] = {"aesz_cli", "--timestep", "2", "--out",
+                          "/tmp/aesz_cli_recon_t2.f32",
+                          "/tmp/aesz_cli_demo.aetc"};
+    CliArgs args(static_cast<int>(std::size(argv)),
+                 const_cast<char**>(argv), {"timestep", "out"});
+    if (cmd_decompress(args)) return 1;
+  }
   return 0;
 }
 
@@ -349,10 +472,11 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    const std::vector<std::string> keys{"field",  "dims",   "out",
-                                        "model",  "eb",     "epochs",
-                                        "codec",  "threads", "chunk"};
-    CliArgs args(argc - 1, argv + 1, keys, /*known_flags=*/{"verify"});
+    const std::vector<std::string> keys{
+        "field", "dims",    "out",   "model", "eb",  "epochs",
+        "codec", "threads", "chunk", "gop",   "mode", "timestep"};
+    CliArgs args(argc - 1, argv + 1, keys,
+                 /*known_flags=*/{"verify", "append", "recover"});
     if (cmd == "train") return cmd_train(args);
     if (cmd == "compress") return cmd_compress(args);
     if (cmd == "decompress") return cmd_decompress(args);

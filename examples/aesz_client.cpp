@@ -12,7 +12,10 @@
 //   demo                                 synthetic end-to-end smoke: one
 //                                        compress + decompress round trip,
 //                                        error bound checked client-side,
-//                                        then a stats read (CI uses this)
+//                                        then a full stream session (open /
+//                                        append / read / close, artifact
+//                                        decoded locally) and a stats read
+//                                        (CI uses this)
 //
 // --retries N (default 50) polls the connect every 100 ms — covers the
 // startup race when the server was launched a moment earlier.
@@ -27,6 +30,7 @@
 #include "metrics/metrics.hpp"
 #include "service/client.hpp"
 #include "service/transport.hpp"
+#include "temporal/temporal.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
 
@@ -109,8 +113,64 @@ int cmd_decompress(service::Client& client, const CliArgs& args) {
   return 0;
 }
 
+/// Stream-session leg of the demo: open a session, append advected
+/// timesteps, read one back (bound checked client-side), close, and decode
+/// the returned AETC artifact locally.
+int demo_stream_session(service::Client& client) {
+  const ErrorBound eb = ErrorBound::Abs(1e-2);
+  const Dims dims = synth::value_noise_2d(48, 64, 3, 6.0, 7).dims();
+  auto stream = client.open_stream("SZ2.1", dims, eb, /*gop=*/4);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "error: open_stream: %s\n",
+                 stream.status().str().c_str());
+    return 1;
+  }
+  std::vector<Field> frames;
+  for (int t = 0; t < 6; ++t) {
+    frames.push_back(synth::value_noise_2d(48, 64, 3, 6.0, 7, 0.1 * t));
+    auto info = stream->append(frames.back());
+    if (!info.ok()) {
+      std::fprintf(stderr, "error: append: %s\n",
+                   info.status().str().c_str());
+      return 1;
+    }
+    std::printf("stream: t=%llu %s, %llu bytes\n",
+                static_cast<unsigned long long>(info->timestep),
+                info->residual ? "residual" : "intra",
+                static_cast<unsigned long long>(info->stored_bytes));
+  }
+  auto back = stream->read_timestep(3);
+  if (!back.ok()) {
+    std::fprintf(stderr, "error: read_timestep: %s\n",
+                 back.status().str().c_str());
+    return 1;
+  }
+  const double err = metrics::max_abs_err(frames[3].values(), back->values());
+  if (err > 1e-2 * (1 + 1e-9)) {
+    std::fprintf(stderr, "error: stream read violated the bound (%g)\n", err);
+    return 1;
+  }
+  auto artifact = stream->close();
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "error: close: %s\n",
+                 artifact.status().str().c_str());
+    return 1;
+  }
+  auto reader = temporal::TemporalReader::open(*artifact);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: artifact unreadable: %s\n",
+                 reader.status().str().c_str());
+    return 1;
+  }
+  std::printf("stream: closed, %zu-timestep artifact (%zu bytes), "
+              "read-back max err %.6g\n",
+              (*reader)->timesteps(), artifact->size(), err);
+  return 0;
+}
+
 /// One synthetic round trip against the live server with the error bound
-/// checked client-side — the CI loopback smoke.
+/// checked client-side, then a full stream session — the CI loopback
+/// smoke.
 int cmd_demo(service::Client& client) {
   const Field f = synth::cesm_cldhgh(96, 192, 55);
   const ErrorBound eb = ErrorBound::Rel(1e-2);
@@ -135,6 +195,7 @@ int cmd_demo(service::Client& client) {
     std::fprintf(stderr, "error: demo round trip violated the bound\n");
     return 1;
   }
+  if (int rc = demo_stream_session(client)) return rc;
   return cmd_stats(client);
 }
 

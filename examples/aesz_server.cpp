@@ -8,6 +8,7 @@
 //   aesz_server [--port N] [--threads N] [--model m.bin --field NAME]
 //               [--port-file PATH] [--once [N]] [--poll]
 //               [--max-inflight N] [--max-batch N] [--batch-delay-us N]
+//               [--max-sessions N] [--session-idle-ms N]
 //
 //   --port N           listen port; 0 (default) = kernel-assigned ephemeral
 //   --threads N        request worker threads; 0 = hardware concurrency
@@ -21,6 +22,9 @@
 //   --max-batch N      AE-SZ requests coalesced per inference (default 8;
 //                      1 disables batching)
 //   --batch-delay-us N how long a batch waits for company (default 1000)
+//   --max-sessions N   stream-session admission cap (default 64)
+//   --session-idle-ms N idle reap deadline for abandoned sessions
+//                      (default 60000)
 //
 // The bound port is printed (and flushed) before the first accept, so
 // `aesz_server --port 0` can be driven by parsing the first stdout line.
@@ -38,7 +42,8 @@ int main(int argc, char** argv) {
   try {
     CliArgs args(argc, argv,
                  {"port", "threads", "model", "field", "port-file",
-                  "max-inflight", "max-batch", "batch-delay-us"},
+                  "max-inflight", "max-batch", "batch-delay-us",
+                  "max-sessions", "session-idle-ms"},
                  /*known_flags=*/{"poll"},
                  /*optional_value_keys=*/{"once"});
 
@@ -49,6 +54,10 @@ int main(int argc, char** argv) {
     opt.max_batch = static_cast<std::size_t>(args.get_long("max-batch", 8));
     opt.batch_delay_us =
         static_cast<std::uint64_t>(args.get_long("batch-delay-us", 1000));
+    opt.max_sessions =
+        static_cast<std::size_t>(args.get_long("max-sessions", 64));
+    opt.session_idle_ms =
+        static_cast<std::uint64_t>(args.get_long("session-idle-ms", 60000));
     service::Server server(opt);
 
     auto listener = service::TcpListener::bind(

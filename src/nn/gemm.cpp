@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "util/cpu.hpp"
+
 namespace aesz::nn {
 namespace {
 
@@ -83,8 +85,7 @@ void pack_b(bool trans, const float* b, std::size_t ldb, std::size_t row0,
   std::memcpy(out, acc, sizeof(acc));
 }
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#define AESZ_GEMM_DISPATCH 1
+#ifdef AESZ_X86_DISPATCH
 
 typedef float v8sf __attribute__((vector_size(32)));
 typedef float v4sf __attribute__((vector_size(16)));
@@ -140,9 +141,8 @@ void micro_kernel_sse(std::size_t kc, const float* ap, const float* bp,
 using MicroFn = void (*)(std::size_t, const float*, const float*, float*);
 
 MicroFn pick_micro_kernel() {
-#ifdef AESZ_GEMM_DISPATCH
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
-    return micro_kernel_avx2;
+#ifdef AESZ_X86_DISPATCH
+  if (util::cpu_has_avx2_fma()) return micro_kernel_avx2;
   return micro_kernel_sse;
 #else
   return micro_kernel_scalar;

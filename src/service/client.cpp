@@ -119,6 +119,101 @@ Expected<Field> Client::decompress(std::span<const std::uint8_t> stream,
   return Field(parsed->dims, std::move(values));
 }
 
+Expected<Client::Stream> Client::open_stream(const std::string& codec,
+                                             const Dims& dims,
+                                             const ErrorBound& eb,
+                                             std::uint64_t gop) {
+  OpenStreamRequest req;
+  req.codec = codec;
+  req.eb = eb;
+  req.dims = dims;
+  req.gop = gop;
+  const auto frame = encode_open_stream_request(req);
+  auto response = round_trip(frame, Op::kOpenStreamResponse);
+  if (!response.ok()) return response.status();
+  auto parsed = parse_open_stream_response(*response);
+  if (!parsed.ok()) return parsed.status();
+  return Stream(this, parsed->session_id);
+}
+
+Client::Stream::Stream(Stream&& other) noexcept
+    : client_(other.client_), id_(other.id_) {
+  other.client_ = nullptr;
+}
+
+Client::Stream& Client::Stream::operator=(Stream&& other) noexcept {
+  if (this != &other) {
+    if (client_) (void)close();  // best-effort, artifact discarded
+    client_ = other.client_;
+    id_ = other.id_;
+    other.client_ = nullptr;
+  }
+  return *this;
+}
+
+Client::Stream::~Stream() {
+  if (!client_) return;
+  // Best-effort: free the server-side session now instead of waiting for
+  // the idle reaper. Any failure (connection gone, session already
+  // reaped) is fine — the destructor must not throw.
+  (void)close();
+}
+
+Expected<Client::Stream::AppendInfo> Client::Stream::append(const Field& f) {
+  if (!client_)
+    return Status::error(ErrCode::kNoSession, "stream handle is closed");
+  const auto floats = f.values();
+  AppendTimestepRequest req;
+  req.session_id = id_;
+  req.field = {reinterpret_cast<const std::uint8_t*>(floats.data()),
+               floats.size() * sizeof(float)};
+  const auto frame = encode_append_timestep_request(req);
+  auto response =
+      client_->round_trip(frame, Op::kAppendTimestepResponse);
+  if (!response.ok()) return response.status();
+  auto parsed = parse_append_timestep_response(*response);
+  if (!parsed.ok()) return parsed.status();
+  return AppendInfo{parsed->timestep, parsed->residual, parsed->abs_eb,
+                    parsed->stored_bytes};
+}
+
+Expected<Field> Client::Stream::read_timestep(std::uint64_t t) {
+  if (!client_)
+    return Status::error(ErrCode::kNoSession, "stream handle is closed");
+  ReadTimestepRequest req;
+  req.session_id = id_;
+  req.timestep = t;
+  const auto frame = encode_read_timestep_request(req);
+  auto response = client_->round_trip(frame, Op::kReadTimestepResponse);
+  if (!response.ok()) return response.status();
+  auto parsed = parse_read_timestep_response(*response);
+  if (!parsed.ok()) return parsed.status();
+  std::vector<float> values(parsed->dims.total());
+  std::memcpy(values.data(), parsed->field.data(), parsed->field.size());
+  return Field(parsed->dims, std::move(values));
+}
+
+Expected<std::vector<std::uint8_t>> Client::Stream::close() {
+  if (!client_)
+    return Status::error(ErrCode::kNoSession, "stream handle is closed");
+  CloseStreamRequest req;
+  req.session_id = id_;
+  const auto frame = encode_close_stream_request(req);
+  auto response = client_->round_trip(frame, Op::kCloseStreamResponse);
+  if (!response.ok()) {
+    // kUnsupported = artifact over the frame cap: the server kept the
+    // session alive, so keep the handle usable too. Anything else (the
+    // session is gone, the connection died) makes the handle inert.
+    if (response.status().code != ErrCode::kUnsupported) client_ = nullptr;
+    return response.status();
+  }
+  client_ = nullptr;
+  auto parsed = parse_close_stream_response(*response);
+  if (!parsed.ok()) return parsed.status();
+  return std::vector<std::uint8_t>(parsed->artifact.begin(),
+                                   parsed->artifact.end());
+}
+
 Expected<std::vector<CodecSummary>> Client::list_codecs() {
   const auto frame = encode_list_codecs_request();
   auto response = round_trip(frame, Op::kListCodecsResponse);

@@ -55,6 +55,59 @@ class Client {
 
   Expected<StatsResponse> stats();
 
+  /// RAII handle on one server-side stream session. Obtained from
+  /// open_stream(); move-only. close() ends the session and returns the
+  /// complete AETC artifact; if the handle dies without close(), the
+  /// destructor closes the session best-effort (artifact discarded) so
+  /// abandoned handles do not pin server state until the idle reaper
+  /// runs. Borrows the Client — same single-thread discipline, and the
+  /// Client (and its transport) must outlive the handle.
+  class Stream {
+   public:
+    Stream(Stream&& other) noexcept;
+    Stream& operator=(Stream&& other) noexcept;
+    Stream(const Stream&) = delete;
+    Stream& operator=(const Stream&) = delete;
+    ~Stream();
+
+    struct AppendInfo {
+      std::uint64_t timestep = 0;
+      bool residual = false;
+      double abs_eb = 0.0;
+      std::uint64_t stored_bytes = 0;
+    };
+
+    /// Compress-and-append one timestep on the server.
+    Expected<AppendInfo> append(const Field& f);
+
+    /// Decode timestep t back out of the session's stream.
+    Expected<Field> read_timestep(std::uint64_t t);
+
+    /// Close the session and fetch the complete AETC artifact (readable
+    /// with temporal::TemporalReader, appendable with TemporalWriter).
+    /// After a successful close the handle is inert. If the server
+    /// refuses (artifact over the frame cap), the session STAYS open —
+    /// timesteps remain readable.
+    Expected<std::vector<std::uint8_t>> close();
+
+    std::uint64_t id() const { return id_; }
+    bool open() const { return client_ != nullptr; }
+
+   private:
+    friend class Client;
+    Stream(Client* client, std::uint64_t id) : client_(client), id_(id) {}
+
+    Client* client_ = nullptr;  // null once closed / moved-from
+    std::uint64_t id_ = 0;
+  };
+
+  /// Open a stream session: the server allocates per-session state (inner
+  /// codec, residual reference chain, growing artifact) addressed by the
+  /// returned handle. `gop` is the keyframe cadence (0 = single leading
+  /// keyframe).
+  Expected<Stream> open_stream(const std::string& codec, const Dims& dims,
+                               const ErrorBound& eb, std::uint64_t gop = 8);
+
  private:
   /// Send one frame, receive one frame, check it carries `expected` (an
   /// error frame is unwrapped into its Status instead).

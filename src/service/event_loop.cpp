@@ -160,7 +160,7 @@ EventServer::EventServer(Server& server, TcpListener& listener, Options opt)
       loop_(opt_.force_poll),
       done_q_(std::make_shared<CompletionQueue>()) {
   set_nonblocking(listener_.fd());
-  server_.set_extra_stats([this](StatsResponse& out) {
+  server_.register_stats("event_loop", [this](StatsResponse& out) {
     const auto put = [&](const char* name,
                          const std::atomic<std::uint64_t>& v) {
       out.counters.emplace_back(name, v.load(std::memory_order_relaxed));
@@ -179,7 +179,7 @@ EventServer::EventServer(Server& server, TcpListener& listener, Options opt)
 }
 
 EventServer::~EventServer() {
-  server_.set_extra_stats(nullptr);
+  server_.unregister_stats("event_loop");
   for (auto& [fd, c] : conns_) ::close(fd);
   conns_.clear();
   // done_q_ (and its wake pipe) is NOT torn down here: completion lambdas

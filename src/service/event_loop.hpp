@@ -81,7 +81,8 @@ class EventLoop {
 ///
 /// Half-close is honored: EOF stops reads, but responses still in flight
 /// flush before the connection closes. The loop registers its gauges with
-/// Server::set_extra_stats, so one stats frame reports both layers.
+/// Server::register_stats("event_loop"), so one stats frame reports
+/// both layers.
 class EventServer {
  public:
   struct Options {
@@ -200,7 +201,7 @@ class EventServer {
 
   std::atomic<bool> stop_{false};
 
-  // Gauges/counters exported through Server::set_extra_stats. Loop thread
+  // Gauges/counters exported through Server::register_stats. Loop thread
   // writes, stats requests (worker threads) read.
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> connections_total_{0};

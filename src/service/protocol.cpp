@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sz/common.hpp"
+#include "temporal/aetc.hpp"
 #include "util/bytestream.hpp"
 
 namespace aesz::service {
@@ -13,10 +14,18 @@ const char* op_name(Op op) {
     case Op::kDecompressRequest: return "decompress-request";
     case Op::kListCodecsRequest: return "list-codecs-request";
     case Op::kStatsRequest: return "stats-request";
+    case Op::kOpenStreamRequest: return "open-stream-request";
+    case Op::kAppendTimestepRequest: return "append-timestep-request";
+    case Op::kReadTimestepRequest: return "read-timestep-request";
+    case Op::kCloseStreamRequest: return "close-stream-request";
     case Op::kCompressResponse: return "compress-response";
     case Op::kDecompressResponse: return "decompress-response";
     case Op::kListCodecsResponse: return "list-codecs-response";
     case Op::kStatsResponse: return "stats-response";
+    case Op::kOpenStreamResponse: return "open-stream-response";
+    case Op::kAppendTimestepResponse: return "append-timestep-response";
+    case Op::kReadTimestepResponse: return "read-timestep-response";
+    case Op::kCloseStreamResponse: return "close-stream-response";
     case Op::kErrorResponse: return "error-response";
   }
   return "?";
@@ -36,10 +45,18 @@ bool known_op(std::uint8_t raw) {
     case Op::kDecompressRequest:
     case Op::kListCodecsRequest:
     case Op::kStatsRequest:
+    case Op::kOpenStreamRequest:
+    case Op::kAppendTimestepRequest:
+    case Op::kReadTimestepRequest:
+    case Op::kCloseStreamRequest:
     case Op::kCompressResponse:
     case Op::kDecompressResponse:
     case Op::kListCodecsResponse:
     case Op::kStatsResponse:
+    case Op::kOpenStreamResponse:
+    case Op::kAppendTimestepResponse:
+    case Op::kReadTimestepResponse:
+    case Op::kCloseStreamResponse:
     case Op::kErrorResponse:
       return true;
   }
@@ -357,7 +374,7 @@ Expected<ErrorResponse> parse_error_response(
   std::uint8_t raw_code = 0;
   if (!r.try_get(raw_code))
     return Status::error(ErrCode::kTruncated, "truncated error code");
-  if (raw_code > static_cast<std::uint8_t>(ErrCode::kOverloaded) ||
+  if (raw_code > static_cast<std::uint8_t>(ErrCode::kNoSession) ||
       raw_code == static_cast<std::uint8_t>(ErrCode::kOk))
     return Status::error(ErrCode::kBadHeader, "bad error code");
   ErrorResponse out;
@@ -366,6 +383,229 @@ Expected<ErrorResponse> parse_error_response(
     return s;
   if (Status s = close_frame(r); !s.ok()) return s;
   return out;
+}
+
+// ------------------------------------------------------ stream sessions --
+
+std::vector<std::uint8_t> encode_open_stream_request(
+    const OpenStreamRequest& r) {
+  ByteWriter w;
+  write_header(w, Op::kOpenStreamRequest);
+  w.put_blob({reinterpret_cast<const std::uint8_t*>(r.codec.data()),
+              r.codec.size()});
+  w.put(static_cast<std::uint8_t>(r.eb.mode()));
+  w.put(r.eb.value());
+  write_dims(w, r.dims);
+  w.put_varint(r.gop);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_open_stream_response(
+    const OpenStreamResponse& r) {
+  ByteWriter w;
+  write_header(w, Op::kOpenStreamResponse);
+  w.put(r.session_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_append_timestep_request(
+    const AppendTimestepRequest& r) {
+  ByteWriter w;
+  write_header(w, Op::kAppendTimestepRequest);
+  w.put(r.session_id);
+  w.put_blob(r.field);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_append_timestep_response(
+    const AppendTimestepResponse& r) {
+  ByteWriter w;
+  write_header(w, Op::kAppendTimestepResponse);
+  w.put_varint(r.timestep);
+  w.put(static_cast<std::uint8_t>(r.residual ? 1 : 0));
+  w.put(r.abs_eb);
+  w.put_varint(r.stored_bytes);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_read_timestep_request(
+    const ReadTimestepRequest& r) {
+  ByteWriter w;
+  write_header(w, Op::kReadTimestepRequest);
+  w.put(r.session_id);
+  w.put_varint(r.timestep);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_read_timestep_response(
+    const ReadTimestepResponse& r) {
+  ByteWriter w;
+  write_header(w, Op::kReadTimestepResponse);
+  write_dims(w, r.dims);
+  w.put_blob(r.field);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_close_stream_request(
+    const CloseStreamRequest& r) {
+  ByteWriter w;
+  write_header(w, Op::kCloseStreamRequest);
+  w.put(r.session_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_close_stream_response(
+    const CloseStreamResponse& r) {
+  ByteWriter w;
+  write_header(w, Op::kCloseStreamResponse);
+  w.put_varint(r.timesteps);
+  w.put_blob(r.artifact);
+  return w.take();
+}
+
+Expected<OpenStreamRequest> parse_open_stream_request(
+    std::span<const std::uint8_t> frame) {
+  auto opened = open_frame(frame, Op::kOpenStreamRequest);
+  if (!opened.ok()) return opened.status();
+  ByteReader r = *opened;
+  OpenStreamRequest out;
+  if (Status s = read_string(r, kMaxCodecName, "codec name", out.codec);
+      !s.ok())
+    return s;
+  if (out.codec.empty())
+    return Status::error(ErrCode::kBadHeader, "empty codec name");
+  if (Status s = read_error_bound(r, out.eb); !s.ok()) return s;
+  if (Status s = sz::read_dims_checked(r, out.dims); !s.ok()) return s;
+  if (!r.try_get_varint(out.gop))
+    return Status::error(ErrCode::kTruncated, "truncated gop");
+  if (out.gop > temporal::kMaxGop)
+    return Status::error(ErrCode::kBadHeader, "gop exceeds cap");
+  if (Status s = close_frame(r); !s.ok()) return s;
+  return out;
+}
+
+Expected<OpenStreamResponse> parse_open_stream_response(
+    std::span<const std::uint8_t> frame) {
+  auto opened = open_frame(frame, Op::kOpenStreamResponse);
+  if (!opened.ok()) return opened.status();
+  ByteReader r = *opened;
+  OpenStreamResponse out;
+  if (!r.try_get(out.session_id))
+    return Status::error(ErrCode::kTruncated, "truncated session id");
+  if (Status s = close_frame(r); !s.ok()) return s;
+  return out;
+}
+
+Expected<AppendTimestepRequest> parse_append_timestep_request(
+    std::span<const std::uint8_t> frame) {
+  auto opened = open_frame(frame, Op::kAppendTimestepRequest);
+  if (!opened.ok()) return opened.status();
+  ByteReader r = *opened;
+  AppendTimestepRequest out;
+  if (!r.try_get(out.session_id))
+    return Status::error(ErrCode::kTruncated, "truncated session id");
+  if (!r.try_get_blob(out.field))
+    return Status::error(ErrCode::kTruncated, "truncated field payload");
+  // Whether the size matches the session's dims only the server knows;
+  // a payload that isn't whole floats is malformed on its face.
+  if (out.field.empty() || out.field.size() % sizeof(float) != 0)
+    return Status::error(ErrCode::kCorruptStream,
+                         "field payload not a whole number of floats");
+  if (Status s = close_frame(r); !s.ok()) return s;
+  return out;
+}
+
+Expected<AppendTimestepResponse> parse_append_timestep_response(
+    std::span<const std::uint8_t> frame) {
+  auto opened = open_frame(frame, Op::kAppendTimestepResponse);
+  if (!opened.ok()) return opened.status();
+  ByteReader r = *opened;
+  AppendTimestepResponse out;
+  std::uint8_t residual = 0;
+  if (!r.try_get_varint(out.timestep) || !r.try_get(residual))
+    return Status::error(ErrCode::kTruncated, "truncated append response");
+  if (residual > 1)
+    return Status::error(ErrCode::kBadHeader, "bad residual flag");
+  out.residual = residual != 0;
+  if (!r.try_get(out.abs_eb) || !std::isfinite(out.abs_eb) || out.abs_eb <= 0)
+    return Status::error(ErrCode::kBadHeader, "bad resolved bound");
+  if (!r.try_get_varint(out.stored_bytes))
+    return Status::error(ErrCode::kTruncated, "truncated stored-bytes");
+  if (Status s = close_frame(r); !s.ok()) return s;
+  return out;
+}
+
+Expected<ReadTimestepRequest> parse_read_timestep_request(
+    std::span<const std::uint8_t> frame) {
+  auto opened = open_frame(frame, Op::kReadTimestepRequest);
+  if (!opened.ok()) return opened.status();
+  ByteReader r = *opened;
+  ReadTimestepRequest out;
+  if (!r.try_get(out.session_id))
+    return Status::error(ErrCode::kTruncated, "truncated session id");
+  if (!r.try_get_varint(out.timestep))
+    return Status::error(ErrCode::kTruncated, "truncated timestep");
+  if (Status s = close_frame(r); !s.ok()) return s;
+  return out;
+}
+
+Expected<ReadTimestepResponse> parse_read_timestep_response(
+    std::span<const std::uint8_t> frame) {
+  auto opened = open_frame(frame, Op::kReadTimestepResponse);
+  if (!opened.ok()) return opened.status();
+  ByteReader r = *opened;
+  ReadTimestepResponse out;
+  if (Status s = sz::read_dims_checked(r, out.dims); !s.ok()) return s;
+  if (!r.try_get_blob(out.field))
+    return Status::error(ErrCode::kTruncated, "truncated field payload");
+  if (out.field.size() != out.dims.total() * sizeof(float))
+    return Status::error(ErrCode::kCorruptStream,
+                         "field payload does not match dims");
+  if (Status s = close_frame(r); !s.ok()) return s;
+  return out;
+}
+
+Expected<CloseStreamRequest> parse_close_stream_request(
+    std::span<const std::uint8_t> frame) {
+  auto opened = open_frame(frame, Op::kCloseStreamRequest);
+  if (!opened.ok()) return opened.status();
+  ByteReader r = *opened;
+  CloseStreamRequest out;
+  if (!r.try_get(out.session_id))
+    return Status::error(ErrCode::kTruncated, "truncated session id");
+  if (Status s = close_frame(r); !s.ok()) return s;
+  return out;
+}
+
+Expected<CloseStreamResponse> parse_close_stream_response(
+    std::span<const std::uint8_t> frame) {
+  auto opened = open_frame(frame, Op::kCloseStreamResponse);
+  if (!opened.ok()) return opened.status();
+  ByteReader r = *opened;
+  CloseStreamResponse out;
+  if (!r.try_get_varint(out.timesteps))
+    return Status::error(ErrCode::kTruncated, "truncated timestep count");
+  if (!r.try_get_blob(out.artifact))
+    return Status::error(ErrCode::kTruncated, "truncated artifact");
+  if (out.artifact.empty())
+    return Status::error(ErrCode::kCorruptStream, "empty artifact");
+  if (Status s = close_frame(r); !s.ok()) return s;
+  return out;
+}
+
+Expected<std::uint64_t> peek_session_id(std::span<const std::uint8_t> frame) {
+  const auto op = peek_op(frame);
+  if (!op.ok()) return op.status();
+  if (*op != Op::kAppendTimestepRequest && *op != Op::kReadTimestepRequest &&
+      *op != Op::kCloseStreamRequest)
+    return Status::error(ErrCode::kBadHeader,
+                         std::string(op_name(*op)) +
+                             " does not carry a session id");
+  ByteReader r(frame.subspan(kFrameHeaderBytes));
+  std::uint64_t id = 0;
+  if (!r.try_get(id))
+    return Status::error(ErrCode::kTruncated, "truncated session id");
+  return id;
 }
 
 }  // namespace aesz::service

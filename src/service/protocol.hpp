@@ -22,20 +22,42 @@ namespace aesz::service {
 ///   magic u32 "AESF" | version u8 | opcode u8 | opcode-specific body
 ///
 /// Request bodies:
-///   compress    codec blob | eb-mode u8 | eb-value f64 |
-///               rank u8 | dims varint* | field blob (raw f32, row-major)
-///   decompress  codec blob (empty = identify by stream magic) | stream blob
-///   list-codecs (empty)
-///   stats       (empty)
+///   compress        codec blob | eb-mode u8 | eb-value f64 |
+///                   rank u8 | dims varint* | field blob (raw f32, row-major)
+///   decompress      codec blob (empty = identify by stream magic) |
+///                   stream blob
+///   list-codecs     (empty)
+///   stats           (empty)
+///   open-stream     codec blob | eb-mode u8 | eb-value f64 |
+///                   rank u8 | dims varint* | gop varint
+///   append-timestep session-id u64 | field blob (raw f32, row-major,
+///                   must match the session's dims)
+///   read-timestep   session-id u64 | timestep varint
+///   close-stream    session-id u64
 ///
 /// Response bodies:
-///   compress    abs-bound f64 (the bound the server resolved and enforced)
-///               | stream blob
-///   decompress  rank u8 | dims varint* | field blob (raw f32)
-///   list-codecs count varint | per codec: name blob, error-bounded u8,
-///               magic u32, description blob
-///   stats       count varint | per counter: name blob, value varint
-///   error       err-code u8 (ErrCode) | message blob
+///   compress        abs-bound f64 (the bound the server resolved and
+///                   enforced) | stream blob
+///   decompress      rank u8 | dims varint* | field blob (raw f32)
+///   list-codecs     count varint | per codec: name blob, error-bounded u8,
+///                   magic u32, description blob
+///   stats           count varint | per counter: name blob, value varint
+///   open-stream     session-id u64
+///   append-timestep timestep varint | mode u8 (0 intra / 1 residual) |
+///                   abs-bound f64 | stored-bytes varint
+///   read-timestep   rank u8 | dims varint* | field blob (raw f32)
+///   close-stream    timesteps varint | artifact blob (the complete AETC
+///                   container — see src/temporal/aetc.hpp)
+///   error           err-code u8 (ErrCode) | message blob
+///
+/// Stream sessions (protocol rev 2026-08, wire version unchanged — the
+/// ops are additive and a v1 peer answers them with a typed kBadHeader
+/// error): open-stream creates per-session state on the server and hands
+/// back a server-unique session id; append-timestep/read-timestep/
+/// close-stream address that id. A request naming an unknown, closed, or
+/// idle-reaped id gets kNoSession. close-stream returns the complete
+/// appendable artifact and frees the session. See docs/PROTOCOL.md for
+/// the lifecycle state diagram.
 ///
 /// Hostile-input discipline (same as the container/codec header parsers):
 /// every length is bounds-validated against the remaining frame bytes
@@ -68,10 +90,18 @@ enum class Op : std::uint8_t {
   kDecompressRequest = 0x02,
   kListCodecsRequest = 0x03,
   kStatsRequest = 0x04,
+  kOpenStreamRequest = 0x05,
+  kAppendTimestepRequest = 0x06,
+  kReadTimestepRequest = 0x07,
+  kCloseStreamRequest = 0x08,
   kCompressResponse = 0x81,
   kDecompressResponse = 0x82,
   kListCodecsResponse = 0x83,
   kStatsResponse = 0x84,
+  kOpenStreamResponse = 0x85,
+  kAppendTimestepResponse = 0x86,
+  kReadTimestepResponse = 0x87,
+  kCloseStreamResponse = 0x88,
   kErrorResponse = 0xFF,
 };
 
@@ -123,6 +153,54 @@ struct ErrorResponse {
   std::string message;
 };
 
+// ------------------------------------------------------ stream sessions --
+
+struct OpenStreamRequest {
+  std::string codec;
+  ErrorBound eb;
+  Dims dims;
+  std::uint64_t gop = 8;  // keyframe cadence; 0 = single leading keyframe
+};
+
+struct OpenStreamResponse {
+  std::uint64_t session_id = 0;
+};
+
+struct AppendTimestepRequest {
+  std::uint64_t session_id = 0;
+  /// Raw little-endian f32 field bytes; the parser checks alignment (a
+  /// whole number of floats), the server checks the size against the
+  /// session's dims.
+  std::span<const std::uint8_t> field;
+};
+
+struct AppendTimestepResponse {
+  std::uint64_t timestep = 0;
+  bool residual = false;   // how the server coded this timestep
+  double abs_eb = 0.0;     // the absolute tolerance enforced on it
+  std::uint64_t stored_bytes = 0;  // record bytes it added to the artifact
+};
+
+struct ReadTimestepRequest {
+  std::uint64_t session_id = 0;
+  std::uint64_t timestep = 0;
+};
+
+struct ReadTimestepResponse {
+  Dims dims;
+  std::span<const std::uint8_t> field;  // raw f32, size == total() * 4
+};
+
+struct CloseStreamRequest {
+  std::uint64_t session_id = 0;
+};
+
+struct CloseStreamResponse {
+  std::uint64_t timesteps = 0;
+  /// The complete AETC artifact (header + records + footer index).
+  std::span<const std::uint8_t> artifact;
+};
+
 // -------------------------------------------------------------- encoding --
 
 std::vector<std::uint8_t> encode_compress_request(const CompressRequest& r);
@@ -136,6 +214,22 @@ std::vector<std::uint8_t> encode_list_codecs_response(
     const std::vector<CodecSummary>& codecs);
 std::vector<std::uint8_t> encode_stats_response(const StatsResponse& r);
 std::vector<std::uint8_t> encode_error_response(const ErrorResponse& r);
+std::vector<std::uint8_t> encode_open_stream_request(
+    const OpenStreamRequest& r);
+std::vector<std::uint8_t> encode_open_stream_response(
+    const OpenStreamResponse& r);
+std::vector<std::uint8_t> encode_append_timestep_request(
+    const AppendTimestepRequest& r);
+std::vector<std::uint8_t> encode_append_timestep_response(
+    const AppendTimestepResponse& r);
+std::vector<std::uint8_t> encode_read_timestep_request(
+    const ReadTimestepRequest& r);
+std::vector<std::uint8_t> encode_read_timestep_response(
+    const ReadTimestepResponse& r);
+std::vector<std::uint8_t> encode_close_stream_request(
+    const CloseStreamRequest& r);
+std::vector<std::uint8_t> encode_close_stream_response(
+    const CloseStreamResponse& r);
 
 // --------------------------------------------------------------- parsing --
 
@@ -161,5 +255,27 @@ Expected<StatsResponse> parse_stats_response(
     std::span<const std::uint8_t> frame);
 Expected<ErrorResponse> parse_error_response(
     std::span<const std::uint8_t> frame);
+Expected<OpenStreamRequest> parse_open_stream_request(
+    std::span<const std::uint8_t> frame);
+Expected<OpenStreamResponse> parse_open_stream_response(
+    std::span<const std::uint8_t> frame);
+Expected<AppendTimestepRequest> parse_append_timestep_request(
+    std::span<const std::uint8_t> frame);
+Expected<AppendTimestepResponse> parse_append_timestep_response(
+    std::span<const std::uint8_t> frame);
+Expected<ReadTimestepRequest> parse_read_timestep_request(
+    std::span<const std::uint8_t> frame);
+Expected<ReadTimestepResponse> parse_read_timestep_response(
+    std::span<const std::uint8_t> frame);
+Expected<CloseStreamRequest> parse_close_stream_request(
+    std::span<const std::uint8_t> frame);
+Expected<CloseStreamResponse> parse_close_stream_response(
+    std::span<const std::uint8_t> frame);
+
+/// For a session-scoped request (append/read/close-stream), the session
+/// id its body leads with — what the server's submit() path needs to
+/// serialize per-session work without parsing the whole frame. Any other
+/// opcode (or a body too short for the id) is a typed error.
+Expected<std::uint64_t> peek_session_id(std::span<const std::uint8_t> frame);
 
 }  // namespace aesz::service

@@ -327,6 +327,186 @@ std::vector<std::uint8_t> Server::handle_list_codecs() {
   return encode_list_codecs_response(codecs);
 }
 
+// ------------------------------------------------------ stream sessions --
+
+std::shared_ptr<Server::StreamSession> Server::find_session(
+    std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::size_t Server::reap_idle_sessions() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto idle = std::chrono::milliseconds(opt_.session_idle_ms);
+  // Reaped sessions are collected here so their mutexes outlive the lock
+  // guards below; they free after sessions_mu_ is released.
+  std::vector<std::shared_ptr<StreamSession>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      StreamSession& s = *it->second;
+      // try_lock, not lock: a session mid-operation is busy by definition
+      // (and its op will refresh last_used); blocking here would also
+      // invert the sessions_mu_ -> session-mu order close-stream uses.
+      std::unique_lock<std::mutex> sl(s.mu, std::try_to_lock);
+      if (sl.owns_lock() && s.next_ticket == s.done_ticket &&
+          now - s.last_used >= idle) {
+        s.closed = true;
+        doomed.push_back(it->second);
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  counters_.sessions_reaped.fetch_add(doomed.size(),
+                                      std::memory_order_relaxed);
+  return doomed.size();
+}
+
+std::vector<std::uint8_t> Server::handle_open_stream(
+    std::span<const std::uint8_t> frame) {
+  auto req = parse_open_stream_request(frame);
+  if (!req.ok())
+    return error_frame(req.status().code, req.status().message);
+  reap_idle_sessions();
+  const auto overloaded = [&] {
+    return error_frame(ErrCode::kOverloaded,
+                       "session limit (" + std::to_string(opt_.max_sessions) +
+                           ") reached; close or abandon a stream first");
+  };
+  {
+    // Cheap pre-check so a saturated server rejects before paying for a
+    // codec build; the insert below re-checks under the same lock.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.size() >= opt_.max_sessions) return overloaded();
+  }
+  temporal::TemporalWriter::Options wopt;
+  wopt.inner = req->codec;
+  wopt.gop = static_cast<std::size_t>(req->gop);
+  // Sessions build codecs through the server's maker, not the shared
+  // request cache: a session's encoder chain is stateful and lives as
+  // long as the session, so it owns a fresh instance — but AE-SZ still
+  // rides the trained-model path and ticks ae_model_loads.
+  wopt.factory = [this](const std::string& name,
+                        int rank) -> std::unique_ptr<Compressor> {
+    std::string base = lower(name);
+    const bool parallel = strip_parallel(base);
+    if (is_aesz_name(base)) base = "ae-sz";
+    auto built = build_codec(base, parallel, rank);
+    if (!built.ok())
+      throw Error(built.status().code, built.status().message);
+    return std::move(built).value();
+  };
+  auto session = std::make_shared<StreamSession>();
+  // Throws a typed Error on unknown codec / unusable bound / unsupported
+  // rank — handle_frame's catch turns it into the error frame.
+  session->writer = std::make_unique<temporal::TemporalWriter>(
+      req->dims, req->eb, std::move(wopt));
+  session->last_used = std::chrono::steady_clock::now();
+  const std::uint64_t id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  session->id = id;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.size() >= opt_.max_sessions) return overloaded();
+    sessions_.emplace(id, std::move(session));
+  }
+  counters_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  return encode_open_stream_response({id});
+}
+
+std::vector<std::uint8_t> Server::handle_append_timestep(
+    std::span<const std::uint8_t> frame) {
+  auto req = parse_append_timestep_request(frame);
+  if (!req.ok())
+    return error_frame(req.status().code, req.status().message);
+  auto s = find_session(req->session_id);
+  if (!s)
+    return error_frame(ErrCode::kNoSession,
+                       "no stream session " + std::to_string(req->session_id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->closed)
+    return error_frame(ErrCode::kNoSession,
+                       "stream session " + std::to_string(req->session_id) +
+                           " is closed");
+  const std::size_t want = s->writer->dims().total() * sizeof(float);
+  if (req->field.size() != want)
+    return error_frame(ErrCode::kInvalidArgument,
+                       "field is " + std::to_string(req->field.size()) +
+                           " bytes; session dims need " +
+                           std::to_string(want));
+  std::vector<float> values(s->writer->dims().total());
+  std::memcpy(values.data(), req->field.data(), req->field.size());
+  const auto res = s->writer->append(Field(s->writer->dims(),
+                                           std::move(values)));
+  s->last_used = std::chrono::steady_clock::now();
+  counters_.session_timesteps_stored.fetch_add(1, std::memory_order_relaxed);
+  return encode_append_timestep_response(
+      {res.timestep, res.mode == temporal::kModeResidual, res.abs_eb,
+       res.stored_bytes});
+}
+
+std::vector<std::uint8_t> Server::handle_read_timestep(
+    std::span<const std::uint8_t> frame) {
+  auto req = parse_read_timestep_request(frame);
+  if (!req.ok())
+    return error_frame(req.status().code, req.status().message);
+  auto s = find_session(req->session_id);
+  if (!s)
+    return error_frame(ErrCode::kNoSession,
+                       "no stream session " + std::to_string(req->session_id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->closed)
+    return error_frame(ErrCode::kNoSession,
+                       "stream session " + std::to_string(req->session_id) +
+                           " is closed");
+  auto field = s->writer->read(static_cast<std::size_t>(req->timestep));
+  if (!field.ok())
+    return error_frame(field.status().code, field.status().message);
+  s->last_used = std::chrono::steady_clock::now();
+  const auto floats = field->values();
+  return encode_read_timestep_response(
+      {field->dims(),
+       {reinterpret_cast<const std::uint8_t*>(floats.data()),
+        floats.size() * sizeof(float)}});
+}
+
+std::vector<std::uint8_t> Server::handle_close_stream(
+    std::span<const std::uint8_t> frame) {
+  auto req = parse_close_stream_request(frame);
+  if (!req.ok())
+    return error_frame(req.status().code, req.status().message);
+  auto s = find_session(req->session_id);
+  if (!s)
+    return error_frame(ErrCode::kNoSession,
+                       "no stream session " + std::to_string(req->session_id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->closed)
+    return error_frame(ErrCode::kNoSession,
+                       "stream session " + std::to_string(req->session_id) +
+                           " is closed");
+  const auto artifact = s->writer->bytes();
+  if (artifact.size() + 64 > kMaxFrameBytes) {
+    // Refusing to close would strand the data the client streamed in, so
+    // keep the session ALIVE: the client can still read timesteps back.
+    return error_frame(
+        ErrCode::kUnsupported,
+        "artifact (" + std::to_string(artifact.size()) +
+            " bytes) exceeds the frame limit; session stays open");
+  }
+  const std::uint64_t steps = s->writer->timesteps();
+  s->closed = true;
+  s->writer.reset();
+  {
+    std::lock_guard<std::mutex> map_lock(sessions_mu_);
+    sessions_.erase(req->session_id);
+  }
+  counters_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  return encode_close_stream_response({steps, artifact});
+}
+
 StatsResponse Server::snapshot() const {
   StatsResponse out;
   const auto put = [&](const char* name,
@@ -350,23 +530,47 @@ StatsResponse Server::snapshot() const {
   put("batch_size_2_3", counters_.batch_size_2_3);
   put("batch_size_4_7", counters_.batch_size_4_7);
   put("batch_size_8_plus", counters_.batch_size_8_plus);
+  put("open_stream_requests", counters_.open_stream_requests);
+  put("append_timestep_requests", counters_.append_timestep_requests);
+  put("read_timestep_requests", counters_.read_timestep_requests);
+  put("close_stream_requests", counters_.close_stream_requests);
+  put("sessions_opened", counters_.sessions_opened);
+  put("sessions_closed", counters_.sessions_closed);
+  put("sessions_reaped", counters_.sessions_reaped);
+  put("session_timesteps_stored", counters_.session_timesteps_stored);
   {
     std::lock_guard<std::mutex> lock(batch_mu_);
     out.counters.emplace_back("batch_queue_depth", batch_queue_.size());
   }
   {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    out.counters.emplace_back("sessions_active", sessions_.size());
+  }
+  {
+    // Map order, so repeated stats frames list providers deterministically.
     std::lock_guard<std::mutex> lock(extra_mu_);
-    if (extra_stats_) extra_stats_(out);
+    for (const auto& [name, fn] : extra_stats_)
+      if (fn) fn(out);
   }
   return out;
 }
 
-void Server::set_extra_stats(std::function<void(StatsResponse&)> fn) {
+void Server::register_stats(const std::string& name,
+                            std::function<void(StatsResponse&)> fn) {
   std::lock_guard<std::mutex> lock(extra_mu_);
-  extra_stats_ = std::move(fn);
+  if (fn)
+    extra_stats_[name] = std::move(fn);
+  else
+    extra_stats_.erase(name);
+}
+
+void Server::unregister_stats(const std::string& name) {
+  std::lock_guard<std::mutex> lock(extra_mu_);
+  extra_stats_.erase(name);
 }
 
 std::vector<std::uint8_t> Server::handle_stats() {
+  reap_idle_sessions();  // the opportunistic reap tick
   return encode_stats_response(snapshot());
 }
 
@@ -385,6 +589,20 @@ std::vector<std::uint8_t> Server::dispatch(
     case Op::kStatsRequest:
       counters_.stats_requests.fetch_add(1, std::memory_order_relaxed);
       return handle_stats();
+    case Op::kOpenStreamRequest:
+      counters_.open_stream_requests.fetch_add(1, std::memory_order_relaxed);
+      return handle_open_stream(frame);
+    case Op::kAppendTimestepRequest:
+      counters_.append_timestep_requests.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      return handle_append_timestep(frame);
+    case Op::kReadTimestepRequest:
+      counters_.read_timestep_requests.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      return handle_read_timestep(frame);
+    case Op::kCloseStreamRequest:
+      counters_.close_stream_requests.fetch_add(1, std::memory_order_relaxed);
+      return handle_close_stream(frame);
     default:
       return error_frame(ErrCode::kUnsupported,
                          std::string(op_name(op)) + " is not a request");
@@ -429,6 +647,47 @@ std::vector<std::uint8_t> Server::handle_frame(
 }
 
 void Server::submit(std::vector<std::uint8_t> frame, DoneFn done) {
+  // Session-scoped ops (append/read/close) are ticketed: the ticket is
+  // taken HERE, in arrival order, and the pool task waits its turn before
+  // running — so a client that pipelines appends without waiting for
+  // responses still gets timesteps stored in the order it sent them, even
+  // though pool workers complete out of order. Deadlock-free because the
+  // ThreadPool is FIFO: a session's lowest unfinished ticket was enqueued
+  // before every task that could be waiting on it, so it is always
+  // running or done — never parked behind a waiter.
+  if (auto op = peek_op(frame);
+      op.ok() && (*op == Op::kAppendTimestepRequest ||
+                  *op == Op::kReadTimestepRequest ||
+                  *op == Op::kCloseStreamRequest)) {
+    if (auto sid = peek_session_id(frame); sid.ok()) {
+      if (auto s = find_session(*sid)) {
+        std::uint64_t ticket = 0;
+        {
+          std::lock_guard<std::mutex> lock(s->mu);
+          ticket = s->next_ticket++;
+        }
+        pool_->submit([this, s, ticket, f = std::move(frame),
+                       cb = std::move(done)]() mutable {
+          {
+            std::unique_lock<std::mutex> lock(s->mu);
+            s->cv.wait(lock, [&] { return s->done_ticket == ticket; });
+          }
+          auto response = handle_frame(f);
+          {
+            std::lock_guard<std::mutex> lock(s->mu);
+            // Advance unconditionally — later tickets must progress even
+            // when this op closed the session or answered an error.
+            ++s->done_ticket;
+          }
+          s->cv.notify_all();
+          cb(std::move(response));
+        });
+        return;
+      }
+    }
+    // Unknown session or malformed body: plain pool path below, where
+    // handle_frame() produces the typed kNoSession/parse error itself.
+  }
   // Batchable = a well-formed compress request for plain (non-parallel)
   // AE-SZ. Anything else — other codecs, other opcodes, malformed frames —
   // takes the direct pool path, where handle_frame() re-derives the same

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -16,6 +17,7 @@
 #include "predictors/compressor.hpp"
 #include "service/protocol.hpp"
 #include "service/transport.hpp"
+#include "temporal/temporal.hpp"
 #include "util/thread_pool.hpp"
 
 namespace aesz::service {
@@ -67,6 +69,14 @@ class Server {
     /// waiting for companions, in microseconds. 0 = coalesce only what is
     /// already queued (no added latency).
     std::uint64_t batch_delay_us = 1000;
+    /// Stream sessions idle longer than this (no op addressed them) are
+    /// reaped: their state is freed and their id answers kNoSession from
+    /// then on. Reaping runs opportunistically on session/stats requests
+    /// (no dedicated timer thread); reap_idle_sessions() forces a pass.
+    std::uint64_t session_idle_ms = 60000;
+    /// Admission cap on concurrently open stream sessions; open-stream
+    /// beyond it answers kOverloaded.
+    std::size_t max_sessions = 64;
   };
 
   // Two overloads, not a `= {}` default argument: NSDMIs of a nested
@@ -96,13 +106,22 @@ class Server {
   void serve(Transport& transport);
 
   /// Snapshot of the running counters (the same data a stats frame
-  /// reports), including any extra gauges registered by the front end.
+  /// reports), including any extra gauges registered by front ends.
   StatsResponse snapshot() const;
 
-  /// Register a provider of extra stats rows appended to snapshot() — the
-  /// event-loop front end adds its connection-state and queue gauges here
-  /// so one stats frame reports both layers. Pass nullptr to clear.
-  void set_extra_stats(std::function<void(StatsResponse&)> fn);
+  /// Register a named provider of extra stats rows appended to
+  /// snapshot() — the event-loop front end adds its connection-state and
+  /// queue gauges under "event_loop" so one stats frame reports both
+  /// layers, without colliding with the server's own session gauges.
+  /// Re-registering a name replaces its provider; providers run in name
+  /// order so stats frames stay deterministic.
+  void register_stats(const std::string& name,
+                      std::function<void(StatsResponse&)> fn);
+  void unregister_stats(const std::string& name);
+
+  /// Force one idle-session reap pass (normally run opportunistically on
+  /// session and stats requests); returns how many sessions it freed.
+  std::size_t reap_idle_sessions();
 
  private:
   /// One cache slot per canonical (codec, rank). `mu` serializes both the
@@ -130,6 +149,26 @@ class Server {
     DoneFn done;
   };
 
+  /// One open stream session: a TemporalWriter plus the serialization
+  /// state that keeps pipelined session ops in arrival order. `mu` guards
+  /// every member; ops on DIFFERENT sessions run concurrently. Tickets:
+  /// submit() assigns `next_ticket++` at frame arrival, the pool task
+  /// waits until `done_ticket` reaches its ticket, runs, and increments
+  /// it — so responses reflect append order even when the pool executes
+  /// out of order. Deadlock-free because the pool is FIFO: a session's
+  /// lowest unfinished ticket was submitted (hence dequeued) before any
+  /// task that could be waiting on it.
+  struct StreamSession {
+    std::uint64_t id = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t next_ticket = 0;
+    std::uint64_t done_ticket = 0;
+    std::unique_ptr<temporal::TemporalWriter> writer;
+    std::chrono::steady_clock::time_point last_used;
+    bool closed = false;
+  };
+
   Expected<CachedCodec> codec_for(const std::string& name, int rank);
   Expected<std::unique_ptr<Compressor>> build_codec(const std::string& base,
                                                     bool parallel, int rank);
@@ -141,6 +180,15 @@ class Server {
       std::span<const std::uint8_t> frame);
   std::vector<std::uint8_t> handle_list_codecs();
   std::vector<std::uint8_t> handle_stats();
+  std::vector<std::uint8_t> handle_open_stream(
+      std::span<const std::uint8_t> frame);
+  std::vector<std::uint8_t> handle_append_timestep(
+      std::span<const std::uint8_t> frame);
+  std::vector<std::uint8_t> handle_read_timestep(
+      std::span<const std::uint8_t> frame);
+  std::vector<std::uint8_t> handle_close_stream(
+      std::span<const std::uint8_t> frame);
+  std::shared_ptr<StreamSession> find_session(std::uint64_t id);
   std::vector<std::uint8_t> error_frame(ErrCode code, std::string message);
 
   void batcher_main();
@@ -159,7 +207,11 @@ class Server {
   std::thread batcher_;
 
   mutable std::mutex extra_mu_;
-  std::function<void(StatsResponse&)> extra_stats_;
+  std::map<std::string, std::function<void(StatsResponse&)>> extra_stats_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::uint64_t, std::shared_ptr<StreamSession>> sessions_;
+  std::atomic<std::uint64_t> next_session_id_{1};
 
   struct Counters {
     std::atomic<std::uint64_t> requests{0};
@@ -181,6 +233,15 @@ class Server {
     std::atomic<std::uint64_t> batch_size_2_3{0};
     std::atomic<std::uint64_t> batch_size_4_7{0};
     std::atomic<std::uint64_t> batch_size_8_plus{0};
+    // Stream sessions: per-op request counts plus lifecycle totals.
+    std::atomic<std::uint64_t> open_stream_requests{0};
+    std::atomic<std::uint64_t> append_timestep_requests{0};
+    std::atomic<std::uint64_t> read_timestep_requests{0};
+    std::atomic<std::uint64_t> close_stream_requests{0};
+    std::atomic<std::uint64_t> sessions_opened{0};
+    std::atomic<std::uint64_t> sessions_closed{0};
+    std::atomic<std::uint64_t> sessions_reaped{0};
+    std::atomic<std::uint64_t> session_timesteps_stored{0};
   };
   Counters counters_;
 };

@@ -1,0 +1,235 @@
+#include "temporal/aetc.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "sz/common.hpp"
+
+namespace aesz::temporal {
+
+namespace {
+
+/// Smallest possible record: marker + mode + abs f64 + 1-byte blob length
+/// for an empty payload — any index length below this is corrupt.
+constexpr std::size_t kMinRecordBytes = 1 + 1 + sizeof(double) + 1;
+
+/// Trailer after the footer index: footer-length u32 + index magic u32.
+constexpr std::size_t kFooterTailBytes = 2 * sizeof(std::uint32_t);
+
+Status parse_header(ByteReader& r, StreamInfo& out) {
+  std::uint32_t magic = 0;
+  if (!r.try_get(magic))
+    return Status::error(ErrCode::kTruncated, "stream too short for magic");
+  if (magic != kStreamMagic)
+    return Status::error(ErrCode::kBadMagic, "not an AETC temporal stream");
+  std::uint8_t version = 0;
+  if (!r.try_get(version))
+    return Status::error(ErrCode::kTruncated, "truncated AETC header");
+  if (version != kFormatVersion)
+    return Status::error(ErrCode::kBadHeader, "unsupported AETC version");
+  std::span<const std::uint8_t> name;
+  if (!r.try_get_blob(name))
+    return Status::error(ErrCode::kTruncated, "truncated inner codec name");
+  if (name.empty() || name.size() > kMaxInnerName)
+    return Status::error(ErrCode::kBadHeader, "bad inner codec name length");
+  out.inner.assign(reinterpret_cast<const char*>(name.data()), name.size());
+  for (char c : out.inner) {
+    if (c < 0x20 || c > 0x7E)
+      return Status::error(ErrCode::kBadHeader,
+                           "non-printable inner codec name");
+  }
+  if (Status s = sz::read_dims_checked(r, out.dims); !s.ok()) return s;
+  std::uint8_t mode = 0;
+  double value = 0.0;
+  if (!r.try_get(mode) || !r.try_get(value))
+    return Status::error(ErrCode::kTruncated, "truncated error bound");
+  if (mode > static_cast<std::uint8_t>(EbMode::kPSNR))
+    return Status::error(ErrCode::kBadHeader, "bad error-bound mode");
+  out.eb = ErrorBound(static_cast<EbMode>(mode), value);
+  if (!out.eb.usable())
+    return Status::error(ErrCode::kBadHeader, "unusable error bound");
+  std::uint64_t gop = 0;
+  if (!r.try_get_varint(gop))
+    return Status::error(ErrCode::kTruncated, "truncated gop");
+  if (gop > kMaxGop)
+    return Status::error(ErrCode::kBadHeader, "gop exceeds cap");
+  out.gop = static_cast<std::size_t>(gop);
+  return {};
+}
+
+/// Parse one self-delimiting record at the reader's position. Fallible —
+/// recover_stream() treats any failure as the end of the record walk.
+Status parse_record(ByteReader& r, RecordInfo& rec) {
+  std::uint8_t marker = 0;
+  if (!r.try_get(marker))
+    return Status::error(ErrCode::kTruncated, "truncated record marker");
+  if (marker != kRecordMarker)
+    return Status::error(ErrCode::kCorruptStream, "bad record marker");
+  if (!r.try_get(rec.mode))
+    return Status::error(ErrCode::kTruncated, "truncated record mode");
+  if (rec.mode != kModeIntra && rec.mode != kModeResidual)
+    return Status::error(ErrCode::kCorruptStream, "bad record mode");
+  if (!r.try_get(rec.abs_eb))
+    return Status::error(ErrCode::kTruncated, "truncated record bound");
+  if (!std::isfinite(rec.abs_eb) || rec.abs_eb <= 0)
+    return Status::error(ErrCode::kCorruptStream, "bad record bound");
+  if (!r.try_get_blob(rec.payload))
+    return Status::error(ErrCode::kTruncated, "truncated record payload");
+  if (rec.payload.empty())
+    return Status::error(ErrCode::kCorruptStream, "empty record payload");
+  return {};
+}
+
+}  // namespace
+
+bool is_temporal(std::span<const std::uint8_t> stream) {
+  std::uint32_t magic = 0;
+  if (stream.size() < sizeof(magic)) return false;
+  std::memcpy(&magic, stream.data(), sizeof(magic));
+  return magic == kStreamMagic;
+}
+
+std::vector<std::uint8_t> write_stream_header(const std::string& inner,
+                                              const Dims& dims,
+                                              const ErrorBound& eb,
+                                              std::size_t gop) {
+  AESZ_CHECK_ARG(!inner.empty() && inner.size() <= kMaxInnerName,
+                 "bad inner codec name length");
+  AESZ_CHECK_ARG(dims.rank >= 1 && dims.rank <= 3, "bad rank");
+  AESZ_CHECK_ARG(eb.usable(), "unusable error bound");
+  AESZ_CHECK_ARG(gop <= kMaxGop, "gop exceeds cap");
+  ByteWriter w;
+  w.put(kStreamMagic);
+  w.put(kFormatVersion);
+  w.put_blob({reinterpret_cast<const std::uint8_t*>(inner.data()),
+              inner.size()});
+  w.put(static_cast<std::uint8_t>(dims.rank));
+  for (int i = 0; i < dims.rank; ++i) w.put_varint(dims[i]);
+  w.put(static_cast<std::uint8_t>(eb.mode()));
+  w.put(eb.value());
+  w.put_varint(gop);
+  return w.take();
+}
+
+void append_record(std::vector<std::uint8_t>& body, std::uint8_t mode,
+                   double abs_eb, std::span<const std::uint8_t> payload) {
+  AESZ_CHECK_ARG(mode == kModeIntra || mode == kModeResidual,
+                 "bad record mode");
+  AESZ_CHECK_ARG(std::isfinite(abs_eb) && abs_eb > 0, "bad record bound");
+  AESZ_CHECK_ARG(!payload.empty(), "empty record payload");
+  ByteWriter w;
+  w.reserve(kMinRecordBytes + payload.size() + 4);
+  w.put(kRecordMarker);
+  w.put(mode);
+  w.put(abs_eb);
+  w.put_blob(payload);
+  const auto& bytes = w.bytes();
+  body.insert(body.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> write_footer(std::span<const RecordInfo> records) {
+  ByteWriter w;
+  w.put_varint(records.size());
+  for (const RecordInfo& rec : records) {
+    w.put(rec.mode);
+    w.put(rec.abs_eb);
+    w.put_varint(rec.offset);
+    w.put_varint(rec.length);
+  }
+  const auto footer_len = static_cast<std::uint32_t>(w.size());
+  w.put(footer_len);
+  w.put(kIndexMagic);
+  return w.take();
+}
+
+Expected<StreamInfo> read_stream(std::span<const std::uint8_t> stream) {
+  StreamInfo info;
+  ByteReader r(stream);
+  if (Status s = parse_header(r, info); !s.ok()) return s;
+  const std::size_t header_end = r.pos();
+  if (stream.size() < header_end + kFooterTailBytes)
+    return Status::error(ErrCode::kTruncated, "missing AETC footer");
+  std::uint32_t footer_len = 0, index_magic = 0;
+  std::memcpy(&footer_len, stream.data() + stream.size() - kFooterTailBytes,
+              sizeof(footer_len));
+  std::memcpy(&index_magic, stream.data() + stream.size() - sizeof(index_magic),
+              sizeof(index_magic));
+  if (index_magic != kIndexMagic)
+    return Status::error(ErrCode::kCorruptStream,
+                         "missing AETC index magic (truncated append?)");
+  if (footer_len > stream.size() - kFooterTailBytes - header_end)
+    return Status::error(ErrCode::kCorruptStream, "footer length out of range");
+  const std::size_t footer_start =
+      stream.size() - kFooterTailBytes - footer_len;
+
+  ByteReader fr(stream.subspan(footer_start, footer_len));
+  std::uint64_t count = 0;
+  if (!fr.try_get_varint(count))
+    return Status::error(ErrCode::kTruncated, "truncated index count");
+  // Each index entry is at least mode u8 + abs f64 + two 1-byte varints —
+  // bound the count against the footer bytes BEFORE reserving.
+  constexpr std::size_t kMinEntryBytes = 1 + sizeof(double) + 2;
+  if (count > footer_len / kMinEntryBytes)
+    return Status::error(ErrCode::kCorruptStream, "index count out of range");
+  info.records.reserve(static_cast<std::size_t>(count));
+
+  std::size_t prev_end = header_end;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint8_t mode = 0;
+    double abs_eb = 0.0;
+    std::uint64_t offset = 0, length = 0;
+    if (!fr.try_get(mode) || !fr.try_get(abs_eb) ||
+        !fr.try_get_varint(offset) || !fr.try_get_varint(length))
+      return Status::error(ErrCode::kTruncated, "truncated index entry");
+    // Records must tile [header_end, footer_start) exactly, in order — an
+    // index pointing anywhere else (gaps, overlaps, the footer itself)
+    // is corrupt.
+    if (offset != prev_end || length < kMinRecordBytes ||
+        length > footer_start - offset)
+      return Status::error(ErrCode::kCorruptStream, "index entry out of range");
+    ByteReader rr(stream.subspan(static_cast<std::size_t>(offset),
+                                 static_cast<std::size_t>(length)));
+    RecordInfo rec;
+    if (Status s = parse_record(rr, rec); !s.ok()) return s;
+    if (!rr.eof())
+      return Status::error(ErrCode::kCorruptStream,
+                           "record shorter than index entry");
+    // The index duplicates mode/bound for O(1) seeks; both copies must
+    // agree bit-for-bit or one of them was tampered with.
+    if (rec.mode != mode || std::memcmp(&rec.abs_eb, &abs_eb,
+                                        sizeof(abs_eb)) != 0)
+      return Status::error(ErrCode::kCorruptStream,
+                           "index entry disagrees with record");
+    rec.offset = static_cast<std::size_t>(offset);
+    rec.length = static_cast<std::size_t>(length);
+    info.records.push_back(rec);
+    prev_end = static_cast<std::size_t>(offset + length);
+  }
+  if (!fr.eof())
+    return Status::error(ErrCode::kCorruptStream, "trailing bytes in index");
+  if (prev_end != footer_start)
+    return Status::error(ErrCode::kCorruptStream,
+                         "unindexed bytes before footer");
+  info.body_bytes = prev_end;
+  return info;
+}
+
+Expected<StreamInfo> recover_stream(std::span<const std::uint8_t> stream) {
+  StreamInfo info;
+  ByteReader r(stream);
+  if (Status s = parse_header(r, info); !s.ok()) return s;
+  std::size_t end = r.pos();
+  while (end < stream.size() && stream[end] == kRecordMarker) {
+    ByteReader rr(stream.subspan(end));
+    RecordInfo rec;
+    if (!parse_record(rr, rec).ok()) break;  // truncated tail — stop here
+    rec.offset = end;
+    rec.length = rr.pos();
+    info.records.push_back(rec);
+    end += rr.pos();
+  }
+  info.body_bytes = end;
+  return info;
+}
+
+}  // namespace aesz::temporal

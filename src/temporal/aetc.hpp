@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "predictors/error_bound.hpp"
+#include "util/bytestream.hpp"
+#include "util/dims.hpp"
+#include "util/expected.hpp"
+
+namespace aesz::temporal {
+
+/// Appendable timestep-stream container (version 1, "AETC"). One artifact
+/// holds a whole timestep sequence of a single field: a fixed header, then
+/// one self-delimiting record per timestep, then a footer index that is
+/// REWRITTEN on every append (the only mutable region of the file). Layout
+/// (little-endian, varint = LEB128, blob = varint length + bytes):
+///
+///   header   magic u32 "AETC" | version u8 | inner codec name blob |
+///            rank u8 | dims varint* | eb-mode u8 | eb-value f64 |
+///            gop varint
+///   record*  marker u8 (0xA7) | mode u8 (0 intra, 1 residual) |
+///            abs-bound f64 | payload blob
+///   footer   count varint | per record: mode u8, abs-bound f64,
+///            offset varint, length varint |
+///            footer-length u32 | footer magic u32 "AETI"
+///
+/// `inner codec name` is the registry spelling of the codec every payload
+/// was produced by (including `parallel:<name>` container wrappers), so a
+/// reader can rebuild the right decoder without magic-sniffing each record.
+/// `eb-mode`/`eb-value` record the bound requested for EVERY timestep;
+/// each record additionally stores the absolute tolerance that bound
+/// resolved to for that timestep (rel/psnr bounds resolve against each
+/// original frame's own value range). `gop` is the keyframe cadence the
+/// writer enforced (0 = only timestep 0 is intra), recorded so seek cost
+/// is inspectable; readers trust the per-record mode flags, not gop.
+///
+/// Append = overwrite the old footer with the new record, then write a
+/// fresh footer. A crash mid-append therefore leaves a file whose footer
+/// is missing or malformed but whose record sequence is intact up to the
+/// interrupted write: records are self-delimiting (marker byte + fixed
+/// fields + length-prefixed payload), so recover_stream() can walk them
+/// from the header and return every timestep that was completely written.
+/// The footer's first byte is a varint count — it can collide with a
+/// record marker only if count == 0xA7, which the strict reader never
+/// relies on: read_stream() locates the footer from the END of the file
+/// (magic + length), validates every index entry against the actual
+/// record bytes, and rejects any inconsistency with a typed status.
+///
+/// Hostile-input discipline matches the AEPC container (pipeline/
+/// container.hpp): every length is bounds-checked against the remaining
+/// bytes before any allocation, offsets must be strictly increasing and
+/// in-bounds, and malformed prefixes map to typed statuses — never an
+/// out-of-bounds read or unbounded allocation.
+
+/// "AETC" / "AETI" in little-endian byte order.
+constexpr std::uint32_t kStreamMagic = 0x43544541u;
+constexpr std::uint32_t kIndexMagic = 0x49544541u;
+constexpr std::uint8_t kFormatVersion = 1;
+constexpr std::uint8_t kRecordMarker = 0xA7;
+
+/// Timestep coding modes.
+constexpr std::uint8_t kModeIntra = 0;
+constexpr std::uint8_t kModeResidual = 1;
+
+/// Cap on the inner-codec-name blob — longer is a hostile header, not a
+/// registry lookup (mirrors service::kMaxCodecName).
+constexpr std::size_t kMaxInnerName = 256;
+
+/// Cap on the keyframe cadence a header may declare; anything larger is a
+/// hostile header, not a tuning choice.
+constexpr std::size_t kMaxGop = std::size_t{1} << 20;
+
+/// One parsed timestep record: coding mode, the absolute tolerance the
+/// writer enforced on this timestep, and a zero-copy view of the inner
+/// codec stream (an intra frame or a residual field). `offset`/`length`
+/// locate the whole record (marker byte included) within the artifact —
+/// what the footer index stores and what an appender needs to rebuild it.
+struct RecordInfo {
+  std::uint8_t mode = kModeIntra;
+  double abs_eb = 0.0;
+  std::span<const std::uint8_t> payload;
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+/// Parsed and validated artifact: header fields plus one RecordInfo per
+/// complete timestep. Payload spans alias the caller's bytes.
+struct StreamInfo {
+  std::string inner;  // registry codec name of every payload
+  Dims dims;
+  ErrorBound eb;
+  std::size_t gop = 0;
+  std::vector<RecordInfo> records;
+  /// Byte length of header + complete records (excludes the footer and
+  /// any truncated tail) — the recovery point an appender resumes from.
+  std::size_t body_bytes = 0;
+};
+
+/// True when `stream` leads with the AETC magic (cheap sniff for the CLI).
+bool is_temporal(std::span<const std::uint8_t> stream);
+
+/// Serialize the fixed header.
+std::vector<std::uint8_t> write_stream_header(const std::string& inner,
+                                              const Dims& dims,
+                                              const ErrorBound& eb,
+                                              std::size_t gop);
+
+/// Append one record to `body` (a header + records prefix, NO footer).
+void append_record(std::vector<std::uint8_t>& body, std::uint8_t mode,
+                   double abs_eb, std::span<const std::uint8_t> payload);
+
+/// The footer bytes for the given records (their offset/length fields
+/// must locate each record within the body); a complete artifact is
+/// body + footer.
+std::vector<std::uint8_t> write_footer(std::span<const RecordInfo> records);
+
+/// Strict parse: header, footer located from the file tail, every index
+/// entry cross-checked against the record bytes it points at. Any
+/// malformation — truncation, bad magic/version, hostile dims or name,
+/// offsets that do not tile the record region, index entries disagreeing
+/// with record bytes — maps to a typed status.
+Expected<StreamInfo> read_stream(std::span<const std::uint8_t> stream);
+
+/// Recovery parse: validates the header, then walks the self-delimiting
+/// records forward, IGNORING the footer entirely. Returns every complete
+/// timestep; a truncated final append (or a stomped footer) simply ends
+/// the walk. `body_bytes` marks where an appender should resume writing.
+Expected<StreamInfo> recover_stream(std::span<const std::uint8_t> stream);
+
+}  // namespace aesz::temporal

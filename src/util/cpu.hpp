@@ -1,0 +1,41 @@
+#pragma once
+
+// Runtime CPU-feature detection, factored out of the GEMM microkernel
+// dispatch so every SIMD-dispatching kernel in the repo asks the same
+// question the same way. On x86-64 GNU/Clang builds the probes compile to
+// one cpuid via __builtin_cpu_supports (memoized below — the builtin
+// itself re-reads a TLS-cached model struct, but funneling through one
+// bool keeps call sites branch-predictable and greppable). Elsewhere every
+// probe is constant-false, so dispatch code needs no #ifdef at the call
+// site — only around the target-attributed kernel definitions themselves,
+// for which AESZ_X86_DISPATCH is the canonical gate.
+
+namespace aesz::util {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define AESZ_X86_DISPATCH 1
+
+/// AVX2 and FMA together — the baseline for the repo's wide-vector
+/// kernels. Probed once per process.
+inline bool cpu_has_avx2_fma() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+
+#else
+
+inline bool cpu_has_avx2_fma() { return false; }
+
+#endif  // x86-64 GNU/Clang
+
+/// Human-readable tier name, for benchmark banners and stats output.
+inline const char* cpu_dispatch_tier() {
+#ifdef AESZ_X86_DISPATCH
+  return cpu_has_avx2_fma() ? "avx2+fma" : "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace aesz::util

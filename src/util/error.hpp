@@ -20,6 +20,7 @@ enum class ErrCode : std::uint8_t {
   kIoError,          // file open/read/write failure
   kInternal,         // library invariant failure
   kOverloaded,       // server admission control rejected the request
+  kNoSession,        // stream-session id unknown, closed, or reaped
 };
 
 inline const char* errcode_name(ErrCode c) {
@@ -35,6 +36,7 @@ inline const char* errcode_name(ErrCode c) {
     case ErrCode::kIoError: return "io_error";
     case ErrCode::kInternal: return "internal";
     case ErrCode::kOverloaded: return "overloaded";
+    case ErrCode::kNoSession: return "no_session";
   }
   return "unknown";
 }

@@ -1,0 +1,245 @@
+// Golden-stream format pinning. Each blob below is the hex dump of a
+// stream a past build of this repo produced for a deterministic synthetic
+// input. The tests assert three things, which together make accidental
+// format breaks loud instead of silent:
+//
+//   1. Today's decoder reads yesterday's bytes: every golden blob decodes
+//      cleanly and honors the bound it was encoded under.
+//   2. Today's encoder still writes yesterday's bytes: recompressing the
+//      same input yields the golden blob BYTE FOR BYTE. A legitimate
+//      format change must bump the stream version and regenerate the
+//      blobs in the same commit — this test is the tripwire that forces
+//      that conversation.
+//   3. A stream stamped with a FUTURE version is refused with the typed
+//      kBadHeader error, not misparsed: old readers fail closed against
+//      new writers.
+//
+// Regenerating after an intentional change: compress the same inputs
+// (value_noise_2d(12,16,3,4.0,123[,0.08*t]) under abs:1e-3, AETC with
+// inner SZ2.1 / gop 2 / auto mode) and hex-dump the streams.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/synth.hpp"
+#include "metrics/metrics.hpp"
+#include "predictors/registry.hpp"
+#include "temporal/aetc.hpp"
+#include "temporal/temporal.hpp"
+
+namespace aesz {
+namespace {
+
+// kGoldenSz21: 383 bytes
+constexpr char kGoldenSz21[] =
+    "31325a5302020c1000fca9f1d24d62503ffca9f1d24d62503f04010102000704"
+    "04920a2c3700d2028f0321c00188810272f1fe01081d08140803080507010801"
+    "0803080308020802080108020411010704070005030107040711040701070308"
+    "010801060107010702070304210005090402070107041d020106081b00090300"
+    "080f00060701060415050105020601043d00042d00063103060305062100074f"
+    "00060b0106085b00097101060467000569000761000447060307070701060429"
+    "0102051bb30102070507030702071807070705070407a101674addaa91bb5fd1"
+    "0b05c8bac1db7ace70ff44854c21f70970d9b8663a7bbce0f034bef77aef6aab"
+    "957e94791adc2ca776f784ee04fab2eff101c3a553240983ac65a17b6206c623"
+    "2798feba1a4928c6f2572410aba120fc9169fb9c653d4f36fdb525faaabc54d6"
+    "8cc1dcd2425c8ede9630d2df240e219a67356657e2dd316ea3dc84faa4f92f91"
+    "0c26872ae829f2718411625dcae68c3b58b57a281b823b0dcf000401010000";
+
+// kGoldenZfp: 329 bytes
+constexpr char kGoldenZfp[] =
+    "3150465a02020c1000fca9f1d24d62503ffca9f1d24d62503f00f6ffffff00a8"
+    "0259c2741f129cfbc4c6cb8eac74174636231ccfb0441afb3fb26449683e737d"
+    "1b807d3f1fe41b2729fae7dee10e315f8faa8459b2b0b3a4e761805c17a65a44"
+    "2f25f8d879f800fb199fc79e25abc4f9df267da5de6066387892fa64883abf57"
+    "515639e92c59dc81ee527bb8f599692939317e4ff0ff78555c5a763e4b161267"
+    "03c6c3ab4e6a857d63b8279fc1275060a64e2431db59b2ccab476f9bf2cb3611"
+    "0f26f91a1229f186e46f1af8b31bb36485188008400c88d198346e414c144fee"
+    "da7b3e76574ccb2c59377aa08f74207915cb0e82d5daf050c6d851b3e173623a"
+    "4b9667e9eaa0240eb19672d09db8240593fd47cc300471d62c59ac0581042df3"
+    "a23fa6bc25f232f4e5852101d1ce886596acfac1749087063264b5375ae43537"
+    "6236480222d438d11a";
+
+// kGoldenAetc: 1057 bytes — 3 timesteps, inner SZ2.1, gop 2, auto mode
+// (t=0 and t=2 keyframes, t=1 a residual record).
+constexpr char kGoldenAetc[] =
+    "414554430105535a322e31020c1000fca9f1d24d62503f02a700fca9f1d24d62"
+    "503fff0231325a5302020c1000fca9f1d24d62503ffca9f1d24d62503f040101"
+    "0200070404920a2c3700d2028f0321c00188810272f1fe01081d081408030805"
+    "0701080108030803080208020801080204110107040700050301070407110407"
+    "01070308010801060107010702070304210005090402070107041d020106081b"
+    "00090300080f00060701060415050105020601043d00042d0006310306030506"
+    "2100074f00060b0106085b000971010604670005690007610004470603070707"
+    "010604290102051bb30102070507030702071807070705070407a101674addaa"
+    "91bb5fd10b05c8bac1db7ace70ff44854c21f70970d9b8663a7bbce0f034bef7"
+    "7aef6aab957e94791adc2ca776f784ee04fab2eff101c3a553240983ac65a17b"
+    "6206c6232798feba1a4928c6f2572410aba120fc9169fb9c653d4f36fdb525fa"
+    "aabc54d68cc1dcd2425c8ede9630d2df240e219a67356657e2dd316ea3dc84fa"
+    "a4f92f910c26872ae829f2718411625dcae68c3b58b57a281b823b0dcf000401"
+    "010000a701fca9f1d24d62503fba0131325a5302020c1000fca9f1d24d62503f"
+    "fca9f1d24d62503f040101020006030306050d008e0192010dc0018c800215f5"
+    "ff01070207010401090601040105010401030701010405010705010501060106"
+    "0425605fd2af5e97ba3d4b8d759e2b70ed6660cfad2b1a6505edb3ce7ea5ccca"
+    "cffdcf2cd185608e66d23636dff1b48cac129a65c6328bc471720e4413f35dcf"
+    "f4efa263bf6b121b197d3b5104a48dbb0bb3c8ce5404b1447501635551c6b294"
+    "d3cd02000401010000a700fca9f1d24d62503ffd0231325a5302020c1000fca9"
+    "f1d24d62503ffca9f1d24d62503f04010102000704049c0a225100d002a2031d"
+    "c0018481027a81ff010817080a08050801080607030802080108010802050700"
+    "0605050108010704050512020802070208010701070207010803060107042300"
+    "0421010404150004310407010601041700060101060429000527040702060204"
+    "3500081b03060205092500060f000a1b00093b000a43000c250504070107030a"
+    "0f00060d0007090105059b0100040b00060f0111073f030207040505ae010b07"
+    "0f0703070207a401fbe042120d676ade940b27133ac7cbaa0328859f77e1aa4b"
+    "c01ca75fe3875f8281f4e5b7ed13260dee38657546584fd61d08ee876ab656c1"
+    "707e6d242b3b9c64d094b677f51ceb6a9614fba9a9c938366ba70e1f2851443c"
+    "a41c5430735a1101bca93cd0bd8af78d4950fd2ec85837673b65fe71ace5912c"
+    "7494bad0fe056ed0611dc988401e0f3de6edb0b33df2360561d386bd5c898fd0"
+    "aa399dfe417cd0b753afbc050004010100000300fca9f1d24d62503f188b0301"
+    "fca9f1d24d62503fa303c60100fca9f1d24d62503fe904890327000000414554"
+    "49";
+
+std::vector<std::uint8_t> from_hex(const char* hex) {
+  const std::string s(hex);
+  EXPECT_EQ(s.size() % 2, 0u);
+  std::vector<std::uint8_t> out;
+  out.reserve(s.size() / 2);
+  auto nibble = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+    return static_cast<std::uint8_t>(c - 'a' + 10);
+  };
+  for (std::size_t i = 0; i + 1 < s.size(); i += 2)
+    out.push_back(
+        static_cast<std::uint8_t>(nibble(s[i]) << 4 | nibble(s[i + 1])));
+  return out;
+}
+
+// The exact inputs the blobs were generated from.
+Field golden_field(double tphase = 0.0) {
+  return synth::value_noise_2d(12, 16, 3, 4.0, /*seed=*/123, tphase);
+}
+
+constexpr double kEb = 1e-3;
+
+struct SnapshotCase {
+  const char* codec;
+  const char* hex;
+};
+
+class GoldenSnapshot : public ::testing::TestWithParam<SnapshotCase> {};
+
+TEST_P(GoldenSnapshot, YesterdaysBytesStillDecodeInBound) {
+  const auto golden = from_hex(GetParam().hex);
+  const Field f = golden_field();
+  auto codec = CodecRegistry::instance().create(GetParam().codec, 2).value();
+  auto recon = codec->decompress(golden);
+  ASSERT_TRUE(recon.ok()) << recon.status().str();
+  ASSERT_EQ(recon->dims(), f.dims());
+  EXPECT_LE(metrics::max_abs_err(f.values(), recon->values()),
+            kEb * (1 + 1e-9));
+}
+
+TEST_P(GoldenSnapshot, TodaysEncoderReproducesTheBlobByteForByte) {
+  const auto golden = from_hex(GetParam().hex);
+  auto codec = CodecRegistry::instance().create(GetParam().codec, 2).value();
+  const auto now = codec->compress(golden_field(), ErrorBound::Abs(kEb));
+  ASSERT_EQ(now.size(), golden.size())
+      << GetParam().codec
+      << " stream size changed — format break without a version bump?";
+  EXPECT_EQ(now, golden);
+}
+
+TEST_P(GoldenSnapshot, FutureVersionIsRefusedTyped) {
+  auto stream = from_hex(GetParam().hex);
+  ASSERT_GT(stream.size(), 5u);
+  stream[4] = 0x63;  // all codecs put the format version at byte 4
+  auto codec = CodecRegistry::instance().create(GetParam().codec, 2).value();
+  auto recon = codec->decompress(stream);
+  ASSERT_FALSE(recon.ok());
+  EXPECT_EQ(recon.status().code, ErrCode::kBadHeader) << recon.status().str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, GoldenSnapshot,
+                         ::testing::Values(SnapshotCase{"SZ2.1", kGoldenSz21},
+                                           SnapshotCase{"ZFP", kGoldenZfp}),
+                         [](const auto& info) {
+                           std::string n = info.param.codec;
+                           for (char& c : n)
+                             if (c == '.') c = '_';
+                           return n;
+                         });
+
+TEST(GoldenAetc, YesterdaysArtifactStillDecodesInBound) {
+  const auto golden = from_hex(kGoldenAetc);
+  auto reader = temporal::TemporalReader::open(golden);
+  ASSERT_TRUE(reader.ok()) << reader.status().str();
+  ASSERT_EQ((*reader)->timesteps(), 3u);
+  EXPECT_EQ((*reader)->info().inner, "SZ2.1");
+  EXPECT_EQ((*reader)->info().gop, 2u);
+  // The auto-mode decision is part of the pinned format: t=1 residual.
+  EXPECT_EQ((*reader)->info().records[0].mode, temporal::kModeIntra);
+  EXPECT_EQ((*reader)->info().records[1].mode, temporal::kModeResidual);
+  EXPECT_EQ((*reader)->info().records[2].mode, temporal::kModeIntra);
+  for (std::size_t t = 0; t < 3; ++t) {
+    const Field orig = golden_field(0.08 * static_cast<double>(t));
+    auto recon = (*reader)->read(t);
+    ASSERT_TRUE(recon.ok()) << "t=" << t << ": " << recon.status().str();
+    EXPECT_LE(metrics::max_abs_err(orig.values(), recon->values()),
+              kEb * (1 + 1e-9))
+        << "t=" << t;
+  }
+}
+
+TEST(GoldenAetc, TodaysWriterReproducesTheArtifactByteForByte) {
+  const auto golden = from_hex(kGoldenAetc);
+  temporal::TemporalWriter::Options opt;
+  opt.inner = "SZ2.1";
+  opt.gop = 2;
+  opt.mode = temporal::Mode::kAuto;
+  temporal::TemporalWriter w(golden_field().dims(), ErrorBound::Abs(kEb),
+                             std::move(opt));
+  for (std::size_t t = 0; t < 3; ++t)
+    w.append(golden_field(0.08 * static_cast<double>(t)));
+  EXPECT_EQ(w.bytes(), golden);
+}
+
+TEST(GoldenAetc, ReopenAppendExtendsTheGoldenArtifactDeterministically) {
+  // Appending t=3 to the committed artifact must equal building the
+  // 4-step stream from scratch — the reopened encoder's reference chain
+  // restores to exactly the state the original writer was left in.
+  const auto golden = from_hex(kGoldenAetc);
+  temporal::TemporalWriter::Options opt;
+  opt.inner = "SZ2.1";
+  opt.gop = 2;
+  opt.mode = temporal::Mode::kAuto;
+  auto reopened = temporal::TemporalWriter::open(golden, opt);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().str();
+  (*reopened)->append(golden_field(0.08 * 3));
+
+  temporal::TemporalWriter::Options opt2;
+  opt2.inner = "SZ2.1";
+  opt2.gop = 2;
+  opt2.mode = temporal::Mode::kAuto;
+  temporal::TemporalWriter scratch(golden_field().dims(),
+                                   ErrorBound::Abs(kEb), std::move(opt2));
+  for (std::size_t t = 0; t < 4; ++t)
+    scratch.append(golden_field(0.08 * static_cast<double>(t)));
+  EXPECT_EQ((*reopened)->bytes(), scratch.bytes());
+}
+
+TEST(GoldenAetc, FutureContainerVersionIsRefusedTyped) {
+  auto stream = from_hex(kGoldenAetc);
+  stream[4] = 0x63;
+  auto reader = temporal::TemporalReader::open(stream);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code, ErrCode::kBadHeader)
+      << reader.status().str();
+  // The appender path refuses identically.
+  auto writer = temporal::TemporalWriter::open(stream);
+  ASSERT_FALSE(writer.ok());
+  EXPECT_EQ(writer.status().code, ErrCode::kBadHeader);
+}
+
+}  // namespace
+}  // namespace aesz

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -54,6 +56,27 @@ std::vector<std::vector<std::uint8_t>> corpus() {
   out.push_back(svc::encode_decompress_request(dreq));
   out.push_back(svc::encode_list_codecs_request());
   out.push_back(svc::encode_stats_request());
+
+  // Stream-session ops. The session ids here are arbitrary — against a
+  // fresh server they exercise the kNoSession path, and mutation scrambles
+  // them into every other value.
+  svc::OpenStreamRequest oreq;
+  oreq.codec = "SZ2.1";
+  oreq.eb = ErrorBound::Abs(1e-2);
+  oreq.dims = f.dims();
+  oreq.gop = 4;
+  out.push_back(svc::encode_open_stream_request(oreq));
+  svc::AppendTimestepRequest areq;
+  areq.session_id = 1;
+  areq.field = creq.field;
+  out.push_back(svc::encode_append_timestep_request(areq));
+  svc::ReadTimestepRequest rreq;
+  rreq.session_id = 1;
+  rreq.timestep = 0;
+  out.push_back(svc::encode_read_timestep_request(rreq));
+  svc::CloseStreamRequest xreq;
+  xreq.session_id = 1;
+  out.push_back(svc::encode_close_stream_request(xreq));
   return out;
 }
 
@@ -121,6 +144,14 @@ bool is_valid_response_or_error(std::span<const std::uint8_t> frame) {
       return svc::parse_list_codecs_response(frame).ok();
     case svc::Op::kStatsResponse:
       return svc::parse_stats_response(frame).ok();
+    case svc::Op::kOpenStreamResponse:
+      return svc::parse_open_stream_response(frame).ok();
+    case svc::Op::kAppendTimestepResponse:
+      return svc::parse_append_timestep_response(frame).ok();
+    case svc::Op::kReadTimestepResponse:
+      return svc::parse_read_timestep_response(frame).ok();
+    case svc::Op::kCloseStreamResponse:
+      return svc::parse_close_stream_response(frame).ok();
     default:
       return false;
   }
@@ -143,6 +174,117 @@ TEST(ServiceFuzz, MutatedFramesAlwaysGetTypedResponses) {
     }
   }
   // The server survived several hundred hostile frames and still works.
+  const auto ok = server.handle_frame(base.front());
+  EXPECT_TRUE(svc::parse_compress_response(ok).ok());
+}
+
+/// Stateful session fuzz: a random interleaving of VALID session ops
+/// (open / append / read / close, plus stats as a reap tick) against live
+/// sessions, with mutated frames spliced in between. Exercises the
+/// session table, ticket ordering, and reaping under hostile traffic; the
+/// invariant is the same — typed responses only, and a healthy server
+/// afterwards with no leaked sessions.
+TEST(ServiceFuzz, SessionOpsSurviveRandomInterleaving) {
+  svc::Server::Options sopt;
+  sopt.max_sessions = 4;  // small cap so the fuzz hits kOverloaded too
+  svc::Server server(sopt);
+  const Field f = synth::cesm_freqsh(16, 24, 50);
+  const auto floats = f.values();
+  const std::span<const std::uint8_t> field_bytes{
+      reinterpret_cast<const std::uint8_t*>(floats.data()),
+      floats.size() * sizeof(float)};
+  const auto base = corpus();
+
+  for (const auto seed : {0xdeadULL, 0xbeefULL, 0x5e55ULL}) {
+    Rng rng(seed);
+    std::vector<std::uint64_t> live;  // ids we believe are open
+    for (int iter = 0; iter < 200; ++iter) {
+      // A session id to target: usually a live one, sometimes garbage.
+      const std::uint64_t id =
+          (!live.empty() && rng.below(4) != 0)
+              ? live[rng.below(live.size())]
+              : rng.next_u64() % 1000;
+      std::vector<std::uint8_t> frame;
+      switch (rng.below(8)) {
+        case 0: {
+          svc::OpenStreamRequest req;
+          req.codec = rng.below(4) == 0 ? "no-such-codec" : "SZ2.1";
+          req.eb = ErrorBound::Abs(1e-2);
+          req.dims = f.dims();
+          req.gop = rng.below(6);
+          frame = svc::encode_open_stream_request(req);
+          break;
+        }
+        case 1:
+        case 2: {
+          svc::AppendTimestepRequest req;
+          req.session_id = id;
+          // Sometimes a short/oversized field (kInvalidArgument path).
+          req.field = rng.below(5) == 0
+                          ? field_bytes.subspan(0, 4 * rng.below(16) + 4)
+                          : field_bytes;
+          frame = svc::encode_append_timestep_request(req);
+          break;
+        }
+        case 3: {
+          svc::ReadTimestepRequest req;
+          req.session_id = id;
+          req.timestep = rng.below(32);  // often out of range
+          frame = svc::encode_read_timestep_request(req);
+          break;
+        }
+        case 4: {
+          svc::CloseStreamRequest req;
+          req.session_id = id;
+          frame = svc::encode_close_stream_request(req);
+          break;
+        }
+        case 5:
+          frame = svc::encode_stats_request();  // doubles as a reap tick
+          break;
+        default:  // splice hostile bytes between the valid session traffic
+          frame = mutate(base[rng.below(base.size())],
+                         base[rng.below(base.size())], rng);
+          break;
+      }
+      const auto response = server.handle_frame(frame);
+      ASSERT_TRUE(is_valid_response_or_error(response))
+          << "seed " << seed << " iter " << iter;
+      // Track the session table as the server reports it.
+      const auto op = svc::peek_op(response);
+      if (op.ok() && *op == svc::Op::kOpenStreamResponse)
+        live.push_back(svc::parse_open_stream_response(response)->session_id);
+      if (op.ok() && *op == svc::Op::kCloseStreamResponse)
+        live.erase(std::remove(live.begin(), live.end(), id), live.end());
+    }
+    // Drain: close everything we still hold; each close must answer with
+    // either the artifact or a typed kNoSession (never anything else).
+    for (const auto sid : live) {
+      svc::CloseStreamRequest req;
+      req.session_id = sid;
+      const auto response =
+          server.handle_frame(svc::encode_close_stream_request(req));
+      const auto op = svc::peek_op(response);
+      ASSERT_TRUE(op.ok());
+      if (*op == svc::Op::kErrorResponse) {
+        EXPECT_EQ(svc::parse_error_response(response)->code,
+                  ErrCode::kNoSession);
+      } else {
+        EXPECT_EQ(*op, svc::Op::kCloseStreamResponse);
+      }
+    }
+    live.clear();
+  }
+
+  // No leaked sessions, and the server still does normal work.
+  const auto stats_frame = server.handle_frame(svc::encode_stats_request());
+  auto stats = svc::parse_stats_response(stats_frame);
+  ASSERT_TRUE(stats.ok());
+  for (const auto& [name, value] : stats->counters) {
+    if (name == "sessions_active") {
+      EXPECT_EQ(value, 0u);
+    }
+  }
   const auto ok = server.handle_frame(base.front());
   EXPECT_TRUE(svc::parse_compress_response(ok).ok());
 }
