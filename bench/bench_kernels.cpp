@@ -276,6 +276,7 @@ int main() {
                "pre-refactor scalar counterparts (best of %zu runs)\n",
                reps());
   std::vector<bench::JsonObj> rows;
+  rows.push_back(bench::meta_obj());
   bench_bitio(rows);
   bench_huffman(rows);
   bench_gemm(rows);

@@ -92,6 +92,7 @@ int main() {
   service::Client client(*client_end);
 
   std::vector<bench::JsonObj> json_rows;
+  json_rows.push_back(bench::meta_obj());
   for (const auto& codec : codecs) {
     // Warm the server's codec cache so the measured requests see the
     // steady state a long-lived service runs in.
@@ -151,6 +152,84 @@ int main() {
 
   client_end->shutdown();
   session.join();
+
+  // ---- leg 1.5: client-vs-server latency cross-check -------------------
+  // The server's own request_ns_compress/_decompress histograms (stats
+  // rows `<hist>_p50/_p99`) must tell the same story the client's
+  // stopwatch does. Server-side quantiles are execution-only (no
+  // transport, no framing) and bucket-quantized (~25% per bucket), so the
+  // p50 ratio is gated within two bucket widths; p99 is recorded but not
+  // gated — the warmup request (which pays the codec build) lands in the
+  // server histogram and legitimately dominates its tail.
+  {
+    service::Server xserver;
+    auto [xc, xs] = service::PipeTransport::make_pair();
+    std::thread xsession([&xserver, &t = *xs] { xserver.serve(t); });
+    service::Client xclient(*xc);
+    auto warm = xclient.compress("SZ2.1", f, eb);
+    if (!warm.ok()) {
+      std::printf("!! xcheck warmup: %s\n", warm.status().str().c_str());
+      return 1;
+    }
+    std::vector<double> cms, dms;
+    for (std::size_t i = 0; i < reqs; ++i) {
+      Timer t;
+      auto compressed = xclient.compress("SZ2.1", f, eb);
+      if (!compressed.ok()) {
+        std::printf("!! xcheck compress: %s\n",
+                    compressed.status().str().c_str());
+        return 1;
+      }
+      cms.push_back(t.seconds() * 1e3);
+      t.reset();
+      auto recon = xclient.decompress(compressed->stream, "SZ2.1");
+      if (!recon.ok()) {
+        std::printf("!! xcheck decompress: %s\n",
+                    recon.status().str().c_str());
+        return 1;
+      }
+      dms.push_back(t.seconds() * 1e3);
+    }
+    xc->shutdown();
+    xsession.join();
+    std::sort(cms.begin(), cms.end());
+    std::sort(dms.begin(), dms.end());
+
+    const auto snap = xserver.snapshot();
+    bench::JsonObj row;
+    row.add("leg", "latency_xcheck").add("codec", "SZ2.1");
+    bool ok = true;
+    const auto xcheck = [&](const char* what, const char* hist,
+                            const std::vector<double>& client_ms) {
+      const double client_p50 = percentile(client_ms, 0.50);
+      const double server_p50 =
+          static_cast<double>(snap.get(std::string(hist) + "_p50")) / 1e6;
+      const double server_p99 =
+          static_cast<double>(snap.get(std::string(hist) + "_p99")) / 1e6;
+      const double ratio = client_p50 > 0 ? server_p50 / client_p50 : 0.0;
+      std::printf("  %-10s client p50 %8.2f ms | server p50 %8.2f ms "
+                  "(ratio %.3f)  p99 %8.2f ms\n",
+                  what, client_p50, server_p50, ratio, server_p99);
+      row.add(std::string(what) + "_client_p50_ms", client_p50)
+          .add(std::string(what) + "_server_p50_ms", server_p50)
+          .add(std::string(what) + "_server_p99_ms", server_p99)
+          .add(std::string(what) + "_p50_ratio", ratio);
+      // Two histogram buckets of slack (1.25^2) on top: server exec must
+      // not exceed client wall by more than quantization, and client wall
+      // must not dwarf server exec (transport is cheap on a pipe).
+      if (ratio > 1.5625 || ratio < 0.4) {
+        std::printf("!! %s: server/client p50 ratio %.3f outside "
+                    "[0.4, 1.5625]\n", what, ratio);
+        ok = false;
+      }
+    };
+    std::printf("\nclient-vs-server latency cross-check (SZ2.1, %zu "
+                "round trips):\n", reqs);
+    xcheck("compress", "request_ns_compress", cms);
+    xcheck("decompress", "request_ns_decompress", dms);
+    json_rows.push_back(row);
+    if (!ok) return 1;
+  }
 
   // ---- leg 2: cross-request AE-SZ inference batching, on vs off --------
   // Depth-8 pipelined compress requests for small fields; a single worker

@@ -79,6 +79,7 @@ int main() {
               "snapshot(B)", "stream(B)", "ratio", "append_ms", "read_ms");
 
   std::vector<bench::JsonObj> json;
+  json.push_back(bench::meta_obj());
   bool residual_won_somewhere = false;
   for (const auto& name : codecs) {
     // Baseline: each timestep through a fresh inner codec, independent

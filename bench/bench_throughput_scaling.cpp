@@ -98,6 +98,7 @@ int run() {
               "comp GB/s", "decomp GB/s",
               ("spdup/" + std::to_string(base_threads) + "t").c_str(), "CR");
   std::vector<bench::JsonObj> rows_json;
+  rows_json.push_back(bench::meta_obj());
   for (const auto& name : codecs) {
     double base_comp = 0.0;
     for (const std::size_t threads : thread_counts) {

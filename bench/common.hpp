@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -88,6 +89,26 @@ inline std::string json_array(const std::vector<JsonObj>& rows) {
 
 inline std::size_t epochs() { return env_size_t("AESZ_BENCH_EPOCHS", 8); }
 inline std::size_t scale() { return env_size_t("AESZ_BENCH_SCALE", 1); }
+
+/// Machine context for BENCH_*.json: emitted as the first row of every
+/// bench's JSON array so recorded numbers carry the SIMD tier, thread
+/// budget, and build type they were measured under — without it a scalar
+/// Debug run is indistinguishable from an AVX2 Release run in the archive.
+inline JsonObj meta_obj() {
+  JsonObj meta;
+  meta.add("row", "meta");
+  meta.add("simd", util::cpu_dispatch_tier());
+  meta.add("threads",
+           static_cast<std::size_t>(std::thread::hardware_concurrency()));
+#ifdef NDEBUG
+  meta.add("build_type", "release");
+#else
+  meta.add("build_type", "debug");
+#endif
+  meta.add("bench_epochs", epochs());
+  meta.add("bench_scale", scale());
+  return meta;
+}
 
 inline void banner(const char* what, const char* paper_ref) {
   std::printf("==============================================================\n");

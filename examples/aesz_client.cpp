@@ -5,6 +5,8 @@
 //
 //   list-codecs                          codecs the server offers
 //   stats                                server counters
+//   metrics                              Prometheus text exposition of the
+//                                        server's metrics registry
 //   compress --codec NAME --eb MODE:VALUE --dims AxB[xC]
 //            --out out.bin input.f32     compress a raw f32 file remotely
 //   decompress --out recon.f32 in.bin    decompress (server identifies the
@@ -78,6 +80,17 @@ int cmd_stats(service::Client& client) {
   for (const auto& [name, value] : stats->counters)
     std::printf("%-22s %llu\n", name.c_str(),
                 static_cast<unsigned long long>(value));
+  return 0;
+}
+
+int cmd_metrics(service::Client& client) {
+  auto text = client.metrics();
+  if (!text.ok()) {
+    std::fprintf(stderr, "error: %s\n", text.status().str().c_str());
+    return 1;
+  }
+  // The exposition body is already newline-terminated text; print verbatim.
+  std::fputs(text->c_str(), stdout);
   return 0;
 }
 
@@ -204,6 +217,7 @@ int usage() {
       "usage: aesz_client [--host H --port N --retries N] <subcommand>\n"
       "  list-codecs\n"
       "  stats\n"
+      "  metrics\n"
       "  compress --codec NAME --eb MODE:VALUE --dims AxB[xC]\n"
       "           --out out.bin input.f32\n"
       "  decompress [--codec NAME] --out recon.f32 in.bin\n"
@@ -232,6 +246,7 @@ int main(int argc, char** argv) {
 
     if (cmd == "list-codecs") return cmd_list_codecs(client);
     if (cmd == "stats") return cmd_stats(client);
+    if (cmd == "metrics") return cmd_metrics(client);
     if (cmd == "compress") return cmd_compress(client, args);
     if (cmd == "decompress") return cmd_decompress(client, args);
     if (cmd == "demo") return cmd_demo(client);

@@ -9,6 +9,7 @@
 //               [--port-file PATH] [--once [N]] [--poll]
 //               [--max-inflight N] [--max-batch N] [--batch-delay-us N]
 //               [--max-sessions N] [--session-idle-ms N]
+//               [--trace-out FILE] [--slow-ms MS] [--log-level LEVEL]
 //
 //   --port N           listen port; 0 (default) = kernel-assigned ephemeral
 //   --threads N        request worker threads; 0 = hardware concurrency
@@ -25,6 +26,11 @@
 //   --max-sessions N   stream-session admission cap (default 64)
 //   --session-idle-ms N idle reap deadline for abandoned sessions
 //                      (default 60000)
+//   --trace-out FILE   write per-request Chrome trace-event JSONL to FILE
+//                      (load with `jq -s .` -> chrome://tracing)
+//   --slow-ms MS       warn-log any request slower than MS milliseconds
+//   --log-level LEVEL  trace|debug|info|warn|error|off (also the AESZ_LOG
+//                      environment variable; the flag wins)
 //
 // The bound port is printed (and flushed) before the first accept, so
 // `aesz_server --port 0` can be driven by parsing the first stdout line.
@@ -32,6 +38,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/log.hpp"
 #include "service/event_loop.hpp"
 #include "service/server.hpp"
 #include "service/transport.hpp"
@@ -43,7 +50,8 @@ int main(int argc, char** argv) {
     CliArgs args(argc, argv,
                  {"port", "threads", "model", "field", "port-file",
                   "max-inflight", "max-batch", "batch-delay-us",
-                  "max-sessions", "session-idle-ms"},
+                  "max-sessions", "session-idle-ms", "trace-out", "slow-ms",
+                  "log-level"},
                  /*known_flags=*/{"poll"},
                  /*optional_value_keys=*/{"once"});
 
@@ -58,6 +66,17 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_long("max-sessions", 64));
     opt.session_idle_ms =
         static_cast<std::uint64_t>(args.get_long("session-idle-ms", 60000));
+    opt.trace_out = args.get("trace-out", "");
+    opt.slow_ms = static_cast<double>(args.get_long("slow-ms", 0));
+    if (args.has("log-level")) {
+      const std::string lvl = args.get("log-level", "info");
+      auto parsed = obs::parse_log_level(lvl);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n", parsed.status().str().c_str());
+        return 2;
+      }
+      obs::set_log_level(*parsed);
+    }
     service::Server server(opt);
 
     auto listener = service::TcpListener::bind(

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (stdin, or a file argument).
+
+Used by CI against a live `aesz_client metrics` fetch. Checks the rules a
+scraper depends on, without requiring promtool:
+
+  * every sample line is `name[{labels}] value`, with a legal metric name
+    ([a-zA-Z_:][a-zA-Z0-9_:]*);
+  * every sample belongs to a family announced by `# HELP` + `# TYPE`
+    (HELP first, then TYPE, then samples — the aesz exposition order);
+  * histogram families carry a `+Inf` bucket, strictly increasing `le`
+    bounds, monotone non-decreasing cumulative counts, and a `_count`
+    equal to the `+Inf` bucket.
+
+Exit status 0 when the exposition is valid, 1 otherwise (problems on
+stderr). Requires at least one sample so an empty fetch cannot pass.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+
+
+def family_of(name):
+    """Strip histogram/summary suffixes to the declared family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def le_value(labels):
+    for part in labels.split(","):
+        if part.startswith('le="') and part.endswith('"'):
+            bound = part[4:-1]
+            return float("inf") if bound == "+Inf" else float(bound)
+    return None
+
+
+def main():
+    text = (
+        open(sys.argv[1], encoding="utf-8").read()
+        if len(sys.argv) > 1
+        else sys.stdin.read()
+    )
+    problems = []
+    helped, typed = set(), {}
+    hist = {}  # family -> list of (le, cumulative) in exposition order
+    hist_count = {}
+    samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.match(parts[2]):
+                problems.append(f"line {lineno}: malformed HELP: {line!r}")
+            else:
+                helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not NAME_RE.match(parts[2]):
+                problems.append(f"line {lineno}: malformed TYPE: {line!r}")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                problems.append(f"line {lineno}: unknown TYPE {kind!r}")
+            if name not in helped:
+                problems.append(f"line {lineno}: TYPE {name} without prior HELP")
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        samples += 1
+        name = m.group("name")
+        family = family_of(name)
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            problems.append(f"line {lineno}: non-numeric value: {line!r}")
+            continue
+        kind = typed.get(family) or typed.get(name)
+        if kind is None:
+            problems.append(f"line {lineno}: sample {name} has no TYPE")
+            continue
+        if kind == "histogram" and name.endswith("_bucket"):
+            le = le_value(m.group("labels") or "")
+            if le is None:
+                problems.append(f"line {lineno}: bucket without le label")
+            else:
+                hist.setdefault(family, []).append((lineno, le, value))
+        elif kind == "histogram" and name.endswith("_count"):
+            hist_count[family] = (lineno, value)
+
+    if samples == 0:
+        problems.append("no samples at all")
+
+    for family, buckets in hist.items():
+        prev_le, prev_cum = None, None
+        for lineno, le, cum in buckets:
+            if prev_le is not None and le <= prev_le:
+                problems.append(
+                    f"line {lineno}: {family} bucket le={le} not above {prev_le}"
+                )
+            if prev_cum is not None and cum < prev_cum:
+                problems.append(
+                    f"line {lineno}: {family} cumulative count {cum} < {prev_cum}"
+                )
+            prev_le, prev_cum = le, cum
+        if prev_le != float("inf"):
+            problems.append(f"{family}: no +Inf bucket")
+        elif family in hist_count and hist_count[family][1] != prev_cum:
+            problems.append(
+                f"{family}: _count {hist_count[family][1]} != +Inf bucket {prev_cum}"
+            )
+        elif family not in hist_count:
+            problems.append(f"{family}: histogram without _count")
+
+    for problem in problems:
+        print(f"check_prometheus: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(
+        f"check_prometheus: OK ({samples} samples, "
+        f"{len(hist)} histograms with buckets)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

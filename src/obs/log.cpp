@@ -1,0 +1,106 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+
+namespace aesz::obs {
+
+namespace {
+
+/// Process-start epoch for every obs timestamp. Captured on first use;
+/// function-local static so it is safe before main().
+std::chrono::steady_clock::time_point epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+LogLevel level_from_env() {
+  const char* v = std::getenv("AESZ_LOG");
+  if (v && *v) {
+    auto parsed = parse_log_level(v);
+    if (parsed.ok()) return *parsed;
+    std::fprintf(stderr, "[    0.000000] W log: AESZ_LOG='%s' is not a "
+                         "level (trace|debug|info|warn|error|off)\n", v);
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& level_store() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+char level_char(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return 'T';
+    case LogLevel::kDebug: return 'D';
+    case LogLevel::kInfo: return 'I';
+    case LogLevel::kWarn: return 'W';
+    case LogLevel::kError: return 'E';
+    case LogLevel::kOff: break;
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch())
+          .count());
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_store().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_store().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Expected<LogLevel> parse_log_level(const std::string& name) {
+  std::string l;
+  for (char c : name)
+    l += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (l == "trace") return LogLevel::kTrace;
+  if (l == "debug") return LogLevel::kDebug;
+  if (l == "info") return LogLevel::kInfo;
+  if (l == "warn" || l == "warning") return LogLevel::kWarn;
+  if (l == "error") return LogLevel::kError;
+  if (l == "off" || l == "none") return LogLevel::kOff;
+  return Status::error(ErrCode::kInvalidArgument,
+                       "'" + name + "' is not a log level "
+                       "(trace|debug|info|warn|error|off)");
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void log_line(LogLevel level, const char* component, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  char msg[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+  const double sec = static_cast<double>(monotonic_ns()) * 1e-9;
+  // One fprintf per line: stderr is unbuffered but POSIX guarantees
+  // atomicity only per write, so the line is assembled first.
+  std::fprintf(stderr, "[%12.6f] %c %s: %s\n", sec, level_char(level),
+               component ? component : "-", msg);
+}
+
+}  // namespace aesz::obs

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+
+#include "util/expected.hpp"
+
+namespace aesz::obs {
+
+/// Tiny leveled logger for the service layer (docs/OBSERVABILITY.md).
+/// One line per event on stderr, written by a single fprintf so concurrent
+/// threads never interleave mid-line:
+///
+///   [   12.345678] W server: slow request op=compress id=42 ms=103.2
+///
+/// The timestamp is monotonic seconds since process start (steady clock —
+/// matches trace-event timestamps, immune to wall-clock steps). The level
+/// starts from the AESZ_LOG environment variable (trace|debug|info|warn|
+/// error|off, default info) and can be overridden programmatically
+/// (aesz_server --log-level). Call sites go through the AESZ_LOG_* macros
+/// so disabled levels cost one relaxed atomic load and never evaluate
+/// their arguments.
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Current threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse a level name ("warn", "WARN", ...). Typed kInvalidArgument on an
+/// unknown name, so --log-level typos fail loudly.
+Expected<LogLevel> parse_log_level(const std::string& name);
+const char* log_level_name(LogLevel level);
+
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+/// Emit one line (printf-style). Prefer the macros below.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void log_line(LogLevel level, const char* component, const char* fmt, ...);
+
+/// Monotonic nanoseconds since an arbitrary process-stable epoch — the
+/// clock every obs timestamp (log lines, trace events, span bounds) shares.
+std::uint64_t monotonic_ns();
+
+#define AESZ_LOG_AT(level, component, ...)                       \
+  do {                                                           \
+    if (::aesz::obs::log_enabled(level))                         \
+      ::aesz::obs::log_line(level, component, __VA_ARGS__);      \
+  } while (0)
+
+#define AESZ_LOG_TRACE(component, ...) \
+  AESZ_LOG_AT(::aesz::obs::LogLevel::kTrace, component, __VA_ARGS__)
+#define AESZ_LOG_DEBUG(component, ...) \
+  AESZ_LOG_AT(::aesz::obs::LogLevel::kDebug, component, __VA_ARGS__)
+#define AESZ_LOG_INFO(component, ...) \
+  AESZ_LOG_AT(::aesz::obs::LogLevel::kInfo, component, __VA_ARGS__)
+#define AESZ_LOG_WARN(component, ...) \
+  AESZ_LOG_AT(::aesz::obs::LogLevel::kWarn, component, __VA_ARGS__)
+#define AESZ_LOG_ERROR(component, ...) \
+  AESZ_LOG_AT(::aesz::obs::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace aesz::obs

@@ -1,0 +1,209 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace aesz::obs {
+
+namespace {
+
+/// Bucket upper bounds, built once: b0 = 1, b{i+1} = max(b+1, b + b/4).
+const std::array<std::uint64_t, kHistogramBuckets>& bounds() {
+  static const auto table = [] {
+    std::array<std::uint64_t, kHistogramBuckets> b{};
+    std::uint64_t v = 1;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      b[i] = v;
+      v = std::max(v + 1, v + v / 4);
+    }
+    return b;
+  }();
+  return table;
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_')
+    return false;
+  for (char c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  return true;
+}
+
+/// HELP text must stay one exposition line: escape backslash and newline
+/// per the Prometheus text-format rules.
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t histogram_bucket_bound(std::size_t i) { return bounds()[i]; }
+
+std::size_t histogram_bucket_index(std::uint64_t value) {
+  const auto& b = bounds();
+  const auto it = std::lower_bound(b.begin(), b.end(), value);
+  return it == b.end() ? kHistogramBuckets
+                       : static_cast<std::size_t>(it - b.begin());
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the order statistic we are after, 1-based.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (cum + buckets[i] < rank) {
+      cum += buckets[i];
+      continue;
+    }
+    // The rank lands in bucket i: interpolate linearly between its bounds
+    // by the rank's position inside the bucket. The overflow bucket has no
+    // finite upper bound; clamp it to the last finite one.
+    const double lower =
+        i == 0 ? 0.0 : static_cast<double>(histogram_bucket_bound(i - 1));
+    const double upper = static_cast<double>(
+        histogram_bucket_bound(std::min(i, kHistogramBuckets - 1)));
+    const double frac = static_cast<double>(rank - cum) /
+                        static_cast<double>(buckets[i]);
+    return lower + frac * (upper - lower);
+  }
+  return static_cast<double>(histogram_bucket_bound(kHistogramBuckets - 1));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+MetricsRegistry::Metric& MetricsRegistry::get_or_create(
+    const std::string& name, const std::string& help, MetricKind kind) {
+  AESZ_CHECK_ARG(valid_metric_name(name),
+                 "metric name '" + name + "' is not [a-zA-Z_][a-zA-Z0-9_]*");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = index_.find(name); it != index_.end()) {
+    Metric& m = metrics_[it->second];
+    AESZ_CHECK_ARG(m.kind == kind,
+                   "metric '" + name + "' already registered as another kind");
+    return m;
+  }
+  Metric m;
+  m.name = name;
+  m.help = help;
+  m.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter: m.c = std::make_unique<Counter>(); break;
+    case MetricKind::kGauge: m.g = std::make_unique<Gauge>(); break;
+    case MetricKind::kHistogram: m.h = std::make_unique<Histogram>(); break;
+  }
+  metrics_.push_back(std::move(m));
+  index_.emplace(name, metrics_.size() - 1);
+  return metrics_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  return *get_or_create(name, help, MetricKind::kCounter).c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  return *get_or_create(name, help, MetricKind::kGauge).g;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help) {
+  return *get_or_create(name, help, MetricKind::kHistogram).h;
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(metrics_.size());
+  for (const auto& m : metrics_) {
+    Entry e;
+    e.name = m.name;
+    e.help = m.help;
+    e.kind = m.kind;
+    switch (m.kind) {
+      case MetricKind::kCounter: e.counter = m.c->value(); break;
+      case MetricKind::kGauge: e.gauge = m.g->value(); break;
+      case MetricKind::kHistogram: e.hist = m.h->snapshot(); break;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::prometheus(const std::string& prefix) const {
+  const auto entries = snapshot();
+  std::string out;
+  for (const auto& e : entries) {
+    const std::string full = prefix + e.name;
+    out += "# HELP " + full + " " +
+           (e.help.empty() ? e.name : escape_help(e.help)) + "\n";
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + full + " counter\n";
+        out += full + " " + std::to_string(e.counter) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + full + " gauge\n";
+        out += full + " " + std::to_string(e.gauge) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + full + " histogram\n";
+        // Cumulative counts; empty buckets elided (the series stays valid
+        // — each emitted `le` is larger than the last and counts are
+        // monotone), "+Inf" always emitted so count is always recoverable.
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+          if (e.hist.buckets[i] == 0) continue;
+          cum += e.hist.buckets[i];
+          out += full + "_bucket{le=\"" +
+                 std::to_string(histogram_bucket_bound(i)) + "\"} " +
+                 std::to_string(cum) + "\n";
+        }
+        // "+Inf" and _count derive from the bucket sums, not the count_
+        // atomic: under concurrent observe() the relaxed reads can lag
+        // each other, and the exposition's cumulative series must stay
+        // monotone within itself.
+        cum += e.hist.buckets[kHistogramBuckets];
+        out += full + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + "\n";
+        out += full + "_sum " + std::to_string(e.hist.sum) + "\n";
+        out += full + "_count " + std::to_string(cum) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aesz::obs

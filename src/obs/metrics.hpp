@@ -1,0 +1,148 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aesz::obs {
+
+/// Observability metrics core (docs/OBSERVABILITY.md). Three instrument
+/// kinds — Counter (monotonic), Gauge (signed level), Histogram
+/// (log-bucketed distribution) — registered by name in a MetricsRegistry
+/// that snapshots them all in registration order and renders Prometheus
+/// text exposition. Registration takes a mutex once per metric; every
+/// update after that is a single relaxed atomic op, so instruments are
+/// safe (and cheap) to hit from the server's worker pool, the batcher
+/// thread, and the event loop concurrently. Instrument references handed
+/// out by a registry stay valid for the registry's lifetime.
+
+/// Monotonic event count. Relaxed atomics: totals are exact, but a
+/// concurrent snapshot may observe a value between two related updates.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depths, open connections). Signed so a
+/// racing sub-before-add transient cannot wrap to 2^64.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(std::int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed log-spaced bucket layout shared by every histogram: bucket i
+/// counts values in (bound[i-1], bound[i]], bucket 0 counts [0, bound[0]],
+/// and one extra overflow bucket counts values past the last bound. Bounds
+/// grow by ~1.25x per step (exactly max(b+1, b + b/4) in integers, so
+/// small buckets are dense and every bound is distinct), spanning 1 ns to
+/// ~30 hours when values are nanoseconds — relative quantile error is
+/// bounded by one bucket width (25%) at any magnitude.
+inline constexpr std::size_t kHistogramBuckets = 144;
+
+/// Inclusive upper bound of bucket i (i < kHistogramBuckets).
+std::uint64_t histogram_bucket_bound(std::size_t i);
+
+/// Index of the bucket that counts `value` (kHistogramBuckets = overflow).
+std::size_t histogram_bucket_index(std::uint64_t value);
+
+/// A point-in-time copy of a histogram. Mergeable because every histogram
+/// shares one bucket layout; quantiles interpolate within the bucket that
+/// crosses the requested rank.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets + 1> buckets{};
+
+  void merge(const HistogramSnapshot& other);
+
+  /// Estimated q-quantile (q in [0,1]), within one bucket width of the
+  /// exact order statistic. 0 when the histogram is empty; overflow-bucket
+  /// ranks clamp to the last finite bound.
+  double quantile(double q) const;
+};
+
+class Histogram {
+ public:
+  void observe(std::uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[histogram_bucket_index(value)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets + 1> buckets_{};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Named instruments in registration order. counter()/gauge()/histogram()
+/// get-or-create: the first call fixes the kind and help text, later calls
+/// return the same instrument (asking for an existing name as a different
+/// kind throws Error(kInvalidArgument), as does a name that fails the
+/// Prometheus [a-zA-Z_][a-zA-Z0-9_]* regex). Not a process singleton: each
+/// Server owns one so tests see isolated counters; share it across layers
+/// (EventServer does) to get one snapshot covering all of them.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, const std::string& help = "");
+
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t counter = 0;
+    std::int64_t gauge = 0;
+    HistogramSnapshot hist;
+  };
+
+  /// All instruments, registration order, values read relaxed.
+  std::vector<Entry> snapshot() const;
+
+  /// Prometheus text exposition (docs/OBSERVABILITY.md): HELP/TYPE pair
+  /// per metric, `prefix` prepended to every name, histogram buckets as
+  /// cumulative `_bucket{le="..."}` series (empty buckets elided, "+Inf"
+  /// always present) plus `_sum`/`_count`.
+  std::string prometheus(const std::string& prefix = "aesz_") const;
+
+ private:
+  struct Metric {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  Metric& get_or_create(const std::string& name, const std::string& help,
+                        MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::deque<Metric> metrics_;  // deque: stable references across growth
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace aesz::obs

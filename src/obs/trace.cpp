@@ -1,0 +1,124 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cinttypes>
+
+#include "obs/log.hpp"
+
+namespace aesz::obs {
+
+namespace {
+
+thread_local RequestTrace* g_current = nullptr;
+
+void stage_into_trace(void* ctx, prof::Stage s, std::uint64_t ns) {
+  static_cast<RequestTrace*>(ctx)->stage_ns[static_cast<int>(s)] += ns;
+}
+
+const char* stage_span_name(int stage) {
+  switch (static_cast<prof::Stage>(stage)) {
+    case prof::Stage::kPredict: return "predict";
+    case prof::Stage::kQuantize: return "quantize";
+    case prof::Stage::kEntropy: return "entropy";
+    case prof::Stage::kInference: return "inference";
+  }
+  return "?";
+}
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) * 1e-3; }
+
+}  // namespace
+
+std::uint64_t next_request_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+RequestTrace* current_trace() { return g_current; }
+
+TraceScope::TraceScope(RequestTrace* t)
+    : prev_(g_current), prev_sink_(prof::stage_sink()) {
+  if (!t) return;
+  g_current = t;
+  prof::stage_sink() = prof::StageSink{&stage_into_trace, t};
+}
+
+TraceScope::~TraceScope() {
+  g_current = prev_;
+  prof::stage_sink() = prev_sink_;
+}
+
+Expected<std::unique_ptr<TraceWriter>> TraceWriter::open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f)
+    return Status::error(ErrCode::kIoError,
+                         "cannot open trace output '" + path + "'");
+  return std::unique_ptr<TraceWriter>(new TraceWriter(f, path));
+}
+
+TraceWriter::~TraceWriter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (f_) std::fclose(f_);
+}
+
+void TraceWriter::write(const RequestTrace& t) {
+  // Events are assembled outside the lock; the lock only serializes the
+  // writes so lines from concurrent requests never interleave.
+  char buf[512];
+  std::string out;
+
+  if (t.queue_wait_ns > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"queue-wait\",\"cat\":\"queue\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%" PRIu64 "}\n",
+                  us(t.admit_ns), us(t.queue_wait_ns), t.id);
+    out += buf;
+  }
+  if (t.batch_wait_ns > 0) {
+    // The coalesce wait is the tail of the queue wait spent parked with
+    // the batching scheduler; place it so it ends at execution start.
+    const std::uint64_t start =
+        t.exec_start_ns > t.batch_wait_ns ? t.exec_start_ns - t.batch_wait_ns
+                                          : 0;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"batch-coalesce\",\"cat\":\"queue\",\"ph\":"
+                  "\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%" PRIu64
+                  "}\n",
+                  us(start), us(t.batch_wait_ns), t.id);
+    out += buf;
+  }
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"name\":\"%s\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":%.3f,"
+      "\"dur\":%.3f,\"pid\":1,\"tid\":%" PRIu64
+      ",\"args\":{\"conn\":%" PRIu64 ",\"session\":%" PRIu64
+      ",\"bytes_in\":%" PRIu64 ",\"bytes_out\":%" PRIu64
+      ",\"queue_wait_us\":%.3f,\"wall_us\":%.3f,\"error\":%d}}\n",
+      t.op, us(t.exec_start_ns), us(t.exec_ns()), t.id, t.conn_id,
+      t.session_id, t.bytes_in, t.bytes_out, us(t.queue_wait_ns),
+      us(t.wall_ns()), t.error ? 1 : 0);
+  out += buf;
+
+  // Stage children: exact durations, sequential placement from execution
+  // start (a stage's time accumulates over many scopes, so there is no
+  // single real offset to report).
+  std::uint64_t cursor = t.exec_start_ns;
+  for (int s = 0; s < prof::kStageCount; ++s) {
+    if (t.stage_ns[s] == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"stage\",\"ph\":\"X\",\"ts\":"
+                  "%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%" PRIu64 "}\n",
+                  stage_span_name(s), us(cursor), us(t.stage_ns[s]), t.id);
+    out += buf;
+    cursor += t.stage_ns[s];
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!f_) return;
+  std::fwrite(out.data(), 1, out.size(), f_);
+  std::fflush(f_);
+}
+
+}  // namespace aesz::obs

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/expected.hpp"
+#include "util/stage_timer.hpp"
+
+namespace aesz::obs {
+
+/// Per-request tracing (docs/OBSERVABILITY.md). A RequestTrace is created
+/// at frame admission and carried — as a thread-local current pointer
+/// installed by TraceScope — across the hop from the admitting thread to
+/// the ThreadPool worker or batcher thread that executes the request.
+/// While a scope is installed, the codec-level prof::StageScope seams
+/// (prediction passes, quantization, entropy coding, network forwards)
+/// bill their nanoseconds into the trace as well as into the process-wide
+/// accumulators, turning PR 5's global stage totals into per-request
+/// spans. A TraceWriter renders finished traces as Chrome trace-event
+/// JSONL (one complete JSON object per line; `jq -s . file` wraps it into
+/// the array form chrome://tracing and Perfetto load directly).
+
+struct RequestTrace {
+  std::uint64_t id = 0;       // process-unique; trace events use it as tid
+  const char* op = "request"; // op_name() string (static storage)
+  std::uint8_t op_raw = 0;    // raw opcode byte; 0 = none parsed
+  std::uint64_t conn_id = 0;  // event-loop connection id; 0 = none
+  std::uint64_t session_id = 0;  // stream session addressed; 0 = none
+
+  // Span bounds on the obs::monotonic_ns() clock. admit_ns is stamped
+  // where the frame entered the server (submit()); 0 means the request
+  // was handled synchronously and has no queue-wait span.
+  std::uint64_t admit_ns = 0;
+  std::uint64_t queue_wait_ns = 0;   // admission -> execution start
+  std::uint64_t batch_wait_ns = 0;   // parked with the batching scheduler
+  std::uint64_t exec_start_ns = 0;
+  std::uint64_t exec_end_ns = 0;
+
+  /// Codec-stage nanoseconds billed to this request, prof::Stage order
+  /// (predict, quantize, entropy, inference).
+  std::array<std::uint64_t, prof::kStageCount> stage_ns{};
+
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  bool error = false;
+
+  std::uint64_t exec_ns() const {
+    return exec_end_ns > exec_start_ns ? exec_end_ns - exec_start_ns : 0;
+  }
+  /// Admission-to-completion wall time (== queue_wait + exec by
+  /// construction when admit_ns is set).
+  std::uint64_t wall_ns() const {
+    const std::uint64_t from = admit_ns ? admit_ns : exec_start_ns;
+    return exec_end_ns > from ? exec_end_ns - from : 0;
+  }
+};
+
+/// Process-unique request/trace id (also the Chrome-trace tid).
+std::uint64_t next_request_id();
+
+/// The trace the current thread is executing for, or nullptr.
+RequestTrace* current_trace();
+
+/// RAII: install `t` as the current thread's trace and hook the
+/// prof::StageScope sink so codec stage time lands in it; restores the
+/// previous trace (scopes nest) on destruction. Passing nullptr is a
+/// no-op scope.
+class TraceScope {
+ public:
+  explicit TraceScope(RequestTrace* t);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  RequestTrace* prev_;
+  prof::StageSink prev_sink_;
+};
+
+/// Thread-safe Chrome trace-event JSONL sink. Each finished request
+/// becomes a handful of complete ("ph":"X") events sharing tid=request id:
+/// queue-wait and batch-coalesce spans (when nonzero), the request span
+/// with byte/stage args, and one child span per nonzero codec stage laid
+/// out sequentially inside the request span (stage durations are exact;
+/// their offsets are aggregate placement, since a stage accumulates over
+/// many scopes).
+class TraceWriter {
+ public:
+  static Expected<std::unique_ptr<TraceWriter>> open(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const RequestTrace& t);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit TraceWriter(std::FILE* f, std::string path)
+      : f_(f), path_(std::move(path)) {}
+
+  std::mutex mu_;
+  std::FILE* f_;
+  std::string path_;
+};
+
+}  // namespace aesz::obs

@@ -228,4 +228,13 @@ Expected<StatsResponse> Client::stats() {
   return parse_stats_response(*response);
 }
 
+Expected<std::string> Client::metrics() {
+  const auto frame = encode_metrics_request();
+  auto response = round_trip(frame, Op::kMetricsResponse);
+  if (!response.ok()) return response.status();
+  auto parsed = parse_metrics_response(*response);
+  if (!parsed.ok()) return parsed.status();
+  return parsed->text_str();
+}
+
 }  // namespace aesz::service

@@ -55,6 +55,11 @@ class Client {
 
   Expected<StatsResponse> stats();
 
+  /// Prometheus text exposition of the server's metrics registry (op
+  /// 0x09). A pre-metrics server answers with kBadHeader, surfaced here as
+  /// the typed error status.
+  Expected<std::string> metrics();
+
   /// RAII handle on one server-side stream session. Obtained from
   /// open_stream(); move-only. close() ends the session and returns the
   /// complete AETC artifact; if the handle dies without close(), the

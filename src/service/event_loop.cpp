@@ -6,12 +6,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cinttypes>
 #include <cstring>
 
 #ifdef __linux__
 #include <sys/epoll.h>
 #endif
 
+#include "obs/log.hpp"
 #include "service/protocol.hpp"
 
 namespace aesz::service {
@@ -158,28 +160,32 @@ EventServer::EventServer(Server& server, TcpListener& listener, Options opt)
       listener_(listener),
       opt_(opt),
       loop_(opt_.force_poll),
-      done_q_(std::make_shared<CompletionQueue>()) {
+      done_q_(std::make_shared<CompletionQueue>()),
+      connections_(server.metrics().gauge(
+          "ev_connections", "connections currently open")),
+      connections_total_(server.metrics().counter(
+          "ev_connections_total", "connections accepted")),
+      connections_closed_(server.metrics().counter(
+          "ev_connections_closed", "connections fully closed")),
+      inflight_(server.metrics().gauge(
+          "ev_inflight", "submitted, unanswered requests (all connections)")),
+      conns_executing_(server.metrics().gauge(
+          "ev_conns_executing", "connections with requests executing")),
+      conns_write_blocked_(server.metrics().gauge(
+          "ev_conns_write_blocked", "connections with queued outbound bytes")),
+      conns_read_paused_(server.metrics().gauge(
+          "ev_conns_read_paused", "connections paused by backpressure")),
+      rejected_requests_(server.metrics().counter(
+          "ev_rejected_requests", "requests answered kOverloaded unqueued")),
+      read_pauses_(server.metrics().counter(
+          "ev_read_pauses", "backpressure read-pause transitions")),
+      buffered_high_water_(server.metrics().gauge(
+          "ev_buffered_high_water",
+          "max outbound bytes ever buffered on one connection")) {
   set_nonblocking(listener_.fd());
-  server_.register_stats("event_loop", [this](StatsResponse& out) {
-    const auto put = [&](const char* name,
-                         const std::atomic<std::uint64_t>& v) {
-      out.counters.emplace_back(name, v.load(std::memory_order_relaxed));
-    };
-    put("ev_connections", connections_);
-    put("ev_connections_total", connections_total_);
-    put("ev_connections_closed", connections_closed_);
-    put("ev_inflight", inflight_);
-    put("ev_conns_executing", conns_executing_);
-    put("ev_conns_write_blocked", conns_write_blocked_);
-    put("ev_conns_read_paused", conns_read_paused_);
-    put("ev_rejected_requests", rejected_requests_);
-    put("ev_read_pauses", read_pauses_);
-    put("ev_buffered_high_water", buffered_high_water_);
-  });
 }
 
 EventServer::~EventServer() {
-  server_.unregister_stats("event_loop");
   for (auto& [fd, c] : conns_) ::close(fd);
   conns_.clear();
   // done_q_ (and its wake pipe) is NOT torn down here: completion lambdas
@@ -198,28 +204,32 @@ void EventServer::update_interest(Conn& c) {
   if (executing != c.gauged_exec) {
     c.gauged_exec = executing;
     if (executing)
-      conns_executing_.fetch_add(1, std::memory_order_relaxed);
+      conns_executing_.add(1);
     else
-      conns_executing_.fetch_sub(1, std::memory_order_relaxed);
+      conns_executing_.sub(1);
   }
   const bool write_blocked = !c.wqueue.empty();
   if (write_blocked != c.gauged_write) {
     c.gauged_write = write_blocked;
     if (write_blocked)
-      conns_write_blocked_.fetch_add(1, std::memory_order_relaxed);
+      conns_write_blocked_.add(1);
     else
-      conns_write_blocked_.fetch_sub(1, std::memory_order_relaxed);
+      conns_write_blocked_.sub(1);
   }
 
   // Backpressure: a slow reader pauses its own reads past the threshold
   // and resumes below half, so its buffered responses stay bounded.
   if (!c.read_paused && c.buffered > opt_.max_conn_buffered) {
     c.read_paused = true;
-    read_pauses_.fetch_add(1, std::memory_order_relaxed);
-    conns_read_paused_.fetch_add(1, std::memory_order_relaxed);
+    read_pauses_.inc();
+    conns_read_paused_.add(1);
+    AESZ_LOG_DEBUG("event",
+                   "conn=%" PRIu64 " read paused (%zu bytes buffered)",
+                   c.id, c.buffered);
   } else if (c.read_paused && c.buffered < opt_.max_conn_buffered / 2) {
     c.read_paused = false;
-    conns_read_paused_.fetch_sub(1, std::memory_order_relaxed);
+    conns_read_paused_.sub(1);
+    AESZ_LOG_DEBUG("event", "conn=%" PRIu64 " read resumed", c.id);
   }
 
   const bool want_read = !c.read_paused && !c.peer_eof && !c.closing;
@@ -237,16 +247,17 @@ bool EventServer::maybe_close(Conn& c) {
 
 void EventServer::close_conn(Conn& c) {
   if (c.gauged_exec)
-    conns_executing_.fetch_sub(1, std::memory_order_relaxed);
+    conns_executing_.sub(1);
   if (c.gauged_write)
-    conns_write_blocked_.fetch_sub(1, std::memory_order_relaxed);
+    conns_write_blocked_.sub(1);
   if (c.read_paused)
-    conns_read_paused_.fetch_sub(1, std::memory_order_relaxed);
+    conns_read_paused_.sub(1);
   loop_.remove(c.fd);
   ::close(c.fd);
+  AESZ_LOG_DEBUG("event", "conn=%" PRIu64 " closed", c.id);
   id_to_fd_.erase(c.id);
-  connections_.fetch_sub(1, std::memory_order_relaxed);
-  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  connections_.sub(1);
+  connections_closed_.inc();
   conns_.erase(c.fd);  // invalidates `c`
 }
 
@@ -263,12 +274,14 @@ void EventServer::accept_ready() {
     c.fd = fd;
     c.id = next_conn_id_++;
     id_to_fd_[c.id] = fd;
+    const std::uint64_t cid = c.id;
     conns_.emplace(fd, std::move(c));
     loop_.add(fd, /*want_read=*/true, /*want_write=*/false);
-    connections_.fetch_add(1, std::memory_order_relaxed);
-    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    connections_.add(1);
+    connections_total_.inc();
+    AESZ_LOG_DEBUG("event", "conn=%" PRIu64 " accepted (fd=%d)", cid, fd);
     if (opt_.accept_limit > 0 &&
-        connections_total_.load(std::memory_order_relaxed) >=
+        connections_total_.value() >=
             opt_.accept_limit) {
       accepting_ = false;
       loop_.remove(listener_.fd());
@@ -279,16 +292,19 @@ void EventServer::accept_ready() {
 
 bool EventServer::admit_frame(Conn& c, std::vector<std::uint8_t> frame) {
   const std::uint64_t seq = c.next_seq++;
-  if (inflight_.load(std::memory_order_relaxed) >= opt_.max_inflight) {
+  if (inflight_.value() >= 0 &&
+      static_cast<std::size_t>(inflight_.value()) >= opt_.max_inflight) {
     // Admission control: answer immediately (in this request's ordered
     // slot) instead of queueing work the server has no room for.
-    rejected_requests_.fetch_add(1, std::memory_order_relaxed);
+    rejected_requests_.inc();
+    AESZ_LOG_WARN("event", "conn=%" PRIu64 " overloaded: %zu in flight",
+                  c.id, opt_.max_inflight);
     return complete(c, seq,
                     encode_error_response(
                         {ErrCode::kOverloaded,
                          "server overloaded: too many requests in flight"}));
   }
-  inflight_.fetch_add(1, std::memory_order_relaxed);
+  inflight_.add(1);
   ++c.inflight;
   const std::uint64_t conn_id = c.id;
   // The lambda captures the shared queue, NOT `this`: it may run after
@@ -297,7 +313,8 @@ bool EventServer::admit_frame(Conn& c, std::vector<std::uint8_t> frame) {
                  [dq = done_q_, conn_id, seq](
                      std::vector<std::uint8_t> response) {
                    dq->push(Completion{conn_id, seq, std::move(response)});
-                 });
+                 },
+                 conn_id);
   return false;
 }
 
@@ -315,6 +332,10 @@ bool EventServer::parse_frames(Conn& c) {
       // must not be touched after that.
       c.closing = true;
       c.rbuf.clear();
+      AESZ_LOG_WARN("event",
+                    "conn=%" PRIu64 " hostile frame prefix (%u bytes "
+                    "declared); closing after the error answer",
+                    c.id, len);
       return complete(c, c.next_seq++,
                       encode_error_response(
                           {ErrCode::kCorruptStream,
@@ -392,11 +413,10 @@ bool EventServer::complete(Conn& c, std::uint64_t seq,
   std::memcpy(framed.data(), &len, 4);
   std::memcpy(framed.data() + 4, response.data(), response.size());
   c.buffered += framed.size();
-  const std::uint64_t hw = c.buffered;
-  std::uint64_t seen = buffered_high_water_.load(std::memory_order_relaxed);
-  while (hw > seen && !buffered_high_water_.compare_exchange_weak(
-                          seen, hw, std::memory_order_relaxed)) {
-  }
+  // Single-writer max: complete() only ever runs on the loop thread, so a
+  // plain compare-and-set needs no CAS loop.
+  const auto hw = static_cast<std::int64_t>(c.buffered);
+  if (hw > buffered_high_water_.value()) buffered_high_water_.set(hw);
   c.ready.emplace(seq, std::move(framed));
   while (true) {
     auto it = c.ready.find(c.next_flush);
@@ -418,7 +438,7 @@ void EventServer::drain_completions() {
     batch.swap(done_q_->q);
   }
   for (Completion& done : batch) {
-    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    inflight_.sub(1);
     auto idit = id_to_fd_.find(done.conn_id);
     if (idit == id_to_fd_.end()) continue;  // connection died first
     auto cit = conns_.find(idit->second);
@@ -434,7 +454,7 @@ void EventServer::run() {
   const int wake_rd = done_q_->wake_rd;
   loop_.add(wake_rd, /*want_read=*/true, /*want_write=*/false);
   accepting_ = opt_.accept_limit == 0 ||
-               connections_total_.load(std::memory_order_relaxed) <
+               connections_total_.value() <
                    opt_.accept_limit;
   if (accepting_)
     loop_.add(listener_.fd(), /*want_read=*/true, /*want_write=*/false);
@@ -487,7 +507,7 @@ void EventServer::run() {
 
     const bool limit_done =
         opt_.accept_limit > 0 &&
-        connections_closed_.load(std::memory_order_relaxed) >=
+        connections_closed_.value() >=
             opt_.accept_limit;
     if ((stopping || limit_done) && conns_.empty()) break;
   }

@@ -80,9 +80,10 @@ class EventLoop {
 ///    slow reader caps server memory instead of growing it.
 ///
 /// Half-close is honored: EOF stops reads, but responses still in flight
-/// flush before the connection closes. The loop registers its gauges with
-/// Server::register_stats("event_loop"), so one stats frame reports
-/// both layers.
+/// flush before the connection closes. The loop's ev_* counters and gauges
+/// live in the Server's MetricsRegistry (Server::metrics()), so one stats
+/// or Prometheus metrics frame covers both layers through a single
+/// snapshot.
 class EventServer {
  public:
   struct Options {
@@ -199,20 +200,22 @@ class EventServer {
 
   std::shared_ptr<CompletionQueue> done_q_;
 
-  std::atomic<bool> stop_{false};
+  // Front-end instruments, living in the Server's MetricsRegistry under
+  // their historical ev_* stats names. References bound at construction;
+  // the loop thread writes, stats/metrics exports read. A second front end
+  // over the same Server shares (accumulates into) the same instruments.
+  obs::Gauge& connections_;
+  obs::Counter& connections_total_;
+  obs::Counter& connections_closed_;
+  obs::Gauge& inflight_;
+  obs::Gauge& conns_executing_;
+  obs::Gauge& conns_write_blocked_;
+  obs::Gauge& conns_read_paused_;
+  obs::Counter& rejected_requests_;
+  obs::Counter& read_pauses_;
+  obs::Gauge& buffered_high_water_;
 
-  // Gauges/counters exported through Server::register_stats. Loop thread
-  // writes, stats requests (worker threads) read.
-  std::atomic<std::uint64_t> connections_{0};
-  std::atomic<std::uint64_t> connections_total_{0};
-  std::atomic<std::uint64_t> connections_closed_{0};
-  std::atomic<std::uint64_t> inflight_{0};
-  std::atomic<std::uint64_t> conns_executing_{0};
-  std::atomic<std::uint64_t> conns_write_blocked_{0};
-  std::atomic<std::uint64_t> conns_read_paused_{0};
-  std::atomic<std::uint64_t> rejected_requests_{0};
-  std::atomic<std::uint64_t> read_pauses_{0};
-  std::atomic<std::uint64_t> buffered_high_water_{0};
+  std::atomic<bool> stop_{false};
 };
 
 }  // namespace aesz::service

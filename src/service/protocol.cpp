@@ -18,6 +18,7 @@ const char* op_name(Op op) {
     case Op::kAppendTimestepRequest: return "append-timestep-request";
     case Op::kReadTimestepRequest: return "read-timestep-request";
     case Op::kCloseStreamRequest: return "close-stream-request";
+    case Op::kMetricsRequest: return "metrics-request";
     case Op::kCompressResponse: return "compress-response";
     case Op::kDecompressResponse: return "decompress-response";
     case Op::kListCodecsResponse: return "list-codecs-response";
@@ -26,6 +27,7 @@ const char* op_name(Op op) {
     case Op::kAppendTimestepResponse: return "append-timestep-response";
     case Op::kReadTimestepResponse: return "read-timestep-response";
     case Op::kCloseStreamResponse: return "close-stream-response";
+    case Op::kMetricsResponse: return "metrics-response";
     case Op::kErrorResponse: return "error-response";
   }
   return "?";
@@ -49,6 +51,7 @@ bool known_op(std::uint8_t raw) {
     case Op::kAppendTimestepRequest:
     case Op::kReadTimestepRequest:
     case Op::kCloseStreamRequest:
+    case Op::kMetricsRequest:
     case Op::kCompressResponse:
     case Op::kDecompressResponse:
     case Op::kListCodecsResponse:
@@ -57,6 +60,7 @@ bool known_op(std::uint8_t raw) {
     case Op::kAppendTimestepResponse:
     case Op::kReadTimestepResponse:
     case Op::kCloseStreamResponse:
+    case Op::kMetricsResponse:
     case Op::kErrorResponse:
       return true;
   }
@@ -589,6 +593,33 @@ Expected<CloseStreamResponse> parse_close_stream_response(
     return Status::error(ErrCode::kTruncated, "truncated artifact");
   if (out.artifact.empty())
     return Status::error(ErrCode::kCorruptStream, "empty artifact");
+  if (Status s = close_frame(r); !s.ok()) return s;
+  return out;
+}
+
+// --------------------------------------------------------------- metrics --
+
+std::vector<std::uint8_t> encode_metrics_request() {
+  ByteWriter w;
+  write_header(w, Op::kMetricsRequest);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_metrics_response(const MetricsResponse& r) {
+  ByteWriter w;
+  write_header(w, Op::kMetricsResponse);
+  w.put_blob(r.text);
+  return w.take();
+}
+
+Expected<MetricsResponse> parse_metrics_response(
+    std::span<const std::uint8_t> frame) {
+  auto opened = open_frame(frame, Op::kMetricsResponse);
+  if (!opened.ok()) return opened.status();
+  ByteReader r = *opened;
+  MetricsResponse out;
+  if (!r.try_get_blob(out.text))
+    return Status::error(ErrCode::kTruncated, "truncated exposition text");
   if (Status s = close_frame(r); !s.ok()) return s;
   return out;
 }

@@ -34,6 +34,7 @@ namespace aesz::service {
 ///                   must match the session's dims)
 ///   read-timestep   session-id u64 | timestep varint
 ///   close-stream    session-id u64
+///   metrics         (empty)
 ///
 /// Response bodies:
 ///   compress        abs-bound f64 (the bound the server resolved and
@@ -48,6 +49,8 @@ namespace aesz::service {
 ///   read-timestep   rank u8 | dims varint* | field blob (raw f32)
 ///   close-stream    timesteps varint | artifact blob (the complete AETC
 ///                   container — see src/temporal/aetc.hpp)
+///   metrics         text blob (UTF-8 Prometheus text exposition, see
+///                   docs/OBSERVABILITY.md)
 ///   error           err-code u8 (ErrCode) | message blob
 ///
 /// Stream sessions (protocol rev 2026-08, wire version unchanged — the
@@ -94,6 +97,7 @@ enum class Op : std::uint8_t {
   kAppendTimestepRequest = 0x06,
   kReadTimestepRequest = 0x07,
   kCloseStreamRequest = 0x08,
+  kMetricsRequest = 0x09,
   kCompressResponse = 0x81,
   kDecompressResponse = 0x82,
   kListCodecsResponse = 0x83,
@@ -102,6 +106,7 @@ enum class Op : std::uint8_t {
   kAppendTimestepResponse = 0x86,
   kReadTimestepResponse = 0x87,
   kCloseStreamResponse = 0x88,
+  kMetricsResponse = 0x89,
   kErrorResponse = 0xFF,
 };
 
@@ -201,6 +206,21 @@ struct CloseStreamResponse {
   std::span<const std::uint8_t> artifact;
 };
 
+// --------------------------------------------------------------- metrics --
+
+/// Prometheus text exposition of the server's MetricsRegistry (additive op
+/// like the stream-session ops: wire version unchanged, a pre-metrics v1
+/// peer answers 0x09 with a typed kBadHeader error). The stats frame stays
+/// the compact machine-readable surface; this one is for scrapers.
+struct MetricsResponse {
+  std::span<const std::uint8_t> text;  // UTF-8 exposition body
+
+  std::string text_str() const {
+    return std::string(reinterpret_cast<const char*>(text.data()),
+                       text.size());
+  }
+};
+
 // -------------------------------------------------------------- encoding --
 
 std::vector<std::uint8_t> encode_compress_request(const CompressRequest& r);
@@ -230,6 +250,8 @@ std::vector<std::uint8_t> encode_close_stream_request(
     const CloseStreamRequest& r);
 std::vector<std::uint8_t> encode_close_stream_response(
     const CloseStreamResponse& r);
+std::vector<std::uint8_t> encode_metrics_request();
+std::vector<std::uint8_t> encode_metrics_response(const MetricsResponse& r);
 
 // --------------------------------------------------------------- parsing --
 
@@ -270,6 +292,8 @@ Expected<ReadTimestepResponse> parse_read_timestep_response(
 Expected<CloseStreamRequest> parse_close_stream_request(
     std::span<const std::uint8_t> frame);
 Expected<CloseStreamResponse> parse_close_stream_response(
+    std::span<const std::uint8_t> frame);
+Expected<MetricsResponse> parse_metrics_response(
     std::span<const std::uint8_t> frame);
 
 /// For a session-scoped request (append/read/close-stream), the session

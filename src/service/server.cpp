@@ -2,15 +2,19 @@
 
 #include <cctype>
 #include <chrono>
+#include <cinttypes>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <future>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "core/aesz.hpp"
 #include "core/model_zoo.hpp"
+#include "obs/log.hpp"
 #include "pipeline/container.hpp"
 #include "pipeline/parallel_compressor.hpp"
 #include "predictors/registry.hpp"
@@ -126,11 +130,99 @@ class PooledCompressor final : public Compressor {
 
 }  // namespace
 
+Server::Counters::Counters(obs::MetricsRegistry& m)
+    : requests(m.counter("requests", "frames handled (any opcode)")),
+      compress_requests(m.counter("compress_requests", "compress frames")),
+      decompress_requests(
+          m.counter("decompress_requests", "decompress frames")),
+      list_codecs_requests(
+          m.counter("list_codecs_requests", "list-codecs frames")),
+      stats_requests(m.counter("stats_requests", "stats frames")),
+      metrics_requests(m.counter("metrics_requests", "metrics frames")),
+      error_responses(m.counter("error_responses", "typed error answers")),
+      bytes_in(m.counter("bytes_in", "request frame bytes received")),
+      bytes_out(m.counter("bytes_out", "response frame bytes produced")),
+      codec_cache_hits(
+          m.counter("codec_cache_hits", "codec cache lookups that hit")),
+      codec_cache_misses(
+          m.counter("codec_cache_misses", "codec cache lookups that missed")),
+      ae_model_loads(
+          m.counter("ae_model_loads", "AE-SZ model constructions/loads")),
+      batched_requests(m.counter(
+          "batched_requests", "requests routed through the batch scheduler")),
+      batch_executions(
+          m.counter("batch_executions", "compress_batch group executions")),
+      batch_size_1(m.counter("batch_size_1", "groups of size 1")),
+      batch_size_2_3(m.counter("batch_size_2_3", "groups of size 2-3")),
+      batch_size_4_7(m.counter("batch_size_4_7", "groups of size 4-7")),
+      batch_size_8_plus(m.counter("batch_size_8_plus", "groups of size 8+")),
+      open_stream_requests(
+          m.counter("open_stream_requests", "open-stream frames")),
+      append_timestep_requests(
+          m.counter("append_timestep_requests", "append-timestep frames")),
+      read_timestep_requests(
+          m.counter("read_timestep_requests", "read-timestep frames")),
+      close_stream_requests(
+          m.counter("close_stream_requests", "close-stream frames")),
+      sessions_opened(m.counter("sessions_opened", "stream sessions opened")),
+      sessions_closed(
+          m.counter("sessions_closed", "stream sessions closed by clients")),
+      sessions_reaped(
+          m.counter("sessions_reaped", "stream sessions reaped while idle")),
+      session_timesteps_stored(m.counter("session_timesteps_stored",
+                                         "timesteps appended to sessions")) {}
+
+Server::Gauges::Gauges(obs::MetricsRegistry& m)
+    : batch_queue_depth(
+          m.gauge("batch_queue_depth", "requests parked with the batcher")),
+      pool_queue_depth(
+          m.gauge("pool_queue_depth", "tasks queued for the worker pool")),
+      sessions_active(
+          m.gauge("sessions_active", "stream sessions currently open")) {}
+
+Server::Histograms::Histograms(obs::MetricsRegistry& m)
+    : request_ns_compress(m.histogram(
+          "request_ns_compress", "compress execution nanoseconds")),
+      request_ns_decompress(m.histogram(
+          "request_ns_decompress", "decompress execution nanoseconds")),
+      request_ns_session(m.histogram(
+          "request_ns_session", "stream-session op execution nanoseconds")),
+      request_ns_admin(m.histogram(
+          "request_ns_admin",
+          "list-codecs/stats/metrics execution nanoseconds")),
+      request_ns_other(m.histogram(
+          "request_ns_other", "unknown/invalid frame handling nanoseconds")),
+      queue_wait_ns(m.histogram(
+          "queue_wait_ns", "admission-to-execution wait nanoseconds")),
+      batch_wait_ns(m.histogram(
+          "batch_wait_ns", "wait parked with the batch scheduler")),
+      predict_ns(m.histogram("predict_ns",
+                             "per-request prediction-stage nanoseconds")),
+      quantize_ns(m.histogram("quantize_ns",
+                              "per-request quantization-stage nanoseconds")),
+      entropy_ns(m.histogram("entropy_ns",
+                             "per-request entropy-stage nanoseconds")),
+      inference_ns(m.histogram(
+          "inference_ns", "per-request network-inference nanoseconds")),
+      request_bytes_in(
+          m.histogram("request_bytes_in", "request frame size bytes")),
+      response_bytes_out(
+          m.histogram("response_bytes_out", "response frame size bytes")) {}
+
 Server::Server() : Server(Options{}) {}
 
 Server::Server(Options opt)
     : opt_(std::move(opt)),
-      pool_(std::make_unique<ThreadPool>(opt_.threads)) {
+      pool_(std::make_unique<ThreadPool>(opt_.threads)),
+      counters_(metrics_),
+      gauges_(metrics_),
+      hists_(metrics_) {
+  if (!opt_.trace_out.empty()) {
+    auto w = obs::TraceWriter::open(opt_.trace_out);
+    if (!w.ok()) throw Error(w.status().code, w.status().message);
+    tracer_ = std::move(*w);
+    AESZ_LOG_INFO("server", "tracing requests to %s", opt_.trace_out.c_str());
+  }
   batcher_ = std::thread([this] { batcher_main(); });
 }
 
@@ -178,7 +270,7 @@ Expected<std::unique_ptr<Compressor>> Server::build_codec(
             throw Error(created.status().code, created.status().message);
           c = std::move(created).value();
         }
-        counters_.ae_model_loads.fetch_add(1, std::memory_order_relaxed);
+        counters_.ae_model_loads.inc();
         return c;
       };
       if (!parallel) return make_aesz(rank);
@@ -221,10 +313,10 @@ Expected<Server::CachedCodec> Server::codec_for(const std::string& name,
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (auto it = cache_.find(key); it != cache_.end()) {
-      counters_.codec_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      counters_.codec_cache_hits.inc();
       entry = it->second;
     } else {
-      counters_.codec_cache_misses.fetch_add(1, std::memory_order_relaxed);
+      counters_.codec_cache_misses.inc();
       entry = std::make_shared<CacheEntry>();
       cache_.emplace(key, entry);
     }
@@ -255,7 +347,8 @@ Expected<Server::CachedCodec> Server::codec_for(const std::string& name,
 
 std::vector<std::uint8_t> Server::error_frame(ErrCode code,
                                               std::string message) {
-  counters_.error_responses.fetch_add(1, std::memory_order_relaxed);
+  counters_.error_responses.inc();
+  if (auto* t = obs::current_trace()) t->error = true;
   if (code == ErrCode::kOk) code = ErrCode::kInternal;
   return encode_error_response({code, std::move(message)});
 }
@@ -360,8 +453,7 @@ std::size_t Server::reap_idle_sessions() {
       }
     }
   }
-  counters_.sessions_reaped.fetch_add(doomed.size(),
-                                      std::memory_order_relaxed);
+  counters_.sessions_reaped.inc(doomed.size());
   return doomed.size();
 }
 
@@ -413,7 +505,8 @@ std::vector<std::uint8_t> Server::handle_open_stream(
     if (sessions_.size() >= opt_.max_sessions) return overloaded();
     sessions_.emplace(id, std::move(session));
   }
-  counters_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  counters_.sessions_opened.inc();
+  if (auto* t = obs::current_trace()) t->session_id = id;
   return encode_open_stream_response({id});
 }
 
@@ -422,6 +515,7 @@ std::vector<std::uint8_t> Server::handle_append_timestep(
   auto req = parse_append_timestep_request(frame);
   if (!req.ok())
     return error_frame(req.status().code, req.status().message);
+  if (auto* t = obs::current_trace()) t->session_id = req->session_id;
   auto s = find_session(req->session_id);
   if (!s)
     return error_frame(ErrCode::kNoSession,
@@ -442,7 +536,7 @@ std::vector<std::uint8_t> Server::handle_append_timestep(
   const auto res = s->writer->append(Field(s->writer->dims(),
                                            std::move(values)));
   s->last_used = std::chrono::steady_clock::now();
-  counters_.session_timesteps_stored.fetch_add(1, std::memory_order_relaxed);
+  counters_.session_timesteps_stored.inc();
   return encode_append_timestep_response(
       {res.timestep, res.mode == temporal::kModeResidual, res.abs_eb,
        res.stored_bytes});
@@ -453,6 +547,7 @@ std::vector<std::uint8_t> Server::handle_read_timestep(
   auto req = parse_read_timestep_request(frame);
   if (!req.ok())
     return error_frame(req.status().code, req.status().message);
+  if (auto* t = obs::current_trace()) t->session_id = req->session_id;
   auto s = find_session(req->session_id);
   if (!s)
     return error_frame(ErrCode::kNoSession,
@@ -478,6 +573,7 @@ std::vector<std::uint8_t> Server::handle_close_stream(
   auto req = parse_close_stream_request(frame);
   if (!req.ok())
     return error_frame(req.status().code, req.status().message);
+  if (auto* t = obs::current_trace()) t->session_id = req->session_id;
   auto s = find_session(req->session_id);
   if (!s)
     return error_frame(ErrCode::kNoSession,
@@ -503,51 +599,58 @@ std::vector<std::uint8_t> Server::handle_close_stream(
     std::lock_guard<std::mutex> map_lock(sessions_mu_);
     sessions_.erase(req->session_id);
   }
-  counters_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  counters_.sessions_closed.inc();
   return encode_close_stream_response({steps, artifact});
 }
 
-StatsResponse Server::snapshot() const {
-  StatsResponse out;
-  const auto put = [&](const char* name,
-                       const std::atomic<std::uint64_t>& v) {
-    out.counters.emplace_back(name, v.load(std::memory_order_relaxed));
-  };
-  put("requests", counters_.requests);
-  put("compress_requests", counters_.compress_requests);
-  put("decompress_requests", counters_.decompress_requests);
-  put("list_codecs_requests", counters_.list_codecs_requests);
-  put("stats_requests", counters_.stats_requests);
-  put("error_responses", counters_.error_responses);
-  put("bytes_in", counters_.bytes_in);
-  put("bytes_out", counters_.bytes_out);
-  put("codec_cache_hits", counters_.codec_cache_hits);
-  put("codec_cache_misses", counters_.codec_cache_misses);
-  put("ae_model_loads", counters_.ae_model_loads);
-  put("batched_requests", counters_.batched_requests);
-  put("batch_executions", counters_.batch_executions);
-  put("batch_size_1", counters_.batch_size_1);
-  put("batch_size_2_3", counters_.batch_size_2_3);
-  put("batch_size_4_7", counters_.batch_size_4_7);
-  put("batch_size_8_plus", counters_.batch_size_8_plus);
-  put("open_stream_requests", counters_.open_stream_requests);
-  put("append_timestep_requests", counters_.append_timestep_requests);
-  put("read_timestep_requests", counters_.read_timestep_requests);
-  put("close_stream_requests", counters_.close_stream_requests);
-  put("sessions_opened", counters_.sessions_opened);
-  put("sessions_closed", counters_.sessions_closed);
-  put("sessions_reaped", counters_.sessions_reaped);
-  put("session_timesteps_stored", counters_.session_timesteps_stored);
+void Server::refresh_gauges() const {
   {
     std::lock_guard<std::mutex> lock(batch_mu_);
-    out.counters.emplace_back("batch_queue_depth", batch_queue_.size());
+    gauges_.batch_queue_depth.set(
+        static_cast<std::int64_t>(batch_queue_.size()));
   }
+  gauges_.pool_queue_depth.set(static_cast<std::int64_t>(pool_->pending()));
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    out.counters.emplace_back("sessions_active", sessions_.size());
+    gauges_.sessions_active.set(static_cast<std::int64_t>(sessions_.size()));
+  }
+}
+
+StatsResponse Server::snapshot() const {
+  refresh_gauges();
+  StatsResponse out;
+  for (const auto& e : metrics_.snapshot()) {
+    switch (e.kind) {
+      case obs::MetricKind::kCounter:
+        out.counters.emplace_back(e.name, e.counter);
+        break;
+      case obs::MetricKind::kGauge:
+        // Stats rows are unsigned varints; a transiently negative gauge
+        // (racing sub-before-add) reads 0, never 2^64-ish.
+        out.counters.emplace_back(
+            e.name,
+            e.gauge > 0 ? static_cast<std::uint64_t>(e.gauge) : 0);
+        break;
+      case obs::MetricKind::kHistogram: {
+        // Histogram summaries ride as additional named rows — the only
+        // compatible extension of the stats frame, since old parsers
+        // reject trailing bytes but look counters up by name.
+        const auto q = [&](double p) {
+          return static_cast<std::uint64_t>(
+              std::llround(e.hist.quantile(p)));
+        };
+        out.counters.emplace_back(e.name + "_count", e.hist.count);
+        out.counters.emplace_back(e.name + "_sum", e.hist.sum);
+        out.counters.emplace_back(e.name + "_p50", q(0.50));
+        out.counters.emplace_back(e.name + "_p90", q(0.90));
+        out.counters.emplace_back(e.name + "_p99", q(0.99));
+        break;
+      }
+    }
   }
   {
-    // Map order, so repeated stats frames list providers deterministically.
+    // Registration order, so repeated stats frames list providers
+    // deterministically.
     std::lock_guard<std::mutex> lock(extra_mu_);
     for (const auto& [name, fn] : extra_stats_)
       if (fn) fn(out);
@@ -558,15 +661,26 @@ StatsResponse Server::snapshot() const {
 void Server::register_stats(const std::string& name,
                             std::function<void(StatsResponse&)> fn) {
   std::lock_guard<std::mutex> lock(extra_mu_);
-  if (fn)
-    extra_stats_[name] = std::move(fn);
-  else
-    extra_stats_.erase(name);
+  for (auto it = extra_stats_.begin(); it != extra_stats_.end(); ++it) {
+    if (it->first == name) {
+      if (fn)
+        it->second = std::move(fn);  // replace in place, keep the position
+      else
+        extra_stats_.erase(it);
+      return;
+    }
+  }
+  if (fn) extra_stats_.emplace_back(name, std::move(fn));
 }
 
 void Server::unregister_stats(const std::string& name) {
   std::lock_guard<std::mutex> lock(extra_mu_);
-  extra_stats_.erase(name);
+  for (auto it = extra_stats_.begin(); it != extra_stats_.end(); ++it) {
+    if (it->first == name) {
+      extra_stats_.erase(it);
+      return;
+    }
+  }
 }
 
 std::vector<std::uint8_t> Server::handle_stats() {
@@ -574,35 +688,111 @@ std::vector<std::uint8_t> Server::handle_stats() {
   return encode_stats_response(snapshot());
 }
 
+std::vector<std::uint8_t> Server::handle_metrics() {
+  reap_idle_sessions();  // same opportunistic tick as stats
+  refresh_gauges();
+  const std::string text = metrics_.prometheus();
+  return encode_metrics_response(
+      {{reinterpret_cast<const std::uint8_t*>(text.data()), text.size()}});
+}
+
+void Server::finish_trace(const obs::RequestTrace& t, bool count_request) {
+  if (count_request) {
+    obs::Histogram& by_op = [&]() -> obs::Histogram& {
+      switch (static_cast<Op>(t.op_raw)) {
+        case Op::kCompressRequest:
+          return hists_.request_ns_compress;
+        case Op::kDecompressRequest:
+          return hists_.request_ns_decompress;
+        case Op::kOpenStreamRequest:
+        case Op::kAppendTimestepRequest:
+        case Op::kReadTimestepRequest:
+        case Op::kCloseStreamRequest:
+          return hists_.request_ns_session;
+        case Op::kListCodecsRequest:
+        case Op::kStatsRequest:
+        case Op::kMetricsRequest:
+          return hists_.request_ns_admin;
+        default:  // op_raw 0: the frame never parsed to a request opcode
+          return hists_.request_ns_other;
+      }
+    }();
+    by_op.observe(t.exec_ns());
+    if (t.queue_wait_ns) hists_.queue_wait_ns.observe(t.queue_wait_ns);
+    if (t.batch_wait_ns) hists_.batch_wait_ns.observe(t.batch_wait_ns);
+    hists_.request_bytes_in.observe(t.bytes_in);
+    hists_.response_bytes_out.observe(t.bytes_out);
+  }
+  // Stage time bills whichever trace carried it — a solo request, or the
+  // synthetic batch-group trace when stages ran once for a whole group.
+  using prof::Stage;
+  const auto stage = [&](Stage s) {
+    return t.stage_ns[static_cast<std::size_t>(s)];
+  };
+  if (stage(Stage::kPredict))
+    hists_.predict_ns.observe(stage(Stage::kPredict));
+  if (stage(Stage::kQuantize))
+    hists_.quantize_ns.observe(stage(Stage::kQuantize));
+  if (stage(Stage::kEntropy))
+    hists_.entropy_ns.observe(stage(Stage::kEntropy));
+  if (stage(Stage::kInference))
+    hists_.inference_ns.observe(stage(Stage::kInference));
+  if (tracer_) tracer_->write(t);
+  if (opt_.slow_ms > 0 &&
+      static_cast<double>(t.wall_ns()) / 1e6 >= opt_.slow_ms) {
+    AESZ_LOG_WARN(
+        "server",
+        "slow request id=%" PRIu64 " op=%s conn=%" PRIu64 " session=%" PRIu64
+        " wall=%.3fms queue=%.3fms batch=%.3fms exec=%.3fms"
+        " predict=%.3fms quantize=%.3fms entropy=%.3fms inference=%.3fms"
+        " bytes_in=%" PRIu64 " bytes_out=%" PRIu64 "%s",
+        t.id, t.op, t.conn_id, t.session_id,
+        static_cast<double>(t.wall_ns()) / 1e6,
+        static_cast<double>(t.queue_wait_ns) / 1e6,
+        static_cast<double>(t.batch_wait_ns) / 1e6,
+        static_cast<double>(t.exec_ns()) / 1e6,
+        static_cast<double>(stage(Stage::kPredict)) / 1e6,
+        static_cast<double>(stage(Stage::kQuantize)) / 1e6,
+        static_cast<double>(stage(Stage::kEntropy)) / 1e6,
+        static_cast<double>(stage(Stage::kInference)) / 1e6, t.bytes_in,
+        t.bytes_out, t.error ? " error=1" : "");
+  }
+}
+
 std::vector<std::uint8_t> Server::dispatch(
     Op op, std::span<const std::uint8_t> frame) {
+  if (auto* t = obs::current_trace()) {
+    t->op = op_name(op);
+    t->op_raw = static_cast<std::uint8_t>(op);
+  }
   switch (op) {
     case Op::kCompressRequest:
-      counters_.compress_requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.compress_requests.inc();
       return handle_compress(frame);
     case Op::kDecompressRequest:
-      counters_.decompress_requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.decompress_requests.inc();
       return handle_decompress(frame);
     case Op::kListCodecsRequest:
-      counters_.list_codecs_requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.list_codecs_requests.inc();
       return handle_list_codecs();
     case Op::kStatsRequest:
-      counters_.stats_requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.stats_requests.inc();
       return handle_stats();
     case Op::kOpenStreamRequest:
-      counters_.open_stream_requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.open_stream_requests.inc();
       return handle_open_stream(frame);
     case Op::kAppendTimestepRequest:
-      counters_.append_timestep_requests.fetch_add(1,
-                                                   std::memory_order_relaxed);
+      counters_.append_timestep_requests.inc();
       return handle_append_timestep(frame);
     case Op::kReadTimestepRequest:
-      counters_.read_timestep_requests.fetch_add(1,
-                                                 std::memory_order_relaxed);
+      counters_.read_timestep_requests.inc();
       return handle_read_timestep(frame);
     case Op::kCloseStreamRequest:
-      counters_.close_stream_requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.close_stream_requests.inc();
       return handle_close_stream(frame);
+    case Op::kMetricsRequest:
+      counters_.metrics_requests.inc();
+      return handle_metrics();
     default:
       return error_frame(ErrCode::kUnsupported,
                          std::string(op_name(op)) + " is not a request");
@@ -611,8 +801,25 @@ std::vector<std::uint8_t> Server::dispatch(
 
 std::vector<std::uint8_t> Server::handle_frame(
     std::span<const std::uint8_t> frame) {
-  counters_.requests.fetch_add(1, std::memory_order_relaxed);
-  counters_.bytes_in.fetch_add(frame.size(), std::memory_order_relaxed);
+  // A submit() wrapper may already have installed this thread's trace
+  // (stamped with admission time and connection identity); a direct
+  // synchronous call owns a local one and finalizes it on exit.
+  obs::RequestTrace local;
+  obs::RequestTrace* t = obs::current_trace();
+  const bool own = t == nullptr;
+  std::optional<obs::TraceScope> scope;
+  if (own) {
+    local.id = obs::next_request_id();
+    t = &local;
+    scope.emplace(t);
+  }
+  t->exec_start_ns = obs::monotonic_ns();
+  // Computed here, not at dequeue, so queue_wait + exec == wall exactly.
+  if (t->admit_ns && t->exec_start_ns > t->admit_ns)
+    t->queue_wait_ns = t->exec_start_ns - t->admit_ns;
+  t->bytes_in = frame.size();
+  counters_.requests.inc();
+  counters_.bytes_in.inc(frame.size());
   std::vector<std::uint8_t> response;
   const auto op = peek_op(frame);
   if (!op.ok()) {
@@ -642,11 +849,15 @@ std::vector<std::uint8_t> Server::handle_frame(
         "response (" + std::to_string(response.size()) +
             " bytes) exceeds the frame limit; request a smaller field");
   }
-  counters_.bytes_out.fetch_add(response.size(), std::memory_order_relaxed);
+  counters_.bytes_out.inc(response.size());
+  t->bytes_out = response.size();
+  t->exec_end_ns = obs::monotonic_ns();
+  if (own) finish_trace(*t);
   return response;
 }
 
-void Server::submit(std::vector<std::uint8_t> frame, DoneFn done) {
+void Server::submit(std::vector<std::uint8_t> frame, DoneFn done,
+                    std::uint64_t conn_id) {
   // Session-scoped ops (append/read/close) are ticketed: the ticket is
   // taken HERE, in arrival order, and the pool task waits its turn before
   // running — so a client that pipelines appends without waiting for
@@ -666,13 +877,24 @@ void Server::submit(std::vector<std::uint8_t> frame, DoneFn done) {
           std::lock_guard<std::mutex> lock(s->mu);
           ticket = s->next_ticket++;
         }
-        pool_->submit([this, s, ticket, f = std::move(frame),
+        obs::RequestTrace t;
+        t.id = obs::next_request_id();
+        t.conn_id = conn_id;
+        t.session_id = *sid;
+        t.admit_ns = obs::monotonic_ns();
+        pool_->submit([this, s, ticket, t, f = std::move(frame),
                        cb = std::move(done)]() mutable {
+          std::vector<std::uint8_t> response;
           {
-            std::unique_lock<std::mutex> lock(s->mu);
-            s->cv.wait(lock, [&] { return s->done_ticket == ticket; });
+            // The scope covers the ticket wait too: that wait is part of
+            // this request's queue time, not its execution time.
+            obs::TraceScope scope(&t);
+            {
+              std::unique_lock<std::mutex> lock(s->mu);
+              s->cv.wait(lock, [&] { return s->done_ticket == ticket; });
+            }
+            response = handle_frame(f);
           }
-          auto response = handle_frame(f);
           {
             std::lock_guard<std::mutex> lock(s->mu);
             // Advance unconditionally — later tickets must progress even
@@ -680,6 +902,7 @@ void Server::submit(std::vector<std::uint8_t> frame, DoneFn done) {
             ++s->done_ticket;
           }
           s->cv.notify_all();
+          finish_trace(t);
           cb(std::move(response));
         });
         return;
@@ -708,16 +931,27 @@ void Server::submit(std::vector<std::uint8_t> frame, DoneFn done) {
     }
   }
   if (!batchable) {
+    obs::RequestTrace t;
+    t.id = obs::next_request_id();
+    t.conn_id = conn_id;
+    t.admit_ns = obs::monotonic_ns();
     pool_->submit(
-        [this, f = std::move(frame), cb = std::move(done)]() mutable {
-          cb(handle_frame(f));
+        [this, t, f = std::move(frame), cb = std::move(done)]() mutable {
+          std::vector<std::uint8_t> response;
+          {
+            obs::TraceScope scope(&t);
+            response = handle_frame(f);
+          }
+          finish_trace(t);
+          cb(std::move(response));
         });
     return;
   }
   {
     std::lock_guard<std::mutex> lock(batch_mu_);
-    batch_queue_.push_back(
-        BatchJob{std::move(frame), std::move(key), std::move(done)});
+    batch_queue_.push_back(BatchJob{std::move(frame), std::move(key),
+                                    std::move(done), obs::next_request_id(),
+                                    obs::monotonic_ns(), conn_id});
   }
   batch_cv_.notify_one();
 }
@@ -773,26 +1007,58 @@ void Server::batcher_main() {
 }
 
 void Server::run_batch(std::vector<BatchJob>& jobs) {
-  counters_.batch_executions.fetch_add(1, std::memory_order_relaxed);
-  counters_.batched_requests.fetch_add(jobs.size(),
-                                       std::memory_order_relaxed);
+  // One synthetic group trace owns the execution span and the codec stage
+  // time (the stages ran ONCE for the whole group); each member job gets
+  // its own trace carrying its admission identity, coalesce wait, bytes,
+  // and per-request latency, with exec = the shared group span.
+  // finish_trace(group, false) keeps the synthetic trace out of the
+  // per-request histograms — its members were already observed.
+  obs::RequestTrace group;
+  group.id = obs::next_request_id();
+  group.op = "compress-batch";
+  group.exec_start_ns = obs::monotonic_ns();
+  obs::TraceScope scope(&group);
+  const auto finish_group = [&] {
+    group.exec_end_ns = obs::monotonic_ns();
+    finish_trace(group, /*count_request=*/false);
+  };
+
+  counters_.batch_executions.inc();
+  counters_.batched_requests.inc(jobs.size());
   auto& bucket = jobs.size() >= 8   ? counters_.batch_size_8_plus
                  : jobs.size() >= 4 ? counters_.batch_size_4_7
                  : jobs.size() >= 2 ? counters_.batch_size_2_3
                                     : counters_.batch_size_1;
-  bucket.fetch_add(1, std::memory_order_relaxed);
+  bucket.inc();
 
   // Completion mirrors handle_frame()'s tail: oversize responses become
   // typed errors, bytes_out counts what actually leaves.
-  const auto finish = [this](BatchJob& job,
-                             std::vector<std::uint8_t> response) {
+  const auto finish = [this, &group](BatchJob& job,
+                                     std::vector<std::uint8_t> response) {
     if (response.size() > kMaxFrameBytes)
       response = error_frame(
           ErrCode::kUnsupported,
           "response (" + std::to_string(response.size()) +
               " bytes) exceeds the frame limit; request a smaller field");
-    counters_.bytes_out.fetch_add(response.size(),
-                                  std::memory_order_relaxed);
+    counters_.bytes_out.inc(response.size());
+    obs::RequestTrace t;
+    t.id = job.id;
+    t.op = op_name(Op::kCompressRequest);
+    t.op_raw = static_cast<std::uint8_t>(Op::kCompressRequest);
+    t.conn_id = job.conn_id;
+    t.admit_ns = job.admit_ns;
+    t.exec_start_ns = group.exec_start_ns;
+    t.exec_end_ns = obs::monotonic_ns();
+    // The whole admission-to-execution wait was spent coalescing with the
+    // batcher, so it bills as batch_wait (queue_wait stays 0 — the two
+    // never overlap on one request).
+    if (t.admit_ns && t.exec_start_ns > t.admit_ns)
+      t.batch_wait_ns = t.exec_start_ns - t.admit_ns;
+    t.bytes_in = job.frame.size();
+    t.bytes_out = response.size();
+    if (auto op = peek_op(response); op.ok() && *op == Op::kErrorResponse)
+      t.error = true;
+    finish_trace(t);
     job.done(std::move(response));
   };
 
@@ -811,10 +1077,9 @@ void Server::run_batch(std::vector<BatchJob>& jobs) {
     // dispatch): one requests/bytes_in/compress_requests tick each, one
     // codec_for hit-or-miss each — coalescing is invisible in these
     // counters.
-    counters_.requests.fetch_add(1, std::memory_order_relaxed);
-    counters_.bytes_in.fetch_add(job.frame.size(),
-                                 std::memory_order_relaxed);
-    counters_.compress_requests.fetch_add(1, std::memory_order_relaxed);
+    counters_.requests.inc();
+    counters_.bytes_in.inc(job.frame.size());
+    counters_.compress_requests.inc();
     auto req = parse_compress_request(job.frame);
     if (!req.ok()) {  // raced mutation cannot happen (frame is owned), but
                       // keep the typed-error discipline anyway
@@ -831,7 +1096,10 @@ void Server::run_batch(std::vector<BatchJob>& jobs) {
     live.push_back(Live{&job, Field(req->dims, std::move(values)), req->eb,
                         req->codec, req->dims.rank, std::move(*entry)});
   }
-  if (live.empty()) return;
+  if (live.empty()) {
+    finish_group();
+    return;
+  }
 
   // One canonical key per group — every live job shares one instance and
   // one per-instance mutex.
@@ -842,6 +1110,7 @@ void Server::run_batch(std::vector<BatchJob>& jobs) {
       finish(*l.job, error_frame(ErrCode::kUnsupported,
                                  l.codec_name + " does not support rank-" +
                                      std::to_string(l.rank) + " fields"));
+    finish_group();
     return;
   }
 
@@ -881,6 +1150,7 @@ void Server::run_batch(std::vector<BatchJob>& jobs) {
       finish(*l.job, error_frame(ErrCode::kInternal, e.what()));
     }
   }
+  finish_group();
 }
 
 void Server::serve(Transport& transport) {

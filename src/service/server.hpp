@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "predictors/compressor.hpp"
 #include "service/protocol.hpp"
 #include "service/transport.hpp"
@@ -77,6 +79,16 @@ class Server {
     /// Admission cap on concurrently open stream sessions; open-stream
     /// beyond it answers kOverloaded.
     std::size_t max_sessions = 64;
+    /// Per-request Chrome trace-event JSONL output path (aesz_server
+    /// --trace-out). Empty = tracing off; a path that cannot be opened
+    /// fails construction with a typed Error(kIoError). The explicit
+    /// initializer keeps partial aggregate init ({threads, model, field})
+    /// warning-free at existing call sites.
+    std::string trace_out = {};
+    /// Requests whose admission-to-completion wall time exceeds this many
+    /// milliseconds get a warn-level log line with their per-stage
+    /// breakdown (aesz_server --slow-ms). 0 = off.
+    double slow_ms = 0;
   };
 
   // Two overloads, not a `= {}` default argument: NSDMIs of a nested
@@ -98,23 +110,33 @@ class Server {
   /// Async entry point: classify `frame` and either hand it to the
   /// ThreadPool or enqueue it with the batching scheduler. `done` receives
   /// the response frame. Thread-safe; callers needing ordered responses
-  /// sequence completions themselves (serve() does).
-  void submit(std::vector<std::uint8_t> frame, DoneFn done);
+  /// sequence completions themselves (serve() does). `conn_id` is the
+  /// submitting front end's connection id, carried into the request's
+  /// trace and slow-request log line (0 = no connection identity).
+  void submit(std::vector<std::uint8_t> frame, DoneFn done,
+              std::uint64_t conn_id = 0);
 
   /// Serve one connection until the peer closes (or the transport fails).
   /// Blocking; call from a dedicated thread per connection.
   void serve(Transport& transport);
 
-  /// Snapshot of the running counters (the same data a stats frame
-  /// reports), including any extra gauges registered by front ends.
+  /// Snapshot of every registered metric (the same data a stats frame
+  /// reports): counters and gauges as named rows, histograms as
+  /// `<name>_count/_sum/_p50/_p90/_p99` summary rows, then any extra rows
+  /// from registered providers.
   StatsResponse snapshot() const;
 
+  /// The registry every layer's instruments live in. The EventServer
+  /// front end creates its ev_* counters/gauges here, so one stats or
+  /// metrics frame covers Server, sessions, and event loop alike.
+  /// References obtained from it stay valid for the Server's lifetime.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
   /// Register a named provider of extra stats rows appended to
-  /// snapshot() — the event-loop front end adds its connection-state and
-  /// queue gauges under "event_loop" so one stats frame reports both
-  /// layers, without colliding with the server's own session gauges.
-  /// Re-registering a name replaces its provider; providers run in name
-  /// order so stats frames stay deterministic.
+  /// snapshot() — a thin adapter for front ends that want rows without
+  /// registry instruments. Re-registering a name replaces its provider in
+  /// place; providers run in REGISTRATION order (first registered, first
+  /// emitted) so stats frames stay deterministic.
   void register_stats(const std::string& name,
                       std::function<void(StatsResponse&)> fn);
   void unregister_stats(const std::string& name);
@@ -142,11 +164,16 @@ class Server {
   };
 
   /// A compress request parked with the batching scheduler. `key` is the
-  /// canonical "codec#rank" the group is formed on.
+  /// canonical "codec#rank" the group is formed on; `id`/`admit_ns` are
+  /// the request's trace identity, stamped at admission so the coalesce
+  /// wait is observable per request.
   struct BatchJob {
     std::vector<std::uint8_t> frame;
     std::string key;
     DoneFn done;
+    std::uint64_t id = 0;
+    std::uint64_t admit_ns = 0;
+    std::uint64_t conn_id = 0;
   };
 
   /// One open stream session: a TemporalWriter plus the serialization
@@ -188,13 +215,25 @@ class Server {
       std::span<const std::uint8_t> frame);
   std::vector<std::uint8_t> handle_close_stream(
       std::span<const std::uint8_t> frame);
+  std::vector<std::uint8_t> handle_metrics();
   std::shared_ptr<StreamSession> find_session(std::uint64_t id);
   std::vector<std::uint8_t> error_frame(ErrCode code, std::string message);
 
   void batcher_main();
   void run_batch(std::vector<BatchJob>& jobs);
 
+  /// Observe a finished request into the latency/size histograms, write
+  /// its trace events, and emit the slow-request log line.
+  /// `count_request` is false for the synthetic batch-group trace, whose
+  /// member requests were already counted individually.
+  void finish_trace(const obs::RequestTrace& t, bool count_request = true);
+  /// Recompute the point-in-time gauges (queue depths, active sessions)
+  /// before a snapshot or exposition leaves the server.
+  void refresh_gauges() const;
+
   Options opt_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceWriter> tracer_;
   std::unique_ptr<ThreadPool> pool_;
 
   std::mutex cache_mu_;
@@ -207,43 +246,80 @@ class Server {
   std::thread batcher_;
 
   mutable std::mutex extra_mu_;
-  std::map<std::string, std::function<void(StatsResponse&)>> extra_stats_;
+  // Registration order, NOT name order — snapshot() promises providers
+  // run first-registered-first.
+  std::vector<std::pair<std::string, std::function<void(StatsResponse&)>>>
+      extra_stats_;
 
   mutable std::mutex sessions_mu_;
   std::map<std::uint64_t, std::shared_ptr<StreamSession>> sessions_;
   std::atomic<std::uint64_t> next_session_id_{1};
 
+  /// Server-layer instruments, all living in metrics_ (registered in this
+  /// declaration order, which fixes the stats-frame row order). The
+  /// members are references so every existing call site stays a single
+  /// relaxed atomic op.
   struct Counters {
-    std::atomic<std::uint64_t> requests{0};
-    std::atomic<std::uint64_t> compress_requests{0};
-    std::atomic<std::uint64_t> decompress_requests{0};
-    std::atomic<std::uint64_t> list_codecs_requests{0};
-    std::atomic<std::uint64_t> stats_requests{0};
-    std::atomic<std::uint64_t> error_responses{0};
-    std::atomic<std::uint64_t> bytes_in{0};
-    std::atomic<std::uint64_t> bytes_out{0};
-    std::atomic<std::uint64_t> codec_cache_hits{0};
-    std::atomic<std::uint64_t> codec_cache_misses{0};
-    std::atomic<std::uint64_t> ae_model_loads{0};
+    explicit Counters(obs::MetricsRegistry& m);
+    obs::Counter& requests;
+    obs::Counter& compress_requests;
+    obs::Counter& decompress_requests;
+    obs::Counter& list_codecs_requests;
+    obs::Counter& stats_requests;
+    obs::Counter& metrics_requests;
+    obs::Counter& error_responses;
+    obs::Counter& bytes_in;
+    obs::Counter& bytes_out;
+    obs::Counter& codec_cache_hits;
+    obs::Counter& codec_cache_misses;
+    obs::Counter& ae_model_loads;
     // Batching scheduler: how many requests rode through it, how many
     // compress_batch group executions ran, and a group-size histogram.
-    std::atomic<std::uint64_t> batched_requests{0};
-    std::atomic<std::uint64_t> batch_executions{0};
-    std::atomic<std::uint64_t> batch_size_1{0};
-    std::atomic<std::uint64_t> batch_size_2_3{0};
-    std::atomic<std::uint64_t> batch_size_4_7{0};
-    std::atomic<std::uint64_t> batch_size_8_plus{0};
+    obs::Counter& batched_requests;
+    obs::Counter& batch_executions;
+    obs::Counter& batch_size_1;
+    obs::Counter& batch_size_2_3;
+    obs::Counter& batch_size_4_7;
+    obs::Counter& batch_size_8_plus;
     // Stream sessions: per-op request counts plus lifecycle totals.
-    std::atomic<std::uint64_t> open_stream_requests{0};
-    std::atomic<std::uint64_t> append_timestep_requests{0};
-    std::atomic<std::uint64_t> read_timestep_requests{0};
-    std::atomic<std::uint64_t> close_stream_requests{0};
-    std::atomic<std::uint64_t> sessions_opened{0};
-    std::atomic<std::uint64_t> sessions_closed{0};
-    std::atomic<std::uint64_t> sessions_reaped{0};
-    std::atomic<std::uint64_t> session_timesteps_stored{0};
+    obs::Counter& open_stream_requests;
+    obs::Counter& append_timestep_requests;
+    obs::Counter& read_timestep_requests;
+    obs::Counter& close_stream_requests;
+    obs::Counter& sessions_opened;
+    obs::Counter& sessions_closed;
+    obs::Counter& sessions_reaped;
+    obs::Counter& session_timesteps_stored;
   };
   Counters counters_;
+
+  /// Point-in-time levels, recomputed by refresh_gauges() before export.
+  struct Gauges {
+    explicit Gauges(obs::MetricsRegistry& m);
+    obs::Gauge& batch_queue_depth;
+    obs::Gauge& pool_queue_depth;
+    obs::Gauge& sessions_active;
+  };
+  Gauges gauges_;
+
+  /// Latency/size distributions, fed per request by finish_trace().
+  struct Histograms {
+    explicit Histograms(obs::MetricsRegistry& m);
+    obs::Histogram& request_ns_compress;
+    obs::Histogram& request_ns_decompress;
+    obs::Histogram& request_ns_session;
+    obs::Histogram& request_ns_admin;
+    obs::Histogram& request_ns_other;
+    obs::Histogram& queue_wait_ns;
+    obs::Histogram& batch_wait_ns;
+    obs::Histogram& predict_ns;
+    obs::Histogram& quantize_ns;
+    obs::Histogram& entropy_ns;
+    obs::Histogram& inference_ns;
+    obs::Histogram& request_bytes_in;
+    obs::Histogram& response_bytes_out;
+  };
+  Histograms hists_;
 };
 
 }  // namespace aesz::service

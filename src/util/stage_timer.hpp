@@ -36,6 +36,23 @@ inline int& stage_depth(Stage s) {
   return depth[static_cast<int>(s)];
 }
 
+/// Optional per-thread attribution hook: when installed, every outermost
+/// StageScope also reports its nanoseconds here (in addition to the
+/// process-wide accumulators). The observability layer points this at the
+/// current request's trace (obs::TraceScope) so concurrent requests get
+/// individually attributed stage time. Plain function pointer + context,
+/// not std::function: installing/clearing must stay allocation-free on
+/// the request hot path.
+struct StageSink {
+  void (*fn)(void* ctx, Stage s, std::uint64_t ns) = nullptr;
+  void* ctx = nullptr;
+};
+
+inline StageSink& stage_sink() {
+  thread_local StageSink sink;
+  return sink;
+}
+
 /// Cumulative per-stage seconds since process start (monotonic; benches
 /// subtract two snapshots around a measured region).
 struct StageTimes {
@@ -71,6 +88,8 @@ class StageScope {
                           .count();
       stage_ns()[static_cast<int>(s_)].fetch_add(
           static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
+      if (const StageSink& sink = stage_sink(); sink.fn)
+        sink.fn(sink.ctx, s_, static_cast<std::uint64_t>(ns));
     }
   }
 

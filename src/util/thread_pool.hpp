@@ -51,6 +51,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Tasks queued but not yet picked up by a worker — the queue-depth
+  /// gauge the observability layer exports (Server's pool_queue_depth).
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
   /// Enqueue `fn` and return a future for its result. `fn` must be
   /// invocable with no arguments; its return value (or exception) is
   /// delivered through the future.
@@ -85,7 +92,7 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;

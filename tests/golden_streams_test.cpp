@@ -21,14 +21,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "data/synth.hpp"
 #include "metrics/metrics.hpp"
 #include "predictors/registry.hpp"
+#include "service/protocol.hpp"
 #include "temporal/aetc.hpp"
 #include "temporal/temporal.hpp"
+#include "util/bytestream.hpp"
 
 namespace aesz {
 namespace {
@@ -239,6 +243,41 @@ TEST(GoldenAetc, FutureContainerVersionIsRefusedTyped) {
   auto writer = temporal::TemporalWriter::open(stream);
   ASSERT_FALSE(writer.ok());
   EXPECT_EQ(writer.status().code, ErrCode::kBadHeader);
+}
+
+/// Stats-frame wire compatibility across the observability PR: the frame
+/// layout a pre-observability peer speaks (magic, version 1, op 0x84,
+/// varint row count, then name-blob/varint-value rows) is pinned here
+/// byte for byte. Today's server extends the stats SURFACE with histogram
+/// summary rows, but each row keeps this exact shape — so old clients
+/// parse new frames and new clients parse old frames.
+TEST(GoldenProtocol, PreObservabilityStatsFrameLayoutIsPinned) {
+  const auto name_bytes = [](const char* s) {
+    return std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s), std::strlen(s));
+  };
+  ByteWriter w;
+  w.put(service::kFrameMagic);
+  w.put(service::kProtocolVersion);
+  w.put(std::uint8_t{0x84});  // kStatsResponse
+  w.put_varint(std::uint64_t{2});
+  w.put_blob(name_bytes("requests"));
+  w.put_varint(std::uint64_t{3});
+  w.put_blob(name_bytes("bytes_in"));
+  w.put_varint(std::uint64_t{12345});
+  const auto old_frame = w.take();
+
+  // Today's parser reads yesterday's frame...
+  const auto parsed = service::parse_stats_response(old_frame);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().str();
+  EXPECT_EQ(parsed->get("requests"), 3u);
+  EXPECT_EQ(parsed->get("bytes_in"), 12345u);
+
+  // ...and today's encoder still writes exactly these bytes for the same
+  // rows, so yesterday's parser reads today's frames too.
+  service::StatsResponse s;
+  s.counters = {{"requests", 3}, {"bytes_in", 12345}};
+  EXPECT_EQ(service::encode_stats_response(s), old_frame);
 }
 
 }  // namespace

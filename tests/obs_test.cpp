@@ -1,0 +1,529 @@
+// Observability-layer tests (src/obs/): histogram bucket layout and
+// quantile accuracy against exact order statistics, snapshot merging,
+// registry registration-order/kind/name discipline, Prometheus exposition
+// validity, log-level parsing, trace-context propagation through the
+// prof::StageScope sink, and Chrome trace-event JSONL emission — both from
+// a bare TraceWriter and end-to-end through a Server with trace_out set.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/synth.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stage_timer.hpp"
+
+namespace aesz {
+namespace {
+
+namespace svc = ::aesz::service;
+
+// ------------------------------------------------------------ buckets ----
+
+TEST(HistogramBuckets, BoundsFollowTheRecurrenceAndStrictlyIncrease) {
+  EXPECT_EQ(obs::histogram_bucket_bound(0), 1u);
+  for (std::size_t i = 0; i + 1 < obs::kHistogramBuckets; ++i) {
+    const std::uint64_t b = obs::histogram_bucket_bound(i);
+    const std::uint64_t expect = std::max(b + 1, b + b / 4);
+    EXPECT_EQ(obs::histogram_bucket_bound(i + 1), expect) << i;
+    EXPECT_LT(b, obs::histogram_bucket_bound(i + 1)) << i;
+  }
+  // The layout spans nanosecond-scale values up to hours.
+  EXPECT_GT(obs::histogram_bucket_bound(obs::kHistogramBuckets - 1),
+            std::uint64_t{3600} * 1000 * 1000 * 1000);
+}
+
+TEST(HistogramBuckets, IndexMapsBoundariesToTheirOwnBucket) {
+  EXPECT_EQ(obs::histogram_bucket_index(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(1), 0u);
+  for (std::size_t i = 0; i < obs::kHistogramBuckets; ++i) {
+    const std::uint64_t b = obs::histogram_bucket_bound(i);
+    // A bucket's inclusive upper bound counts into the bucket itself...
+    EXPECT_EQ(obs::histogram_bucket_index(b), i) << i;
+    // ...and the next value starts the next bucket (or overflow).
+    EXPECT_EQ(obs::histogram_bucket_index(b + 1),
+              i + 1 < obs::kHistogramBuckets ? i + 1 : obs::kHistogramBuckets)
+        << i;
+  }
+  EXPECT_EQ(obs::histogram_bucket_index(~std::uint64_t{0}),
+            obs::kHistogramBuckets);
+}
+
+// ---------------------------------------------------------- quantiles ----
+
+/// Assert the histogram quantile tracks the exact order statistic within
+/// one bucket width (~25% relative) plus small-integer slack.
+void check_quantiles(const std::vector<std::uint64_t>& values) {
+  obs::Histogram h;
+  std::uint64_t sum = 0;
+  for (auto v : values) {
+    h.observe(v);
+    sum += v;
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, values.size());
+  EXPECT_EQ(snap.sum, sum);
+
+  std::vector<std::uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.50, 0.90, 0.99}) {
+    std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size()));
+    if (rank < 1) rank = 1;
+    const double exact = static_cast<double>(sorted[rank - 1]);
+    const double est = snap.quantile(q);
+    EXPECT_LE(std::abs(est - exact), 0.30 * exact + 2.0)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(HistogramQuantile, TracksUniformSamplesWithinABucket) {
+  Rng rng(17);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(rng.below(1000000));
+  check_quantiles(values);
+}
+
+TEST(HistogramQuantile, TracksExponentialSamplesWithinABucket) {
+  Rng rng(29);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    const double u =
+        (static_cast<double>(rng.below(1000000)) + 1.0) / 1000001.0;
+    values.push_back(static_cast<std::uint64_t>(-std::log(u) * 50000.0));
+  }
+  check_quantiles(values);
+}
+
+TEST(HistogramQuantile, SingleValueDistributionStaysInItsBucket) {
+  obs::Histogram h;
+  for (int i = 0; i < 1000; ++i) h.observe(777);
+  const auto snap = h.snapshot();
+  const std::size_t idx = obs::histogram_bucket_index(777);
+  const double lo = static_cast<double>(obs::histogram_bucket_bound(idx - 1));
+  const double hi = static_cast<double>(obs::histogram_bucket_bound(idx));
+  for (double q : {0.0, 0.5, 1.0}) {
+    const double est = snap.quantile(q);
+    EXPECT_GT(est, lo) << q;
+    EXPECT_LE(est, hi) << q;
+  }
+}
+
+TEST(HistogramQuantile, EmptyHistogramReportsZero) {
+  obs::Histogram h;
+  EXPECT_EQ(h.snapshot().quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantile, OverflowValuesClampToTheLastFiniteBound) {
+  obs::Histogram h;
+  const std::uint64_t last =
+      obs::histogram_bucket_bound(obs::kHistogramBuckets - 1);
+  h.observe(last + 5);
+  h.observe(last + 123456789);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum, (last + 5) + (last + 123456789));
+  EXPECT_EQ(snap.buckets[obs::kHistogramBuckets], 2u);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), static_cast<double>(last));
+}
+
+TEST(HistogramSnapshot, MergeEqualsObservingTheUnion) {
+  Rng rng(41);
+  std::vector<std::uint64_t> a, b;
+  for (int i = 0; i < 500; ++i) a.push_back(rng.below(100000));
+  for (int i = 0; i < 700; ++i) b.push_back(rng.below(100000000));
+  obs::Histogram ha, hb, hu;
+  for (auto v : a) {
+    ha.observe(v);
+    hu.observe(v);
+  }
+  for (auto v : b) {
+    hb.observe(v);
+    hu.observe(v);
+  }
+  auto merged = ha.snapshot();
+  merged.merge(hb.snapshot());
+  const auto un = hu.snapshot();
+  EXPECT_EQ(merged.count, un.count);
+  EXPECT_EQ(merged.sum, un.sum);
+  for (std::size_t i = 0; i < merged.buckets.size(); ++i)
+    EXPECT_EQ(merged.buckets[i], un.buckets[i]) << i;
+  EXPECT_DOUBLE_EQ(merged.quantile(0.9), un.quantile(0.9));
+}
+
+// ----------------------------------------------------------- registry ----
+
+TEST(MetricsRegistry, SnapshotKeepsRegistrationOrder) {
+  obs::MetricsRegistry m;
+  m.counter("zzz_last_alphabetically").inc(3);
+  m.gauge("aaa_first_alphabetically").set(-2);
+  m.histogram("mmm_middle").observe(10);
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "zzz_last_alphabetically");
+  EXPECT_EQ(snap[0].kind, obs::MetricKind::kCounter);
+  EXPECT_EQ(snap[0].counter, 3u);
+  EXPECT_EQ(snap[1].name, "aaa_first_alphabetically");
+  EXPECT_EQ(snap[1].gauge, -2);
+  EXPECT_EQ(snap[2].name, "mmm_middle");
+  EXPECT_EQ(snap[2].hist.count, 1u);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsTheSameInstrument) {
+  obs::MetricsRegistry m;
+  obs::Counter& a = m.counter("c", "help fixed by first call");
+  obs::Counter& b = m.counter("c", "ignored");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc(2);
+  EXPECT_EQ(a.value(), 3u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrowsInvalidArgument) {
+  obs::MetricsRegistry m;
+  m.counter("c");
+  try {
+    m.gauge("c");
+    FAIL() << "kind mismatch did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrCode::kInvalidArgument);
+  }
+}
+
+TEST(MetricsRegistry, BadPrometheusNameThrowsInvalidArgument) {
+  obs::MetricsRegistry m;
+  for (const char* bad : {"", "1starts_with_digit", "has-dash", "has space"}) {
+    try {
+      m.counter(bad);
+      FAIL() << "'" << bad << "' accepted";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrCode::kInvalidArgument) << bad;
+    }
+  }
+  m.counter("_leading_underscore_is_fine");
+}
+
+TEST(MetricsRegistry, PrometheusExpositionIsWellFormed) {
+  obs::MetricsRegistry m;
+  m.counter("reqs", "requests").inc(3);
+  m.gauge("depth", "queue depth").set(-2);
+  auto& h = m.histogram("lat_ns", "latency");
+  h.observe(1);
+  h.observe(100);
+  h.observe(100);
+  h.observe(obs::histogram_bucket_bound(obs::kHistogramBuckets - 1) + 7);
+  const std::string text = m.prometheus("aesz_");
+
+  EXPECT_NE(text.find("# HELP aesz_reqs requests\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aesz_reqs counter\n"), std::string::npos);
+  EXPECT_NE(text.find("aesz_reqs 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aesz_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("aesz_depth -2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aesz_lat_ns histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("aesz_lat_ns_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aesz_lat_ns_count 4\n"), std::string::npos);
+
+  // Cumulative bucket counts must be monotone and every le bound larger
+  // than the previous one.
+  std::uint64_t prev_cum = 0;
+  double prev_le = -1.0;
+  std::size_t pos = 0;
+  std::size_t bucket_lines = 0;
+  while ((pos = text.find("aesz_lat_ns_bucket{le=\"", pos)) !=
+         std::string::npos) {
+    pos += std::string("aesz_lat_ns_bucket{le=\"").size();
+    const std::size_t end_quote = text.find('"', pos);
+    const std::string le = text.substr(pos, end_quote - pos);
+    const double le_val = le == "+Inf" ? 1e300 : std::stod(le);
+    const std::uint64_t cum =
+        std::stoull(text.substr(text.find('}', end_quote) + 2));
+    EXPECT_GT(le_val, prev_le);
+    EXPECT_GE(cum, prev_cum);
+    prev_le = le_val;
+    prev_cum = cum;
+    ++bucket_lines;
+  }
+  EXPECT_GE(bucket_lines, 3u);  // two finite buckets hit + "+Inf"
+}
+
+// ---------------------------------------------------------------- log ----
+
+TEST(Log, ParseLevelNamesCaseInsensitively) {
+  EXPECT_EQ(*obs::parse_log_level("warn"), obs::LogLevel::kWarn);
+  EXPECT_EQ(*obs::parse_log_level("WARN"), obs::LogLevel::kWarn);
+  EXPECT_EQ(*obs::parse_log_level("warning"), obs::LogLevel::kWarn);
+  EXPECT_EQ(*obs::parse_log_level("off"), obs::LogLevel::kOff);
+  EXPECT_EQ(*obs::parse_log_level("none"), obs::LogLevel::kOff);
+  const auto bad = obs::parse_log_level("loud");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code, ErrCode::kInvalidArgument);
+}
+
+TEST(Log, LevelNamesRoundTripThroughParse) {
+  for (auto l : {obs::LogLevel::kTrace, obs::LogLevel::kDebug,
+                 obs::LogLevel::kInfo, obs::LogLevel::kWarn,
+                 obs::LogLevel::kError, obs::LogLevel::kOff})
+    EXPECT_EQ(*obs::parse_log_level(obs::log_level_name(l)), l);
+}
+
+TEST(Log, ThresholdGatesEnabledLevels) {
+  const auto saved = obs::log_level();
+  obs::set_log_level(obs::LogLevel::kError);
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kWarn));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kError));
+  obs::set_log_level(obs::LogLevel::kOff);
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kError));
+  obs::set_log_level(saved);
+}
+
+// -------------------------------------------------------------- trace ----
+
+TEST(Trace, RequestIdsAreUniqueAndIncreasing) {
+  std::uint64_t prev = obs::next_request_id();
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id = obs::next_request_id();
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(Trace, ScopeInstallsAndRestoresNested) {
+  EXPECT_EQ(obs::current_trace(), nullptr);
+  obs::RequestTrace outer, inner;
+  {
+    obs::TraceScope s1(&outer);
+    EXPECT_EQ(obs::current_trace(), &outer);
+    {
+      obs::TraceScope s2(&inner);
+      EXPECT_EQ(obs::current_trace(), &inner);
+    }
+    EXPECT_EQ(obs::current_trace(), &outer);
+    {
+      obs::TraceScope s3(nullptr);  // no-op scope
+      EXPECT_EQ(obs::current_trace(), &outer);
+    }
+  }
+  EXPECT_EQ(obs::current_trace(), nullptr);
+}
+
+TEST(Trace, StageSinkBillsNanosecondsIntoTheCurrentTrace) {
+  obs::RequestTrace t;
+  {
+    obs::TraceScope scope(&t);
+    const prof::StageSink& sink = prof::stage_sink();
+    ASSERT_NE(sink.fn, nullptr);
+    sink.fn(sink.ctx, prof::Stage::kQuantize, 123);
+    sink.fn(sink.ctx, prof::Stage::kQuantize, 7);
+    sink.fn(sink.ctx, prof::Stage::kEntropy, 50);
+  }
+  EXPECT_EQ(t.stage_ns[static_cast<int>(prof::Stage::kQuantize)], 130u);
+  EXPECT_EQ(t.stage_ns[static_cast<int>(prof::Stage::kEntropy)], 50u);
+  // Outside the scope the sink is gone again.
+  EXPECT_EQ(prof::stage_sink().fn, nullptr);
+}
+
+TEST(Trace, WallTimeIsQueueWaitPlusExecByConstruction) {
+  obs::RequestTrace t;
+  t.admit_ns = 1000;
+  t.exec_start_ns = 5000;
+  t.exec_end_ns = 9000;
+  t.queue_wait_ns = t.exec_start_ns - t.admit_ns;
+  EXPECT_EQ(t.exec_ns(), 4000u);
+  EXPECT_EQ(t.wall_ns(), 8000u);
+  EXPECT_EQ(t.wall_ns(), t.queue_wait_ns + t.exec_ns());
+}
+
+// ----------------------------------------------- trace JSONL validator ----
+
+/// Minimal structural JSON check: quote/escape-aware brace and bracket
+/// balance, non-empty, whole line consumed. Catches truncated writes and
+/// unescaped quotes without pulling in a JSON dependency.
+bool json_line_valid(const std::string& line) {
+  if (line.empty() || line[0] != '{') return false;
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    if (depth == 0 && i + 1 < line.size()) return false;  // trailing junk
+  }
+  return depth == 0 && !in_string;
+}
+
+/// Value of a numeric field like "dur":12.5 in a one-line JSON object;
+/// NaN when absent.
+double num_field(const std::string& line, const std::string& key) {
+  const std::size_t pos = line.find("\"" + key + "\":");
+  if (pos == std::string::npos) return std::nan("");
+  return std::stod(line.substr(pos + key.size() + 3));
+}
+
+std::string str_field(const std::string& line, const std::string& key) {
+  const std::size_t pos = line.find("\"" + key + "\":\"");
+  if (pos == std::string::npos) return "";
+  const std::size_t start = pos + key.size() + 4;
+  return line.substr(start, line.find('"', start) - start);
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+TEST(TraceWriter, EmitsValidChromeTraceJsonl) {
+  const std::string path = testing::TempDir() + "/aesz_trace_unit.jsonl";
+  auto writer = obs::TraceWriter::open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().str();
+
+  obs::RequestTrace t;
+  t.id = 42;
+  t.op = "compress";
+  t.conn_id = 7;
+  t.admit_ns = 1000;
+  t.exec_start_ns = 5000;
+  t.exec_end_ns = 905000;
+  t.queue_wait_ns = 4000;
+  t.batch_wait_ns = 2000;
+  t.stage_ns[static_cast<int>(prof::Stage::kPredict)] = 100000;
+  t.stage_ns[static_cast<int>(prof::Stage::kEntropy)] = 200000;
+  t.bytes_in = 1234;
+  t.bytes_out = 567;
+  (*writer)->write(t);
+  writer->reset();  // close + flush
+
+  const auto lines = read_lines(path);
+  // queue-wait + batch-coalesce + request + 2 nonzero stages.
+  ASSERT_EQ(lines.size(), 5u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(json_line_valid(line)) << line;
+    EXPECT_EQ(str_field(line, "ph"), "X") << line;
+    EXPECT_EQ(num_field(line, "tid"), 42.0) << line;
+  }
+  // ts/dur are microseconds on the shared monotonic clock.
+  const std::string& queue = lines[0];
+  EXPECT_EQ(str_field(queue, "name"), "queue-wait");
+  EXPECT_DOUBLE_EQ(num_field(queue, "ts"), 1.0);
+  EXPECT_DOUBLE_EQ(num_field(queue, "dur"), 4.0);
+  const std::string& coalesce = lines[1];
+  EXPECT_EQ(str_field(coalesce, "name"), "batch-coalesce");
+  // The coalesce span ends exactly at execution start.
+  EXPECT_DOUBLE_EQ(num_field(coalesce, "ts") + num_field(coalesce, "dur"),
+                   5.0);
+  const std::string& req = lines[2];
+  EXPECT_EQ(str_field(req, "name"), "compress");
+  EXPECT_DOUBLE_EQ(num_field(req, "ts"), 5.0);
+  EXPECT_DOUBLE_EQ(num_field(req, "dur"), 900.0);
+  EXPECT_EQ(num_field(req, "conn"), 7.0);
+  EXPECT_EQ(num_field(req, "bytes_in"), 1234.0);
+  EXPECT_EQ(num_field(req, "error"), 0.0);
+  // Wall == queue wait + exec, reported in the args.
+  EXPECT_DOUBLE_EQ(num_field(req, "wall_us"),
+                   num_field(req, "queue_wait_us") + num_field(req, "dur"));
+  // Stage children tile the front of the request span in stage order.
+  EXPECT_EQ(str_field(lines[3], "name"), "predict");
+  EXPECT_DOUBLE_EQ(num_field(lines[3], "ts"), 5.0);
+  EXPECT_DOUBLE_EQ(num_field(lines[3], "dur"), 100.0);
+  EXPECT_EQ(str_field(lines[4], "name"), "entropy");
+  EXPECT_DOUBLE_EQ(num_field(lines[4], "ts"), 105.0);
+  EXPECT_DOUBLE_EQ(num_field(lines[4], "dur"), 200.0);
+}
+
+TEST(TraceWriter, UnopenablePathIsATypedIoError) {
+  const auto w = obs::TraceWriter::open("/nonexistent-dir/x/y.jsonl");
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.status().code, ErrCode::kIoError);
+}
+
+TEST(ServerTracing, TraceOutCapturesRequestSpansThatSumToWallTime) {
+  const std::string path = testing::TempDir() + "/aesz_trace_server.jsonl";
+  const Field f = synth::cesm_freqsh(32, 48, 50);
+  {
+    svc::Server::Options opt;
+    opt.threads = 1;
+    opt.trace_out = path;
+    svc::Server server(opt);
+
+    svc::CompressRequest creq;
+    creq.codec = "SZ2.1";
+    creq.eb = ErrorBound::Rel(1e-2);
+    creq.dims = f.dims();
+    const auto v = f.values();
+    creq.field = {reinterpret_cast<const std::uint8_t*>(v.data()),
+                  v.size() * sizeof(float)};
+    const auto cresp = server.handle_frame(svc::encode_compress_request(creq));
+    const auto parsed = svc::parse_compress_response(cresp);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().str();
+    svc::DecompressRequest dreq;
+    dreq.stream = parsed->stream;
+    ASSERT_TRUE(svc::peek_op(server.handle_frame(
+                                 svc::encode_decompress_request(dreq)))
+                    .ok());
+    server.handle_frame(svc::encode_stats_request());
+  }  // server teardown closes the trace file
+
+  const auto lines = read_lines(path);
+  ASSERT_GE(lines.size(), 3u);
+  std::map<std::uint64_t, std::pair<double, double>> request_span;  // tid->ts,end
+  std::size_t requests = 0;
+  for (const auto& line : lines) {
+    ASSERT_TRUE(json_line_valid(line)) << line;
+    if (str_field(line, "cat") != "request") continue;
+    ++requests;
+    const double dur = num_field(line, "dur");
+    EXPECT_GE(dur, 0.0) << line;
+    // The request's reported wall time is its queue wait plus its span.
+    EXPECT_NEAR(num_field(line, "wall_us"),
+                num_field(line, "queue_wait_us") + dur, 0.01)
+        << line;
+    request_span[static_cast<std::uint64_t>(num_field(line, "tid"))] = {
+        num_field(line, "ts"), num_field(line, "ts") + dur};
+  }
+  EXPECT_EQ(requests, 3u);  // compress, decompress, stats
+
+  // Codec stage children must land inside their request's span (the
+  // compress request runs real predict/entropy stages through the sink).
+  std::size_t stage_children = 0;
+  for (const auto& line : lines) {
+    if (str_field(line, "cat") != "stage") continue;
+    ++stage_children;
+    const auto it = request_span.find(
+        static_cast<std::uint64_t>(num_field(line, "tid")));
+    ASSERT_NE(it, request_span.end()) << line;
+    EXPECT_GE(num_field(line, "ts") + 1e-6, it->second.first) << line;
+    EXPECT_LE(num_field(line, "ts") + num_field(line, "dur"),
+              it->second.second * 1.05 + 100.0)
+        << line;
+  }
+  EXPECT_GE(stage_children, 2u);  // SZ2.1: fused predict + entropy at least
+}
+
+}  // namespace
+}  // namespace aesz

@@ -453,6 +453,158 @@ TEST(Server, ListCodecsMatchesRegistry) {
   }
 }
 
+// ------------------------------------------------------------ metrics ----
+
+TEST(Server, MetricsOpReturnsPrometheusExposition) {
+  svc::Server server({1, "", "CESM-CLDHGH"});
+  const Field f = field_for_rank(1);
+  (void)server.handle_frame(
+      svc::encode_compress_request(sample_compress_request(f)));
+  const auto resp = server.handle_frame(svc::encode_metrics_request());
+  const auto op = svc::peek_op(resp);
+  ASSERT_TRUE(op.ok()) << op.status().str();
+  ASSERT_EQ(*op, svc::Op::kMetricsResponse);
+  const auto parsed = svc::parse_metrics_response(resp);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().str();
+  const std::string text = parsed->text_str();
+  EXPECT_NE(text.find("# TYPE aesz_requests counter\n"), std::string::npos);
+  EXPECT_NE(text.find("aesz_compress_requests 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aesz_pool_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE aesz_request_ns_compress histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aesz_request_ns_compress_count 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("aesz_request_ns_compress_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Server, MetricsRequestHostileFramesAreTypedErrorFrames) {
+  svc::Server server({1, "", "CESM-CLDHGH"});
+  const auto frame = svc::encode_metrics_request();
+  ASSERT_EQ(frame.size(), 6u);  // magic + version + opcode, empty body
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const auto resp = server.handle_frame({frame.data(), len});
+    const auto op = svc::peek_op(resp);
+    ASSERT_TRUE(op.ok()) << len;
+    EXPECT_EQ(*op, svc::Op::kErrorResponse) << len;
+  }
+  {
+    auto bad = frame;
+    bad[4] = 99;  // version byte
+    const auto err = svc::parse_error_response(server.handle_frame(bad));
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err->code, ErrCode::kBadHeader);
+  }
+}
+
+TEST(Protocol, MetricsResponseParserRejectsHostileFrames) {
+  const std::string text = "# HELP aesz_requests frames handled\n";
+  const auto frame = svc::encode_metrics_response(
+      {{reinterpret_cast<const std::uint8_t*>(text.data()), text.size()}});
+  const auto ok = svc::parse_metrics_response(frame);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->text_str(), text);
+
+  // Truncation at every byte boundary is a typed error, never a crash.
+  for (std::size_t len = 0; len < frame.size(); ++len)
+    EXPECT_FALSE(
+        svc::parse_metrics_response({frame.data(), len}).ok())
+        << len;
+  {
+    auto bad = frame;
+    bad.push_back(0);  // trailing byte after a complete body
+    EXPECT_EQ(svc::parse_metrics_response(bad).status().code,
+              ErrCode::kCorruptStream);
+  }
+  {
+    // A hostile declared text length must not over-allocate.
+    ByteWriter w;
+    w.put(svc::kFrameMagic);
+    w.put(svc::kProtocolVersion);
+    w.put(static_cast<std::uint8_t>(svc::Op::kMetricsResponse));
+    w.put_varint(std::uint64_t{1} << 60);
+    const auto r = svc::parse_metrics_response(w.bytes());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code, ErrCode::kTruncated);
+  }
+  // A valid frame of the wrong type is a typed mismatch.
+  EXPECT_EQ(svc::parse_metrics_response(svc::encode_stats_request())
+                .status()
+                .code,
+            ErrCode::kBadHeader);
+}
+
+TEST(Server, ClientMetricsFetchesPrometheusText) {
+  auto [client_end, server_end] = svc::PipeTransport::make_pair();
+  svc::Server server({1, "", "CESM-CLDHGH"});
+  std::thread session([&server, &t = *server_end] { server.serve(t); });
+  svc::Client client(*client_end);
+  const Field f = field_for_rank(2);
+  ASSERT_TRUE(client.compress("ZFP", f, ErrorBound::Rel(1e-2)).ok());
+  const auto text = client.metrics();
+  ASSERT_TRUE(text.ok()) << text.status().str();
+  EXPECT_NE(text->find("aesz_compress_requests 1\n"), std::string::npos);
+  EXPECT_NE(text->find("# TYPE aesz_request_ns_compress histogram\n"),
+            std::string::npos);
+  client_end->shutdown();
+  session.join();
+}
+
+TEST(Server, StatsFrameCarriesHistogramSummaryRows) {
+  svc::Server server({1, "", "CESM-CLDHGH"});
+  const Field f = field_for_rank(1);
+  (void)server.handle_frame(
+      svc::encode_compress_request(sample_compress_request(f)));
+  // The extended frame still parses with the v1 stats parser — histogram
+  // summaries are just more named rows of the same wire shape.
+  const auto stats = svc::parse_stats_response(
+      server.handle_frame(svc::encode_stats_request()));
+  ASSERT_TRUE(stats.ok()) << stats.status().str();
+  EXPECT_EQ(stats->get("requests"), 2u);
+  EXPECT_EQ(stats->get("request_ns_compress_count"), 1u);
+  EXPECT_GT(stats->get("request_ns_compress_sum"), 0u);
+  EXPECT_GT(stats->get("request_ns_compress_p50"), 0u);
+  EXPECT_GE(stats->get("request_ns_compress_p99"),
+            stats->get("request_ns_compress_p50"));
+  EXPECT_EQ(stats->get("request_bytes_in_count"), 1u);
+  EXPECT_EQ(stats->get("response_bytes_out_count"), 1u);
+}
+
+TEST(Server, RegisterStatsProvidersRunInRegistrationOrder) {
+  svc::Server server({1, "", "CESM-CLDHGH"});
+  server.register_stats("zz_first", [](svc::StatsResponse& s) {
+    s.counters.emplace_back("zz_row", 1);
+  });
+  server.register_stats("aa_second", [](svc::StatsResponse& s) {
+    s.counters.emplace_back("aa_row", 2);
+  });
+  const auto index_of = [](const svc::StatsResponse& s,
+                           const std::string& name) {
+    for (std::size_t i = 0; i < s.counters.size(); ++i)
+      if (s.counters[i].first == name) return static_cast<long>(i);
+    return -1L;
+  };
+  auto snap = server.snapshot();
+  // Registration order, not name order: zz registered first, emits first.
+  ASSERT_GE(index_of(snap, "zz_row"), 0);
+  ASSERT_GE(index_of(snap, "aa_row"), 0);
+  EXPECT_LT(index_of(snap, "zz_row"), index_of(snap, "aa_row"));
+
+  // Re-registering a name replaces its provider in place, keeping the slot.
+  server.register_stats("zz_first", [](svc::StatsResponse& s) {
+    s.counters.emplace_back("zz_row_v2", 3);
+  });
+  snap = server.snapshot();
+  EXPECT_EQ(index_of(snap, "zz_row"), -1);
+  EXPECT_LT(index_of(snap, "zz_row_v2"), index_of(snap, "aa_row"));
+
+  server.unregister_stats("zz_first");
+  snap = server.snapshot();
+  EXPECT_EQ(index_of(snap, "zz_row_v2"), -1);
+  EXPECT_GE(index_of(snap, "aa_row"), 0);
+}
+
 // ------------------------------------------------------- tcp loopback ----
 
 /// Acceptance criterion: a TCP loopback client↔server round trip.
