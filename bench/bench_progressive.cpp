@@ -1,0 +1,173 @@
+// bench_progressive — layered AEPR retrieval (src/progressive/) vs the
+// flat single-fidelity stream. For each inner codec, the field is recoded
+// into an L-layer AEPR artifact and every layer prefix is decoded:
+//
+//   prefix_bytes   bytes of the stream prefix carrying layers 0..k
+//   fraction       prefix_bytes / full AEPR stream bytes
+//   bound          the absolute tolerance the prefix records
+//   max_err        the tolerance the decode actually achieved
+//   decode_ms      wall time to decode the prefix from scratch
+//
+// Two acceptance gates make this run FAIL (non-zero exit) instead of
+// silently regressing:
+//
+//   1. The layer-0 preview costs at most 35% of the full-stream bytes —
+//      the whole point of the subsystem is that a coarse look is cheap.
+//   2. The all-layers decode is exact to the non-progressive guarantee:
+//      its error is within the final recorded bound, which equals the
+//      bound the flat (non-progressive) encoding promises.
+//
+// Every layer's achieved error must also sit inside its recorded bound.
+//
+// Env knobs:
+//   AESZ_PROGRESSIVE_ROWS    field rows (cols = 4/3*rows) (default 96)
+//   AESZ_PROGRESSIVE_CODECS  comma list of inner codecs (default SZ2.1,ZFP)
+//   AESZ_PROGRESSIVE_LAYERS  refinement layers            (default 3)
+//   AESZ_PROGRESSIVE_FACTOR  bound ratio between layers   (default 8)
+//   AESZ_PROGRESSIVE_EB      bound spec, MODE:VALUE       (default abs:1e-3)
+//   AESZ_BENCH_JSON          path to also write the JSON array to
+
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "data/synth.hpp"
+#include "metrics/metrics.hpp"
+#include "progressive/progressive.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace aesz;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t end = s.find(',', pos);
+    if (end == std::string::npos) end = s.size();
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t rows = bench::env_size_t("AESZ_PROGRESSIVE_ROWS", 96);
+  const std::size_t cols = rows * 4 / 3;
+  const std::size_t layers =
+      bench::env_size_t("AESZ_PROGRESSIVE_LAYERS", progressive::kDefaultLayers);
+  const double factor = static_cast<double>(
+      bench::env_size_t("AESZ_PROGRESSIVE_FACTOR", 8));
+  const auto codecs =
+      split_csv(bench::env_str("AESZ_PROGRESSIVE_CODECS", "SZ2.1,ZFP"));
+  const ErrorBound eb =
+      ErrorBound::parse(bench::env_str("AESZ_PROGRESSIVE_EB", "abs:1e-3"))
+          .value();
+
+  bench::banner("progressive layered retrieval: bytes vs achieved bound",
+                "progressive-decode subsystem target (ROADMAP), not a paper "
+                "figure");
+
+  const Field f = synth::value_noise_2d(rows, cols, 4, 6.0, /*seed=*/17);
+  std::printf("field %zux%zu (%zu B raw), %zu layers, bound %s\n\n", rows,
+              cols, f.size() * sizeof(float), layers, eb.str().c_str());
+  std::printf("%-8s %5s  %12s %8s  %12s %12s %9s\n", "codec", "layer",
+              "prefix(B)", "frac", "bound", "max_err", "decode_ms");
+
+  std::vector<bench::JsonObj> json;
+  json.push_back(bench::meta_obj());
+  bool preview_cheap_everywhere = true;
+  bool exact_everywhere = true;
+  for (const auto& name : codecs) {
+    // The flat single-fidelity baseline the archival gate compares to.
+    std::size_t flat_bytes = 0;
+    {
+      auto codec = bench::registry_codec(name, 2);
+      flat_bytes = codec->compress(f, eb).size();
+    }
+
+    progressive::ProgressiveWriter::Options opt;
+    opt.inner = name;
+    opt.layers = layers;
+    opt.factor = factor;
+    progressive::ProgressiveWriter writer(std::move(opt));
+    const auto artifact = writer.encode(f, eb);
+    const auto info = progressive::read_stream(artifact).value();
+
+    for (std::size_t k = 0; k < info.present; ++k) {
+      const auto prefix = std::span<const std::uint8_t>(artifact).first(
+          progressive::prefix_bytes(info, k));
+
+      // Decode the prefix from scratch, the cold cost a preview pays.
+      Timer decode_timer;
+      auto reader = progressive::ProgressiveReader::open(prefix).value();
+      auto recon = reader->read(k);
+      AESZ_CHECK_MSG(recon.ok(), recon.status().str());
+      const double decode_ms = decode_timer.seconds() * 1e3;
+
+      const double bound = info.layers[k].abs_eb;
+      const double max_err =
+          metrics::max_abs_err(f.values(), recon->values());
+      const double fraction = static_cast<double>(prefix.size()) /
+                              static_cast<double>(artifact.size());
+      if (max_err > bound * (1 + 1e-9)) exact_everywhere = false;
+      if (k == 0 && fraction > 0.35) preview_cheap_everywhere = false;
+      std::printf("%-8s %5zu  %12zu %7.1f%%  %12.4g %12.4g %9.3f\n",
+                  name.c_str(), k, prefix.size(), fraction * 100.0, bound,
+                  max_err, decode_ms);
+
+      bench::JsonObj row;
+      row.add("bench", "progressive")
+          .add("codec", name)
+          .add("layer", k)
+          .add("prefix_bytes", prefix.size())
+          .add("stream_bytes", artifact.size())
+          .add("fraction", fraction)
+          .add("bound", bound)
+          .add("max_err", max_err)
+          .add("decode_ms", decode_ms);
+      json.push_back(row);
+    }
+
+    // Container-overhead control: the layered artifact vs the flat stream
+    // at the same final bound (the price of progressiveness).
+    const double overhead = static_cast<double>(artifact.size()) /
+                            static_cast<double>(flat_bytes);
+    std::printf("%-8s %5s  %12zu %7s  (flat %zu B, overhead %.3fx)\n\n",
+                name.c_str(), "-", artifact.size(), "-", flat_bytes,
+                overhead);
+    bench::JsonObj row;
+    row.add("bench", "progressive_flat_control")
+        .add("codec", name)
+        .add("stream_bytes", artifact.size())
+        .add("flat_bytes", flat_bytes)
+        .add("overhead", overhead);
+    json.push_back(row);
+  }
+
+  if (!preview_cheap_everywhere) {
+    std::printf("!! a layer-0 preview cost more than 35%% of the full "
+                "stream — progressive retrieval regression\n");
+    return 1;
+  }
+  if (!exact_everywhere) {
+    std::printf("!! a layer prefix missed its recorded bound (the final "
+                "layer must match the non-progressive guarantee)\n");
+    return 1;
+  }
+
+  const std::string out = bench::json_array(json);
+  std::printf("%s\n", out.c_str());
+  const std::string path = bench::env_str("AESZ_BENCH_JSON", "");
+  if (!path.empty()) {
+    std::ofstream f(path);
+    f << out << "\n";
+  }
+  return 0;
+}

@@ -39,6 +39,7 @@
 #include "metrics/metrics.hpp"
 #include "pipeline/parallel_compressor.hpp"
 #include "predictors/registry.hpp"
+#include "progressive/progressive.hpp"
 #include "temporal/temporal.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
@@ -73,6 +74,12 @@ int usage() {
       "          --gop N (keyframe cadence, default 8), --mode\n"
       "          auto|intra|residual (default auto)\n"
       "--timestep N: decompress one timestep of an AETC stream (default 0)\n"
+      "--progressive: layered AEPR output — every layer prefix decodes at a\n"
+      "          recorded looser bound, the full stream at the exact bound.\n"
+      "          --layers L sets the ladder depth (default 3)\n"
+      "--budget N | --bound MODE:V: partial decompress of an AEPR stream —\n"
+      "          the largest prefix fitting N bytes / the smallest prefix\n"
+      "          meeting the bound (achieved bound printed)\n"
       "fields: ");
   for (const auto& f : model_zoo::known_fields())
     std::printf("%s ", f.c_str());
@@ -244,8 +251,24 @@ int cmd_compress(const CliArgs& args) {
   Field f = Field::load_raw(args.positional()[0], dims);
   const ErrorBound eb = ErrorBound::parse(args.get("eb", "rel:1e-2")).value();
 
-  auto codec = build_codec(args, codec_name, dims.rank,
-                           /*wrap_on_flags=*/true);
+  std::unique_ptr<Compressor> codec;
+  if (args.has("progressive")) {
+    // Layered AEPR output: the inner codec (including parallel:<name>
+    // spellings) rides the same factory as every other path.
+    progressive::ProgressiveWriter::Options popt;
+    popt.inner = codec_name;
+    popt.layers = static_cast<std::size_t>(args.get_long(
+        "layers", static_cast<long>(progressive::kDefaultLayers)));
+    popt.factory = [&args](const std::string& name,
+                           int rank) -> std::unique_ptr<Compressor> {
+      return build_codec(args, name, rank, /*wrap_on_flags=*/false);
+    };
+    codec = std::make_unique<progressive::ProgressiveCompressor>(
+        std::move(popt), dims.rank);
+  } else {
+    codec = build_codec(args, codec_name, dims.rank,
+                        /*wrap_on_flags=*/true);
+  }
   const auto stream = codec->compress(f, eb);
   write_file(args.get("out", "out.aesz"), stream);
   std::printf("%s: %zu -> %zu bytes (CR %.2f, bound %s)", codec->name().c_str(),
@@ -305,6 +328,51 @@ int cmd_decompress(const CliArgs& args) {
     std::printf("%s: timestep %zu of %zu (%s) -> %s\n",
                 (*reader)->info().inner.c_str(), t, (*reader)->timesteps(),
                 f->dims().str().c_str(), args.get("out", "recon.f32").c_str());
+    return 0;
+  }
+
+  if (progressive::is_progressive(stream)) {
+    // AEPR progressive stream: --budget/--bound pick a layer prefix
+    // (table math, nothing decoded beyond the prefix); neither flag
+    // decodes every layer present — the exact archival bound.
+    std::span<const std::uint8_t> view = stream;
+    if (args.has("budget") || args.has("bound")) {
+      const auto cut =
+          args.has("budget")
+              ? progressive::truncate_to_bytes(
+                    stream,
+                    static_cast<std::size_t>(args.get_long("budget", 0)))
+              : progressive::truncate_to_bound(
+                    stream,
+                    ErrorBound::parse(args.get("bound", "")).value());
+      if (!cut.ok()) {
+        std::fprintf(stderr, "error: %s\n", cut.status().str().c_str());
+        return 1;
+      }
+      view = view.first(cut->bytes);
+    }
+    auto reader = progressive::ProgressiveReader::open(
+        view, [&args](const std::string& name,
+                      int rank) -> std::unique_ptr<Compressor> {
+          return build_codec(args, name, rank, /*wrap_on_flags=*/false);
+        });
+    if (!reader.ok()) {
+      std::fprintf(stderr, "error: %s\n", reader.status().str().c_str());
+      return 1;
+    }
+    const std::size_t top = (*reader)->present() - 1;
+    auto f = (*reader)->read(top);
+    if (!f.ok()) {
+      std::fprintf(stderr, "error: %s\n", f.status().str().c_str());
+      return 1;
+    }
+    f->save_raw(args.get("out", "recon.f32"));
+    std::printf(
+        "progressive:%s: %zu of %zu layers (%zu of %zu bytes, achieved "
+        "bound %.6g) -> %s\n",
+        (*reader)->info().inner.c_str(), top + 1, (*reader)->layers(),
+        view.size(), stream.size(), (*reader)->bound_after(top),
+        args.get("out", "recon.f32").c_str());
     return 0;
   }
 
@@ -463,6 +531,38 @@ int cmd_demo() {
                  const_cast<char**>(argv), {"timestep", "out"});
     if (cmd_decompress(args)) return 1;
   }
+  {
+    // Progressive stream: a 3-layer AEPR ladder whose every prefix is a
+    // valid stream at a recorded looser bound...
+    const char* argv[] = {"aesz_cli", "--codec", "SZ2.1",
+                          "--dims",   "96x192",  "--eb",
+                          "abs:0.01", "--progressive", "--layers", "3",
+                          "--verify", "--out", "/tmp/aesz_cli_demo.aepr",
+                          "/tmp/aesz_cli_test.f32"};
+    CliArgs args(static_cast<int>(std::size(argv)),
+                 const_cast<char**>(argv),
+                 {"codec", "dims", "eb", "layers", "out"},
+                 {"progressive", "verify"});
+    if (cmd_compress(args)) return 1;
+  }
+  {
+    // ...previewed under a byte budget (coarsest layer at minimum)...
+    const char* argv[] = {"aesz_cli", "--budget", "2048", "--out",
+                          "/tmp/aesz_cli_preview.f32",
+                          "/tmp/aesz_cli_demo.aepr"};
+    CliArgs args(static_cast<int>(std::size(argv)),
+                 const_cast<char**>(argv), {"budget", "out"});
+    if (cmd_decompress(args)) return 1;
+  }
+  {
+    // ...and decoded in full at the exact archival bound.
+    const char* argv[] = {"aesz_cli", "--out",
+                          "/tmp/aesz_cli_recon_aepr.f32",
+                          "/tmp/aesz_cli_demo.aepr"};
+    CliArgs args(static_cast<int>(std::size(argv)),
+                 const_cast<char**>(argv), {"out"});
+    if (cmd_decompress(args)) return 1;
+  }
   return 0;
 }
 
@@ -473,10 +573,12 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const std::vector<std::string> keys{
-        "field", "dims",    "out",   "model", "eb",  "epochs",
-        "codec", "threads", "chunk", "gop",   "mode", "timestep"};
+        "field", "dims",    "out",   "model", "eb",   "epochs",
+        "codec", "threads", "chunk", "gop",   "mode", "timestep",
+        "layers", "budget", "bound"};
     CliArgs args(argc - 1, argv + 1, keys,
-                 /*known_flags=*/{"verify", "append", "recover"});
+                 /*known_flags=*/{"verify", "append", "recover",
+                                  "progressive"});
     if (cmd == "train") return cmd_train(args);
     if (cmd == "compress") return cmd_compress(args);
     if (cmd == "decompress") return cmd_decompress(args);

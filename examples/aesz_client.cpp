@@ -30,6 +30,7 @@
 
 #include "data/synth.hpp"
 #include "metrics/metrics.hpp"
+#include "progressive/progressive.hpp"
 #include "service/client.hpp"
 #include "service/transport.hpp"
 #include "temporal/temporal.hpp"
@@ -181,6 +182,72 @@ int demo_stream_session(service::Client& client) {
   return 0;
 }
 
+/// Progressive leg of the demo: compress through the server's
+/// progressive:<codec> wrapper, fetch a byte-budgeted prefix with
+/// read-partial, decode it locally within its recorded bound, then check
+/// the full-fidelity stream still answers the exact archival bound.
+int demo_read_partial(service::Client& client) {
+  const Field f = synth::cesm_cldhgh(96, 192, 55);
+  const ErrorBound eb = ErrorBound::Abs(1e-2);
+  auto compressed = client.compress("progressive:SZ2.1", f, eb);
+  if (!compressed.ok()) {
+    std::fprintf(stderr, "error: progressive compress: %s\n",
+                 compressed.status().str().c_str());
+    return 1;
+  }
+  // Ask for roughly a third of the stream: the server answers with the
+  // largest layer prefix that fits, never less than the coarsest layer.
+  const std::uint64_t budget = compressed->stream.size() / 3;
+  auto partial = client.read_partial(compressed->stream, budget);
+  if (!partial.ok()) {
+    std::fprintf(stderr, "error: read-partial: %s\n",
+                 partial.status().str().c_str());
+    return 1;
+  }
+  auto reader = progressive::ProgressiveReader::open(partial->stream);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: partial stream unreadable: %s\n",
+                 reader.status().str().c_str());
+    return 1;
+  }
+  auto preview = (*reader)->read((*reader)->present() - 1);
+  if (!preview.ok()) {
+    std::fprintf(stderr, "error: preview decode: %s\n",
+                 preview.status().str().c_str());
+    return 1;
+  }
+  const double preview_err =
+      metrics::max_abs_err(f.values(), preview->values());
+  if (preview_err > partial->abs_eb * (1 + 1e-9)) {
+    std::fprintf(stderr,
+                 "error: preview violated its recorded bound (%g > %g)\n",
+                 preview_err, partial->abs_eb);
+    return 1;
+  }
+  // Full fidelity via the ordinary decompress path (server identifies the
+  // AEPR magic) must still honor the exact non-progressive bound.
+  auto full = client.decompress(compressed->stream);
+  if (!full.ok()) {
+    std::fprintf(stderr, "error: full decompress: %s\n",
+                 full.status().str().c_str());
+    return 1;
+  }
+  const double full_err = metrics::max_abs_err(f.values(), full->values());
+  if (full_err > compressed->abs_eb * (1 + 1e-9)) {
+    std::fprintf(stderr, "error: full decode violated the bound (%g)\n",
+                 full_err);
+    return 1;
+  }
+  std::printf(
+      "read-partial: %llu of %llu layers in %zu of %zu bytes, preview err "
+      "%.6g <= %.6g, full err %.6g <= %.6g\n",
+      static_cast<unsigned long long>(partial->layers),
+      static_cast<unsigned long long>(partial->total_layers),
+      partial->stream.size(), compressed->stream.size(), preview_err,
+      partial->abs_eb, full_err, compressed->abs_eb);
+  return 0;
+}
+
 /// One synthetic round trip against the live server with the error bound
 /// checked client-side, then a full stream session — the CI loopback
 /// smoke.
@@ -209,6 +276,7 @@ int cmd_demo(service::Client& client) {
     return 1;
   }
   if (int rc = demo_stream_session(client)) return rc;
+  if (int rc = demo_read_partial(client)) return rc;
   return cmd_stats(client);
 }
 

@@ -8,7 +8,10 @@
 #include "core/aesz.hpp"
 #include "pipeline/container.hpp"
 #include "pipeline/parallel_compressor.hpp"
+#include "progressive/aepr.hpp"
+#include "progressive/progressive.hpp"
 #include "sz/sz21.hpp"
+#include "temporal/aetc.hpp"
 #include "sz/szauto.hpp"
 #include "sz/szinterp.hpp"
 #include "util/bytestream.hpp"
@@ -99,7 +102,8 @@ void register_builtin_codecs(CodecRegistry& reg) {
   // compression on a thread pool (src/pipeline/), container stream format.
   // The wrappers carry no magic of their own (magic 0) — identify() maps
   // the container magic + inner magic back to `parallel:<name>`.
-  for (const auto& name : reg.names()) {
+  const auto builtins = reg.names();  // snapshot before adding wrappers
+  for (const auto& name : builtins) {
     const CodecInfo* inner = reg.find(name);
     reg.add({"parallel:" + name,
              "sharded thread-pool wrapper over " + name +
@@ -108,6 +112,27 @@ void register_builtin_codecs(CodecRegistry& reg) {
              [name](int rank) -> std::unique_ptr<Compressor> {
                return std::make_unique<pipeline::ParallelCompressor>(
                    pipeline::ParallelCompressor::Options{name}, rank);
+             }});
+  }
+
+  // One `progressive:<codec>` wrapper per error-bounded built-in: layered
+  // AEPR streams whose prefixes decode at recorded looser bounds
+  // (src/progressive/). Like `parallel:`, the wrappers share one container
+  // magic (carried as magic 0 here) — identify() resolves the inner codec
+  // name stored in the AEPR header. AE-B is skipped: a bound ladder over a
+  // codec that cannot bound its error guarantees nothing.
+  for (const auto& name : builtins) {
+    const CodecInfo* inner = reg.find(name);
+    if (!inner->error_bounded) continue;
+    reg.add({"progressive:" + name,
+             "layered multi-fidelity wrapper over " + name +
+                 " (AEPR refinement-layer stream)",
+             /*magic=*/0, /*error_bounded=*/true,
+             [name](int rank) -> std::unique_ptr<Compressor> {
+               progressive::ProgressiveWriter::Options opt;
+               opt.inner = name;
+               return std::make_unique<progressive::ProgressiveCompressor>(
+                   std::move(opt), rank);
              }});
   }
 }
@@ -204,6 +229,27 @@ Expected<std::string> CodecRegistry::identify(
       if (c.magic != 0 && c.magic == *inner) return "parallel:" + c.name;
     return Status::error(ErrCode::kBadMagic,
                          "container wraps no registered codec");
+  }
+  // The temporal and progressive containers store the inner codec's
+  // registry NAME (they may wrap magic-less `parallel:` streams), so both
+  // resolve through a name lookup rather than a magic scan.
+  if (magic == temporal::kStreamMagic) {
+    const auto inner = temporal::peek_inner(stream);
+    if (!inner.ok()) return inner.status();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const CodecInfo* c = find_locked(*inner))
+      return "temporal:" + c->name;
+    return Status::error(ErrCode::kBadMagic,
+                         "temporal stream wraps no registered codec");
+  }
+  if (magic == progressive::kStreamMagic) {
+    const auto inner = progressive::peek_inner(stream);
+    if (!inner.ok()) return inner.status();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const CodecInfo* c = find_locked(*inner))
+      return "progressive:" + c->name;
+    return Status::error(ErrCode::kBadMagic,
+                         "progressive stream wraps no registered codec");
   }
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& c : codecs_)

@@ -76,8 +76,12 @@ class CodecRegistry {
                                                int rank = 2) const;
 
   /// Identify which registered codec produced a stream, by leading magic.
-  /// Container streams (the parallel pipeline's format) are recognized by
-  /// the container magic and reported as `parallel:<inner codec>`.
+  /// All three container formats resolve through an inner-codec lookup:
+  /// the parallel pipeline's AEPC (inner magic in the container header)
+  /// comes back as `parallel:<codec>`, the temporal AETC and progressive
+  /// AEPR streams (inner registry NAME in their headers) as
+  /// `temporal:<codec>` / `progressive:<codec>`. A container wrapping a
+  /// codec this registry does not know is a typed kBadMagic.
   Expected<std::string> identify(
       std::span<const std::uint8_t> stream) const;
 

@@ -119,6 +119,43 @@ Expected<Field> Client::decompress(std::span<const std::uint8_t> stream,
   return Field(parsed->dims, std::move(values));
 }
 
+namespace {
+
+Expected<Client::PartialResult> finish_read_partial(
+    Expected<std::vector<std::uint8_t>> response) {
+  if (!response.ok()) return response.status();
+  auto parsed = parse_read_partial_response(*response);
+  if (!parsed.ok()) return parsed.status();
+  Client::PartialResult out;
+  out.abs_eb = parsed->abs_eb;
+  out.layers = parsed->layers;
+  out.total_layers = parsed->total_layers;
+  out.stream.assign(parsed->stream.begin(), parsed->stream.end());
+  return out;
+}
+
+}  // namespace
+
+Expected<Client::PartialResult> Client::read_partial(
+    std::span<const std::uint8_t> stream, std::uint64_t budget) {
+  ReadPartialRequest req;
+  req.stream = stream;
+  req.mode = PartialMode::kByteBudget;
+  req.budget = budget;
+  const auto frame = encode_read_partial_request(req);
+  return finish_read_partial(round_trip(frame, Op::kReadPartialResponse));
+}
+
+Expected<Client::PartialResult> Client::read_partial(
+    std::span<const std::uint8_t> stream, const ErrorBound& target) {
+  ReadPartialRequest req;
+  req.stream = stream;
+  req.mode = PartialMode::kTargetBound;
+  req.bound = target;
+  const auto frame = encode_read_partial_request(req);
+  return finish_read_partial(round_trip(frame, Op::kReadPartialResponse));
+}
+
 Expected<Client::Stream> Client::open_stream(const std::string& codec,
                                              const Dims& dims,
                                              const ErrorBound& eb,

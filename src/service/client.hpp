@@ -51,6 +51,29 @@ class Client {
   Expected<Field> decompress(std::span<const std::uint8_t> stream,
                              const std::string& codec = "");
 
+  struct PartialResult {
+    /// A valid AEPR stream: the prefix of `stream` carrying the served
+    /// layers (decode with progressive::ProgressiveReader, or hand back
+    /// to decompress() for full fidelity once all layers are present).
+    std::vector<std::uint8_t> stream;
+    /// The absolute tolerance the served prefix honors.
+    double abs_eb = 0.0;
+    std::uint64_t layers = 0;        // layers the prefix carries
+    std::uint64_t total_layers = 0;  // layers the full stream declares
+  };
+
+  /// Byte-budgeted retrieval from an AEPR progressive stream (op 0x0A):
+  /// the largest layer prefix whose bytes fit `budget` — never less than
+  /// the coarsest layer, so a tiny budget still answers a usable field.
+  Expected<PartialResult> read_partial(std::span<const std::uint8_t> stream,
+                                       std::uint64_t budget);
+
+  /// Bound-targeted retrieval: the smallest layer prefix whose recorded
+  /// tolerance meets `target` (best effort: the whole stream when the
+  /// target outruns its final layer).
+  Expected<PartialResult> read_partial(std::span<const std::uint8_t> stream,
+                                       const ErrorBound& target);
+
   Expected<std::vector<CodecSummary>> list_codecs();
 
   Expected<StatsResponse> stats();

@@ -19,6 +19,7 @@ const char* op_name(Op op) {
     case Op::kReadTimestepRequest: return "read-timestep-request";
     case Op::kCloseStreamRequest: return "close-stream-request";
     case Op::kMetricsRequest: return "metrics-request";
+    case Op::kReadPartialRequest: return "read-partial-request";
     case Op::kCompressResponse: return "compress-response";
     case Op::kDecompressResponse: return "decompress-response";
     case Op::kListCodecsResponse: return "list-codecs-response";
@@ -28,6 +29,7 @@ const char* op_name(Op op) {
     case Op::kReadTimestepResponse: return "read-timestep-response";
     case Op::kCloseStreamResponse: return "close-stream-response";
     case Op::kMetricsResponse: return "metrics-response";
+    case Op::kReadPartialResponse: return "read-partial-response";
     case Op::kErrorResponse: return "error-response";
   }
   return "?";
@@ -52,6 +54,7 @@ bool known_op(std::uint8_t raw) {
     case Op::kReadTimestepRequest:
     case Op::kCloseStreamRequest:
     case Op::kMetricsRequest:
+    case Op::kReadPartialRequest:
     case Op::kCompressResponse:
     case Op::kDecompressResponse:
     case Op::kListCodecsResponse:
@@ -61,6 +64,7 @@ bool known_op(std::uint8_t raw) {
     case Op::kReadTimestepResponse:
     case Op::kCloseStreamResponse:
     case Op::kMetricsResponse:
+    case Op::kReadPartialResponse:
     case Op::kErrorResponse:
       return true;
   }
@@ -593,6 +597,82 @@ Expected<CloseStreamResponse> parse_close_stream_response(
     return Status::error(ErrCode::kTruncated, "truncated artifact");
   if (out.artifact.empty())
     return Status::error(ErrCode::kCorruptStream, "empty artifact");
+  if (Status s = close_frame(r); !s.ok()) return s;
+  return out;
+}
+
+// ------------------------------------------------------------ progressive --
+
+std::vector<std::uint8_t> encode_read_partial_request(
+    const ReadPartialRequest& r) {
+  ByteWriter w;
+  write_header(w, Op::kReadPartialRequest);
+  w.put_blob(r.stream);
+  w.put(static_cast<std::uint8_t>(r.mode));
+  if (r.mode == PartialMode::kByteBudget) {
+    w.put_varint(r.budget);
+  } else {
+    w.put(static_cast<std::uint8_t>(r.bound.mode()));
+    w.put(r.bound.value());
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_read_partial_response(
+    const ReadPartialResponse& r) {
+  ByteWriter w;
+  write_header(w, Op::kReadPartialResponse);
+  w.put(r.abs_eb);
+  w.put_varint(r.layers);
+  w.put_varint(r.total_layers);
+  w.put_blob(r.stream);
+  return w.take();
+}
+
+Expected<ReadPartialRequest> parse_read_partial_request(
+    std::span<const std::uint8_t> frame) {
+  auto opened = open_frame(frame, Op::kReadPartialRequest);
+  if (!opened.ok()) return opened.status();
+  ByteReader r = *opened;
+  ReadPartialRequest out;
+  if (!r.try_get_blob(out.stream))
+    return Status::error(ErrCode::kTruncated, "truncated stream payload");
+  if (out.stream.empty())
+    return Status::error(ErrCode::kCorruptStream, "empty stream payload");
+  std::uint8_t mode = 0;
+  if (!r.try_get(mode))
+    return Status::error(ErrCode::kTruncated, "truncated partial mode");
+  if (mode > static_cast<std::uint8_t>(PartialMode::kTargetBound))
+    return Status::error(ErrCode::kBadHeader, "bad partial mode");
+  out.mode = static_cast<PartialMode>(mode);
+  if (out.mode == PartialMode::kByteBudget) {
+    if (!r.try_get_varint(out.budget))
+      return Status::error(ErrCode::kTruncated, "truncated byte budget");
+  } else {
+    if (Status s = read_error_bound(r, out.bound); !s.ok()) return s;
+    if (!out.bound.usable())
+      return Status::error(ErrCode::kBadHeader, "unusable target bound");
+  }
+  if (Status s = close_frame(r); !s.ok()) return s;
+  return out;
+}
+
+Expected<ReadPartialResponse> parse_read_partial_response(
+    std::span<const std::uint8_t> frame) {
+  auto opened = open_frame(frame, Op::kReadPartialResponse);
+  if (!opened.ok()) return opened.status();
+  ByteReader r = *opened;
+  ReadPartialResponse out;
+  if (!r.try_get(out.abs_eb) || !std::isfinite(out.abs_eb) || out.abs_eb <= 0)
+    return Status::error(ErrCode::kBadHeader, "bad achieved bound");
+  if (!r.try_get_varint(out.layers) || !r.try_get_varint(out.total_layers))
+    return Status::error(ErrCode::kTruncated, "truncated layer counts");
+  if (out.layers == 0 || out.layers > out.total_layers)
+    return Status::error(ErrCode::kBadHeader, "bad layer counts");
+  if (!r.try_get_blob(out.stream))
+    return Status::error(ErrCode::kTruncated, "truncated stream payload");
+  if (out.stream.empty())
+    return Status::error(ErrCode::kCorruptStream, "empty stream payload");
   if (Status s = close_frame(r); !s.ok()) return s;
   return out;
 }

@@ -35,6 +35,10 @@ namespace aesz::service {
 ///   read-timestep   session-id u64 | timestep varint
 ///   close-stream    session-id u64
 ///   metrics         (empty)
+///   read-partial    stream blob (an AEPR progressive artifact) |
+///                   mode u8 (0 byte budget / 1 target bound) |
+///                   mode 0: budget varint
+///                   mode 1: bound-mode u8 | bound-value f64
 ///
 /// Response bodies:
 ///   compress        abs-bound f64 (the bound the server resolved and
@@ -51,6 +55,9 @@ namespace aesz::service {
 ///                   container — see src/temporal/aetc.hpp)
 ///   metrics         text blob (UTF-8 Prometheus text exposition, see
 ///                   docs/OBSERVABILITY.md)
+///   read-partial    achieved-bound f64 | layers varint |
+///                   total-layers varint | stream blob (a valid AEPR
+///                   prefix carrying the served layers)
 ///   error           err-code u8 (ErrCode) | message blob
 ///
 /// Stream sessions (protocol rev 2026-08, wire version unchanged — the
@@ -98,6 +105,7 @@ enum class Op : std::uint8_t {
   kReadTimestepRequest = 0x07,
   kCloseStreamRequest = 0x08,
   kMetricsRequest = 0x09,
+  kReadPartialRequest = 0x0A,
   kCompressResponse = 0x81,
   kDecompressResponse = 0x82,
   kListCodecsResponse = 0x83,
@@ -107,6 +115,7 @@ enum class Op : std::uint8_t {
   kReadTimestepResponse = 0x87,
   kCloseStreamResponse = 0x88,
   kMetricsResponse = 0x89,
+  kReadPartialResponse = 0x8A,
   kErrorResponse = 0xFF,
 };
 
@@ -206,6 +215,36 @@ struct CloseStreamResponse {
   std::span<const std::uint8_t> artifact;
 };
 
+// ------------------------------------------------------------ progressive --
+
+/// How a read-partial request states its fidelity target.
+enum class PartialMode : std::uint8_t {
+  kByteBudget = 0,  // largest layer prefix whose bytes fit the budget
+  kTargetBound = 1, // smallest layer prefix meeting the bound
+};
+
+/// Byte-budgeted / bound-targeted retrieval from an AEPR progressive
+/// stream (protocol rev 2026-08, wire version unchanged — additive op; a
+/// pre-progressive peer answers 0x0A with a typed kBadHeader error). The
+/// server never decodes anything: it parses the layer table and answers
+/// with the stream PREFIX carrying the selected layers — itself a valid
+/// AEPR stream the client decodes locally. A budget smaller than the
+/// coarsest layer answers that layer anyway (never an error); a bound
+/// tighter than the stream's final layer answers the whole stream.
+struct ReadPartialRequest {
+  std::span<const std::uint8_t> stream;
+  PartialMode mode = PartialMode::kByteBudget;
+  std::uint64_t budget = 0;  // kByteBudget: max response stream bytes
+  ErrorBound bound;          // kTargetBound: the tolerance to reach
+};
+
+struct ReadPartialResponse {
+  double abs_eb = 0.0;             // the bound the served prefix honors
+  std::uint64_t layers = 0;        // layers the prefix carries
+  std::uint64_t total_layers = 0;  // layers the full stream declares
+  std::span<const std::uint8_t> stream;  // the valid AEPR prefix
+};
+
 // --------------------------------------------------------------- metrics --
 
 /// Prometheus text exposition of the server's MetricsRegistry (additive op
@@ -252,6 +291,10 @@ std::vector<std::uint8_t> encode_close_stream_response(
     const CloseStreamResponse& r);
 std::vector<std::uint8_t> encode_metrics_request();
 std::vector<std::uint8_t> encode_metrics_response(const MetricsResponse& r);
+std::vector<std::uint8_t> encode_read_partial_request(
+    const ReadPartialRequest& r);
+std::vector<std::uint8_t> encode_read_partial_response(
+    const ReadPartialResponse& r);
 
 // --------------------------------------------------------------- parsing --
 
@@ -294,6 +337,10 @@ Expected<CloseStreamRequest> parse_close_stream_request(
 Expected<CloseStreamResponse> parse_close_stream_response(
     std::span<const std::uint8_t> frame);
 Expected<MetricsResponse> parse_metrics_response(
+    std::span<const std::uint8_t> frame);
+Expected<ReadPartialRequest> parse_read_partial_request(
+    std::span<const std::uint8_t> frame);
+Expected<ReadPartialResponse> parse_read_partial_response(
     std::span<const std::uint8_t> frame);
 
 /// For a session-scoped request (append/read/close-stream), the session

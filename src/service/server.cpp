@@ -18,6 +18,7 @@
 #include "pipeline/container.hpp"
 #include "pipeline/parallel_compressor.hpp"
 #include "predictors/registry.hpp"
+#include "progressive/progressive.hpp"
 #include "util/bytestream.hpp"
 
 namespace aesz::service {
@@ -55,6 +56,14 @@ int peek_rank(std::span<const std::uint8_t> stream, int fallback) {
   if (magic == pipeline::kContainerMagic) {
     std::uint32_t inner = 0;
     if (!r.try_get(inner)) return fallback;
+  } else if (magic == progressive::kStreamMagic) {
+    // AEPR carries its inner codec NAME before the shared rank byte.
+    std::uint64_t name_len = 0;
+    std::span<const std::uint8_t> name;
+    if (!r.try_get_varint(name_len) ||
+        name_len > progressive::kMaxInnerName ||
+        !r.try_get_bytes(static_cast<std::size_t>(name_len), name))
+      return fallback;
   }
   if (!r.try_get(rank)) return fallback;
   return (rank >= 1 && rank <= 3) ? rank : fallback;
@@ -170,7 +179,9 @@ Server::Counters::Counters(obs::MetricsRegistry& m)
       sessions_reaped(
           m.counter("sessions_reaped", "stream sessions reaped while idle")),
       session_timesteps_stored(m.counter("session_timesteps_stored",
-                                         "timesteps appended to sessions")) {}
+                                         "timesteps appended to sessions")),
+      read_partial_requests(
+          m.counter("read_partial_requests", "read-partial frames")) {}
 
 Server::Gauges::Gauges(obs::MetricsRegistry& m)
     : batch_queue_depth(
@@ -207,7 +218,13 @@ Server::Histograms::Histograms(obs::MetricsRegistry& m)
       request_bytes_in(
           m.histogram("request_bytes_in", "request frame size bytes")),
       response_bytes_out(
-          m.histogram("response_bytes_out", "response frame size bytes")) {}
+          m.histogram("response_bytes_out", "response frame size bytes")),
+      progressive_bytes_served(m.histogram(
+          "progressive_bytes_served",
+          "AEPR prefix bytes shipped per read-partial answer")),
+      progressive_layers_served(m.histogram(
+          "progressive_layers_served",
+          "refinement layers included per read-partial answer")) {}
 
 Server::Server() : Server(Options{}) {}
 
@@ -603,6 +620,30 @@ std::vector<std::uint8_t> Server::handle_close_stream(
   return encode_close_stream_response({steps, artifact});
 }
 
+// ------------------------------------------------ progressive retrieval --
+
+std::vector<std::uint8_t> Server::handle_read_partial(
+    std::span<const std::uint8_t> frame) {
+  auto req = parse_read_partial_request(frame);
+  if (!req.ok())
+    return error_frame(req.status().code, req.status().message);
+  // Pure layer-table math — no codec is built and nothing is decoded. The
+  // answer is a PREFIX of the client's own bytes, itself a valid AEPR
+  // stream (truncation at exact layer boundaries parses by design), so
+  // the client refines or decodes it locally at the recorded bound.
+  const auto cut =
+      req->mode == PartialMode::kByteBudget
+          ? progressive::truncate_to_bytes(
+                req->stream, static_cast<std::size_t>(req->budget))
+          : progressive::truncate_to_bound(req->stream, req->bound);
+  if (!cut.ok()) return error_frame(cut.status().code, cut.status().message);
+  hists_.progressive_bytes_served.observe(cut->bytes);
+  hists_.progressive_layers_served.observe(cut->layers);
+  return encode_read_partial_response({cut->abs_eb, cut->layers,
+                                       cut->total_layers,
+                                       req->stream.first(cut->bytes)});
+}
+
 void Server::refresh_gauges() const {
   {
     std::lock_guard<std::mutex> lock(batch_mu_);
@@ -703,6 +744,7 @@ void Server::finish_trace(const obs::RequestTrace& t, bool count_request) {
         case Op::kCompressRequest:
           return hists_.request_ns_compress;
         case Op::kDecompressRequest:
+        case Op::kReadPartialRequest:  // the other retrieval path
           return hists_.request_ns_decompress;
         case Op::kOpenStreamRequest:
         case Op::kAppendTimestepRequest:
@@ -793,6 +835,9 @@ std::vector<std::uint8_t> Server::dispatch(
     case Op::kMetricsRequest:
       counters_.metrics_requests.inc();
       return handle_metrics();
+    case Op::kReadPartialRequest:
+      counters_.read_partial_requests.inc();
+      return handle_read_partial(frame);
     default:
       return error_frame(ErrCode::kUnsupported,
                          std::string(op_name(op)) + " is not a request");

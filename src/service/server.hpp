@@ -215,6 +215,8 @@ class Server {
       std::span<const std::uint8_t> frame);
   std::vector<std::uint8_t> handle_close_stream(
       std::span<const std::uint8_t> frame);
+  std::vector<std::uint8_t> handle_read_partial(
+      std::span<const std::uint8_t> frame);
   std::vector<std::uint8_t> handle_metrics();
   std::shared_ptr<StreamSession> find_session(std::uint64_t id);
   std::vector<std::uint8_t> error_frame(ErrCode code, std::string message);
@@ -290,6 +292,8 @@ class Server {
     obs::Counter& sessions_closed;
     obs::Counter& sessions_reaped;
     obs::Counter& session_timesteps_stored;
+    // Progressive retrieval: byte-budgeted / bound-targeted prefix reads.
+    obs::Counter& read_partial_requests;
   };
   Counters counters_;
 
@@ -318,6 +322,10 @@ class Server {
     obs::Histogram& inference_ns;
     obs::Histogram& request_bytes_in;
     obs::Histogram& response_bytes_out;
+    // Fidelity actually served by read-partial: prefix bytes shipped and
+    // refinement layers included — together they chart bytes-per-fidelity.
+    obs::Histogram& progressive_bytes_served;
+    obs::Histogram& progressive_layers_served;
   };
   Histograms hists_;
 };

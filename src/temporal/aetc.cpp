@@ -89,6 +89,13 @@ bool is_temporal(std::span<const std::uint8_t> stream) {
   return magic == kStreamMagic;
 }
 
+Expected<std::string> peek_inner(std::span<const std::uint8_t> stream) {
+  StreamInfo info;
+  ByteReader r(stream);
+  if (Status s = parse_header(r, info); !s.ok()) return s;
+  return info.inner;
+}
+
 std::vector<std::uint8_t> write_stream_header(const std::string& inner,
                                               const Dims& dims,
                                               const ErrorBound& eb,

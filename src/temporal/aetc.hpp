@@ -102,6 +102,10 @@ struct StreamInfo {
 /// True when `stream` leads with the AETC magic (cheap sniff for the CLI).
 bool is_temporal(std::span<const std::uint8_t> stream);
 
+/// The inner codec name from a validated header alone — what
+/// CodecRegistry::identify() needs without parsing records or footer.
+Expected<std::string> peek_inner(std::span<const std::uint8_t> stream);
+
 /// Serialize the fixed header.
 std::vector<std::uint8_t> write_stream_header(const std::string& inner,
                                               const Dims& dims,

@@ -16,7 +16,8 @@
 //
 // Regenerating after an intentional change: compress the same inputs
 // (value_noise_2d(12,16,3,4.0,123[,0.08*t]) under abs:1e-3, AETC with
-// inner SZ2.1 / gop 2 / auto mode) and hex-dump the streams.
+// inner SZ2.1 / gop 2 / auto mode, AEPR with inner SZ2.1 / the default
+// 3-layer factor-4 ladder) and hex-dump the streams.
 
 #include <gtest/gtest.h>
 
@@ -29,6 +30,7 @@
 #include "data/synth.hpp"
 #include "metrics/metrics.hpp"
 #include "predictors/registry.hpp"
+#include "progressive/progressive.hpp"
 #include "service/protocol.hpp"
 #include "temporal/aetc.hpp"
 #include "temporal/temporal.hpp"
@@ -103,6 +105,25 @@ constexpr char kGoldenAetc[] =
     "aa399dfe417cd0b753afbc050004010100000300fca9f1d24d62503f188b0301"
     "fca9f1d24d62503fa303c60100fca9f1d24d62503fe904890327000000414554"
     "49";
+
+// kGoldenAepr: 472 bytes — 3 layers, inner SZ2.1, factor-4 ladder
+// (recorded bounds 16e-3 / 4e-3 / 1e-3).
+constexpr char kGoldenAepr[] =
+    "414550520105535a322e31020c1000fca9f1d24d62503f000000200ca8e53f03"
+    "00a801fca9f1d24d62903fa80177fca9f1d24d62703f9f0278fca9f1d24d6250"
+    "3f31325a5302020c1000fca9f1d24d62903ffca9f1d24d62903f040101020006"
+    "0303520203007d830110c00189800211f7ff0108020801070104050101030901"
+    "0304010505015c070107583fdd7b581dd8f6b8de5a60447ca4dfc5693040fa35"
+    "cfabf41ee9ef2e70b438411599af68644e97779e3db3659bf90d654aad00692b"
+    "c861a77235b31546ff26193dd8fa0c58d8c0ab96dba2f668376fa924f25c0710"
+    "86980200040101000031325a5302020c1000fca9f1d24d62703ffca9f1d24d62"
+    "703f04010103000906060000000200010049480cc00183800205feff01030102"
+    "050137033538fac292f681248f0f230a82cc6c0b2c7dada72115bd846148757c"
+    "a68c12c72228000998ee1e2f256fd5d26630d369dbe498509406000401010000"
+    "31325a5302020c1000fca9f1d24d62503ffca9f1d24d62503f04010103000906"
+    "06000000020101004a490cc00183800205feff0103010205013803362fa5f131"
+    "caa831b059579824c5e00f201cdde0614391182f009f28b7580a3ddab8c19f21"
+    "be9d2652d2ccc15baff9ce68c7d89ceab542000401010000";
 
 std::vector<std::uint8_t> from_hex(const char* hex) {
   const std::string s(hex);
@@ -243,6 +264,56 @@ TEST(GoldenAetc, FutureContainerVersionIsRefusedTyped) {
   auto writer = temporal::TemporalWriter::open(stream);
   ASSERT_FALSE(writer.ok());
   EXPECT_EQ(writer.status().code, ErrCode::kBadHeader);
+}
+
+TEST(GoldenAepr, EveryLayerPrefixOfYesterdaysArtifactDecodesInItsBound) {
+  const auto golden = from_hex(kGoldenAepr);
+  const Field f = golden_field();
+  auto info = progressive::read_stream(golden);
+  ASSERT_TRUE(info.ok()) << info.status().str();
+  ASSERT_EQ(info->present, 3u);
+  // The ladder's recorded bounds are part of the pinned format, and the
+  // final rung is exactly the non-progressive guarantee.
+  EXPECT_DOUBLE_EQ(info->layers[0].abs_eb, 16e-3);
+  EXPECT_DOUBLE_EQ(info->layers[1].abs_eb, 4e-3);
+  EXPECT_DOUBLE_EQ(info->layers[2].abs_eb, kEb);
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto prefix = std::span<const std::uint8_t>(golden).first(
+        progressive::prefix_bytes(*info, k));
+    auto reader = progressive::ProgressiveReader::open(prefix);
+    ASSERT_TRUE(reader.ok()) << "k=" << k << ": " << reader.status().str();
+    auto recon = (*reader)->read(k);
+    ASSERT_TRUE(recon.ok()) << "k=" << k << ": " << recon.status().str();
+    EXPECT_LE(metrics::max_abs_err(f.values(), recon->values()),
+              info->layers[k].abs_eb * (1 + 1e-9))
+        << "k=" << k;
+  }
+}
+
+TEST(GoldenAepr, TodaysWriterReproducesTheArtifactByteForByte) {
+  const auto golden = from_hex(kGoldenAepr);
+  progressive::ProgressiveWriter::Options opt;
+  opt.inner = "SZ2.1";
+  progressive::ProgressiveWriter w(std::move(opt));
+  const auto now = w.encode(golden_field(), ErrorBound::Abs(kEb));
+  ASSERT_EQ(now.size(), golden.size())
+      << "AEPR stream size changed — format break without a version bump?";
+  EXPECT_EQ(now, golden);
+}
+
+TEST(GoldenAepr, FutureContainerVersionIsRefusedTyped) {
+  auto stream = from_hex(kGoldenAepr);
+  stream[4] = 0x63;  // AEPR puts the format version at byte 4 too
+  auto info = progressive::read_stream(stream);
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code, ErrCode::kBadHeader) << info.status().str();
+  // Both retrieval paths refuse identically.
+  auto reader = progressive::ProgressiveReader::open(stream);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code, ErrCode::kBadHeader);
+  auto cut = progressive::truncate_to_bytes(stream, stream.size());
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code, ErrCode::kBadHeader);
 }
 
 /// Stats-frame wire compatibility across the observability PR: the frame

@@ -9,7 +9,9 @@
 #include "metrics/metrics.hpp"
 #include "pipeline/container.hpp"
 #include "predictors/registry.hpp"
+#include "progressive/progressive.hpp"
 #include "sz/common.hpp"
+#include "temporal/temporal.hpp"
 #include "util/bytestream.hpp"
 
 namespace aesz {
@@ -31,10 +33,12 @@ Field field_for_rank(int rank) {
   }
 }
 
-TEST(Registry, AllCodecsAndParallelWrappersRegistered) {
-  // Seven built-ins plus one `parallel:<codec>` pipeline wrapper each.
+TEST(Registry, AllCodecsAndWrappersRegistered) {
+  // Seven built-ins, one `parallel:<codec>` pipeline wrapper each, and one
+  // `progressive:<codec>` layered wrapper per error-bounded built-in
+  // (six: AE-B has no bound to ladder).
   const auto names = reg().names();
-  ASSERT_EQ(names.size(), 14u);
+  ASSERT_EQ(names.size(), 20u);
   for (const char* base : {"AE-SZ", "SZ2.1", "SZauto", "SZinterp", "ZFP",
                            "AE-A", "AE-B"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), base) != names.end())
@@ -46,6 +50,10 @@ TEST(Registry, AllCodecsAndParallelWrappersRegistered) {
     EXPECT_EQ(reg().find(wrapped)->error_bounded,
               reg().find(base)->error_bounded)
         << wrapped;
+    const std::string layered = std::string("progressive:") + base;
+    EXPECT_EQ(reg().contains(layered),
+              reg().find(base)->error_bounded)
+        << layered;
   }
 }
 
@@ -162,6 +170,56 @@ TEST(Registry, IdentifyByMagic) {
   EXPECT_EQ(reg().identify({}).status().code, ErrCode::kTruncated);
   const std::vector<std::uint8_t> junk{1, 2, 3, 4, 5};
   EXPECT_EQ(reg().identify(junk).status().code, ErrCode::kBadMagic);
+}
+
+/// Satellite regression for the identify()/docs drift: EVERY registered
+/// magic resolves to its codec, and all three container formats (AEPC
+/// parallel, AETC temporal, AEPR progressive) resolve through an
+/// inner-codec lookup — not just the ones some test happened to pick.
+TEST(Registry, IdentifyResolvesEveryRegisteredMagicAndAllContainers) {
+  // Plain codecs: a stream leading with the registered magic identifies
+  // as that codec (identify matches magics without parsing further).
+  std::size_t with_magic = 0;
+  for (const auto& name : reg().names()) {
+    const CodecInfo* info = reg().find(name);
+    ASSERT_NE(info, nullptr) << name;
+    if (info->magic == 0) continue;  // container-format wrappers
+    ++with_magic;
+    ByteWriter w;
+    w.put(info->magic);
+    const auto stream = w.take();
+    auto id = reg().identify(stream);
+    ASSERT_TRUE(id.ok()) << name << ": " << id.status().str();
+    EXPECT_EQ(*id, name);
+  }
+  EXPECT_EQ(with_magic, 7u);  // every built-in carries a distinct magic
+
+  const Field f = field_for_rank(2);
+
+  // AEPC parallel container -> parallel:<codec> via the inner MAGIC.
+  {
+    auto c = reg().create("parallel:SZ2.1", 2).value();
+    auto id = reg().identify(c->compress(f, 1e-2));
+    ASSERT_TRUE(id.ok()) << id.status().str();
+    EXPECT_EQ(*id, "parallel:SZ2.1");
+  }
+  // AETC temporal container -> temporal:<codec> via the inner NAME.
+  {
+    temporal::TemporalWriter::Options opt;
+    opt.inner = "SZ2.1";
+    temporal::TemporalWriter w(f.dims(), ErrorBound::Rel(1e-2), opt);
+    w.append(f);
+    auto id = reg().identify(w.bytes());
+    ASSERT_TRUE(id.ok()) << id.status().str();
+    EXPECT_EQ(*id, "temporal:SZ2.1");
+  }
+  // AEPR progressive container -> progressive:<codec> via the inner NAME.
+  {
+    auto c = reg().create("progressive:SZ2.1", 2).value();
+    auto id = reg().identify(c->compress(f, 1e-2));
+    ASSERT_TRUE(id.ok()) << id.status().str();
+    EXPECT_EQ(*id, "progressive:SZ2.1");
+  }
 }
 
 TEST(Registry, LearnedCodecsAreDeterministicAcrossInstances) {

@@ -57,6 +57,27 @@ std::vector<std::vector<std::uint8_t>> corpus() {
   out.push_back(svc::encode_list_codecs_request());
   out.push_back(svc::encode_stats_request());
 
+  // Progressive retrieval over a valid AEPR artifact, both modes; the
+  // mutators scramble the stream, the mode byte, and the budget/target.
+  static std::vector<std::uint8_t> aepr;  // valid AEPR stream
+  if (aepr.empty()) {
+    svc::Server one_shot;
+    svc::CompressRequest preq = creq;
+    preq.codec = "progressive:SZ2.1";
+    auto parsed = svc::parse_compress_response(
+        one_shot.handle_frame(svc::encode_compress_request(preq)));
+    EXPECT_TRUE(parsed.ok());
+    aepr.assign(parsed->stream.begin(), parsed->stream.end());
+  }
+  svc::ReadPartialRequest rpreq;
+  rpreq.stream = aepr;
+  rpreq.mode = svc::PartialMode::kByteBudget;
+  rpreq.budget = aepr.size() / 2;
+  out.push_back(svc::encode_read_partial_request(rpreq));
+  rpreq.mode = svc::PartialMode::kTargetBound;
+  rpreq.bound = ErrorBound::Abs(1e-2);
+  out.push_back(svc::encode_read_partial_request(rpreq));
+
   // Stream-session ops. The session ids here are arbitrary — against a
   // fresh server they exercise the kNoSession path, and mutation scrambles
   // them into every other value.
@@ -152,6 +173,8 @@ bool is_valid_response_or_error(std::span<const std::uint8_t> frame) {
       return svc::parse_read_timestep_response(frame).ok();
     case svc::Op::kCloseStreamResponse:
       return svc::parse_close_stream_response(frame).ok();
+    case svc::Op::kReadPartialResponse:
+      return svc::parse_read_partial_response(frame).ok();
     default:
       return false;
   }

@@ -14,6 +14,7 @@
 #include "data/synth.hpp"
 #include "metrics/metrics.hpp"
 #include "predictors/registry.hpp"
+#include "progressive/progressive.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
@@ -605,6 +606,106 @@ TEST(Server, RegisterStatsProvidersRunInRegistrationOrder) {
   EXPECT_GE(index_of(snap, "aa_row"), 0);
 }
 
+// ------------------------------------------------------- read-partial ----
+
+TEST(Server, ReadPartialServesBudgetedAndBoundTargetedPrefixes) {
+  svc::Server server({2, "", "CESM-CLDHGH"});
+  const Field f = field_for_rank(2);
+
+  // Build the AEPR artifact through the server itself.
+  svc::CompressRequest creq;
+  creq.codec = "progressive:SZ2.1";
+  creq.eb = ErrorBound::Rel(1e-2);
+  creq.dims = f.dims();
+  creq.field = field_bytes(f);
+  const auto cframe = server.handle_frame(svc::encode_compress_request(creq));
+  auto compressed = svc::parse_compress_response(cframe);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().str();
+  const std::vector<std::uint8_t> stream(compressed->stream.begin(),
+                                         compressed->stream.end());
+
+  // A whole-stream budget answers every layer at the full-fidelity bound.
+  svc::ReadPartialRequest req;
+  req.stream = stream;
+  req.mode = svc::PartialMode::kByteBudget;
+  req.budget = stream.size();
+  const auto full_frame =
+      server.handle_frame(svc::encode_read_partial_request(req));
+  auto full = svc::parse_read_partial_response(full_frame);
+  ASSERT_TRUE(full.ok()) << full.status().str();
+  EXPECT_EQ(full->layers, full->total_layers);
+  EXPECT_EQ(full->stream.size(), stream.size());
+  EXPECT_DOUBLE_EQ(full->abs_eb, compressed->abs_eb);
+
+  // A one-byte budget still answers the coarsest layer — never an error —
+  // and the shipped prefix actually decodes within the promised bound.
+  req.budget = 1;
+  const auto coarse_frame =
+      server.handle_frame(svc::encode_read_partial_request(req));
+  auto coarse = svc::parse_read_partial_response(coarse_frame);
+  ASSERT_TRUE(coarse.ok()) << coarse.status().str();
+  EXPECT_EQ(coarse->layers, 1u);
+  EXPECT_LT(coarse->stream.size(), stream.size());
+  EXPECT_GT(coarse->abs_eb, full->abs_eb);
+  auto reader = progressive::ProgressiveReader::open(coarse->stream);
+  ASSERT_TRUE(reader.ok()) << reader.status().str();
+  auto recon = (*reader)->read(coarse->layers - 1);
+  ASSERT_TRUE(recon.ok()) << recon.status().str();
+  EXPECT_LE(metrics::max_abs_err(f.values(), recon->values()),
+            coarse->abs_eb * (1 + 1e-9));
+
+  // By target bound: asking for exactly the coarse bound gets the same
+  // one-layer prefix; a target tighter than the final rung gets the whole
+  // stream (best effort, not an error).
+  req.mode = svc::PartialMode::kTargetBound;
+  req.bound = ErrorBound::Abs(coarse->abs_eb * (1 + 1e-9));
+  const auto by_bound_frame =
+      server.handle_frame(svc::encode_read_partial_request(req));
+  auto by_bound = svc::parse_read_partial_response(by_bound_frame);
+  ASSERT_TRUE(by_bound.ok()) << by_bound.status().str();
+  EXPECT_EQ(by_bound->layers, 1u);
+  req.bound = ErrorBound::Abs(full->abs_eb / 1e3);
+  const auto best_frame =
+      server.handle_frame(svc::encode_read_partial_request(req));
+  auto best = svc::parse_read_partial_response(best_frame);
+  ASSERT_TRUE(best.ok()) << best.status().str();
+  EXPECT_EQ(best->layers, best->total_layers);
+
+  // The dispatch is observable: dedicated counter plus fidelity histograms.
+  auto stats = svc::parse_stats_response(
+      server.handle_frame(svc::encode_stats_request()));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->get("read_partial_requests"), 4u);
+  EXPECT_EQ(stats->get("progressive_bytes_served_count"), 4u);
+  EXPECT_EQ(stats->get("progressive_layers_served_count"), 4u);
+}
+
+TEST(Server, ReadPartialRejectsNonProgressiveStreamsTyped) {
+  svc::Server server({1, "", "CESM-CLDHGH"});
+  const Field f = field_for_rank(1);
+  auto plain = reg().create("SZ2.1", 1).value()->compress(
+      f, ErrorBound::Rel(1e-2));
+  svc::ReadPartialRequest req;
+  req.stream = plain;
+  req.mode = svc::PartialMode::kByteBudget;
+  req.budget = plain.size();
+  auto err = svc::parse_error_response(
+      server.handle_frame(svc::encode_read_partial_request(req)));
+  ASSERT_TRUE(err.ok()) << err.status().str();
+  EXPECT_EQ(err->code, ErrCode::kBadMagic);
+
+  // A truncated AEPR (mid-layer cut) is typed too, not a crash.
+  auto aepr = reg().create("progressive:SZ2.1", 1).value()->compress(
+      f, ErrorBound::Rel(1e-2));
+  aepr.resize(aepr.size() - 1);
+  req.stream = aepr;
+  req.budget = aepr.size();
+  err = svc::parse_error_response(
+      server.handle_frame(svc::encode_read_partial_request(req)));
+  ASSERT_TRUE(err.ok()) << err.status().str();
+  EXPECT_EQ(err->code, ErrCode::kTruncated);
+}
+
 // ------------------------------------------------------- tcp loopback ----
 
 /// Acceptance criterion: a TCP loopback client↔server round trip.
@@ -633,9 +734,25 @@ TEST(TcpLoopback, ClientServerRoundTrip) {
   EXPECT_LE(metrics::max_abs_err(f.values(), recon->values()),
             0.01 * (1 + 1e-9));
 
+  // Progressive retrieval over the same connection: compress as AEPR,
+  // fetch a byte-budgeted prefix, and the served layers honor the bound
+  // the server reported.
+  auto aepr = client.compress("progressive:SZ2.1", f, ErrorBound::Abs(0.01));
+  ASSERT_TRUE(aepr.ok()) << aepr.status().str();
+  auto partial = client.read_partial(aepr->stream, aepr->stream.size() / 2);
+  ASSERT_TRUE(partial.ok()) << partial.status().str();
+  EXPECT_LT(partial->layers, partial->total_layers);
+  auto reader = progressive::ProgressiveReader::open(partial->stream);
+  ASSERT_TRUE(reader.ok()) << reader.status().str();
+  auto preview = (*reader)->read(partial->layers - 1);
+  ASSERT_TRUE(preview.ok()) << preview.status().str();
+  EXPECT_LE(metrics::max_abs_err(f.values(), preview->values()),
+            partial->abs_eb * (1 + 1e-9));
+
   auto stats = client.stats();
   ASSERT_TRUE(stats.ok());
-  EXPECT_GE(stats->get("requests"), 3u);
+  EXPECT_GE(stats->get("requests"), 5u);
+  EXPECT_EQ(stats->get("read_partial_requests"), 1u);
 
   (*transport)->shutdown();
   session.join();
