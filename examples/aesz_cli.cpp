@@ -28,6 +28,9 @@
 // Synthetic smoke run (no files needed):
 //   aesz_cli demo
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -73,6 +76,9 @@ int usage() {
       "          if present; --recover accepts a truncated tail). Knobs:\n"
       "          --gop N (keyframe cadence, default 8), --mode\n"
       "          auto|intra|residual (default auto)\n"
+      "--sync:   durable append — fsync the record body before writing the\n"
+      "          footer index (a crash leaves a torn tail --recover fixes,\n"
+      "          never a footer claiming records the page cache lost)\n"
       "--timestep N: decompress one timestep of an AETC stream (default 0)\n"
       "--progressive: layered AEPR output — every layer prefix decodes at a\n"
       "          recorded looser bound, the full stream at the exact bound.\n"
@@ -85,6 +91,40 @@ int usage() {
     std::printf("%s ", f.c_str());
   std::printf("\n");
   return 2;
+}
+
+/// --sync persistence: body, fsync, footer, fsync. Ordering is the whole
+/// point — the footer index only becomes durable after every record it
+/// advertises already is, so no crash can produce a well-formed artifact
+/// that claims records the page cache lost. Throws aesz::Error(kIoError)
+/// on any syscall failure (ENOSPC included).
+void write_file_synced(const std::string& path,
+                       std::span<const std::uint8_t> body,
+                       std::span<const std::uint8_t> footer) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  AESZ_CHECK_MSG(fd >= 0, "cannot open " + path + " for writing");
+  const auto write_all = [&](std::span<const std::uint8_t> bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+      if (w < 0) {
+        ::close(fd);
+        throw Error(ErrCode::kIoError, "short write to " + path);
+      }
+      off += static_cast<std::size_t>(w);
+    }
+  };
+  write_all(body);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw Error(ErrCode::kIoError, "fsync failed for " + path);
+  }
+  write_all(footer);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw Error(ErrCode::kIoError, "fsync failed for " + path);
+  }
+  ::close(fd);
 }
 
 int cmd_list_codecs() {
@@ -234,7 +274,10 @@ int cmd_compress_append(const CliArgs& args) {
                 res.stored_bytes, res.abs_eb);
   }
   const auto artifact = writer->bytes();
-  write_file(out_path, artifact);
+  if (args.has("sync"))
+    write_file_synced(out_path, writer->body(), writer->footer());
+  else
+    write_file(out_path, artifact);
   std::printf("%s: %zu timesteps, %zu bytes (CR %.2f)\n", out_path.c_str(),
               writer->timesteps(), artifact.size(),
               metrics::compression_ratio(
@@ -578,7 +621,7 @@ int main(int argc, char** argv) {
         "layers", "budget", "bound"};
     CliArgs args(argc - 1, argv + 1, keys,
                  /*known_flags=*/{"verify", "append", "recover",
-                                  "progressive"});
+                                  "progressive", "sync"});
     if (cmd == "train") return cmd_train(args);
     if (cmd == "compress") return cmd_compress(args);
     if (cmd == "decompress") return cmd_decompress(args);

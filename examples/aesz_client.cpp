@@ -22,16 +22,15 @@
 // --retries N (default 50) polls the connect every 100 ms — covers the
 // startup race when the server was launched a moment earlier.
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <thread>
 
 #include "data/synth.hpp"
 #include "metrics/metrics.hpp"
 #include "progressive/progressive.hpp"
 #include "service/client.hpp"
+#include "service/retry.hpp"
 #include "service/transport.hpp"
 #include "temporal/temporal.hpp"
 #include "tool_common.hpp"
@@ -46,17 +45,20 @@ using tool::write_file;
 
 std::unique_ptr<service::TcpTransport> connect_with_retry(
     const std::string& host, std::uint16_t port, long retries) {
-  for (long attempt = 0;; ++attempt) {
-    auto t = service::TcpTransport::connect(host, port);
-    if (t.ok()) return std::move(t).value();
-    // Only kIoError (connection refused during the server-startup race)
-    // is worth retrying; a malformed --host can never succeed.
-    if (t.status().code != ErrCode::kIoError || attempt >= retries) {
-      std::fprintf(stderr, "error: %s\n", t.status().str().c_str());
-      return nullptr;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // RetryPolicy already refuses non-transient failures, so a malformed
+  // --host (kInvalidArgument) fails fast; only kIoError — connection
+  // refused during the server-startup race — is re-attempted.
+  service::RetryPolicy policy;
+  policy.max_attempts = retries < 0 ? 1 : static_cast<std::size_t>(retries) + 1;
+  policy.base_delay_ms = 100;
+  policy.max_delay_ms = 1000;
+  auto t = service::with_retry(
+      policy, [&] { return service::TcpTransport::connect(host, port); });
+  if (!t.ok()) {
+    std::fprintf(stderr, "error: %s\n", t.status().str().c_str());
+    return nullptr;
   }
+  return std::move(t).value();
 }
 
 int cmd_list_codecs(service::Client& client) {

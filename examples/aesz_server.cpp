@@ -34,7 +34,15 @@
 //
 // The bound port is printed (and flushed) before the first accept, so
 // `aesz_server --port 0` can be driven by parsing the first stdout line.
+//
+// SIGTERM/SIGINT drain gracefully: the server stops accepting, finishes
+// every in-flight request and owed response, flushes stats/trace output,
+// and exits 0 — `kill $(pidof aesz_server)` is a clean shutdown, not an
+// abort.
 
+#include <csignal>
+
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 
@@ -43,6 +51,21 @@
 #include "service/server.hpp"
 #include "service/transport.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+// EventServer::stop() is async-signal-safe by design (an atomic store
+// plus a write() to the loop's wake pipe), so the handler may call it
+// directly. Plain pointer + atomic flag keep the handler trivial.
+std::atomic<aesz::service::EventServer*> g_server{nullptr};
+std::atomic<int> g_signal{0};
+
+void on_drain_signal(int sig) {
+  g_signal.store(sig);
+  if (auto* s = g_server.load()) s->stop();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace aesz;
@@ -98,8 +121,16 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_long("max-inflight", 64));
     ev.accept_limit = static_cast<std::uint64_t>(args.get_long("once", 0));
     service::EventServer event_server(server, **listener, ev);
+    g_server.store(&event_server);
+    struct sigaction sa = {};
+    sa.sa_handler = on_drain_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
     event_server.run();
+    g_server.store(nullptr);
 
+    if (const int sig = g_signal.load())
+      std::printf("drained on signal %d\n", sig);
     const auto stats = server.snapshot();
     std::printf("served %llu requests (%llu errors), %llu bytes in, "
                 "%llu bytes out\n",

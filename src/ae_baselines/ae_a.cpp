@@ -187,7 +187,7 @@ std::vector<std::uint8_t> AEA::compress(const Field& f,
     uw.put_array<float>(unpred);
     w.put_blob(lz::compress(uw.bytes()));
   }
-  return w.take();
+  return sz::seal_stream(w.take());
 }
 
 Field AEA::decompress_impl(std::span<const std::uint8_t> stream) {

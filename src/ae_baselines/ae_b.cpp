@@ -181,7 +181,7 @@ std::vector<std::uint8_t> AEB::compress(const Field& f,
   ByteWriter lw;
   lw.put_array<float>(latents);
   w.put_blob(lw.bytes());
-  return w.take();
+  return sz::seal_stream(w.take());
 }
 
 Field AEB::decompress_impl(std::span<const std::uint8_t> stream) {

@@ -360,7 +360,7 @@ std::vector<std::vector<std::uint8_t>> AESZ::compress_batch(
     uw.put_array<float>(unpred);
     w.put_blob(lz::compress(uw.bytes()));
   }
-  out[pi] = w.take();
+  out[pi] = sz::seal_stream(w.take());
   }
   return out;
 }

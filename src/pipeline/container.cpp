@@ -1,8 +1,10 @@
 #include "pipeline/container.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "sz/common.hpp"
+#include "util/crc32c.hpp"
 #include "util/error.hpp"
 
 namespace aesz::pipeline {
@@ -25,7 +27,7 @@ Expected<std::uint32_t> peek_inner_magic(
     return Status::error(ErrCode::kBadMagic, "not a container stream");
   if (!r.try_get(version) || !r.try_get(inner))
     return Status::error(ErrCode::kTruncated, "truncated container header");
-  if (version != kContainerVersion)
+  if (version != kContainerVersion && version != kContainerVersionV1)
     return Status::error(ErrCode::kBadHeader,
                          "unsupported container version");
   return inner;
@@ -53,6 +55,7 @@ std::vector<std::uint8_t> write_container(
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     w.put_varint(chunks[i].rows);
     w.put_varint(payloads[i].size());
+    w.put(util::crc32c(payloads[i]));
   }
   for (const auto& p : payloads) w.put_bytes(p);
   return w.take();
@@ -70,9 +73,10 @@ Expected<ContainerInfo> read_container(
   ContainerInfo info;
   if (!r.try_get(version) || !r.try_get(info.inner_magic))
     return Status::error(ErrCode::kTruncated, "truncated container header");
-  if (version != kContainerVersion)
+  if (version != kContainerVersion && version != kContainerVersionV1)
     return Status::error(ErrCode::kBadHeader,
                          "unsupported container version");
+  const bool has_crc = version >= kContainerVersion;
   if (Status s = sz::read_dims_checked(r, info.dims); !s.ok()) return s;
   const int rank = info.dims.rank;
   std::uint8_t mode = 0;
@@ -102,11 +106,19 @@ Expected<ContainerInfo> read_container(
   info.chunks.reserve(static_cast<std::size_t>(chunk_count));
   std::vector<std::uint64_t> lengths;
   lengths.reserve(static_cast<std::size_t>(chunk_count));
+  std::vector<std::uint32_t> crcs;
+  if (has_crc) crcs.reserve(static_cast<std::size_t>(chunk_count));
   std::uint64_t row0 = 0, payload_total = 0;
   for (std::uint64_t i = 0; i < chunk_count; ++i) {
     std::uint64_t rows = 0, nbytes = 0;
     if (!r.try_get_varint(rows) || !r.try_get_varint(nbytes))
       return Status::error(ErrCode::kTruncated, "truncated chunk table");
+    if (has_crc) {
+      std::uint32_t crc = 0;
+      if (!r.try_get(crc))
+        return Status::error(ErrCode::kTruncated, "truncated chunk table");
+      crcs.push_back(crc);
+    }
     if (rows == 0 || rows > info.dims[0] - row0)
       return Status::error(ErrCode::kCorruptStream,
                            "chunk table does not tile the field");
@@ -134,10 +146,14 @@ Expected<ContainerInfo> read_container(
     return Status::error(ErrCode::kCorruptStream,
                          "container payload size mismatch");
   info.payloads.reserve(lengths.size());
-  for (const std::uint64_t n : lengths) {
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
     std::span<const std::uint8_t> p;
-    if (!r.try_get_bytes(static_cast<std::size_t>(n), p))
+    if (!r.try_get_bytes(static_cast<std::size_t>(lengths[i]), p))
       return Status::error(ErrCode::kTruncated, "truncated chunk payload");
+    if (has_crc && util::crc32c(p) != crcs[i])
+      return Status::error(ErrCode::kChecksumMismatch,
+                           "chunk " + std::to_string(i) +
+                               " checksum mismatch");
     info.payloads.push_back(p);
   }
   return info;

@@ -12,7 +12,7 @@
 
 namespace aesz::pipeline {
 
-/// Multi-chunk container stream format (version 1). A container wraps N
+/// Multi-chunk container stream format (version 2). A container wraps N
 /// independently compressed chunk streams of ANY registered codec without
 /// touching the inner format — each payload is a complete, self-describing
 /// stream of the inner codec. Layout (little-endian, varint = LEB128):
@@ -20,8 +20,13 @@ namespace aesz::pipeline {
 ///   container magic u32 | version u8 | inner codec magic u32 |
 ///   rank u8 | dims varint* | eb-mode u8 | eb-value f64 | abs-bound f64 |
 ///   chunk-rows varint | chunk-count varint |
-///   per chunk: rows varint, byte-length varint |
+///   per chunk: rows varint, byte-length varint, crc32c u32 (v2+) |
 ///   concatenated chunk payloads
+///
+/// v2 added the per-chunk CRC32C over each payload's bytes: a bit flip
+/// inside a chunk is reported as kChecksumMismatch instead of being left
+/// for the inner codec to (maybe) notice. v1 streams — no checksums —
+/// still parse; writers emit v2.
 ///
 /// `eb-mode`/`eb-value` record the bound the user requested on the WHOLE
 /// field; `abs-bound` is the absolute tolerance the encoder resolved it to
@@ -33,7 +38,8 @@ namespace aesz::pipeline {
 
 /// "AEPC" in little-endian byte order.
 constexpr std::uint32_t kContainerMagic = 0x43504541u;
-constexpr std::uint8_t kContainerVersion = 1;
+constexpr std::uint8_t kContainerVersion = 2;
+constexpr std::uint8_t kContainerVersionV1 = 1;  // pre-checksum, read-only
 
 /// Parsed and validated container: chunk geometry plus zero-copy payload
 /// views into the caller's stream bytes.

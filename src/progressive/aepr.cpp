@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstring>
+#include <string>
 
 #include "sz/common.hpp"
+#include "util/crc32c.hpp"
 
 namespace aesz::progressive {
 
@@ -18,8 +20,9 @@ Status parse_header(ByteReader& r, StreamInfo& out) {
   std::uint8_t version = 0;
   if (!r.try_get(version))
     return Status::error(ErrCode::kTruncated, "truncated AEPR header");
-  if (version != kFormatVersion)
+  if (version != kFormatVersion && version != kFormatVersionV1)
     return Status::error(ErrCode::kBadHeader, "unsupported AEPR version");
+  out.version = version;
   std::span<const std::uint8_t> name;
   if (!r.try_get_blob(name))
     return Status::error(ErrCode::kTruncated, "truncated inner codec name");
@@ -66,6 +69,8 @@ Status parse_layer_table(ByteReader& r, StreamInfo& out) {
     std::uint64_t offset = 0, length = 0;
     if (!r.try_get_varint(offset) || !r.try_get_varint(length) ||
         !r.try_get(layer.abs_eb))
+      return Status::error(ErrCode::kTruncated, "truncated layer entry");
+    if (out.version >= kFormatVersion && !r.try_get(layer.crc))
       return Status::error(ErrCode::kTruncated, "truncated layer entry");
     // Layers must tile the payload region exactly, in order — a table
     // pointing anywhere else (gaps, overlaps, backwards) is corrupt.
@@ -139,6 +144,7 @@ std::vector<std::uint8_t> write_stream(const std::string& inner,
     w.put_varint(offset);
     w.put_varint(layer.payload.size());
     w.put(layer.abs_eb);
+    w.put(util::crc32c(layer.payload));
     offset += layer.payload.size();
     prev_bound = layer.abs_eb;
   }
@@ -185,6 +191,13 @@ Expected<StreamInfo> read_stream(std::span<const std::uint8_t> stream) {
     LayerInfo& layer = info.layers[i];
     layer.payload = stream.subspan(info.header_bytes + layer.offset,
                                    layer.length);
+    // v2: only the layers this (possibly truncated) stream carries are
+    // verified — absent layers' table checksums simply go unused.
+    if (info.version >= kFormatVersion &&
+        util::crc32c(layer.payload) != layer.crc)
+      return Status::error(ErrCode::kChecksumMismatch,
+                           "layer " + std::to_string(i) +
+                               " checksum mismatch");
   }
   return info;
 }

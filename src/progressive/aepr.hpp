@@ -12,7 +12,7 @@
 
 namespace aesz::progressive {
 
-/// Layered-bitstream container (version 1, "AEPR"). One artifact holds a
+/// Layered-bitstream container (version 2, "AEPR"). One artifact holds a
 /// single field recoded into an ordered sequence of refinement layers,
 /// where every *prefix* of layers decodes to a valid field honoring a
 /// progressively tighter absolute bound. Layout (little-endian, varint =
@@ -21,8 +21,17 @@ namespace aesz::progressive {
 ///   header   magic u32 "AEPR" | version u8 | inner codec name blob |
 ///            rank u8 | dims varint* | eb-mode u8 | eb-value f64 |
 ///            value-range f64 | layer count varint |
-///            per layer: offset varint, length varint, abs-bound f64
+///            per layer: offset varint, length varint, abs-bound f64,
+///            crc32c u32 (v2+)
 ///   payload  concatenated inner-codec layer streams
+///
+/// v2 added the per-layer CRC32C over each layer's payload bytes. The
+/// checksums live in the TABLE, not the payload region, so truncation
+/// stays a pure byte-slice: a truncate_to() prefix keeps every declared
+/// layer's checksum and the reader verifies exactly the layers the
+/// prefix carries (absent layers' checksums are simply unused). A flip
+/// inside a present layer is kChecksumMismatch. v1 streams — no
+/// checksums — still parse; writers emit v2.
 ///
 /// `inner codec name` is the registry spelling of the codec every layer
 /// payload was produced by. `eb-mode`/`eb-value` record the bound the
@@ -51,7 +60,8 @@ namespace aesz::progressive {
 
 /// "AEPR" in little-endian byte order.
 constexpr std::uint32_t kStreamMagic = 0x52504541u;
-constexpr std::uint8_t kFormatVersion = 1;
+constexpr std::uint8_t kFormatVersion = 2;
+constexpr std::uint8_t kFormatVersionV1 = 1;  // pre-checksum, read-only
 
 /// Cap on the inner-codec-name blob (mirrors temporal::kMaxInnerName).
 constexpr std::size_t kMaxInnerName = 256;
@@ -68,6 +78,7 @@ struct LayerInfo {
   std::size_t offset = 0;  // relative to the payload-region start
   std::size_t length = 0;
   double abs_eb = 0.0;
+  std::uint32_t crc = 0;  // CRC32C of the payload bytes (v2 streams)
   std::span<const std::uint8_t> payload;
 };
 
@@ -76,6 +87,8 @@ struct LayerInfo {
 /// (a truncate_to() prefix keeps the full table but fewer payloads).
 struct StreamInfo {
   std::string inner;  // registry codec name of every layer payload
+  /// Format version the header declared (v1 layers carry no checksums).
+  std::uint8_t version = kFormatVersion;
   Dims dims;
   ErrorBound eb;            // the bound the final layer restores
   double value_range = 0.0; // original field's range (resolves rel/psnr)

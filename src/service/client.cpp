@@ -5,10 +5,10 @@
 
 namespace aesz::service {
 
-Expected<std::vector<std::uint8_t>> Client::round_trip(
+Expected<std::vector<std::uint8_t>> Client::round_trip_once(
     std::span<const std::uint8_t> request, Op expected) {
-  if (Status s = transport_.send_frame(request); !s.ok()) return s;
-  auto response = transport_.recv_frame();
+  if (Status s = transport_->send_frame(request); !s.ok()) return s;
+  auto response = transport_->recv_frame();
   if (!response.ok()) return response.status();
   const auto op = peek_op(*response);
   if (!op.ok()) return op.status();
@@ -22,6 +22,35 @@ Expected<std::vector<std::uint8_t>> Client::round_trip(
                          std::string("expected ") + op_name(expected) +
                              ", server sent " + op_name(*op));
   return response;
+}
+
+void Client::maybe_reconnect(const Status& failure) {
+  // kOverloaded means the connection delivered a well-formed answer —
+  // keep it. kIoError/kTimeout mean the connection is gone or can no
+  // longer pair responses with requests (a timed-out response may still
+  // arrive later and would be credited to the NEXT request).
+  if (failure.code != ErrCode::kIoError && failure.code != ErrCode::kTimeout)
+    return;
+  if (!reconnect_) return;
+  auto fresh = reconnect_();
+  if (!fresh.ok() || *fresh == nullptr)
+    return;  // next attempt fails kIoError and the policy decides again
+  owned_ = std::move(*fresh);
+  transport_ = owned_.get();
+  transport_->set_frame_crc(want_crc_);
+}
+
+Expected<std::vector<std::uint8_t>> Client::round_trip(
+    std::span<const std::uint8_t> request, Op expected, bool idempotent) {
+  std::vector<std::uint8_t> enveloped;
+  if (deadline_ms_ > 0) {
+    enveloped = encode_deadline_request({deadline_ms_, request});
+    request = enveloped;
+  }
+  if (!retry_enabled_ || !idempotent) return round_trip_once(request, expected);
+  return with_retry(
+      retry_, [&] { return round_trip_once(request, expected); },
+      [&](const Status& failure) { maybe_reconnect(failure); }, sleep_);
 }
 
 Expected<Client::CompressResult> Client::compress(const std::string& codec,
@@ -60,7 +89,7 @@ std::vector<Expected<Client::CompressResult>> Client::compress_many(
     req.dims = f->dims();
     req.field = {reinterpret_cast<const std::uint8_t*>(floats.data()),
                  floats.size() * sizeof(float)};
-    if (Status s = transport_.send_frame(encode_compress_request(req));
+    if (Status s = transport_->send_frame(encode_compress_request(req));
         !s.ok()) {
       send_failure = s;
       break;
@@ -68,7 +97,7 @@ std::vector<Expected<Client::CompressResult>> Client::compress_many(
     ++sent;
   }
   for (std::size_t i = 0; i < sent; ++i) {
-    auto response = transport_.recv_frame();
+    auto response = transport_->recv_frame();
     if (!response.ok()) {
       // The connection is gone; everything still owed fails the same way.
       for (std::size_t j = i; j < fields.size(); ++j)
@@ -205,8 +234,10 @@ Expected<Client::Stream::AppendInfo> Client::Stream::append(const Field& f) {
   req.field = {reinterpret_cast<const std::uint8_t*>(floats.data()),
                floats.size() * sizeof(float)};
   const auto frame = encode_append_timestep_request(req);
-  auto response =
-      client_->round_trip(frame, Op::kAppendTimestepResponse);
+  // NOT idempotent: replaying an append whose response was lost would
+  // store the timestep twice.
+  auto response = client_->round_trip(frame, Op::kAppendTimestepResponse,
+                                      /*idempotent=*/false);
   if (!response.ok()) return response.status();
   auto parsed = parse_append_timestep_response(*response);
   if (!parsed.ok()) return parsed.status();
@@ -236,7 +267,10 @@ Expected<std::vector<std::uint8_t>> Client::Stream::close() {
   CloseStreamRequest req;
   req.session_id = id_;
   const auto frame = encode_close_stream_request(req);
-  auto response = client_->round_trip(frame, Op::kCloseStreamResponse);
+  // NOT idempotent: a successful close frees the session, so a replay
+  // would answer kNoSession and mask the artifact already delivered.
+  auto response = client_->round_trip(frame, Op::kCloseStreamResponse,
+                                      /*idempotent=*/false);
   if (!response.ok()) {
     // kUnsupported = artifact over the frame cap: the server kept the
     // session alive, so keep the handle usable too. Anything else (the

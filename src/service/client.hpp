@@ -1,13 +1,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/field.hpp"
 #include "predictors/error_bound.hpp"
 #include "service/protocol.hpp"
+#include "service/retry.hpp"
 #include "service/transport.hpp"
 #include "util/expected.hpp"
 
@@ -24,7 +28,39 @@ namespace aesz::service {
 /// the raw transport; this wrapper keeps the simple call-and-wait shape.
 class Client {
  public:
-  explicit Client(Transport& transport) : transport_(transport) {}
+  explicit Client(Transport& transport) : transport_(&transport) {}
+
+  /// Produces a replacement connection after the current one dies or
+  /// desynchronizes; the Client owns the replacement.
+  using ReconnectFn = std::function<Expected<std::unique_ptr<Transport>>()>;
+
+  /// Enable transparent retry of idempotent operations (everything except
+  /// Stream::append/close — replaying an append after a lost response
+  /// would store the timestep twice). `reconnect` is invoked before a
+  /// re-attempt when the failure was connection-level: kIoError (peer
+  /// gone) or kTimeout (a stale response may still arrive, so the old
+  /// connection cannot be trusted to pair responses with requests).
+  /// kOverloaded backs off on the same connection. `sleep` exists so
+  /// tests run the schedule without wall-clock waits.
+  void set_retry(RetryPolicy policy, ReconnectFn reconnect = nullptr,
+                 SleepFn sleep = sleep_for_ms) {
+    retry_ = policy;
+    retry_enabled_ = true;
+    reconnect_ = std::move(reconnect);
+    sleep_ = std::move(sleep);
+  }
+
+  /// Wrap every request in a deadline envelope (op 0x0B): the server
+  /// answers kTimeout instead of executing once the budget has expired in
+  /// its queue. 0 disables.
+  void set_deadline_ms(std::uint64_t ms) { deadline_ms_ = ms; }
+
+  /// Checksum frames in both directions (transport-level CRC32C trailers,
+  /// protocol.hpp kFrameCrcFlag). Remembered across reconnects.
+  void set_frame_crc(bool on) {
+    want_crc_ = on;
+    transport_->set_frame_crc(on);
+  }
 
   struct CompressResult {
     std::vector<std::uint8_t> stream;
@@ -138,11 +174,24 @@ class Client {
 
  private:
   /// Send one frame, receive one frame, check it carries `expected` (an
-  /// error frame is unwrapped into its Status instead).
+  /// error frame is unwrapped into its Status instead). Applies the
+  /// deadline envelope, and — for idempotent requests when retry is
+  /// enabled — the retry/reconnect policy.
   Expected<std::vector<std::uint8_t>> round_trip(
+      std::span<const std::uint8_t> request, Op expected,
+      bool idempotent = true);
+  Expected<std::vector<std::uint8_t>> round_trip_once(
       std::span<const std::uint8_t> request, Op expected);
+  void maybe_reconnect(const Status& failure);
 
-  Transport& transport_;
+  Transport* transport_;               // never null; repointed on reconnect
+  std::unique_ptr<Transport> owned_;   // a reconnect-produced replacement
+  RetryPolicy retry_;
+  bool retry_enabled_ = false;
+  ReconnectFn reconnect_;
+  SleepFn sleep_ = sleep_for_ms;
+  std::uint64_t deadline_ms_ = 0;
+  bool want_crc_ = false;
 };
 
 }  // namespace aesz::service

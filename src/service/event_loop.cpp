@@ -15,6 +15,7 @@
 
 #include "obs/log.hpp"
 #include "service/protocol.hpp"
+#include "util/crc32c.hpp"
 
 namespace aesz::service {
 
@@ -323,6 +324,11 @@ bool EventServer::parse_frames(Conn& c) {
     if (c.rbuf.size() < 4) return false;
     std::uint32_t len = 0;
     std::memcpy(&len, c.rbuf.data(), 4);
+    // Bit 31 marks a 4-byte CRC32C trailer after the body (protocol.hpp
+    // kFrameCrcFlag); masked off before the cap check so a checksummed
+    // max-size frame is not misread as hostile.
+    const bool has_crc = (len & kFrameCrcFlag) != 0;
+    len &= kFrameLenMask;
     // Validated BEFORE any body allocation — a hostile 4-byte prefix
     // cannot size a buffer. Framing cannot resynchronize after a bad
     // prefix, so the typed error is this connection's final response.
@@ -341,10 +347,35 @@ bool EventServer::parse_frames(Conn& c) {
                           {ErrCode::kCorruptStream,
                            "declared frame length exceeds limit"}));
     }
-    if (c.rbuf.size() < 4 + static_cast<std::size_t>(len)) return false;
+    const std::size_t total =
+        4 + static_cast<std::size_t>(len) + (has_crc ? kFrameCrcBytes : 0);
+    if (c.rbuf.size() < total) return false;
     std::vector<std::uint8_t> frame(c.rbuf.begin() + 4,
                                     c.rbuf.begin() + 4 + len);
-    c.rbuf.erase(c.rbuf.begin(), c.rbuf.begin() + 4 + len);
+    if (has_crc) {
+      std::uint32_t want = 0;
+      std::memcpy(&want, c.rbuf.data() + 4 + len, kFrameCrcBytes);
+      if (util::crc32c(frame) != want) {
+        // The length field was intact, so framing stays resynchronized:
+        // answer the damaged request with a typed error and keep the
+        // connection — the client's retry policy takes it from there.
+        c.rbuf.erase(c.rbuf.begin(),
+                     c.rbuf.begin() + static_cast<std::ptrdiff_t>(total));
+        AESZ_LOG_WARN("event",
+                      "conn=%" PRIu64 " frame checksum mismatch (%u bytes)",
+                      c.id, len);
+        if (complete(c, c.next_seq++,
+                     encode_error_response({ErrCode::kChecksumMismatch,
+                                            "frame checksum mismatch"})))
+          return true;
+        continue;
+      }
+      // A verified checksummed frame opts this connection into trailers
+      // on every response from here on (sticky, like the transports).
+      c.want_crc = true;
+    }
+    c.rbuf.erase(c.rbuf.begin(),
+                 c.rbuf.begin() + static_cast<std::ptrdiff_t>(total));
     if (admit_frame(c, std::move(frame))) return true;
   }
   return false;
@@ -406,12 +437,19 @@ bool EventServer::write_ready(Conn& c) {
 
 bool EventServer::complete(Conn& c, std::uint64_t seq,
                            std::vector<std::uint8_t> response) {
-  // Frame (length prefix + body) now, park in the ordered slot, then
-  // flush every consecutively-ready response.
-  const std::uint32_t len = static_cast<std::uint32_t>(response.size());
-  std::vector<std::uint8_t> framed(4 + response.size());
+  // Frame (length prefix + body, plus a CRC32C trailer for peers that
+  // checksum) now, park in the ordered slot, then flush every
+  // consecutively-ready response.
+  std::uint32_t len = static_cast<std::uint32_t>(response.size());
+  if (c.want_crc) len |= kFrameCrcFlag;
+  std::vector<std::uint8_t> framed(
+      4 + response.size() + (c.want_crc ? kFrameCrcBytes : 0));
   std::memcpy(framed.data(), &len, 4);
   std::memcpy(framed.data() + 4, response.data(), response.size());
+  if (c.want_crc) {
+    const std::uint32_t crc = util::crc32c(response);
+    std::memcpy(framed.data() + 4 + response.size(), &crc, kFrameCrcBytes);
+  }
   c.buffered += framed.size();
   // Single-writer max: complete() only ever runs on the loop thread, so a
   // plain compare-and-set needs no CAS loop.

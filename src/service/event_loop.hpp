@@ -133,6 +133,7 @@ class EventServer {
     bool read_paused = false;        // backpressure: read interest dropped
     bool peer_eof = false;           // half-close: no more requests
     bool closing = false;            // close once inflight == 0 and flushed
+    bool want_crc = false;           // peer checksums frames: echo trailers
     bool gauged_exec = false;        // bookkeeping for the state gauges
     bool gauged_write = false;
   };

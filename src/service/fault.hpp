@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "service/transport.hpp"
+#include "util/expected.hpp"
+
+namespace aesz::service {
+
+/// Deterministic fault injection for the service layer. Every fault is a
+/// pure function of (seed, operation index), so a failing chaos run
+/// reproduces from its seed alone — no flaky-rerun archaeology.
+///
+/// FaultyTransport wraps any Transport and misbehaves on the wire the way
+/// real networks do: frames vanish, arrive with flipped bits, stall, or
+/// the connection dies mid-conversation. It corrupts what the PEER
+/// receives, never what the caller handed in — the injected faults model
+/// the network between two honest endpoints.
+class FaultyTransport final : public Transport {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    /// Per-send probabilities in [0,1], checked in this order; at most
+    /// one fires per frame.
+    double drop_rate = 0.0;   // frame silently vanishes (send "succeeds")
+    double flip_rate = 0.0;   // one bit of the frame body flips in transit
+    double reset_rate = 0.0;  // connection resets: send fails, peer unblocks
+    /// Fixed stall injected before every recv (0 = none) — the knob that
+    /// exercises client-side timeouts.
+    std::uint64_t recv_delay_ms = 0;
+  };
+
+  FaultyTransport(std::unique_ptr<Transport> inner, Options opt)
+      : inner_(std::move(inner)), opt_(opt) {}
+
+  Status send_frame(std::span<const std::uint8_t> frame) override;
+  Expected<std::vector<std::uint8_t>> recv_frame() override;
+  void shutdown() override { inner_->shutdown(); }
+  void set_frame_crc(bool on) override { inner_->set_frame_crc(on); }
+  bool frame_crc() const override { return inner_->frame_crc(); }
+
+  /// What actually fired, for asserting a chaos schedule did its job.
+  struct Stats {
+    std::uint64_t sends = 0, recvs = 0;
+    std::uint64_t dropped = 0, flipped = 0, reset = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::uint64_t next_rand();
+
+  std::unique_ptr<Transport> inner_;
+  Options opt_;
+  Stats stats_;
+  std::uint64_t rng_state_ = 0;
+  bool rng_seeded_ = false;
+  bool dead_ = false;  // a reset is permanent, like a real RST
+};
+
+/// Deterministic file-write fault injector for crash-consistency sweeps:
+/// behaves like a disk (or a process) that dies after accepting exactly
+/// `budget` bytes. Writes past the budget are SHORT — the boundary write
+/// keeps its leading bytes — which is precisely the torn-append shape a
+/// kill -9 mid-write leaves behind. bytes() is "what made it to disk";
+/// feed it to temporal::recover_stream and friends to prove recovery.
+class FaultyFile {
+ public:
+  /// Accept `budget` bytes, then tear. SIZE_MAX = never tear.
+  explicit FaultyFile(std::size_t budget) : budget_(budget) {}
+
+  /// False once the budget is exhausted (the ENOSPC / killed-writer
+  /// moment); the failing write still lands its first budget-remaining
+  /// bytes, modeling a short write.
+  bool write(std::span<const std::uint8_t> data);
+
+  /// fsync stand-in: false after the tear (nothing further is durable).
+  bool sync() const { return !torn_; }
+
+  bool torn() const { return torn_; }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::size_t budget_;
+  bool torn_ = false;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace aesz::service

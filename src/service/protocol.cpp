@@ -20,6 +20,7 @@ const char* op_name(Op op) {
     case Op::kCloseStreamRequest: return "close-stream-request";
     case Op::kMetricsRequest: return "metrics-request";
     case Op::kReadPartialRequest: return "read-partial-request";
+    case Op::kDeadlineRequest: return "deadline-request";
     case Op::kCompressResponse: return "compress-response";
     case Op::kDecompressResponse: return "decompress-response";
     case Op::kListCodecsResponse: return "list-codecs-response";
@@ -55,6 +56,7 @@ bool known_op(std::uint8_t raw) {
     case Op::kCloseStreamRequest:
     case Op::kMetricsRequest:
     case Op::kReadPartialRequest:
+    case Op::kDeadlineRequest:
     case Op::kCompressResponse:
     case Op::kDecompressResponse:
     case Op::kListCodecsResponse:
@@ -382,7 +384,7 @@ Expected<ErrorResponse> parse_error_response(
   std::uint8_t raw_code = 0;
   if (!r.try_get(raw_code))
     return Status::error(ErrCode::kTruncated, "truncated error code");
-  if (raw_code > static_cast<std::uint8_t>(ErrCode::kNoSession) ||
+  if (raw_code > static_cast<std::uint8_t>(ErrCode::kTimeout) ||
       raw_code == static_cast<std::uint8_t>(ErrCode::kOk))
     return Status::error(ErrCode::kBadHeader, "bad error code");
   ErrorResponse out;
@@ -673,6 +675,38 @@ Expected<ReadPartialResponse> parse_read_partial_response(
     return Status::error(ErrCode::kTruncated, "truncated stream payload");
   if (out.stream.empty())
     return Status::error(ErrCode::kCorruptStream, "empty stream payload");
+  if (Status s = close_frame(r); !s.ok()) return s;
+  return out;
+}
+
+// -------------------------------------------------------------- deadline --
+
+std::vector<std::uint8_t> encode_deadline_request(const DeadlineRequest& r) {
+  ByteWriter w;
+  write_header(w, Op::kDeadlineRequest);
+  w.put_varint(r.deadline_ms);
+  w.put_blob(r.inner);
+  return w.take();
+}
+
+Expected<DeadlineRequest> parse_deadline_request(
+    std::span<const std::uint8_t> frame) {
+  auto opened = open_frame(frame, Op::kDeadlineRequest);
+  if (!opened.ok()) return opened.status();
+  ByteReader r = *opened;
+  DeadlineRequest out;
+  if (!r.try_get_varint(out.deadline_ms))
+    return Status::error(ErrCode::kTruncated, "truncated deadline");
+  if (!r.try_get_blob(out.inner))
+    return Status::error(ErrCode::kTruncated, "truncated inner frame");
+  const auto inner_op = peek_op(out.inner);
+  if (!inner_op.ok()) return inner_op.status();
+  if (*inner_op == Op::kDeadlineRequest)
+    return Status::error(ErrCode::kBadHeader, "nested deadline envelope");
+  if (static_cast<std::uint8_t>(*inner_op) >=
+      static_cast<std::uint8_t>(Op::kCompressResponse))
+    return Status::error(ErrCode::kBadHeader,
+                         "deadline envelope must wrap a request");
   if (Status s = close_frame(r); !s.ok()) return s;
   return out;
 }

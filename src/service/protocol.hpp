@@ -39,6 +39,8 @@ namespace aesz::service {
 ///                   mode u8 (0 byte budget / 1 target bound) |
 ///                   mode 0: budget varint
 ///                   mode 1: bound-mode u8 | bound-value f64
+///   deadline        deadline-ms varint | inner request frame blob (a
+///                   complete frame body of any OTHER request op)
 ///
 /// Response bodies:
 ///   compress        abs-bound f64 (the bound the server resolved and
@@ -89,6 +91,20 @@ constexpr std::size_t kFrameHeaderBytes = 6;
 /// field at 256 Mi elements per request, far above the bench/test sizes.
 constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 30;
 
+/// Frame-integrity flag (protocol rev 2026-08, wire version unchanged):
+/// bit 31 of the transport's u32 length prefix. When set, the frame body
+/// is followed by a 4-byte CRC32C trailer over the body bytes; the length
+/// field (low 31 bits) still counts the BODY only. The flag is opt-in per
+/// sender and sticky per connection on the server: once a peer sends one
+/// checksummed frame, every response to that peer carries a trailer too.
+/// A legacy peer never sets the bit and never sees a trailer — byte-level
+/// compatibility is preserved. A trailer that does not match is
+/// kChecksumMismatch, NOT a framing error: the length field was intact,
+/// so the connection stays resynchronized and usable.
+constexpr std::uint32_t kFrameCrcFlag = 0x80000000u;
+constexpr std::uint32_t kFrameLenMask = 0x7FFFFFFFu;
+constexpr std::size_t kFrameCrcBytes = 4;
+
 /// Cap on codec-name length inside a frame — a name longer than this is a
 /// hostile frame, not a registry lookup.
 constexpr std::size_t kMaxCodecName = 256;
@@ -106,6 +122,7 @@ enum class Op : std::uint8_t {
   kCloseStreamRequest = 0x08,
   kMetricsRequest = 0x09,
   kReadPartialRequest = 0x0A,
+  kDeadlineRequest = 0x0B,
   kCompressResponse = 0x81,
   kDecompressResponse = 0x82,
   kListCodecsResponse = 0x83,
@@ -245,6 +262,23 @@ struct ReadPartialResponse {
   std::span<const std::uint8_t> stream;  // the valid AEPR prefix
 };
 
+// -------------------------------------------------------------- deadline --
+
+/// Deadline envelope (protocol rev 2026-08, wire version unchanged —
+/// additive op; a pre-deadline peer answers 0x0B with a typed kBadHeader
+/// error). Wraps any OTHER request frame with a time budget in
+/// milliseconds, measured from the moment the server admits the request.
+/// A request whose budget is already exhausted when a worker picks it up
+/// is answered kTimeout without executing — the deadline bounds queue
+/// wait, not execution, so a request that started in time still completes.
+/// The response is whatever the inner request would have answered (no
+/// response envelope). Enveloped requests always take the direct worker
+/// path: they are not batch-coalesced with bare AE-SZ compress requests.
+struct DeadlineRequest {
+  std::uint64_t deadline_ms = 0;  // 0 = no deadline (envelope is a no-op)
+  std::span<const std::uint8_t> inner;  // a complete request frame
+};
+
 // --------------------------------------------------------------- metrics --
 
 /// Prometheus text exposition of the server's MetricsRegistry (additive op
@@ -295,6 +329,7 @@ std::vector<std::uint8_t> encode_read_partial_request(
     const ReadPartialRequest& r);
 std::vector<std::uint8_t> encode_read_partial_response(
     const ReadPartialResponse& r);
+std::vector<std::uint8_t> encode_deadline_request(const DeadlineRequest& r);
 
 // --------------------------------------------------------------- parsing --
 
@@ -341,6 +376,8 @@ Expected<MetricsResponse> parse_metrics_response(
 Expected<ReadPartialRequest> parse_read_partial_request(
     std::span<const std::uint8_t> frame);
 Expected<ReadPartialResponse> parse_read_partial_response(
+    std::span<const std::uint8_t> frame);
+Expected<DeadlineRequest> parse_deadline_request(
     std::span<const std::uint8_t> frame);
 
 /// For a session-scoped request (append/read/close-stream), the session

@@ -1,0 +1,43 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace aesz::service {
+
+namespace {
+
+/// splitmix64: tiny, stateless, and good enough to decorrelate retry
+/// schedules — this is jitter, not cryptography.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t RetryPolicy::delay_ms(std::size_t attempt) const {
+  if (attempt == 0) attempt = 1;
+  // base * 2^(attempt-1), saturating well before overflow.
+  const std::size_t shift = std::min<std::size_t>(attempt - 1, 32);
+  std::uint64_t delay = base_delay_ms << shift;
+  if (delay > max_delay_ms || (delay >> shift) != base_delay_ms)
+    delay = max_delay_ms;
+  if (jitter > 0.0 && delay > 0) {
+    // Deterministic in (seed, attempt): delay * (1 +/- jitter).
+    const std::uint64_t r = mix64(seed ^ attempt);
+    const double unit = static_cast<double>(r >> 11) * 0x1.0p-53;  // [0,1)
+    const double factor = 1.0 + jitter * (2.0 * unit - 1.0);
+    delay = static_cast<std::uint64_t>(static_cast<double>(delay) * factor);
+  }
+  return std::min(delay, max_delay_ms);
+}
+
+void sleep_for_ms(std::uint64_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace aesz::service

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/expected.hpp"
+
+namespace aesz::service {
+
+/// Retry policy for transient service failures: capped exponential backoff
+/// with deterministic jitter. "Transient" is a fixed, deliberately short
+/// list — a lost connection (kIoError), an expired budget (kTimeout), a
+/// shedding server (kOverloaded). Everything else (bad arguments, corrupt
+/// streams, checksum mismatches, unknown sessions) reproduces on retry and
+/// fails fast instead.
+///
+/// Only idempotent operations may be retried: re-sending an append after a
+/// lost RESPONSE would store the timestep twice. The policy itself is
+/// mechanism — the caller (Client) knows which of its operations are safe.
+///
+/// Jitter is a pure function of (seed, attempt): two processes with
+/// different seeds desynchronize their retry storms, while a test with a
+/// fixed seed sees byte-identical schedules every run.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;     // total tries, the first included
+  std::uint64_t base_delay_ms = 10; // delay after the first failure
+  std::uint64_t max_delay_ms = 2000;
+  double jitter = 0.25;             // +/- fraction of the computed delay
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  /// Transient failures only: a lost/reset connection, an expired wait,
+  /// a shedding server, or a frame damaged on the wire. A checksum
+  /// mismatch is retryable WITHOUT a reconnect — the length prefix was
+  /// intact, so the stream is still frame-synchronized and a resend is
+  /// safe (client.cpp keys its reconnect on kIoError/kTimeout only).
+  bool retryable(ErrCode code) const {
+    return code == ErrCode::kIoError || code == ErrCode::kTimeout ||
+           code == ErrCode::kOverloaded || code == ErrCode::kChecksumMismatch;
+  }
+
+  /// Backoff before attempt `attempt + 1` (i.e. after the `attempt`-th try
+  /// failed, 1-based): base * 2^(attempt-1), jittered, capped.
+  std::uint64_t delay_ms(std::size_t attempt) const;
+};
+
+/// Sleep hook so tests drive the schedule without wall-clock waits. The
+/// default really sleeps.
+using SleepFn = std::function<void(std::uint64_t ms)>;
+void sleep_for_ms(std::uint64_t ms);
+
+namespace detail {
+inline const Status& status_of(const Status& s) { return s; }
+template <typename T>
+const Status& status_of(const Expected<T>& e) {
+  return e.status();
+}
+}  // namespace detail
+
+/// Run `fn` until it succeeds, the failure is not retryable, or attempts
+/// run out — whichever comes first. `fn` returns Status or Expected<T>;
+/// the last result is returned verbatim. `on_retry`, when set, runs before
+/// each re-attempt with the failure that triggered it (the Client hooks
+/// its reconnect here and keys on the code: a dead or desynchronized
+/// connection wants a fresh one, an overloaded server just wants patience).
+template <typename Fn>
+auto with_retry(const RetryPolicy& policy, Fn&& fn,
+                const std::function<void(const Status&)>& on_retry = nullptr,
+                const SleepFn& sleep = sleep_for_ms) -> decltype(fn()) {
+  for (std::size_t attempt = 1;; ++attempt) {
+    auto result = fn();
+    const Status& failure = detail::status_of(result);
+    if (failure.ok() || attempt >= policy.max_attempts ||
+        !policy.retryable(failure.code))
+      return result;
+    if (sleep) sleep(policy.delay_ms(attempt));
+    if (on_retry) on_retry(failure);
+  }
+}
+
+}  // namespace aesz::service

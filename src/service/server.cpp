@@ -181,7 +181,12 @@ Server::Counters::Counters(obs::MetricsRegistry& m)
       session_timesteps_stored(m.counter("session_timesteps_stored",
                                          "timesteps appended to sessions")),
       read_partial_requests(
-          m.counter("read_partial_requests", "read-partial frames")) {}
+          m.counter("read_partial_requests", "read-partial frames")),
+      deadline_requests(
+          m.counter("deadline_requests", "deadline-enveloped frames")),
+      timeout_responses(m.counter(
+          "timeout_responses", "requests answered kTimeout (budget "
+                               "expired while queued)")) {}
 
 Server::Gauges::Gauges(obs::MetricsRegistry& m)
     : batch_queue_depth(
@@ -224,7 +229,10 @@ Server::Histograms::Histograms(obs::MetricsRegistry& m)
           "AEPR prefix bytes shipped per read-partial answer")),
       progressive_layers_served(m.histogram(
           "progressive_layers_served",
-          "refinement layers included per read-partial answer")) {}
+          "refinement layers included per read-partial answer")),
+      deadline_slack_ms(m.histogram(
+          "deadline_slack_ms",
+          "budget left when an enveloped request started executing")) {}
 
 Server::Server() : Server(Options{}) {}
 
@@ -737,6 +745,37 @@ std::vector<std::uint8_t> Server::handle_metrics() {
       {{reinterpret_cast<const std::uint8_t*>(text.data()), text.size()}});
 }
 
+std::vector<std::uint8_t> Server::handle_deadline(
+    std::span<const std::uint8_t> frame) {
+  const auto req = parse_deadline_request(frame);
+  if (!req.ok()) return error_frame(req.status().code, req.status().message);
+  if (req->deadline_ms > 0) {
+    // The budget bounds queue wait, checked once at execution start: a
+    // request that got a worker in time runs to completion (killing work
+    // mid-flight would leave sessions half-mutated), one that waited out
+    // its budget is shed without paying for the execution it no longer
+    // has a client for.
+    const auto* t = obs::current_trace();
+    const std::uint64_t waited_ms =
+        (t ? t->queue_wait_ns : 0) / 1'000'000;
+    if (waited_ms >= req->deadline_ms) {
+      counters_.timeout_responses.inc();
+      hists_.deadline_slack_ms.observe(0);
+      return error_frame(ErrCode::kTimeout,
+                         "deadline of " + std::to_string(req->deadline_ms) +
+                             " ms expired after " + std::to_string(waited_ms) +
+                             " ms in queue");
+    }
+    hists_.deadline_slack_ms.observe(req->deadline_ms - waited_ms);
+  }
+  const auto inner_op = peek_op(req->inner);
+  if (!inner_op.ok())
+    return error_frame(inner_op.status().code, inner_op.status().message);
+  // Re-dispatch stamps the trace with the INNER op — the envelope is
+  // plumbing, the inner request is what latency should be billed to.
+  return dispatch(*inner_op, req->inner);
+}
+
 void Server::finish_trace(const obs::RequestTrace& t, bool count_request) {
   if (count_request) {
     obs::Histogram& by_op = [&]() -> obs::Histogram& {
@@ -838,6 +877,9 @@ std::vector<std::uint8_t> Server::dispatch(
     case Op::kReadPartialRequest:
       counters_.read_partial_requests.inc();
       return handle_read_partial(frame);
+    case Op::kDeadlineRequest:
+      counters_.deadline_requests.inc();
+      return handle_deadline(frame);
     default:
       return error_frame(ErrCode::kUnsupported,
                          std::string(op_name(op)) + " is not a request");
@@ -911,11 +953,19 @@ void Server::submit(std::vector<std::uint8_t> frame, DoneFn done,
   // ThreadPool is FIFO: a session's lowest unfinished ticket was enqueued
   // before every task that could be waiting on it, so it is always
   // running or done — never parked behind a waiter.
-  if (auto op = peek_op(frame);
+  // A deadline envelope is classified by its INNER frame, so an enveloped
+  // append still takes its arrival-order ticket (the view aliases `frame`,
+  // which outlives classification). Batching below deliberately keeps
+  // looking at the outer frame: enveloped compress requests take the
+  // direct path, where the deadline check runs before any work.
+  std::span<const std::uint8_t> body(frame);
+  if (auto op0 = peek_op(frame); op0.ok() && *op0 == Op::kDeadlineRequest)
+    if (auto env = parse_deadline_request(frame); env.ok()) body = env->inner;
+  if (auto op = peek_op(body);
       op.ok() && (*op == Op::kAppendTimestepRequest ||
                   *op == Op::kReadTimestepRequest ||
                   *op == Op::kCloseStreamRequest)) {
-    if (auto sid = peek_session_id(frame); sid.ok()) {
+    if (auto sid = peek_session_id(body); sid.ok()) {
       if (auto s = find_session(*sid)) {
         std::uint64_t ticket = 0;
         {

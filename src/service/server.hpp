@@ -217,6 +217,8 @@ class Server {
       std::span<const std::uint8_t> frame);
   std::vector<std::uint8_t> handle_read_partial(
       std::span<const std::uint8_t> frame);
+  std::vector<std::uint8_t> handle_deadline(
+      std::span<const std::uint8_t> frame);
   std::vector<std::uint8_t> handle_metrics();
   std::shared_ptr<StreamSession> find_session(std::uint64_t id);
   std::vector<std::uint8_t> error_frame(ErrCode code, std::string message);
@@ -294,6 +296,10 @@ class Server {
     obs::Counter& session_timesteps_stored;
     // Progressive retrieval: byte-budgeted / bound-targeted prefix reads.
     obs::Counter& read_partial_requests;
+    // Deadline envelopes: wrapped requests seen, and the ones answered
+    // kTimeout because their budget expired while queued.
+    obs::Counter& deadline_requests;
+    obs::Counter& timeout_responses;
   };
   Counters counters_;
 
@@ -326,6 +332,9 @@ class Server {
     // refinement layers included — together they chart bytes-per-fidelity.
     obs::Histogram& progressive_bytes_served;
     obs::Histogram& progressive_layers_served;
+    // Budget left (ms) when an enveloped request started executing; the
+    // left tail approaching zero is the early warning before timeouts.
+    obs::Histogram& deadline_slack_ms;
   };
   Histograms hists_;
 };

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,6 +14,7 @@
 #include <mutex>
 
 #include "service/protocol.hpp"
+#include "util/crc32c.hpp"
 
 namespace aesz::service {
 
@@ -94,11 +96,19 @@ Status PipeTransport::send_frame(std::span<const std::uint8_t> frame) {
     return Status::error(ErrCode::kInvalidArgument, "frame exceeds limit");
   if (out_->closed())
     return Status::error(ErrCode::kIoError, "pipe closed");
-  const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  const bool with_crc = crc_.load();
+  std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  if (with_crc) len |= kFrameCrcFlag;
   std::uint8_t prefix[4];
   std::memcpy(prefix, &len, 4);
   out_->write({prefix, 4});
   out_->write(frame);
+  if (with_crc) {
+    const std::uint32_t crc = util::crc32c(frame);
+    std::uint8_t trailer[kFrameCrcBytes];
+    std::memcpy(trailer, &crc, kFrameCrcBytes);
+    out_->write({trailer, kFrameCrcBytes});
+  }
   return {};
 }
 
@@ -112,7 +122,11 @@ Expected<std::vector<std::uint8_t>> PipeTransport::recv_frame() {
     return Status::error(ErrCode::kIoError, "pipe closed");
   std::uint32_t len = 0;
   std::memcpy(&len, prefix, 4);
-  // Validated BEFORE the allocation the length would size.
+  const bool has_crc = (len & kFrameCrcFlag) != 0;
+  len &= kFrameLenMask;
+  // Validated BEFORE the allocation the length would size (the CRC flag is
+  // masked off first so a checksummed max-size frame is not misread as an
+  // oversize one).
   if (len > kMaxFrameBytes)
     return Status::error(ErrCode::kCorruptStream,
                          "declared frame length exceeds limit");
@@ -120,6 +134,18 @@ Expected<std::vector<std::uint8_t>> PipeTransport::recv_frame() {
   if (len > 0 && !in_->read_exact(frame.data(), len))
     return Status::error(ErrCode::kCorruptStream,
                          "pipe closed mid-frame");
+  if (has_crc) {
+    std::uint8_t trailer[kFrameCrcBytes];
+    if (!in_->read_exact(trailer, kFrameCrcBytes))
+      return Status::error(ErrCode::kCorruptStream,
+                           "pipe closed mid-frame");
+    std::uint32_t want = 0;
+    std::memcpy(&want, trailer, kFrameCrcBytes);
+    if (util::crc32c(frame) != want)
+      return Status::error(ErrCode::kChecksumMismatch,
+                           "frame checksum mismatch");
+    crc_.store(true);  // peer checksums: echo trailers on our sends too
+  }
   return frame;
 }
 
@@ -147,19 +173,33 @@ Status send_all(int fd, const std::uint8_t* data, std::size_t n) {
   return {};
 }
 
-/// Read exactly n bytes; false on EOF/error (orderly close included).
-bool recv_all(int fd, std::uint8_t* data, std::size_t n) {
+enum class RecvResult { kOk, kClosed, kTimeout };
+
+/// Read exactly n bytes. `timeout_ms >= 0` bounds each wait for the socket
+/// to become readable (poll before recv), so a wedged peer yields kTimeout
+/// instead of blocking forever; kClosed covers EOF and errors.
+RecvResult recv_all(int fd, std::uint8_t* data, std::size_t n,
+                    int timeout_ms) {
   while (n > 0) {
+    if (timeout_ms >= 0) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int p = ::poll(&pfd, 1, timeout_ms);
+      if (p < 0) {
+        if (errno == EINTR) continue;
+        return RecvResult::kClosed;
+      }
+      if (p == 0) return RecvResult::kTimeout;
+    }
     const ssize_t r = ::recv(fd, data, n, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return RecvResult::kClosed;
     }
-    if (r == 0) return false;  // EOF
+    if (r == 0) return RecvResult::kClosed;  // EOF
     data += r;
     n -= static_cast<std::size_t>(r);
   }
-  return true;
+  return RecvResult::kOk;
 }
 
 }  // namespace
@@ -197,11 +237,20 @@ Status TcpTransport::send_frame(std::span<const std::uint8_t> frame) {
   if (frame.size() > kMaxFrameBytes)
     return Status::error(ErrCode::kInvalidArgument, "frame exceeds limit");
   if (fd_ < 0) return Status::error(ErrCode::kIoError, "socket closed");
-  const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  const bool with_crc = crc_.load();
+  std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  if (with_crc) len |= kFrameCrcFlag;
   std::uint8_t prefix[4];
   std::memcpy(prefix, &len, 4);
   if (Status s = send_all(fd_, prefix, 4); !s.ok()) return s;
-  return send_all(fd_, frame.data(), frame.size());
+  if (Status s = send_all(fd_, frame.data(), frame.size()); !s.ok()) return s;
+  if (with_crc) {
+    const std::uint32_t crc = util::crc32c(frame);
+    std::uint8_t trailer[kFrameCrcBytes];
+    std::memcpy(trailer, &crc, kFrameCrcBytes);
+    return send_all(fd_, trailer, kFrameCrcBytes);
+  }
+  return {};
 }
 
 Status TcpTransport::send_raw(std::span<const std::uint8_t> bytes) {
@@ -211,18 +260,49 @@ Status TcpTransport::send_raw(std::span<const std::uint8_t> bytes) {
 
 Expected<std::vector<std::uint8_t>> TcpTransport::recv_frame() {
   if (fd_ < 0) return Status::error(ErrCode::kIoError, "socket closed");
+  const int timeout_ms = recv_timeout_ms_.load();
+  const auto timeout =
+      Status::error(ErrCode::kTimeout, "recv timed out waiting for peer");
   std::uint8_t prefix[4];
-  if (!recv_all(fd_, prefix, 4))
-    return Status::error(ErrCode::kIoError, "connection closed");
+  switch (recv_all(fd_, prefix, 4, timeout_ms)) {
+    case RecvResult::kOk: break;
+    case RecvResult::kTimeout: return timeout;
+    case RecvResult::kClosed:
+      return Status::error(ErrCode::kIoError, "connection closed");
+  }
   std::uint32_t len = 0;
   std::memcpy(&len, prefix, 4);
+  const bool has_crc = (len & kFrameCrcFlag) != 0;
+  len &= kFrameLenMask;
   if (len > kMaxFrameBytes)
     return Status::error(ErrCode::kCorruptStream,
                          "declared frame length exceeds limit");
   std::vector<std::uint8_t> frame(len);
-  if (len > 0 && !recv_all(fd_, frame.data(), len))
-    return Status::error(ErrCode::kCorruptStream,
-                         "connection closed mid-frame");
+  if (len > 0) {
+    switch (recv_all(fd_, frame.data(), len, timeout_ms)) {
+      case RecvResult::kOk: break;
+      case RecvResult::kTimeout: return timeout;
+      case RecvResult::kClosed:
+        return Status::error(ErrCode::kCorruptStream,
+                             "connection closed mid-frame");
+    }
+  }
+  if (has_crc) {
+    std::uint8_t trailer[kFrameCrcBytes];
+    switch (recv_all(fd_, trailer, kFrameCrcBytes, timeout_ms)) {
+      case RecvResult::kOk: break;
+      case RecvResult::kTimeout: return timeout;
+      case RecvResult::kClosed:
+        return Status::error(ErrCode::kCorruptStream,
+                             "connection closed mid-frame");
+    }
+    std::uint32_t want = 0;
+    std::memcpy(&want, trailer, kFrameCrcBytes);
+    if (util::crc32c(frame) != want)
+      return Status::error(ErrCode::kChecksumMismatch,
+                           "frame checksum mismatch");
+    crc_.store(true);  // peer checksums: echo trailers on our sends too
+  }
   return frame;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -37,6 +38,17 @@ class Transport {
   /// Unblock any pending recv_frame on both ends and refuse further
   /// traffic. Idempotent.
   virtual void shutdown() = 0;
+
+  /// Opt into frame integrity (protocol.hpp kFrameCrcFlag): send_frame
+  /// sets bit 31 of the length prefix and appends a CRC32C trailer over
+  /// the body. Receivers ALWAYS accept both forms regardless of this
+  /// switch, and receiving one checksummed frame turns the switch on —
+  /// so a server built on raw transports echoes trailers to any peer
+  /// that sends them, without per-connection bookkeeping by the caller.
+  /// Default implementation is a no-op for transports (wrappers,
+  /// test doubles) that do not frame bytes themselves.
+  virtual void set_frame_crc(bool) {}
+  virtual bool frame_crc() const { return false; }
 };
 
 namespace detail {
@@ -59,6 +71,8 @@ class PipeTransport final : public Transport {
   Status send_frame(std::span<const std::uint8_t> frame) override;
   Expected<std::vector<std::uint8_t>> recv_frame() override;
   void shutdown() override;
+  void set_frame_crc(bool on) override { crc_.store(on); }
+  bool frame_crc() const override { return crc_.load(); }
 
   /// Test hook: put raw bytes on the wire with NO length prefix — the way
   /// to present a hostile/truncated length prefix to the peer's
@@ -70,6 +84,7 @@ class PipeTransport final : public Transport {
                 std::shared_ptr<detail::ByteChannel> out);
 
   std::shared_ptr<detail::ByteChannel> in_, out_;
+  std::atomic<bool> crc_{false};
 };
 
 /// TCP loopback transport over a connected socket. Construction paths:
@@ -92,6 +107,15 @@ class TcpTransport final : public Transport {
   Status send_frame(std::span<const std::uint8_t> frame) override;
   Expected<std::vector<std::uint8_t>> recv_frame() override;
   void shutdown() override;
+  void set_frame_crc(bool on) override { crc_.store(on); }
+  bool frame_crc() const override { return crc_.load(); }
+
+  /// Bound how long recv_frame() blocks waiting for bytes (a poll() ahead
+  /// of every recv). A hung or wedged peer surfaces as a typed kTimeout
+  /// instead of a hang; -1 (the default) blocks forever. The timeout is
+  /// per read-progress, not per frame: a slow-but-moving multi-megabyte
+  /// frame is fine as long as no single stall exceeds the budget.
+  void set_recv_timeout_ms(int ms) { recv_timeout_ms_.store(ms); }
 
   /// Test hook mirroring PipeTransport::send_raw: put raw bytes on the
   /// wire with NO length prefix, so fuzzers can present hostile/truncated
@@ -100,6 +124,8 @@ class TcpTransport final : public Transport {
 
  private:
   int fd_ = -1;
+  std::atomic<bool> crc_{false};
+  std::atomic<int> recv_timeout_ms_{-1};
 };
 
 /// Loopback (127.0.0.1) listening socket. `port == 0` binds an ephemeral

@@ -2,18 +2,30 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 
 #include "data/field.hpp"
 #include "predictors/error_bound.hpp"
 #include "util/bytestream.hpp"
+#include "util/crc32c.hpp"
 #include "util/dims.hpp"
 #include "util/expected.hpp"
 
 namespace aesz::sz {
 
 /// Stream-format version of the shared header (v2 added the ErrorBound
-/// mode byte + requested value next to the resolved absolute bound).
-constexpr std::uint8_t kFormatVersion = 2;
+/// mode byte + requested value next to the resolved absolute bound; v3
+/// added a whole-payload CRC32C at a fixed offset). Writers emit v3;
+/// readers accept v2 (no checksum — decode-and-hope, as shipped) and v3
+/// (checksum verified before any payload byte is trusted).
+constexpr std::uint8_t kFormatVersion = 3;
+constexpr std::uint8_t kLegacyFormatVersion = 2;
+
+/// Byte offset of the v3 CRC32C field: magic bytes 0–3, version byte 4,
+/// crc32c u32 bytes 5–8 covering everything from byte 9 to the end. The
+/// fixed offset is what lets seal_stream() patch the value after the
+/// codec has finished writing.
+constexpr std::size_t kCrcOffset = 5;
 
 /// Upper bound on total elements a header may declare — rejects hostile
 /// dims before any allocation. 2^33 covers a 2048^3 SDRBench-scale volume
@@ -55,18 +67,33 @@ inline Status read_dims_checked(ByteReader& r, Dims& out) {
   return {};
 }
 
-/// Shared stream-header layout of all codecs in the repo:
-///   magic u32 | version u8 | rank u8 | dims varint* | eb-mode u8 |
-///   eb-value f64 | abs-bound f64
+/// Shared stream-header layout of all codecs in the repo (v3):
+///   magic u32 | version u8 | crc32c u32 (over bytes 9..end) | rank u8 |
+///   dims varint* | eb-mode u8 | eb-value f64 | abs-bound f64
+/// The crc field is written as a zero placeholder here; the codec calls
+/// seal_stream() on the finished byte vector to fill it in.
 inline void write_header(ByteWriter& w, std::uint32_t magic, const Dims& d,
                          const ErrorBound& eb, double abs_eb) {
   w.put(magic);
   w.put(kFormatVersion);
+  w.put(std::uint32_t{0});  // crc placeholder, patched by seal_stream()
   w.put(static_cast<std::uint8_t>(d.rank));
   for (int i = 0; i < d.rank; ++i) w.put_varint(d[i]);
   w.put(static_cast<std::uint8_t>(eb.mode()));
   w.put(eb.value());
   w.put(abs_eb);
+}
+
+/// Fill in the v3 whole-payload checksum: CRC32C over every byte after
+/// the crc field itself, patched into bytes 5–8. Every codec calls this
+/// exactly once, on its finished stream, right before returning it.
+inline std::vector<std::uint8_t> seal_stream(std::vector<std::uint8_t> s) {
+  AESZ_CHECK_MSG(s.size() >= kCrcOffset + sizeof(std::uint32_t),
+                 "stream too short to seal");
+  const std::uint32_t crc = util::crc32c(
+      std::span<const std::uint8_t>(s).subspan(kCrcOffset + 4));
+  std::memcpy(s.data() + kCrcOffset, &crc, sizeof(crc));
+  return s;
 }
 
 /// Fallible header parse: every malformed prefix (truncation, foreign
@@ -82,8 +109,19 @@ inline Expected<StreamHeader> read_header(ByteReader& r,
   std::uint8_t version = 0;
   if (!r.try_get(version))
     return Status::error(ErrCode::kTruncated, "truncated header");
-  if (version != kFormatVersion)
+  if (version != kFormatVersion && version != kLegacyFormatVersion)
     return Status::error(ErrCode::kBadHeader, "unsupported stream version");
+  if (version == kFormatVersion) {
+    // v3: verify the whole-payload checksum before trusting a single
+    // field past it. This one check covers every codec — they all parse
+    // through here.
+    std::uint32_t stored = 0;
+    if (!r.try_get(stored))
+      return Status::error(ErrCode::kTruncated, "truncated checksum");
+    if (util::crc32c(r.rest()) != stored)
+      return Status::error(ErrCode::kChecksumMismatch,
+                           "stream checksum mismatch");
+  }
   StreamHeader h;
   if (Status s = read_dims_checked(r, h.dims); !s.ok()) return s;
   std::uint8_t mode = 0;

@@ -240,7 +240,7 @@ std::vector<std::uint8_t> SZ21::compress(const Field& f,
     uw.put_array<float>(unpred);
     w.put_blob(lz::compress(uw.bytes()));
   }
-  return w.take();
+  return sz::seal_stream(w.take());
 }
 
 Field SZ21::decompress_impl(std::span<const std::uint8_t> stream) {

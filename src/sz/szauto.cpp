@@ -99,7 +99,7 @@ std::vector<std::uint8_t> SZAuto::compress(const Field& f,
   ByteWriter uw;
   uw.put_array<float>(unpred);
   w.put_blob(lz::compress(uw.bytes()));
-  return w.take();
+  return sz::seal_stream(w.take());
 }
 
 Field SZAuto::decompress_impl(std::span<const std::uint8_t> stream) {

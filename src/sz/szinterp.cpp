@@ -138,7 +138,7 @@ std::vector<std::uint8_t> SZInterp::compress(const Field& f,
     uw.put_array<float>(unpred);
     w.put_blob(lz::compress(uw.bytes()));
   }
-  return w.take();
+  return sz::seal_stream(w.take());
 }
 
 Field SZInterp::decompress_impl(std::span<const std::uint8_t> stream) {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sz/common.hpp"
+#include "util/crc32c.hpp"
 
 namespace aesz::temporal {
 
@@ -25,8 +26,9 @@ Status parse_header(ByteReader& r, StreamInfo& out) {
   std::uint8_t version = 0;
   if (!r.try_get(version))
     return Status::error(ErrCode::kTruncated, "truncated AETC header");
-  if (version != kFormatVersion)
+  if (version != kFormatVersion && version != kFormatVersionV1)
     return Status::error(ErrCode::kBadHeader, "unsupported AETC version");
+  out.version = version;
   std::span<const std::uint8_t> name;
   if (!r.try_get_blob(name))
     return Status::error(ErrCode::kTruncated, "truncated inner codec name");
@@ -57,9 +59,22 @@ Status parse_header(ByteReader& r, StreamInfo& out) {
   return {};
 }
 
+/// The v2 per-record checksum: CRC32C over mode | abs-bound | payload —
+/// every semantic byte of the record (marker and the blob length varint
+/// are structural and validated by the parse itself).
+std::uint32_t record_crc(std::uint8_t mode, double abs_eb,
+                         std::span<const std::uint8_t> payload) {
+  std::uint32_t c = util::crc32c({&mode, 1});
+  c = util::crc32c({reinterpret_cast<const std::uint8_t*>(&abs_eb),
+                    sizeof(abs_eb)},
+                   c);
+  return util::crc32c(payload, c);
+}
+
 /// Parse one self-delimiting record at the reader's position. Fallible —
-/// recover_stream() treats any failure as the end of the record walk.
-Status parse_record(ByteReader& r, RecordInfo& rec) {
+/// recover_stream() treats a kTruncated failure as the end of the record
+/// walk (torn tail) and anything else as corruption.
+Status parse_record(ByteReader& r, RecordInfo& rec, std::uint8_t version) {
   std::uint8_t marker = 0;
   if (!r.try_get(marker))
     return Status::error(ErrCode::kTruncated, "truncated record marker");
@@ -77,6 +92,14 @@ Status parse_record(ByteReader& r, RecordInfo& rec) {
     return Status::error(ErrCode::kTruncated, "truncated record payload");
   if (rec.payload.empty())
     return Status::error(ErrCode::kCorruptStream, "empty record payload");
+  if (version >= kFormatVersion) {
+    std::uint32_t stored = 0;
+    if (!r.try_get(stored))
+      return Status::error(ErrCode::kTruncated, "truncated record checksum");
+    if (record_crc(rec.mode, rec.abs_eb, rec.payload) != stored)
+      return Status::error(ErrCode::kChecksumMismatch,
+                           "record checksum mismatch");
+  }
   return {};
 }
 
@@ -119,17 +142,21 @@ std::vector<std::uint8_t> write_stream_header(const std::string& inner,
 }
 
 void append_record(std::vector<std::uint8_t>& body, std::uint8_t mode,
-                   double abs_eb, std::span<const std::uint8_t> payload) {
+                   double abs_eb, std::span<const std::uint8_t> payload,
+                   std::uint8_t version) {
   AESZ_CHECK_ARG(mode == kModeIntra || mode == kModeResidual,
                  "bad record mode");
   AESZ_CHECK_ARG(std::isfinite(abs_eb) && abs_eb > 0, "bad record bound");
   AESZ_CHECK_ARG(!payload.empty(), "empty record payload");
+  AESZ_CHECK_ARG(version == kFormatVersion || version == kFormatVersionV1,
+                 "bad record version");
   ByteWriter w;
-  w.reserve(kMinRecordBytes + payload.size() + 4);
+  w.reserve(kMinRecordBytes + payload.size() + 8);
   w.put(kRecordMarker);
   w.put(mode);
   w.put(abs_eb);
   w.put_blob(payload);
+  if (version >= kFormatVersion) w.put(record_crc(mode, abs_eb, payload));
   const auto& bytes = w.bytes();
   body.insert(body.end(), bytes.begin(), bytes.end());
 }
@@ -197,7 +224,7 @@ Expected<StreamInfo> read_stream(std::span<const std::uint8_t> stream) {
     ByteReader rr(stream.subspan(static_cast<std::size_t>(offset),
                                  static_cast<std::size_t>(length)));
     RecordInfo rec;
-    if (Status s = parse_record(rr, rec); !s.ok()) return s;
+    if (Status s = parse_record(rr, rec, info.version); !s.ok()) return s;
     if (!rr.eof())
       return Status::error(ErrCode::kCorruptStream,
                            "record shorter than index entry");
@@ -229,7 +256,9 @@ Expected<StreamInfo> recover_stream(std::span<const std::uint8_t> stream) {
   while (end < stream.size() && stream[end] == kRecordMarker) {
     ByteReader rr(stream.subspan(end));
     RecordInfo rec;
-    if (!parse_record(rr, rec).ok()) break;  // truncated tail — stop here
+    const Status s = parse_record(rr, rec, info.version);
+    if (s.code == ErrCode::kChecksumMismatch) return s;  // corrupt, not torn
+    if (!s.ok()) break;  // truncated tail (or footer bytes) — stop here
     rec.offset = end;
     rec.length = rr.pos();
     info.records.push_back(rec);

@@ -12,7 +12,7 @@
 
 namespace aesz::temporal {
 
-/// Appendable timestep-stream container (version 1, "AETC"). One artifact
+/// Appendable timestep-stream container (version 2, "AETC"). One artifact
 /// holds a whole timestep sequence of a single field: a fixed header, then
 /// one self-delimiting record per timestep, then a footer index that is
 /// REWRITTEN on every append (the only mutable region of the file). Layout
@@ -22,10 +22,18 @@ namespace aesz::temporal {
 ///            rank u8 | dims varint* | eb-mode u8 | eb-value f64 |
 ///            gop varint
 ///   record*  marker u8 (0xA7) | mode u8 (0 intra, 1 residual) |
-///            abs-bound f64 | payload blob
+///            abs-bound f64 | payload blob | crc32c u32 (v2+)
 ///   footer   count varint | per record: mode u8, abs-bound f64,
 ///            offset varint, length varint |
 ///            footer-length u32 | footer magic u32 "AETI"
+///
+/// v2 added the per-record CRC32C (over mode | abs-bound | payload
+/// bytes): recovery can now tell a TORN tail (record structurally
+/// truncated — the interrupted append, benign) from a CORRUPT one
+/// (record structurally complete but its bytes don't hash — reported as
+/// kChecksumMismatch, never silently decoded). v1 streams still parse;
+/// a re-opened v1 stream keeps appending v1 records so one artifact
+/// never mixes record formats.
 ///
 /// `inner codec name` is the registry spelling of the codec every payload
 /// was produced by (including `parallel:<name>` container wrappers), so a
@@ -58,7 +66,8 @@ namespace aesz::temporal {
 /// "AETC" / "AETI" in little-endian byte order.
 constexpr std::uint32_t kStreamMagic = 0x43544541u;
 constexpr std::uint32_t kIndexMagic = 0x49544541u;
-constexpr std::uint8_t kFormatVersion = 1;
+constexpr std::uint8_t kFormatVersion = 2;
+constexpr std::uint8_t kFormatVersionV1 = 1;  // pre-checksum records
 constexpr std::uint8_t kRecordMarker = 0xA7;
 
 /// Timestep coding modes.
@@ -90,6 +99,9 @@ struct RecordInfo {
 /// complete timestep. Payload spans alias the caller's bytes.
 struct StreamInfo {
   std::string inner;  // registry codec name of every payload
+  /// Format version the header declared — an appender must keep writing
+  /// records in this version so one artifact never mixes formats.
+  std::uint8_t version = kFormatVersion;
   Dims dims;
   ErrorBound eb;
   std::size_t gop = 0;
@@ -113,8 +125,11 @@ std::vector<std::uint8_t> write_stream_header(const std::string& inner,
                                               std::size_t gop);
 
 /// Append one record to `body` (a header + records prefix, NO footer).
+/// `version` selects the record format and must match the stream header's
+/// declared version (v2 records carry a trailing CRC32C; v1 don't).
 void append_record(std::vector<std::uint8_t>& body, std::uint8_t mode,
-                   double abs_eb, std::span<const std::uint8_t> payload);
+                   double abs_eb, std::span<const std::uint8_t> payload,
+                   std::uint8_t version = kFormatVersion);
 
 /// The footer bytes for the given records (their offset/length fields
 /// must locate each record within the body); a complete artifact is
@@ -132,6 +147,9 @@ Expected<StreamInfo> read_stream(std::span<const std::uint8_t> stream);
 /// records forward, IGNORING the footer entirely. Returns every complete
 /// timestep; a truncated final append (or a stomped footer) simply ends
 /// the walk. `body_bytes` marks where an appender should resume writing.
+/// On a v2 stream, a record that is structurally COMPLETE but fails its
+/// checksum is kChecksumMismatch — that is corruption, not a torn tail,
+/// and resuming past it would silently lose the flipped bytes.
 Expected<StreamInfo> recover_stream(std::span<const std::uint8_t> stream);
 
 }  // namespace aesz::temporal

@@ -239,6 +239,7 @@ Expected<std::unique_ptr<TemporalWriter>> TemporalWriter::open(
   w->dims_ = info.dims;
   w->eb_ = info.eb;
   w->gop_ = info.gop;
+  w->version_ = info.version;
   w->enc_ = std::make_unique<TemporalCompressor>(std::move(*codec), w->dims_,
                                                  w->eb_, w->gop_, opt.mode);
   w->body_.assign(stream.begin(),
@@ -264,7 +265,7 @@ TemporalWriter::AppendResult TemporalWriter::append(const Field& f) {
   rec.mode = step.mode;
   rec.abs_eb = step.abs_eb;
   rec.offset = body_.size();
-  append_record(body_, step.mode, step.abs_eb, step.payload);
+  append_record(body_, step.mode, step.abs_eb, step.payload, version_);
   rec.length = body_.size() - rec.offset;
   records_.push_back(rec);
   return {records_.size() - 1, step.mode, step.abs_eb, rec.length};

@@ -163,6 +163,15 @@ class TemporalWriter {
   /// The complete artifact: header + records + footer index.
   std::vector<std::uint8_t> bytes() const;
 
+  /// The two halves of bytes(), for crash-safe persistence: a sync-mode
+  /// writer stores body(), fsyncs, then appends footer() and fsyncs again
+  /// — the records are durable on disk BEFORE the index that advertises
+  /// them, so a crash between the phases leaves at worst a torn tail that
+  /// open(recover=true) resumes from, never a footer pointing at records
+  /// that were lost in the page cache.
+  std::span<const std::uint8_t> body() const { return body_; }
+  std::vector<std::uint8_t> footer() const { return write_footer(records_); }
+
   std::size_t timesteps() const { return records_.size(); }
   std::size_t body_bytes() const { return body_.size(); }
   const Dims& dims() const { return dims_; }
@@ -177,6 +186,9 @@ class TemporalWriter {
   Dims dims_;
   ErrorBound eb_;
   std::size_t gop_ = 8;
+  /// Record format this stream was opened with — a re-opened v1 artifact
+  /// keeps appending v1 records (aetc.hpp: one artifact, one format).
+  std::uint8_t version_ = kFormatVersion;
   std::vector<std::uint8_t> body_;   // header + records, no footer
   std::vector<RecordInfo> records_;  // payload spans NOT set (body_
                                      // reallocates); offset/length are

@@ -170,6 +170,10 @@ class ByteReader {
   std::size_t remaining() const { return data_.size() - pos_; }
   bool eof() const { return pos_ == data_.size(); }
 
+  /// View of the unread remainder WITHOUT consuming it — what checksum
+  /// verification hashes after the header fields have been read.
+  std::span<const std::uint8_t> rest() const { return data_.subspan(pos_); }
+
  private:
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;

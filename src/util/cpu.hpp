@@ -23,9 +23,16 @@ inline bool cpu_has_avx2_fma() {
   return ok;
 }
 
+/// SSE4.2 — carries the crc32 instruction behind util/crc32c.hpp.
+inline bool cpu_has_sse42() {
+  static const bool ok = __builtin_cpu_supports("sse4.2");
+  return ok;
+}
+
 #else
 
 inline bool cpu_has_avx2_fma() { return false; }
+inline bool cpu_has_sse42() { return false; }
 
 #endif  // x86-64 GNU/Clang
 

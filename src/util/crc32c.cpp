@@ -1,0 +1,111 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/cpu.hpp"
+
+#ifdef AESZ_X86_DISPATCH
+#include <immintrin.h>
+#endif
+
+namespace aesz::util {
+
+namespace {
+
+/// Reflected CRC32C polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+/// Slice-by-8 lookup: table[0] is the classic byte-at-a-time table,
+/// table[k] advances a byte that sits k positions deeper in the message.
+/// Built once at first use — 8 KiB, cheap enough that baking a constexpr
+/// blob into the binary buys nothing.
+struct Tables {
+  std::uint32_t t[8][256];
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (int k = 1; k < 8; ++k)
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_sw(std::span<const std::uint8_t> data,
+                        std::uint32_t crc) {
+  const Tables& tb = tables();
+  std::uint32_t c = ~crc;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  // Head: bytes until nothing or an 8-byte block remains.
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    w ^= c;  // little-endian: the CRC folds into the low 4 bytes
+    c = tb.t[7][w & 0xFF] ^ tb.t[6][(w >> 8) & 0xFF] ^
+        tb.t[5][(w >> 16) & 0xFF] ^ tb.t[4][(w >> 24) & 0xFF] ^
+        tb.t[3][(w >> 32) & 0xFF] ^ tb.t[2][(w >> 40) & 0xFF] ^
+        tb.t[1][(w >> 48) & 0xFF] ^ tb.t[0][(w >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) c = (c >> 8) ^ tb.t[0][(c ^ *p++) & 0xFF];
+  return ~c;
+}
+
+#ifdef AESZ_X86_DISPATCH
+
+__attribute__((target("sse4.2"))) static std::uint32_t crc32c_hw_impl(
+    const std::uint8_t* p, std::size_t n, std::uint32_t crc) {
+  std::uint64_t c = ~crc;
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    c = _mm_crc32_u64(c, w);
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+  while (n--) c32 = _mm_crc32_u8(c32, *p++);
+  return ~c32;
+}
+
+std::uint32_t crc32c_hw(std::span<const std::uint8_t> data,
+                        std::uint32_t crc) {
+  if (!cpu_has_sse42()) return crc32c_sw(data, crc);
+  return crc32c_hw_impl(data.data(), data.size(), crc);
+}
+
+bool crc32c_hw_available() { return cpu_has_sse42(); }
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t crc) {
+  if (cpu_has_sse42()) return crc32c_hw_impl(data.data(), data.size(), crc);
+  return crc32c_sw(data, crc);
+}
+
+#else
+
+std::uint32_t crc32c_hw(std::span<const std::uint8_t> data,
+                        std::uint32_t crc) {
+  return crc32c_sw(data, crc);
+}
+
+bool crc32c_hw_available() { return false; }
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t crc) {
+  return crc32c_sw(data, crc);
+}
+
+#endif  // AESZ_X86_DISPATCH
+
+}  // namespace aesz::util

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aesz::util {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected) — the checksum
+/// behind iSCSI, ext4, and most storage formats, chosen here because
+/// x86-64 has carried a hardware instruction for it since Nehalem. The
+/// repo uses it for every integrity seal: codec streams, container chunk
+/// tables, AETC records, AEPR layers, and optional protocol frame
+/// trailers.
+///
+/// `crc` is a running value for incremental use:
+///
+///   std::uint32_t c = crc32c(part1);
+///   c = crc32c(part2, c);            // == crc32c(part1 + part2)
+///
+/// The implementation dispatches once per process between the SSE4.2
+/// hardware path (three 8-byte CRC lanes per iteration are unnecessary at
+/// our sizes; a single _mm_crc32_u64 chain already saturates the port)
+/// and a slice-by-8 table fallback. Both are exposed for differential
+/// testing; call the plain crc32c() everywhere else.
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t crc = 0);
+
+inline std::uint32_t crc32c(const std::vector<std::uint8_t>& data,
+                            std::uint32_t crc = 0) {
+  return crc32c(std::span<const std::uint8_t>(data), crc);
+}
+
+/// Slice-by-8 software path (always available).
+std::uint32_t crc32c_sw(std::span<const std::uint8_t> data,
+                        std::uint32_t crc = 0);
+
+/// SSE4.2 hardware path. Only callable when crc32c_hw_available() — on
+/// other machines it falls through to the software path.
+std::uint32_t crc32c_hw(std::span<const std::uint8_t> data,
+                        std::uint32_t crc = 0);
+
+/// True when this process dispatches crc32c() to the SSE4.2 instruction.
+bool crc32c_hw_available();
+
+}  // namespace aesz::util

@@ -21,6 +21,8 @@ enum class ErrCode : std::uint8_t {
   kInternal,         // library invariant failure
   kOverloaded,       // server admission control rejected the request
   kNoSession,        // stream-session id unknown, closed, or reaped
+  kChecksumMismatch, // stored CRC32C disagrees with the bytes it covers
+  kTimeout,          // deadline expired before the operation finished
 };
 
 inline const char* errcode_name(ErrCode c) {
@@ -37,6 +39,8 @@ inline const char* errcode_name(ErrCode c) {
     case ErrCode::kInternal: return "internal";
     case ErrCode::kOverloaded: return "overloaded";
     case ErrCode::kNoSession: return "no_session";
+    case ErrCode::kChecksumMismatch: return "checksum_mismatch";
+    case ErrCode::kTimeout: return "timeout";
   }
   return "unknown";
 }

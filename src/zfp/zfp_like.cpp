@@ -353,7 +353,7 @@ std::vector<std::uint8_t> ZFPLike::compress(const Field& f,
   }
 
   header.put_blob(bits.finish());
-  return header.take();
+  return sz::seal_stream(header.take());
 }
 
 Field ZFPLike::decompress_impl(std::span<const std::uint8_t> stream) {

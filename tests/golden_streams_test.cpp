@@ -1,23 +1,31 @@
 // Golden-stream format pinning. Each blob below is the hex dump of a
 // stream a past build of this repo produced for a deterministic synthetic
-// input. The tests assert three things, which together make accidental
+// input. The tests assert four things, which together make accidental
 // format breaks loud instead of silent:
 //
-//   1. Today's decoder reads yesterday's bytes: every golden blob decodes
-//      cleanly and honors the bound it was encoded under.
-//   2. Today's encoder still writes yesterday's bytes: recompressing the
-//      same input yields the golden blob BYTE FOR BYTE. A legitimate
-//      format change must bump the stream version and regenerate the
-//      blobs in the same commit — this test is the tripwire that forces
-//      that conversation.
+//   1. Today's decoder reads yesterday's bytes: every golden blob —
+//      including the pre-checksum LEGACY revisions — decodes cleanly and
+//      honors the bound it was encoded under.
+//   2. Today's encoder still writes today's pinned bytes: recompressing
+//      the same input yields the current golden blob BYTE FOR BYTE. A
+//      legitimate format change must bump the stream version and
+//      regenerate the blobs in the same commit — this test is the
+//      tripwire that forces that conversation.
 //   3. A stream stamped with a FUTURE version is refused with the typed
 //      kBadHeader error, not misparsed: old readers fail closed against
 //      new writers.
+//   4. Version is sticky on append: re-opening a legacy AETC artifact
+//      keeps writing legacy records, so one artifact never mixes formats.
+//
+// Blob provenance: the *Legacy blobs are codec-header v2 / AETC v1 /
+// AEPR v1 (pre-CRC32C, exactly as the checksum PR found them); the
+// current blobs are codec-header v3 / AETC v2 / AEPR v2.
 //
 // Regenerating after an intentional change: compress the same inputs
 // (value_noise_2d(12,16,3,4.0,123[,0.08*t]) under abs:1e-3, AETC with
 // inner SZ2.1 / gop 2 / auto mode, AEPR with inner SZ2.1 / the default
-// 3-layer factor-4 ladder) and hex-dump the streams.
+// 3-layer factor-4 ladder) and hex-dump the streams. Never regenerate
+// the legacy blobs — they pin bytes already in the wild.
 
 #include <gtest/gtest.h>
 
@@ -39,8 +47,10 @@
 namespace aesz {
 namespace {
 
-// kGoldenSz21: 383 bytes
-constexpr char kGoldenSz21[] =
+// ----------------------------------------------------------- legacy pins
+
+// kGoldenSz21Legacy: 383 bytes, codec-header v2 (no checksum field).
+constexpr char kGoldenSz21Legacy[] =
     "31325a5302020c1000fca9f1d24d62503ffca9f1d24d62503f04010102000704"
     "04920a2c3700d2028f0321c00188810272f1fe01081d08140803080507010801"
     "0803080308020802080108020411010704070005030107040711040701070308"
@@ -54,8 +64,8 @@ constexpr char kGoldenSz21[] =
     "8cc1dcd2425c8ede9630d2df240e219a67356657e2dd316ea3dc84faa4f92f91"
     "0c26872ae829f2718411625dcae68c3b58b57a281b823b0dcf000401010000";
 
-// kGoldenZfp: 329 bytes
-constexpr char kGoldenZfp[] =
+// kGoldenZfpLegacy: 329 bytes, codec-header v2.
+constexpr char kGoldenZfpLegacy[] =
     "3150465a02020c1000fca9f1d24d62503ffca9f1d24d62503f00f6ffffff00a8"
     "0259c2741f129cfbc4c6cb8eac74174636231ccfb0441afb3fb26449683e737d"
     "1b807d3f1fe41b2729fae7dee10e315f8faa8459b2b0b3a4e761805c17a65a44"
@@ -68,9 +78,10 @@ constexpr char kGoldenZfp[] =
     "a23fa6bc25f232f4e5852101d1ce886596acfac1749087063264b5375ae43537"
     "6236480222d438d11a";
 
-// kGoldenAetc: 1057 bytes — 3 timesteps, inner SZ2.1, gop 2, auto mode
-// (t=0 and t=2 keyframes, t=1 a residual record).
-constexpr char kGoldenAetc[] =
+// kGoldenAetcLegacy: 1057 bytes — AETC v1 (no record checksums), inner
+// codec-header v2, 3 timesteps, inner SZ2.1, gop 2, auto mode (t=0 and
+// t=2 keyframes, t=1 a residual record).
+constexpr char kGoldenAetcLegacy[] =
     "414554430105535a322e31020c1000fca9f1d24d62503f02a700fca9f1d24d62"
     "503fff0231325a5302020c1000fca9f1d24d62503ffca9f1d24d62503f040101"
     "0200070404920a2c3700d2028f0321c00188810272f1fe01081d081408030805"
@@ -106,9 +117,10 @@ constexpr char kGoldenAetc[] =
     "fca9f1d24d62503fa303c60100fca9f1d24d62503fe904890327000000414554"
     "49";
 
-// kGoldenAepr: 472 bytes — 3 layers, inner SZ2.1, factor-4 ladder
-// (recorded bounds 16e-3 / 4e-3 / 1e-3).
-constexpr char kGoldenAepr[] =
+// kGoldenAeprLegacy: 472 bytes — AEPR v1 (no layer checksums), inner
+// codec-header v2, 3 layers, inner SZ2.1, factor-4 ladder (recorded
+// bounds 16e-3 / 4e-3 / 1e-3).
+constexpr char kGoldenAeprLegacy[] =
     "414550520105535a322e31020c1000fca9f1d24d62503f000000200ca8e53f03"
     "00a801fca9f1d24d62903fa80177fca9f1d24d62703f9f0278fca9f1d24d6250"
     "3f31325a5302020c1000fca9f1d24d62903ffca9f1d24d62903f040101020006"
@@ -124,6 +136,96 @@ constexpr char kGoldenAepr[] =
     "06000000020101004a490cc00183800205feff0103010205013803362fa5f131"
     "caa831b059579824c5e00f201cdde0614391182f009f28b7580a3ddab8c19f21"
     "be9d2652d2ccc15baff9ce68c7d89ceab542000401010000";
+
+// ---------------------------------------------------------- current pins
+
+// kGoldenSz21: 387 bytes, codec-header v3 (whole-payload CRC32C).
+constexpr char kGoldenSz21[] =
+    "31325a53039fff71b0020c1000fca9f1d24d62503ffca9f1d24d62503f040101"
+    "0200070404920a2c3700d2028f0321c00188810272f1fe01081d081408030805"
+    "0701080108030803080208020801080204110107040700050301070407110407"
+    "01070308010801060107010702070304210005090402070107041d020106081b"
+    "00090300080f00060701060415050105020601043d00042d0006310306030506"
+    "2100074f00060b0106085b0009710106046700056900076100044706030707"
+    "07010604290102051bb30102070507030702071807070705070407a101674add"
+    "aa91bb5fd10b05c8bac1db7ace70ff44854c21f70970d9b8663a7bbce0f034be"
+    "f77aef6aab957e94791adc2ca776f784ee04fab2eff101c3a553240983ac65a1"
+    "7b6206c6232798feba1a4928c6f2572410aba120fc9169fb9c653d4f36fdb525"
+    "faaabc54d68cc1dcd2425c8ede9630d2df240e219a67356657e2dd316ea3dc84"
+    "faa4f92f910c26872ae829f2718411625dcae68c3b58b57a281b823b0dcf0004"
+    "01010000";
+
+// kGoldenZfp: 333 bytes, codec-header v3.
+constexpr char kGoldenZfp[] =
+    "3150465a0347544a73020c1000fca9f1d24d62503ffca9f1d24d62503f00f6ff"
+    "ffff00a80259c2741f129cfbc4c6cb8eac74174636231ccfb0441afb3fb26449"
+    "683e737d1b807d3f1fe41b2729fae7dee10e315f8faa8459b2b0b3a4e761805c"
+    "17a65a442f25f8d879f800fb199fc79e25abc4f9df267da5de6066387892fa64"
+    "883abf57515639e92c59dc81ee527bb8f599692939317e4ff0ff78555c5a763e"
+    "4b16126703c6c3ab4e6a857d63b8279fc1275060a64e2431db59b2ccab476f9b"
+    "f2cb36110f26f91a1229f186e46f1af8b31bb36485188008400c88d198346e41"
+    "4c144feeda7b3e76574ccb2c59377aa08f74207915cb0e82d5daf050c6d851b3"
+    "e173623a4b9667e9eaa0240eb19672d09db8240593fd47cc300471d62c59ac05"
+    "81042df3a23fa6bc25f232f4e5852101d1ce886596acfac1749087063264b537"
+    "5ae435376236480222d438d11a";
+
+// kGoldenAetc: 1081 bytes — AETC v2 (per-record CRC32C), inner
+// codec-header v3, same 3 timesteps / SZ2.1 / gop 2 / auto mode.
+constexpr char kGoldenAetc[] =
+    "414554430205535a322e31020c1000fca9f1d24d62503f02a700fca9f1d24d62"
+    "503f830331325a53039fff71b0020c1000fca9f1d24d62503ffca9f1d24d6250"
+    "3f0401010200070404920a2c3700d2028f0321c00188810272f1fe01081d0814"
+    "0803080507010801080308030802080208010802041101070407000503010704"
+    "0711040701070308010801060107010702070304210005090402070107041d02"
+    "0106081b00090300080f00060701060415050105020601043d00042d00063103"
+    "060305062100074f00060b0106085b0009710106046700056900076100044706"
+    "03070707010604290102051bb30102070507030702071807070705070407a101"
+    "674addaa91bb5fd10b05c8bac1db7ace70ff44854c21f70970d9b8663a7bbce0"
+    "f034bef77aef6aab957e94791adc2ca776f784ee04fab2eff101c3a553240983"
+    "ac65a17b6206c6232798feba1a4928c6f2572410aba120fc9169fb9c653d4f36"
+    "fdb525faaabc54d68cc1dcd2425c8ede9630d2df240e219a67356657e2dd316e"
+    "a3dc84faa4f92f910c26872ae829f2718411625dcae68c3b58b57a281b823b0d"
+    "cf000401010000e3ef36e2a701fca9f1d24d62503fbe0131325a5303d8bf1158"
+    "020c1000fca9f1d24d62503ffca9f1d24d62503f040101020006030306050d00"
+    "8e0192010dc0018c800215f5ff01070207010401090601040105010401030701"
+    "0104050107050105010601060425605fd2af5e97ba3d4b8d759e2b70ed6660cf"
+    "ad2b1a6505edb3ce7ea5cccacffdcf2cd185608e66d23636dff1b48cac129a65"
+    "c6328bc471720e4413f35dcff4efa263bf6b121b197d3b5104a48dbb0bb3c8ce"
+    "5404b1447501635551c6b294d3cd02000401010000fd4f087ba700fca9f1d24d"
+    "62503f810331325a5303b33daebb020c1000fca9f1d24d62503ffca9f1d24d62"
+    "503f04010102000704049c0a225100d002a2031dc0018481027a81ff01081708"
+    "0a08050801080607030802080108010802050700060505010801070405051202"
+    "0802070208010701070207010803060107042300042101040415000431040701"
+    "06010417000601010604290005270407020602043500081b0306020509250006"
+    "0f000a1b00093b000a43000c250504070107030a0f00060d0007090105059b01"
+    "00040b00060f0111073f030207040505ae010b070f0703070207a401fbe04212"
+    "0d676ade940b27133ac7cbaa0328859f77e1aa4bc01ca75fe3875f8281f4e5b7"
+    "ed13260dee38657546584fd61d08ee876ab656c1707e6d242b3b9c64d094b677"
+    "f51ceb6a9614fba9a9c938366ba70e1f2851443ca41c5430735a1101bca93cd0"
+    "bd8af78d4950fd2ec85837673b65fe71ace5912c7494bad0fe056ed0611dc988"
+    "401e0f3de6edb0b33df2360561d386bd5c898fd0aa399dfe417cd0b753afbc05"
+    "0004010100008c721fd70300fca9f1d24d62503f18930301fca9f1d24d62503f"
+    "ab03ce0100fca9f1d24d62503ff90491032700000041455449";
+
+// kGoldenAepr: 496 bytes — AEPR v2 (per-layer CRC32C in the table),
+// inner codec-header v3, same 3-layer factor-4 ladder.
+constexpr char kGoldenAepr[] =
+    "414550520205535a322e31020c1000fca9f1d24d62503f000000200ca8e53f03"
+    "00ac01fca9f1d24d62903f9ea648a7ac017bfca9f1d24d62703ff3d5bc5aa702"
+    "7cfca9f1d24d62503ffa57497131325a53035d64125e020c1000fca9f1d24d62"
+    "903ffca9f1d24d62903f0401010200060303520203007d830110c00189800211"
+    "f7ff01080208010701040501010309010304010505015c070107583fdd7b581d"
+    "d8f6b8de5a60447ca4dfc5693040fa35cfabf41ee9ef2e70b438411599af6864"
+    "4e97779e3db3659bf90d654aad00692bc861a77235b31546ff26193dd8fa0c58"
+    "d8c0ab96dba2f668376fa924f25c071086980200040101000031325a53039b22"
+    "4cd6020c1000fca9f1d24d62703ffca9f1d24d62703f04010103000906060000"
+    "000200010049480cc00183800205feff01030102050137033538fac292f68124"
+    "8f0f230a82cc6c0b2c7dada72115bd846148757ca68c12c72228000998ee1e2f"
+    "256fd5d26630d369dbe49850940600040101000031325a530365993e2e020c10"
+    "00fca9f1d24d62503ffca9f1d24d62503f040101030009060600000002010100"
+    "4a490cc00183800205feff0103010205013803362fa5f131caa831b059579824"
+    "c5e00f201cdde0614391182f009f28b7580a3ddab8c19f21be9d2652d2ccc15b"
+    "aff9ce68c7d89ceab542000401010000";
 
 std::vector<std::uint8_t> from_hex(const char* hex) {
   const std::string s(hex);
@@ -149,20 +251,23 @@ constexpr double kEb = 1e-3;
 
 struct SnapshotCase {
   const char* codec;
-  const char* hex;
+  const char* legacy_hex;  // codec-header v2, decode-only
+  const char* hex;         // codec-header v3, byte-pinned
 };
 
 class GoldenSnapshot : public ::testing::TestWithParam<SnapshotCase> {};
 
 TEST_P(GoldenSnapshot, YesterdaysBytesStillDecodeInBound) {
-  const auto golden = from_hex(GetParam().hex);
   const Field f = golden_field();
   auto codec = CodecRegistry::instance().create(GetParam().codec, 2).value();
-  auto recon = codec->decompress(golden);
-  ASSERT_TRUE(recon.ok()) << recon.status().str();
-  ASSERT_EQ(recon->dims(), f.dims());
-  EXPECT_LE(metrics::max_abs_err(f.values(), recon->values()),
-            kEb * (1 + 1e-9));
+  for (const char* hex : {GetParam().legacy_hex, GetParam().hex}) {
+    const auto golden = from_hex(hex);
+    auto recon = codec->decompress(golden);
+    ASSERT_TRUE(recon.ok()) << recon.status().str();
+    ASSERT_EQ(recon->dims(), f.dims());
+    EXPECT_LE(metrics::max_abs_err(f.values(), recon->values()),
+              kEb * (1 + 1e-9));
+  }
 }
 
 TEST_P(GoldenSnapshot, TodaysEncoderReproducesTheBlobByteForByte) {
@@ -185,34 +290,38 @@ TEST_P(GoldenSnapshot, FutureVersionIsRefusedTyped) {
   EXPECT_EQ(recon.status().code, ErrCode::kBadHeader) << recon.status().str();
 }
 
-INSTANTIATE_TEST_SUITE_P(Codecs, GoldenSnapshot,
-                         ::testing::Values(SnapshotCase{"SZ2.1", kGoldenSz21},
-                                           SnapshotCase{"ZFP", kGoldenZfp}),
-                         [](const auto& info) {
-                           std::string n = info.param.codec;
-                           for (char& c : n)
-                             if (c == '.') c = '_';
-                           return n;
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, GoldenSnapshot,
+    ::testing::Values(
+        SnapshotCase{"SZ2.1", kGoldenSz21Legacy, kGoldenSz21},
+        SnapshotCase{"ZFP", kGoldenZfpLegacy, kGoldenZfp}),
+    [](const auto& info) {
+      std::string n = info.param.codec;
+      for (char& c : n)
+        if (c == '.') c = '_';
+      return n;
+    });
 
 TEST(GoldenAetc, YesterdaysArtifactStillDecodesInBound) {
-  const auto golden = from_hex(kGoldenAetc);
-  auto reader = temporal::TemporalReader::open(golden);
-  ASSERT_TRUE(reader.ok()) << reader.status().str();
-  ASSERT_EQ((*reader)->timesteps(), 3u);
-  EXPECT_EQ((*reader)->info().inner, "SZ2.1");
-  EXPECT_EQ((*reader)->info().gop, 2u);
-  // The auto-mode decision is part of the pinned format: t=1 residual.
-  EXPECT_EQ((*reader)->info().records[0].mode, temporal::kModeIntra);
-  EXPECT_EQ((*reader)->info().records[1].mode, temporal::kModeResidual);
-  EXPECT_EQ((*reader)->info().records[2].mode, temporal::kModeIntra);
-  for (std::size_t t = 0; t < 3; ++t) {
-    const Field orig = golden_field(0.08 * static_cast<double>(t));
-    auto recon = (*reader)->read(t);
-    ASSERT_TRUE(recon.ok()) << "t=" << t << ": " << recon.status().str();
-    EXPECT_LE(metrics::max_abs_err(orig.values(), recon->values()),
-              kEb * (1 + 1e-9))
-        << "t=" << t;
+  for (const char* hex : {kGoldenAetcLegacy, kGoldenAetc}) {
+    const auto golden = from_hex(hex);
+    auto reader = temporal::TemporalReader::open(golden);
+    ASSERT_TRUE(reader.ok()) << reader.status().str();
+    ASSERT_EQ((*reader)->timesteps(), 3u);
+    EXPECT_EQ((*reader)->info().inner, "SZ2.1");
+    EXPECT_EQ((*reader)->info().gop, 2u);
+    // The auto-mode decision is part of the pinned format: t=1 residual.
+    EXPECT_EQ((*reader)->info().records[0].mode, temporal::kModeIntra);
+    EXPECT_EQ((*reader)->info().records[1].mode, temporal::kModeResidual);
+    EXPECT_EQ((*reader)->info().records[2].mode, temporal::kModeIntra);
+    for (std::size_t t = 0; t < 3; ++t) {
+      const Field orig = golden_field(0.08 * static_cast<double>(t));
+      auto recon = (*reader)->read(t);
+      ASSERT_TRUE(recon.ok()) << "t=" << t << ": " << recon.status().str();
+      EXPECT_LE(metrics::max_abs_err(orig.values(), recon->values()),
+                kEb * (1 + 1e-9))
+          << "t=" << t;
+    }
   }
 }
 
@@ -253,6 +362,31 @@ TEST(GoldenAetc, ReopenAppendExtendsTheGoldenArtifactDeterministically) {
   EXPECT_EQ((*reopened)->bytes(), scratch.bytes());
 }
 
+TEST(GoldenAetc, ReopenedLegacyArtifactKeepsWritingLegacyRecords) {
+  // Version is sticky: appending to the committed v1 artifact must yield
+  // a stream that still parses as v1 — one artifact, one record format
+  // (a v1-era reader can keep consuming a file a v2-era writer extended).
+  const auto golden = from_hex(kGoldenAetcLegacy);
+  temporal::TemporalWriter::Options opt;
+  opt.mode = temporal::Mode::kAuto;
+  auto reopened = temporal::TemporalWriter::open(golden, opt);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().str();
+  (*reopened)->append(golden_field(0.08 * 3));
+  const auto extended = (*reopened)->bytes();
+
+  auto info = temporal::read_stream(extended);
+  ASSERT_TRUE(info.ok()) << info.status().str();
+  EXPECT_EQ(info->version, temporal::kFormatVersionV1);
+  ASSERT_EQ(info->records.size(), 4u);
+  auto reader = temporal::TemporalReader::open(extended);
+  ASSERT_TRUE(reader.ok()) << reader.status().str();
+  const Field orig = golden_field(0.08 * 3);
+  auto recon = (*reader)->read(3);
+  ASSERT_TRUE(recon.ok()) << recon.status().str();
+  EXPECT_LE(metrics::max_abs_err(orig.values(), recon->values()),
+            kEb * (1 + 1e-9));
+}
+
 TEST(GoldenAetc, FutureContainerVersionIsRefusedTyped) {
   auto stream = from_hex(kGoldenAetc);
   stream[4] = 0x63;
@@ -267,26 +401,28 @@ TEST(GoldenAetc, FutureContainerVersionIsRefusedTyped) {
 }
 
 TEST(GoldenAepr, EveryLayerPrefixOfYesterdaysArtifactDecodesInItsBound) {
-  const auto golden = from_hex(kGoldenAepr);
   const Field f = golden_field();
-  auto info = progressive::read_stream(golden);
-  ASSERT_TRUE(info.ok()) << info.status().str();
-  ASSERT_EQ(info->present, 3u);
-  // The ladder's recorded bounds are part of the pinned format, and the
-  // final rung is exactly the non-progressive guarantee.
-  EXPECT_DOUBLE_EQ(info->layers[0].abs_eb, 16e-3);
-  EXPECT_DOUBLE_EQ(info->layers[1].abs_eb, 4e-3);
-  EXPECT_DOUBLE_EQ(info->layers[2].abs_eb, kEb);
-  for (std::size_t k = 0; k < 3; ++k) {
-    const auto prefix = std::span<const std::uint8_t>(golden).first(
-        progressive::prefix_bytes(*info, k));
-    auto reader = progressive::ProgressiveReader::open(prefix);
-    ASSERT_TRUE(reader.ok()) << "k=" << k << ": " << reader.status().str();
-    auto recon = (*reader)->read(k);
-    ASSERT_TRUE(recon.ok()) << "k=" << k << ": " << recon.status().str();
-    EXPECT_LE(metrics::max_abs_err(f.values(), recon->values()),
-              info->layers[k].abs_eb * (1 + 1e-9))
-        << "k=" << k;
+  for (const char* hex : {kGoldenAeprLegacy, kGoldenAepr}) {
+    const auto golden = from_hex(hex);
+    auto info = progressive::read_stream(golden);
+    ASSERT_TRUE(info.ok()) << info.status().str();
+    ASSERT_EQ(info->present, 3u);
+    // The ladder's recorded bounds are part of the pinned format, and the
+    // final rung is exactly the non-progressive guarantee.
+    EXPECT_DOUBLE_EQ(info->layers[0].abs_eb, 16e-3);
+    EXPECT_DOUBLE_EQ(info->layers[1].abs_eb, 4e-3);
+    EXPECT_DOUBLE_EQ(info->layers[2].abs_eb, kEb);
+    for (std::size_t k = 0; k < 3; ++k) {
+      const auto prefix = std::span<const std::uint8_t>(golden).first(
+          progressive::prefix_bytes(*info, k));
+      auto reader = progressive::ProgressiveReader::open(prefix);
+      ASSERT_TRUE(reader.ok()) << "k=" << k << ": " << reader.status().str();
+      auto recon = (*reader)->read(k);
+      ASSERT_TRUE(recon.ok()) << "k=" << k << ": " << recon.status().str();
+      EXPECT_LE(metrics::max_abs_err(f.values(), recon->values()),
+                info->layers[k].abs_eb * (1 + 1e-9))
+          << "k=" << k;
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 #include "pipeline/sharder.hpp"
 #include "predictors/registry.hpp"
 #include "util/bytestream.hpp"
+#include "util/crc32c.hpp"
 #include "util/thread_pool.hpp"
 
 namespace aesz {
@@ -230,8 +231,10 @@ TEST(Container, HostileHeadersAreTypedErrors) {
     w.put_varint(2);       // 2 chunks
     w.put_varint(20);      // 20 rows > dims[0]=16
     w.put_varint(0);
+    w.put(std::uint32_t{0});  // v2 per-chunk crc
     w.put_varint(1);
     w.put_varint(0);
+    w.put(std::uint32_t{0});
     EXPECT_EQ(pipeline::read_container(w.bytes()).status().code,
               ErrCode::kCorruptStream);
   }
@@ -241,6 +244,7 @@ TEST(Container, HostileHeadersAreTypedErrors) {
     w.put_varint(1);
     w.put_varint(8);  // only 8 of 16 rows
     w.put_varint(0);
+    w.put(std::uint32_t{0});  // v2 per-chunk crc
     EXPECT_EQ(pipeline::read_container(w.bytes()).status().code,
               ErrCode::kCorruptStream);
   }
@@ -250,6 +254,7 @@ TEST(Container, HostileHeadersAreTypedErrors) {
     w.put_varint(1);
     w.put_varint(16);
     w.put_varint(1000);  // claims 1000 payload bytes; none follow
+    w.put(std::uint32_t{0});  // v2 per-chunk crc
     EXPECT_EQ(pipeline::read_container(w.bytes()).status().code,
               ErrCode::kTruncated);
   }
@@ -259,6 +264,8 @@ TEST(Container, HostileHeadersAreTypedErrors) {
     w.put_varint(1);
     w.put_varint(16);
     w.put_varint(2);
+    const std::uint8_t payload[2] = {0, 0};
+    w.put(util::crc32c(payload));  // honest crc of the declared payload
     w.put(std::uint8_t{0});
     w.put(std::uint8_t{0});
     w.put(std::uint8_t{0xEE});  // one byte too many

@@ -24,6 +24,7 @@
 #include "predictors/registry.hpp"
 #include "progressive/aepr.hpp"
 #include "progressive/progressive.hpp"
+#include "util/crc32c.hpp"
 #include "util/rng.hpp"
 
 namespace aesz::progressive {
@@ -307,13 +308,26 @@ std::vector<std::uint8_t> build_raw(std::uint64_t layer_count,
   w.put(eb_value);
   w.put(value_range);
   w.put_varint(layer_count);
+  std::vector<std::uint8_t> payload(payload_bytes);
+  for (std::size_t i = 0; i < payload_bytes; ++i)
+    payload[i] = static_cast<std::uint8_t>(i & 0xFF);
   for (const RawLayer& t : table) {
     w.put_varint(t.offset);
     w.put_varint(t.length);
     w.put(t.bound);
+    if (version >= kFormatVersion) {
+      // Honest checksum over the bytes the entry claims (when they exist)
+      // so the structural condition under test — not a checksum mismatch —
+      // is what the reader reports.
+      std::uint32_t crc = 0;
+      if (t.offset <= payload.size() && t.length <= payload.size() - t.offset)
+        crc = util::crc32c(std::span<const std::uint8_t>(payload).subspan(
+            static_cast<std::size_t>(t.offset),
+            static_cast<std::size_t>(t.length)));
+      w.put(crc);
+    }
   }
-  for (std::size_t i = 0; i < payload_bytes; ++i)
-    w.put(static_cast<std::uint8_t>(i & 0xFF));
+  w.put_bytes(payload);
   return w.take();
 }
 

@@ -64,8 +64,9 @@ std::vector<std::vector<std::uint8_t>> corpus() {
     svc::Server one_shot;
     svc::CompressRequest preq = creq;
     preq.codec = "progressive:SZ2.1";
-    auto parsed = svc::parse_compress_response(
-        one_shot.handle_frame(svc::encode_compress_request(preq)));
+    // Keep the response frame alive: parsed->stream is a span into it.
+    auto response = one_shot.handle_frame(svc::encode_compress_request(preq));
+    auto parsed = svc::parse_compress_response(response);
     EXPECT_TRUE(parsed.ok());
     aepr.assign(parsed->stream.begin(), parsed->stream.end());
   }
